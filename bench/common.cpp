@@ -1,0 +1,85 @@
+#include "common.hpp"
+
+#include "woolcano/asip.hpp"
+
+namespace jitise::bench {
+
+std::map<std::pair<ir::FuncId, ir::BlockId>, double> block_speedups(
+    const ir::Module& module, const woolcano::CiRegistry& registry,
+    const vm::CostModel& cost) {
+  // Savings per block = sum over its custom instructions of
+  // (covered SW cycles - HW cycles); speedup = static / (static - saved).
+  std::map<std::pair<ir::FuncId, ir::BlockId>, double> saved;
+  for (const woolcano::CustomInstruction& ci : registry.all()) {
+    const ir::Function& fn = module.functions[ci.candidate.function];
+    const ir::BasicBlock& block = fn.blocks[ci.candidate.block];
+    double sw = 0.0;
+    for (dfg::NodeId n : ci.candidate.nodes) {
+      const ir::Instruction& inst = fn.values[block.instrs[n]];
+      sw += cost.cycles(inst.op, inst.type);
+    }
+    const double gain = sw - static_cast<double>(ci.hw_cycles);
+    if (gain > 0)
+      saved[{ci.candidate.function, ci.candidate.block}] += gain;
+  }
+
+  std::map<std::pair<ir::FuncId, ir::BlockId>, double> speedups;
+  for (const auto& [key, gain] : saved) {
+    const ir::Function& fn = module.functions[key.first];
+    double static_cycles = 0.0;
+    for (ir::ValueId v : fn.blocks[key.second].instrs)
+      static_cycles += cost.cycles(fn.values[v].op, fn.values[v].type);
+    const double accel = static_cycles - gain;
+    speedups[key] = accel > 0 ? static_cycles / accel : static_cycles;
+  }
+  return speedups;
+}
+
+double break_even_for(const AppRun& run, double overhead_s) {
+  const vm::CostModel cost;
+  const auto speedup_map =
+      block_speedups(run.app.module, run.spec.registry, cost);
+  const auto terms = jit::block_terms(
+      run.app.module, run.profiles[0], run.coverage, cost,
+      [&](ir::FuncId f, ir::BlockId b) {
+        const auto it = speedup_map.find({f, b});
+        return it != speedup_map.end() ? it->second : 1.0;
+      });
+  return jit::break_even_seconds(terms, overhead_s);
+}
+
+AppRun run_app(const std::string& name, const SuiteOptions& options) {
+  AppRun run;
+  run.app = apps::build_app(name);
+
+  vm::Machine machine(run.app.module);
+  for (const apps::Dataset& ds : run.app.datasets) {
+    machine.clear_profile();
+    machine.reset_memory();
+    machine.run(run.app.entry, ds.args, 1ull << 30);
+    run.profiles.push_back(machine.profile());
+  }
+
+  const vm::CostModel cost;
+  run.times = vm::model_exec_times(run.app.module, run.profiles[0], cost);
+  run.coverage = vm::classify_coverage(run.app.module, run.profiles);
+  run.kernel = vm::find_kernel(run.app.module, run.profiles[0], cost);
+  run.upper = jit::asip_upper_bound(run.app.module, run.profiles[0], cost);
+
+  jit::SpecializerConfig config;
+  config.implement_hardware = options.implement_hardware;
+  run.spec =
+      jit::specialize(run.app.module, run.profiles[0], config, options.cache);
+
+  // Differential adapted execution on the train set (also validates the
+  // rewrite end to end in every bench run).
+  const auto adapted = woolcano::run_adapted(
+      run.app.module, run.spec.rewritten, run.spec.registry, run.app.entry,
+      run.app.datasets[0].args, cost);
+  run.adapted_speedup = adapted.speedup();
+
+  run.break_even_s = break_even_for(run, run.spec.sum_total_s);
+  return run;
+}
+
+}  // namespace jitise::bench

@@ -1,0 +1,49 @@
+// Shared driver for the table-generator benches: runs one application
+// through the complete experiment pipeline (profiling on both data sets,
+// VM/native time model, coverage + kernel statistics, upper-bound ASIP
+// ratio, the pruned ASIP-SP with full CAD implementation, and break-even
+// analysis).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "apps/app.hpp"
+#include "jit/breakeven.hpp"
+#include "jit/specializer.hpp"
+#include "vm/coverage.hpp"
+#include "vm/time_model.hpp"
+
+namespace jitise::bench {
+
+struct AppRun {
+  apps::App app;
+  std::vector<vm::Profile> profiles;  // one per data set ([0] = train)
+  vm::ExecTimes times;                // from the train profile
+  vm::CoverageReport coverage;
+  vm::KernelReport kernel;
+  jit::UpperBound upper;              // Table I ASIP ratio (no pruning)
+  jit::SpecializationResult spec;     // @50pS3L + CAD implementation
+  double adapted_speedup = 1.0;       // differential execution, train set
+  double break_even_s = 0.0;
+};
+
+struct SuiteOptions {
+  bool implement_hardware = true;  // run the real CAD flow per candidate
+  jit::BitstreamCache* cache = nullptr;
+};
+
+/// Runs the complete pipeline for one application.
+[[nodiscard]] AppRun run_app(const std::string& name,
+                             const SuiteOptions& options = {});
+
+/// Per-block speedup map (function,block) -> speedup from the implemented
+/// custom instructions, used by the break-even solver.
+[[nodiscard]] std::map<std::pair<ir::FuncId, ir::BlockId>, double>
+block_speedups(const ir::Module& module, const woolcano::CiRegistry& registry,
+               const vm::CostModel& cost);
+
+/// Break-even seconds for a finished AppRun under a given total overhead.
+[[nodiscard]] double break_even_for(const AppRun& run, double overhead_s);
+
+}  // namespace jitise::bench

@@ -1,0 +1,102 @@
+// Ablation for the paper's §VI-B outlook: "change our architecture to a
+// more coarse-grained architecture with simplified computing elements ...
+// customized tools for such architectures work significantly faster."
+//
+// Compares (a) the real runtime and quality of annealing vs. greedy
+// constructive placement, and (b) the modeled break-even impact of the
+// coarse-grained-overlay runtime model on the embedded suite.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fpga/place.hpp"
+#include "fpga/route.hpp"
+#include "support/rng.hpp"
+
+using namespace jitise;
+
+namespace {
+
+hwlib::Netlist make_netlist(std::size_t cells, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  hwlib::Netlist nl;
+  nl.top_name = "bench";
+  std::vector<hwlib::NetId> live;
+  const hwlib::NetId in = nl.new_net();
+  nl.add_cell(hwlib::CellKind::PortIn, "in", {}, {in});
+  live.push_back(in);
+  for (std::size_t i = 0; i < cells; ++i) {
+    std::vector<hwlib::NetId> ins{live[rng.below(live.size())]};
+    if (live.size() > 2 && rng.below(2) == 0)
+      ins.push_back(live[rng.below(live.size())]);
+    const hwlib::NetId out = nl.new_net();
+    nl.add_cell(hwlib::CellKind::Cluster, "c" + std::to_string(i),
+                std::move(ins), {out});
+    live.push_back(out);
+    if (live.size() > 12) live.erase(live.begin());
+  }
+  nl.add_cell(hwlib::CellKind::PortOut, "out", {live.back()}, {});
+  return nl;
+}
+
+void BM_AnnealedPlace(benchmark::State& state) {
+  const auto design = fpga::synthesize_top(
+      make_netlist(static_cast<std::size_t>(state.range(0)), 11));
+  const fpga::Fabric fabric;
+  double hpwl = 0;
+  for (auto _ : state) {
+    const auto placement = fpga::place(design, fabric);
+    hpwl = placement.hpwl;
+    benchmark::DoNotOptimize(placement);
+  }
+  state.counters["hpwl"] = hpwl;
+}
+BENCHMARK(BM_AnnealedPlace)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_GreedyPlace(benchmark::State& state) {
+  const auto design = fpga::synthesize_top(
+      make_netlist(static_cast<std::size_t>(state.range(0)), 11));
+  const fpga::Fabric fabric;
+  double hpwl = 0;
+  for (auto _ : state) {
+    const auto placement = fpga::place_greedy(design, fabric);
+    hpwl = placement.hpwl;
+    benchmark::DoNotOptimize(placement);
+  }
+  state.counters["hpwl"] = hpwl;
+}
+BENCHMARK(BM_GreedyPlace)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_RouteAfterGreedy(benchmark::State& state) {
+  const auto design = fpga::synthesize_top(
+      make_netlist(static_cast<std::size_t>(state.range(0)), 11));
+  const fpga::Fabric fabric;
+  const auto placement = fpga::place_greedy(design, fabric);
+  std::uint64_t wl = 0;
+  for (auto _ : state) {
+    const auto routing = fpga::route(design, fabric, placement);
+    wl = routing.total_wirelength;
+    benchmark::DoNotOptimize(routing);
+  }
+  state.counters["wirelength"] = static_cast<double>(wl);
+}
+BENCHMARK(BM_RouteAfterGreedy)->Arg(256);
+
+void BM_RouteAfterAnneal(benchmark::State& state) {
+  const auto design = fpga::synthesize_top(
+      make_netlist(static_cast<std::size_t>(state.range(0)), 11));
+  const fpga::Fabric fabric;
+  const auto placement = fpga::place(design, fabric);
+  std::uint64_t wl = 0;
+  for (auto _ : state) {
+    const auto routing = fpga::route(design, fabric, placement);
+    wl = routing.total_wirelength;
+    benchmark::DoNotOptimize(routing);
+  }
+  state.counters["wirelength"] = static_cast<double>(wl);
+}
+BENCHMARK(BM_RouteAfterAnneal)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

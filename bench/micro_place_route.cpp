@@ -1,0 +1,63 @@
+// Micro-benchmark: place & route scaling with design size — our stand-in
+// for the paper's observation that map/PAR are the only candidate-size-
+// dependent stages of the implementation flow.
+#include <benchmark/benchmark.h>
+
+#include "fpga/place.hpp"
+#include "fpga/route.hpp"
+#include "support/rng.hpp"
+
+using namespace jitise;
+
+namespace {
+
+hwlib::Netlist make_netlist(std::size_t cells, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  hwlib::Netlist nl;
+  nl.top_name = "bench";
+  std::vector<hwlib::NetId> live;
+  const hwlib::NetId in = nl.new_net();
+  nl.add_cell(hwlib::CellKind::PortIn, "in", {}, {in});
+  live.push_back(in);
+  for (std::size_t i = 0; i < cells; ++i) {
+    std::vector<hwlib::NetId> ins{live[rng.below(live.size())]};
+    if (live.size() > 2 && rng.below(2) == 0)
+      ins.push_back(live[rng.below(live.size())]);
+    const hwlib::NetId out = nl.new_net();
+    nl.add_cell(hwlib::CellKind::Cluster, "c" + std::to_string(i),
+                std::move(ins), {out});
+    live.push_back(out);
+    if (live.size() > 12) live.erase(live.begin());
+  }
+  nl.add_cell(hwlib::CellKind::PortOut, "out", {live.back()}, {});
+  return nl;
+}
+
+void BM_Place(benchmark::State& state) {
+  const auto design = fpga::synthesize_top(
+      make_netlist(static_cast<std::size_t>(state.range(0)), 7));
+  const fpga::Fabric fabric;
+  for (auto _ : state) {
+    auto placement = fpga::place(design, fabric);
+    benchmark::DoNotOptimize(placement);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Place)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_Route(benchmark::State& state) {
+  const auto design = fpga::synthesize_top(
+      make_netlist(static_cast<std::size_t>(state.range(0)), 7));
+  const fpga::Fabric fabric;
+  const auto placement = fpga::place(design, fabric);
+  for (auto _ : state) {
+    auto routing = fpga::route(design, fabric, placement);
+    benchmark::DoNotOptimize(routing);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Route)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Adaptive-VM scenario (paper Figure 1): an embedded application starts on
+// the virtual machine; the ASIP Specialization Process runs "concurrently";
+// once bitstreams are ready the architecture is reconfigured and execution
+// continues accelerated. The example tracks the amortization account until
+// the break-even point — the paper's §V-D analysis, live.
+//
+// Build & run:  cmake --build build && ./build/examples/adaptive_vm [app]
+#include <cstdio>
+#include <string>
+
+#include "apps/app.hpp"
+#include "jit/breakeven.hpp"
+#include "jit/specializer.hpp"
+#include "support/duration.hpp"
+#include "vm/coverage.hpp"
+#include "woolcano/asip.hpp"
+
+using namespace jitise;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "fft";
+  const apps::App app = apps::build_app(name);
+  std::printf("application: %s (%zu blocks, %zu instructions)\n",
+              app.name.c_str(), app.module.total_blocks(),
+              app.module.total_instructions());
+
+  // Phase 1: the application executes on the VM while being profiled.
+  vm::Machine machine(app.module);
+  std::vector<vm::Profile> profiles;
+  for (const apps::Dataset& ds : app.datasets) {
+    machine.clear_profile();
+    machine.reset_memory();
+    machine.run(app.entry, ds.args, 1ull << 30);
+    profiles.push_back(machine.profile());
+  }
+  const vm::CostModel cost;
+  const double one_exec_s = cost.seconds(profiles[0].cpu_cycles);
+  std::printf("profiled: one execution = %.3f s on the PPC405 model\n",
+              one_exec_s);
+
+  const auto coverage = vm::classify_coverage(app.module, profiles);
+  std::printf("coverage: %.1f%% live / %.1f%% const / %.1f%% dead code\n",
+              coverage.live_pct, coverage.const_pct, coverage.dead_pct);
+
+  // Phase 2: ASIP-SP runs concurrently with execution.
+  jit::SpecializerConfig config;
+  const auto spec = jit::specialize(app.module, profiles[0], config);
+  std::printf("\nASIP-SP: %zu candidates implemented, total tool-flow time "
+              "%s (modeled Xilinx ISE 12.2 EAPR)\n",
+              spec.implemented.size(),
+              support::format_min_sec(spec.sum_total_s).c_str());
+
+  // Phase 3: adaptation — reconfigure and rewrite the running binary.
+  woolcano::ReconfigController icap;
+  for (const auto& ci : spec.registry.all()) icap.load(ci);
+  const auto diff = woolcano::run_adapted(app.module, spec.rewritten,
+                                          spec.registry, app.entry,
+                                          app.datasets[0].args, cost);
+  std::printf("adapted: speedup %.2fx (ICAP time %.2f ms, %llu loads)\n",
+              diff.speedup(), icap.total_seconds() * 1e3,
+              static_cast<unsigned long long>(icap.loads()));
+
+  // Phase 4: amortization account — when does the saved time repay the
+  // hardware-generation overhead, assuming the input keeps growing (live
+  // code scales, const code ran once)?
+  const auto speedup_map = [&] {
+    // Gains of all custom instructions sharing a block accumulate.
+    std::map<std::pair<ir::FuncId, ir::BlockId>, double> gains;
+    for (const auto& ci : spec.registry.all()) {
+      const ir::Function& fn = app.module.functions[ci.candidate.function];
+      const ir::BasicBlock& block = fn.blocks[ci.candidate.block];
+      double sw = 0.0;
+      for (dfg::NodeId n : ci.candidate.nodes) {
+        const ir::Instruction& inst = fn.values[block.instrs[n]];
+        sw += cost.cycles(inst.op, inst.type);
+      }
+      const double gain = sw - ci.hw_cycles;
+      if (gain > 0) gains[{ci.candidate.function, ci.candidate.block}] += gain;
+    }
+    std::map<std::pair<ir::FuncId, ir::BlockId>, double> map;
+    for (const auto& [key, gain] : gains) {
+      const ir::Function& fn = app.module.functions[key.first];
+      double total = 0.0;
+      for (ir::ValueId v : fn.blocks[key.second].instrs)
+        total += cost.cycles(fn.values[v].op, fn.values[v].type);
+      map[key] = total / std::max(1.0, total - gain);
+    }
+    return map;
+  }();
+  const auto terms = jit::block_terms(
+      app.module, profiles[0], coverage, cost,
+      [&](ir::FuncId f, ir::BlockId b) {
+        const auto it = speedup_map.find({f, b});
+        return it != speedup_map.end() ? it->second : 1.0;
+      });
+  const double break_even = jit::break_even_seconds(terms, spec.sum_total_s);
+  if (break_even == jit::kNeverBreaksEven) {
+    std::printf("\nbreak-even: never (savings cannot repay the overhead)\n");
+  } else {
+    std::printf("\nbreak-even after %s of application execution "
+                "(~%.0f executions of the profiled input)\n",
+                support::format_day_hms(break_even).c_str(),
+                break_even / one_exec_s);
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+// jitise_cli — a command-line front end over the whole library.
+//
+//   jitise_cli list                      enumerate the benchmark suite
+//   jitise_cli run <app>                 execute an app on the VM + profile
+//   jitise_cli dump-ir <app>             print the app's textual IR
+//   jitise_cli dot <app>                 DFG of the hottest block (Graphviz)
+//   jitise_cli specialize <app> [cache]  full ASIP-SP (optional cache file)
+//   jitise_cli floorplan <app>           implement the best candidate and
+//                                        print the placed floorplan
+//   jitise_cli timeline <app>            adaptive-run timeline simulation
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/app.hpp"
+#include "cad/flow.hpp"
+#include "datapath/project.hpp"
+#include "dfg/export.hpp"
+#include "fpga/place.hpp"
+#include "fpga/report.hpp"
+#include "fpga/route.hpp"
+#include "fpga/synthesis.hpp"
+#include "ir/printer.hpp"
+#include "ise/identify.hpp"
+#include "ise/pruning.hpp"
+#include "jit/breakeven.hpp"
+#include "jit/cache_io.hpp"
+#include "jit/runtime.hpp"
+#include "jit/specializer.hpp"
+#include "support/duration.hpp"
+#include "vm/interpreter.hpp"
+#include "woolcano/asip.hpp"
+
+using namespace jitise;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jitise_cli "
+               "{list|run|dump-ir|dot|specialize|floorplan|timeline} [app] "
+               "[cache-file]\n");
+  return 2;
+}
+
+vm::Profile profile_app(const apps::App& app) {
+  vm::Machine machine(app.module);
+  machine.run(app.entry, app.datasets[0].args, 1ull << 30);
+  return machine.profile();
+}
+
+int cmd_list() {
+  for (const std::string& name : apps::app_names()) {
+    const apps::App app = apps::build_app(name);
+    std::printf("%-12s %-10s %5zu blocks %6zu instructions\n", name.c_str(),
+                app.domain == apps::Domain::Embedded ? "embedded" : "scientific",
+                app.module.total_blocks(), app.module.total_instructions());
+  }
+  return 0;
+}
+
+int cmd_run(const apps::App& app) {
+  vm::Machine machine(app.module);
+  const auto r = machine.run(app.entry, app.datasets[0].args, 1ull << 30);
+  std::printf("result=%lld\ninstructions=%llu\ncycles=%llu\nmodeled time=%.3f s "
+              "(PPC405 @ 300 MHz)\n",
+              static_cast<long long>(r.ret.i),
+              static_cast<unsigned long long>(r.steps),
+              static_cast<unsigned long long>(r.cycles),
+              machine.cost_model().seconds(r.cycles));
+  return 0;
+}
+
+int cmd_dot(const apps::App& app) {
+  const auto profile = profile_app(app);
+  const auto pruned = ise::prune_blocks(app.module, profile, {},
+                                        ise::PruneConfig::at50pS3L());
+  if (pruned.blocks.empty()) {
+    std::fprintf(stderr, "no hot block found\n");
+    return 1;
+  }
+  const auto& blk = pruned.blocks.front();
+  const dfg::BlockDfg graph(app.module.functions[blk.function], blk.block);
+  const auto misos = ise::find_max_misos(graph);
+  std::fputs(dfg::to_dot(graph, misos.empty()
+                                    ? std::span<const dfg::NodeId>{}
+                                    : std::span<const dfg::NodeId>(
+                                          misos.front().nodes))
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_specialize(const apps::App& app, const char* cache_path) {
+  jit::BitstreamCache cache;
+  if (cache_path) {
+    try {
+      jit::load_cache(cache, cache_path);
+      std::fprintf(stderr, "loaded %zu cached bitstream(s)\n", cache.entries());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "starting with an empty cache (%s)\n", e.what());
+    }
+  }
+  const auto profile = profile_app(app);
+  const auto spec = jit::specialize(app.module, profile, {},
+                                    cache_path ? &cache : nullptr);
+  std::printf("search: %.2f ms, %zu candidates, %zu selected, %zu cache "
+              "hit(s)\n",
+              spec.search_real_ms, spec.candidates_found,
+              spec.candidates_selected,
+              static_cast<std::size_t>(cache.hits()));
+  for (const auto& impl : spec.implemented)
+    std::printf("  %-28s %3zu ops %5zu cells %6zu B bitstream %s%s\n",
+                impl.name.c_str(), impl.instructions, impl.cells,
+                impl.bitstream_bytes,
+                support::format_min_sec(impl.total_seconds()).c_str(),
+                impl.cache_hit ? "  [cache hit]" : "");
+  std::printf("total modeled CAD time: %s\n",
+              support::format_min_sec(spec.sum_total_s).c_str());
+  const auto diff = woolcano::run_adapted(app.module, spec.rewritten,
+                                          spec.registry, app.entry,
+                                          app.datasets[0].args);
+  std::printf("adapted speedup: %.2fx\n", diff.speedup());
+  if (cache_path) {
+    jit::save_cache(cache, cache_path);
+    std::fprintf(stderr, "cache saved to %s (%zu entries, %zu bytes)\n",
+                 cache_path, cache.entries(), cache.bytes());
+  }
+  return 0;
+}
+
+int cmd_floorplan(const apps::App& app) {
+  const auto profile = profile_app(app);
+  jit::SpecializerConfig config;
+  const auto spec = jit::specialize(app.module, profile, config);
+  if (spec.implemented.empty()) {
+    std::fprintf(stderr, "no candidate implemented\n");
+    return 1;
+  }
+  // Re-run the CAD flow for the largest implemented candidate to show its
+  // placement (the specializer does not retain placements).
+  const auto& registry = spec.registry.all();
+  if (registry.empty()) {
+    std::fprintf(stderr, "no active custom instruction\n");
+    return 1;
+  }
+  const woolcano::CustomInstruction* best = &registry.front();
+  for (const auto& ci : registry)
+    if (ci.candidate.size() > best->candidate.size()) best = &ci;
+  const dfg::BlockDfg graph(app.module.functions[best->candidate.function],
+                            best->candidate.block);
+  hwlib::CircuitDb db;
+  const auto project =
+      datapath::create_project(graph, best->candidate, db, "floorplan_ci");
+  const fpga::Fabric fabric;
+  const auto design = fpga::synthesize_top(project.netlist);
+  const auto placement = fpga::place(design, fabric);
+  std::printf("%s\n%s", fpga::utilization_report(design, fabric).c_str(),
+              fpga::floorplan_ascii(design, fabric, placement).c_str());
+  return 0;
+}
+
+int cmd_timeline(const apps::App& app) {
+  jit::AdaptiveRunConfig config;
+  const auto report = jit::simulate_adaptive_run(app.module, app.entry,
+                                                 app.datasets[0].args, config);
+  for (const auto& event : report.events)
+    std::printf("t=%12.3f s  %s\n", event.at_seconds, event.what.c_str());
+  std::printf("\none execution: %.3f s -> %.3f s (%.2fx)\n",
+              report.one_execution_s, report.accelerated_execution_s,
+              report.speedup);
+  if (report.break_even_at == jit::kNeverBreaksEven)
+    std::printf("break-even: never\n");
+  else
+    std::printf("break-even at %s\n",
+                support::format_day_hms(report.break_even_at).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (argc < 3) return usage();
+
+  apps::App app;
+  try {
+    app = apps::build_app(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (cmd == "run") return cmd_run(app);
+  if (cmd == "dump-ir") {
+    std::fputs(ir::print_module(app.module).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "dot") return cmd_dot(app);
+  if (cmd == "specialize")
+    return cmd_specialize(app, argc > 3 ? argv[3] : nullptr);
+  if (cmd == "floorplan") return cmd_floorplan(app);
+  if (cmd == "timeline") return cmd_timeline(app);
+  return usage();
+}

@@ -1,0 +1,75 @@
+// The benchmark-application suite (paper §IV): 4 embedded applications
+// (MiBench/SciMark2 stand-ins with real kernels built in IR) and 10
+// scientific applications (SPEC2000/2006 structural stand-ins whose inner
+// kernels mimic each program's hot loop and whose block/instruction/coverage
+// statistics are generated to match the paper's Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jitise::apps {
+
+enum class Domain : std::uint8_t { Scientific, Embedded };
+
+/// One input data set; the paper profiles each application with several to
+/// classify live/const/dead code.
+struct Dataset {
+  std::string name;
+  std::vector<vm::Slot> args;
+};
+
+/// Reference values from the paper's Tables I and II, for side-by-side
+/// reporting in the benches (0 / empty = not reported).
+struct PaperStats {
+  // Table I.
+  int files = 0;
+  int loc = 0;
+  double compile_s = 0.0;
+  int blocks = 0;
+  int instructions = 0;
+  double vm_s = 0.0;
+  double native_s = 0.0;
+  double vm_ratio = 0.0;
+  double asip_ratio_max = 0.0;
+  double live_pct = 0.0, dead_pct = 0.0, const_pct = 0.0;
+  double kernel_size_pct = 0.0, kernel_freq_pct = 0.0;
+  // Table II.
+  double search_ms = 0.0;
+  double pruner_efficiency = 0.0;
+  int pruned_blocks = 0;
+  int pruned_instructions = 0;
+  int candidates = 0;
+  double asip_ratio_pruned = 0.0;
+  const char* const_mmss = "";
+  const char* map_mmss = "";
+  const char* par_mmss = "";
+  const char* sum_mmss = "";
+  const char* break_even_dhms = "";
+};
+
+struct App {
+  std::string name;
+  Domain domain;
+  ir::Module module;
+  std::string entry = "main";
+  std::vector<Dataset> datasets;  // >= 2; [0] is the profiling ("train") set
+  PaperStats paper;
+};
+
+/// Builds one application by name; throws std::invalid_argument for unknown
+/// names. Valid names: 164.gzip 179.art 183.equake 188.ammp 429.mcf 433.milc
+/// 444.namd 458.sjeng 470.lbm 473.astar adpcm fft sor whetstone.
+[[nodiscard]] App build_app(const std::string& name);
+
+/// All 14 applications in the paper's Table I order.
+[[nodiscard]] std::vector<std::string> app_names();
+
+/// Builds the whole suite (convenience for benches; ~1-2 s).
+[[nodiscard]] std::vector<App> build_all_apps();
+
+}  // namespace jitise::apps

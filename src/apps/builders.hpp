@@ -1,0 +1,17 @@
+// Internal: per-application module builders (wired together in registry.cpp).
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace jitise::apps::detail {
+
+// Embedded suite (real kernels, MiBench/SciMark2 stand-ins).
+App build_adpcm();
+App build_fft();
+App build_sor();
+App build_whetstone();
+
+// Scientific suite (SPEC2000/2006 structural stand-ins).
+App build_scientific(const std::string& name);
+
+}  // namespace jitise::apps::detail

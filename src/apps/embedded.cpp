@@ -1,0 +1,481 @@
+// The four embedded applications (paper Table I, lower half). These are
+// real kernels written in IR: an IMA-ADPCM style encoder (MiBench adpcm),
+// an iterative radix-2 FFT butterfly transform and a Jacobi/SOR stencil
+// (SciMark2), and a whetstone-style floating-point loop mix.
+#include <cmath>
+
+#include "apps/builders.hpp"
+#include "apps/filler.hpp"
+#include "apps/kernels.hpp"
+
+namespace jitise::apps::detail {
+
+namespace {
+
+using namespace ir;
+
+constexpr std::int32_t kAdpcmBufMask = 4095;
+
+/// if-converted "if (cond) { acc ops }" via selects — the style compilers
+/// emit for ADPCM's quantizer and exactly the feasible-chain shape ISE
+/// algorithms look for.
+ValueId select_if(FunctionBuilder& fb, ValueId cond, ValueId then_v,
+                  ValueId else_v) {
+  return fb.select(cond, then_v, else_v);
+}
+
+/// Fills an i32 global array with an LCG sequence (constant work, one call).
+FuncId make_lcg_init(Module& m, GlobalId buffer, std::int32_t count,
+                     std::int32_t mask, std::int32_t bias) {
+  FunctionBuilder fb(m, "init_input", Type::I32, {});
+  const ValueId seed_slot = fb.alloca_bytes(4);
+  fb.store(fb.const_int(Type::I32, 42), seed_slot);
+  LoopCtx loop = begin_loop(fb, fb.const_int(Type::I32, 0),
+                            fb.const_int(Type::I32, count));
+  const ValueId s = fb.load(Type::I32, seed_slot);
+  const ValueId s1 = fb.binop(Opcode::Mul, s, fb.const_int(Type::I32, 1103515245));
+  const ValueId s2 = fb.binop(Opcode::Add, s1, fb.const_int(Type::I32, 12345));
+  fb.store(s2, seed_slot);
+  const ValueId hi = fb.binop(Opcode::LShr, s2, fb.const_int(Type::I32, 16));
+  const ValueId masked = fb.binop(Opcode::And, hi, fb.const_int(Type::I32, mask));
+  const ValueId sample = fb.binop(Opcode::Sub, masked, fb.const_int(Type::I32, bias));
+  store_elem(fb, sample, fb.global_addr(buffer), loop.i, 4);
+  end_loop(fb, loop);
+  fb.ret(fb.load(Type::I32, seed_slot));
+  return fb.finish();
+}
+
+/// Shared main() scaffold: init (const) -> dead guard -> kernel(n) -> ret.
+FuncId make_main(Module& m, FuncId init, FuncId kernel,
+                 const FillerHooks& filler) {
+  FunctionBuilder fb(m, "main", Type::I32, {Type::I32, Type::I32});
+  const BlockId dead = fb.new_block("dead_code");
+  const BlockId run = fb.new_block("run");
+
+  // Constant-class startup.
+  ValueId acc = fb.call(init, Type::I32, {});
+  for (FuncId f : filler.const_funcs) {
+    const ValueId r = fb.call(f, Type::I32, {fb.const_int(Type::I32, 13)});
+    acc = fb.binop(Opcode::Xor, acc, r);
+  }
+  // The dead guard: mode is never the magic value in any data set.
+  const ValueId is_magic =
+      fb.icmp(ICmpPred::Eq, fb.param(1), fb.const_int(Type::I32, 123456789));
+  fb.condbr(is_magic, dead, run);
+
+  fb.set_insert(dead);
+  ValueId dead_acc = fb.const_int(Type::I32, 0);
+  for (FuncId f : filler.dead_funcs)
+    dead_acc = fb.binop(Opcode::Xor, dead_acc,
+                        fb.call(f, Type::I32, {fb.param(0)}));
+  fb.br(run);
+
+  fb.set_insert(run);
+  const ValueId joined = fb.phi(Type::I32);
+  fb.phi_incoming(joined, acc, fb.entry());
+  fb.phi_incoming(joined, dead_acc, dead);
+  ValueId result = fb.call(kernel, Type::I32, {fb.param(0)});
+  // Live cold code: trips vary with the data set but stay tiny next to the
+  // kernel ((n >> 10) + (n & 7) + 1).
+  const ValueId cold_n = fb.binop(
+      Opcode::Add,
+      fb.binop(Opcode::Add,
+               fb.binop(Opcode::AShr, fb.param(0), fb.const_int(Type::I32, 10)),
+               fb.binop(Opcode::And, fb.param(0), fb.const_int(Type::I32, 7))),
+      fb.const_int(Type::I32, 1));
+  for (FuncId f : filler.live_funcs)
+    result = fb.binop(Opcode::Xor, result, fb.call(f, Type::I32, {cold_n}));
+  fb.ret(fb.binop(Opcode::Xor, result, joined));
+  return fb.finish();
+}
+
+std::vector<Dataset> scaled_datasets(std::int32_t train, std::int32_t reference) {
+  return {
+      Dataset{"train", {vm::Slot::of_int(train), vm::Slot::of_int(0)}},
+      Dataset{"ref", {vm::Slot::of_int(reference), vm::Slot::of_int(1)}},
+  };
+}
+
+}  // namespace
+
+App build_adpcm() {
+  App app;
+  app.name = "adpcm";
+  app.domain = Domain::Embedded;
+  Module& m = app.module;
+  m.name = "adpcm";
+
+  // IMA ADPCM tables.
+  std::vector<std::int32_t> step_table;
+  for (int i = 0; i < 89; ++i)
+    step_table.push_back(
+        static_cast<std::int32_t>(7.0 * std::pow(1.1, i)) + 7);
+  const GlobalId steps = add_i32_table(m, "step_table", step_table);
+  const GlobalId index_tab = add_i32_table(
+      m, "index_table", {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8});
+  const GlobalId input = add_global(m, "pcm_in", 4096 * 4);
+  const GlobalId output = add_global(m, "adpcm_out", 4096 * 4);
+  const GlobalId state = add_global(m, "coder_state", 8);  // valpred, index
+
+  const FuncId init = make_lcg_init(m, input, 4096, 8191, 4096);
+
+  // encode(n): the quantizer loop, if-converted (select chains).
+  FunctionBuilder fb(m, "encode", Type::I32, {Type::I32});
+  const ValueId st = fb.global_addr(state);
+  fb.store(fb.const_int(Type::I32, 0), st);  // valpred
+  const ValueId idx_ptr = fb.gep(st, fb.const_int(Type::I32, 1), 4);
+  fb.store(fb.const_int(Type::I32, 0), idx_ptr);
+
+  LoopCtx loop = begin_loop(fb, fb.const_int(Type::I32, 0), fb.param(0));
+  const ValueId k = fb.binop(Opcode::And, loop.i, fb.const_int(Type::I32, kAdpcmBufMask));
+  const ValueId sample = load_elem(fb, Type::I32, fb.global_addr(input), k, 4);
+  const ValueId valpred = fb.load(Type::I32, st);
+  const ValueId index = fb.load(Type::I32, idx_ptr);
+  const ValueId step = load_elem(fb, Type::I32, fb.global_addr(steps), index, 4);
+
+  const ValueId zero = fb.const_int(Type::I32, 0);
+  const ValueId diff = fb.binop(Opcode::Sub, sample, valpred);
+  const ValueId neg = fb.icmp(ICmpPred::Slt, diff, zero);
+  const ValueId absdiff = select_if(fb, neg, fb.binop(Opcode::Sub, zero, diff), diff);
+  const ValueId sign = select_if(fb, neg, fb.const_int(Type::I32, 8), zero);
+
+  // Quantize into 3 bits, accumulating the predicted difference.
+  ValueId d = absdiff;
+  ValueId step_k = step;
+  ValueId vpdiff = fb.binop(Opcode::AShr, step, fb.const_int(Type::I32, 3));
+  ValueId delta = zero;
+  const std::int32_t bits[3] = {4, 2, 1};
+  for (int b = 0; b < 3; ++b) {
+    const ValueId ge = fb.icmp(ICmpPred::Sge, d, step_k);
+    delta = fb.binop(Opcode::Or, delta,
+                     select_if(fb, ge, fb.const_int(Type::I32, bits[b]), zero));
+    d = select_if(fb, ge, fb.binop(Opcode::Sub, d, step_k), d);
+    vpdiff = fb.binop(Opcode::Add, vpdiff,
+                      select_if(fb, ge, step_k, zero));
+    step_k = fb.binop(Opcode::AShr, step_k, fb.const_int(Type::I32, 1));
+  }
+
+  // Predictor update with clamping.
+  const ValueId vp1 = select_if(fb, neg, fb.binop(Opcode::Sub, valpred, vpdiff),
+                                fb.binop(Opcode::Add, valpred, vpdiff));
+  const ValueId hi_clamp = fb.const_int(Type::I32, 4095);
+  const ValueId lo_clamp = fb.const_int(Type::I32, -4096);
+  const ValueId over = fb.icmp(ICmpPred::Sgt, vp1, hi_clamp);
+  const ValueId vp2 = select_if(fb, over, hi_clamp, vp1);
+  const ValueId under = fb.icmp(ICmpPred::Slt, vp2, lo_clamp);
+  const ValueId vp3 = select_if(fb, under, lo_clamp, vp2);
+
+  const ValueId code = fb.binop(Opcode::Or, delta, sign);
+  const ValueId idx_step = load_elem(fb, Type::I32, fb.global_addr(index_tab), delta, 4);
+  const ValueId ix1 = fb.binop(Opcode::Add, index, idx_step);
+  const ValueId ix_neg = fb.icmp(ICmpPred::Slt, ix1, zero);
+  const ValueId ix2 = select_if(fb, ix_neg, zero, ix1);
+  const ValueId ix_hi = fb.icmp(ICmpPred::Sgt, ix2, fb.const_int(Type::I32, 88));
+  const ValueId ix3 = select_if(fb, ix_hi, fb.const_int(Type::I32, 88), ix2);
+
+  fb.store(vp3, st);
+  fb.store(ix3, idx_ptr);
+  store_elem(fb, code, fb.global_addr(output), k, 4);
+  end_loop(fb, loop);
+
+  const ValueId final_vp = fb.load(Type::I32, st);
+  const ValueId final_ix = fb.load(Type::I32, idx_ptr);
+  fb.ret(fb.binop(Opcode::Xor, final_vp, final_ix));
+  const FuncId encode = fb.finish();
+
+  FillerPlan plan;
+  plan.const_instructions = 18;
+  plan.dead_instructions = 10;
+  plan.live_instructions = 150;
+  plan.seed = 0xADCu;
+  const FillerHooks filler = generate_filler(m, plan);
+  make_main(m, init, encode, filler);
+  app.datasets = scaled_datasets(20000, 50000);
+  return app;
+}
+
+App build_fft() {
+  App app;
+  app.name = "fft";
+  app.domain = Domain::Embedded;
+  Module& m = app.module;
+  m.name = "fft";
+
+  constexpr int kN = 256;
+  std::vector<double> wr(kN / 2), wi(kN / 2);
+  for (int k = 0; k < kN / 2; ++k) {
+    wr[k] = std::cos(-2.0 * M_PI * k / kN);
+    wi[k] = std::sin(-2.0 * M_PI * k / kN);
+  }
+  const GlobalId g_wr = add_f64_table(m, "twiddle_re", wr);
+  const GlobalId g_wi = add_f64_table(m, "twiddle_im", wi);
+  const GlobalId g_re = add_global(m, "data_re", kN * 8);
+  const GlobalId g_im = add_global(m, "data_im", kN * 8);
+
+  // init: fill re with an LCG-derived signal, im with zero-ish values.
+  FunctionBuilder fi(m, "init_signal", Type::I32, {});
+  const ValueId seed_slot = fi.alloca_bytes(4);
+  fi.store(fi.const_int(Type::I32, 7), seed_slot);
+  LoopCtx li = begin_loop(fi, fi.const_int(Type::I32, 0),
+                          fi.const_int(Type::I32, kN));
+  const ValueId s = fi.load(Type::I32, seed_slot);
+  const ValueId s1 = fi.binop(Opcode::Mul, s, fi.const_int(Type::I32, 1103515245));
+  const ValueId s2 = fi.binop(Opcode::Add, s1, fi.const_int(Type::I32, 12345));
+  fi.store(s2, seed_slot);
+  const ValueId masked = fi.binop(Opcode::And, fi.binop(Opcode::LShr, s2,
+                                  fi.const_int(Type::I32, 16)),
+                                  fi.const_int(Type::I32, 1023));
+  const ValueId f = fi.cast(Opcode::SIToFP, Type::F64, masked);
+  const ValueId scaled = fi.binop(Opcode::FMul, f, fi.const_float(Type::F64, 1.0 / 1024));
+  store_elem(fi, scaled, fi.global_addr(g_re), li.i, 8);
+  store_elem(fi, fi.const_float(Type::F64, 0.0), fi.global_addr(g_im), li.i, 8);
+  end_loop(fi, li);
+  fi.ret(fi.const_int(Type::I32, 0));
+  const FuncId init = fi.finish();
+
+  // transform(): one full pass of iterative radix-2 butterflies.
+  FunctionBuilder ft(m, "transform", Type::I32, {});
+  // stage loop: s = 1..8, len = 1<<s.
+  LoopCtx ls = begin_loop(ft, ft.const_int(Type::I32, 1),
+                          ft.const_int(Type::I32, 9));
+  const ValueId len = ft.binop(Opcode::Shl, ft.const_int(Type::I32, 1), ls.i);
+  const ValueId half = ft.binop(Opcode::AShr, len, ft.const_int(Type::I32, 1));
+  const ValueId nstarts = ft.binop(Opcode::AShr, ft.const_int(Type::I32, kN), ls.i);
+  const ValueId tstep = ft.binop(Opcode::UDiv, ft.const_int(Type::I32, kN), len);
+
+  LoopCtx lg = begin_loop(ft, ft.const_int(Type::I32, 0), nstarts);
+  const ValueId start = ft.binop(Opcode::Mul, lg.i, len);
+  LoopCtx lk = begin_loop(ft, ft.const_int(Type::I32, 0), half);
+  const ValueId a = ft.binop(Opcode::Add, start, lk.i);
+  const ValueId b = ft.binop(Opcode::Add, a, half);
+  const ValueId tw = ft.binop(Opcode::Mul, lk.i, tstep);
+  const ValueId wr_v = load_elem(ft, Type::F64, ft.global_addr(g_wr), tw, 8);
+  const ValueId wi_v = load_elem(ft, Type::F64, ft.global_addr(g_wi), tw, 8);
+  const ValueId re_b = load_elem(ft, Type::F64, ft.global_addr(g_re), b, 8);
+  const ValueId im_b = load_elem(ft, Type::F64, ft.global_addr(g_im), b, 8);
+  const ValueId re_a = load_elem(ft, Type::F64, ft.global_addr(g_re), a, 8);
+  const ValueId im_a = load_elem(ft, Type::F64, ft.global_addr(g_im), a, 8);
+  // Complex multiply + butterfly: the classic 4-mul / 6-add FP chain.
+  const ValueId xr = ft.binop(Opcode::FSub, ft.binop(Opcode::FMul, re_b, wr_v),
+                              ft.binop(Opcode::FMul, im_b, wi_v));
+  const ValueId xi = ft.binop(Opcode::FAdd, ft.binop(Opcode::FMul, re_b, wi_v),
+                              ft.binop(Opcode::FMul, im_b, wr_v));
+  store_elem(ft, ft.binop(Opcode::FSub, re_a, xr), ft.global_addr(g_re), b, 8);
+  store_elem(ft, ft.binop(Opcode::FSub, im_a, xi), ft.global_addr(g_im), b, 8);
+  store_elem(ft, ft.binop(Opcode::FAdd, re_a, xr), ft.global_addr(g_re), a, 8);
+  store_elem(ft, ft.binop(Opcode::FAdd, im_a, xi), ft.global_addr(g_im), a, 8);
+  end_loop(ft, lk);
+  end_loop(ft, lg);
+  end_loop(ft, ls);
+  ft.ret(ft.const_int(Type::I32, 0));
+  const FuncId transform = ft.finish();
+
+  // kernel(n): n transform passes over the (evolving) data.
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lr = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  fk.call(transform, Type::I32, {});
+  end_loop(fk, lr);
+  const ValueId probe = load_elem(fk, Type::F64, fk.global_addr(g_re),
+                                  fk.const_int(Type::I32, 1), 8);
+  const ValueId chk = fk.cast(Opcode::FPToSI, Type::I32,
+                              fk.binop(Opcode::FMul, probe,
+                                       fk.const_float(Type::F64, 1024.0)));
+  fk.ret(chk);
+  const FuncId kernel = fk.finish();
+
+  FillerPlan plan;
+  plan.const_instructions = 22;
+  plan.dead_instructions = 75;
+  plan.live_instructions = 70;
+  plan.seed = 0xFF7u;
+  const FillerHooks filler = generate_filler(m, plan);
+  make_main(m, init, kernel, filler);
+  app.datasets = scaled_datasets(40, 100);
+  return app;
+}
+
+App build_sor() {
+  App app;
+  app.name = "sor";
+  app.domain = Domain::Embedded;
+  Module& m = app.module;
+  m.name = "sor";
+
+  constexpr std::int32_t kDim = 64;  // interior; grid is (kDim+2)^2
+  constexpr std::int32_t kRow = kDim + 2;
+  const GlobalId grid = add_global(m, "grid", kRow * kRow * 8);
+
+  FunctionBuilder fi(m, "init_grid", Type::I32, {});
+  LoopCtx li = begin_loop(fi, fi.const_int(Type::I32, 0),
+                          fi.const_int(Type::I32, kRow * kRow));
+  const ValueId mod = fi.binop(Opcode::SRem, li.i, fi.const_int(Type::I32, 17));
+  const ValueId v = fi.cast(Opcode::SIToFP, Type::F64, mod);
+  store_elem(fi, fi.binop(Opcode::FMul, v, fi.const_float(Type::F64, 0.125)),
+             fi.global_addr(grid), li.i, 8);
+  end_loop(fi, li);
+  fi.ret(fi.const_int(Type::I32, 0));
+  const FuncId init = fi.finish();
+
+  // kernel(n): n successive-over-relaxation sweeps (omega = 1.25).
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lit = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  LoopCtx ly = begin_loop(fk, fk.const_int(Type::I32, 1),
+                          fk.const_int(Type::I32, kDim + 1));
+  const ValueId row = fk.binop(Opcode::Mul, ly.i, fk.const_int(Type::I32, kRow));
+  LoopCtx lx = begin_loop(fk, fk.const_int(Type::I32, 1),
+                          fk.const_int(Type::I32, kDim + 1));
+  const ValueId idx = fk.binop(Opcode::Add, row, lx.i);
+  const ValueId base = fk.global_addr(grid);
+  const ValueId up = load_elem(fk, Type::F64, base,
+                               fk.binop(Opcode::Sub, idx, fk.const_int(Type::I32, kRow)), 8);
+  const ValueId down = load_elem(fk, Type::F64, base,
+                                 fk.binop(Opcode::Add, idx, fk.const_int(Type::I32, kRow)), 8);
+  const ValueId left = load_elem(fk, Type::F64, base,
+                                 fk.binop(Opcode::Sub, idx, fk.const_int(Type::I32, 1)), 8);
+  const ValueId right = load_elem(fk, Type::F64, base,
+                                  fk.binop(Opcode::Add, idx, fk.const_int(Type::I32, 1)), 8);
+  const ValueId center = load_elem(fk, Type::F64, base, idx, 8);
+  const ValueId cross = fk.binop(Opcode::FAdd, fk.binop(Opcode::FAdd, up, down),
+                                 fk.binop(Opcode::FAdd, left, right));
+  const ValueId relaxed = fk.binop(
+      Opcode::FAdd,
+      fk.binop(Opcode::FMul, cross, fk.const_float(Type::F64, 1.25 / 4.0)),
+      fk.binop(Opcode::FMul, center, fk.const_float(Type::F64, 1.0 - 1.25)));
+  // Second relaxation step over the same neighbourhood (fused sweeps: more
+  // emulated-FP work per load, as in SciMark's inner loop unrolling).
+  const ValueId relaxed2 = fk.binop(
+      Opcode::FAdd,
+      fk.binop(Opcode::FMul, cross, fk.const_float(Type::F64, 1.25 / 4.0)),
+      fk.binop(Opcode::FMul, relaxed, fk.const_float(Type::F64, 1.0 - 1.25)));
+  const ValueId smooth = fk.binop(
+      Opcode::FMul, fk.binop(Opcode::FAdd, relaxed, relaxed2),
+      fk.const_float(Type::F64, 0.5));
+  store_elem(fk, smooth, base, idx, 8);
+  end_loop(fk, lx);
+  end_loop(fk, ly);
+  end_loop(fk, lit);
+  const ValueId probe = load_elem(fk, Type::F64, fk.global_addr(grid),
+                                  fk.const_int(Type::I32, kRow + 1), 8);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32,
+                 fk.binop(Opcode::FMul, probe, fk.const_float(Type::F64, 4096.0))));
+  const FuncId kernel = fk.finish();
+
+  FillerPlan plan;
+  plan.const_instructions = 15;
+  plan.dead_instructions = 12;
+  plan.live_instructions = 16;
+  plan.seed = 0x50Au;
+  const FillerHooks filler = generate_filler(m, plan);
+  make_main(m, init, kernel, filler);
+  app.datasets = scaled_datasets(60, 150);
+  return app;
+}
+
+App build_whetstone() {
+  App app;
+  app.name = "whetstone";
+  app.domain = Domain::Embedded;
+  Module& m = app.module;
+  m.name = "whetstone";
+
+  const GlobalId g_x = add_global(m, "xvars", 4 * 8);  // x1..x4
+  const GlobalId g_e = add_global(m, "e1", 4 * 8);
+
+  FunctionBuilder fi(m, "init_vars", Type::I32, {});
+  const ValueId base = fi.global_addr(g_x);
+  store_elem(fi, fi.const_float(Type::F64, 1.0), base, fi.const_int(Type::I32, 0), 8);
+  store_elem(fi, fi.const_float(Type::F64, -1.0), base, fi.const_int(Type::I32, 1), 8);
+  store_elem(fi, fi.const_float(Type::F64, -1.0), base, fi.const_int(Type::I32, 2), 8);
+  store_elem(fi, fi.const_float(Type::F64, -1.0), base, fi.const_int(Type::I32, 3), 8);
+  const ValueId eb = fi.global_addr(g_e);
+  LoopCtx le = begin_loop(fi, fi.const_int(Type::I32, 0), fi.const_int(Type::I32, 4));
+  store_elem(fi, fi.const_float(Type::F64, 1.0), eb, le.i, 8);
+  end_loop(fi, le);
+  fi.ret(fi.const_int(Type::I32, 0));
+  const FuncId init = fi.finish();
+
+  // p3(x, y, z-slot): the classic whetstone procedure — t-weighted chains
+  // with a division.
+  FunctionBuilder fp(m, "p3", Type::F64, {Type::F64, Type::F64});
+  const ValueId t = fp.const_float(Type::F64, 0.499975);
+  const ValueId t2 = fp.const_float(Type::F64, 2.0);
+  const ValueId x1 = fp.binop(Opcode::FMul, t, fp.binop(Opcode::FAdd, fp.param(0), fp.param(1)));
+  const ValueId y1 = fp.binop(Opcode::FMul, t, fp.binop(Opcode::FAdd, x1, fp.param(1)));
+  const ValueId z = fp.binop(Opcode::FDiv, fp.binop(Opcode::FAdd, x1, y1), t2);
+  fp.ret(z);
+  const FuncId p3 = fp.finish();
+
+  // kernel(n): module-2 style updates with x1..x4 held in registers
+  // (loop-carried phis — llvm's mem2reg would do the same to the C code),
+  // a rational-polynomial stand-in for the trig module, and p3 calls.
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  const BlockId header = fk.new_block("header");
+  const BlockId body = fk.new_block("body");
+  const BlockId done = fk.new_block("done");
+  fk.br(header);
+
+  fk.set_insert(header);
+  const ValueId i = fk.phi(Type::I32);
+  const ValueId wx1 = fk.phi(Type::F64);
+  const ValueId wx2 = fk.phi(Type::F64);
+  const ValueId wx3 = fk.phi(Type::F64);
+  const ValueId wx4 = fk.phi(Type::F64);
+  const ValueId cont = fk.icmp(ICmpPred::Slt, i, fk.param(0));
+  fk.condbr(cont, body, done);
+
+  fk.set_insert(body);
+  const ValueId tk = fk.const_float(Type::F64, 0.499975);
+  const ValueId n1 = fk.binop(Opcode::FMul, tk,
+      fk.binop(Opcode::FSub, fk.binop(Opcode::FAdd, fk.binop(Opcode::FAdd, wx1, wx2), wx3), wx4));
+  const ValueId n2 = fk.binop(Opcode::FMul, tk,
+      fk.binop(Opcode::FSub, fk.binop(Opcode::FAdd, fk.binop(Opcode::FAdd, n1, wx2), wx4), wx3));
+  const ValueId n3 = fk.binop(Opcode::FMul, tk,
+      fk.binop(Opcode::FSub, fk.binop(Opcode::FAdd, n1, n2), wx4));
+  const ValueId n4 = fk.binop(Opcode::FMul, tk,
+      fk.binop(Opcode::FAdd, fk.binop(Opcode::FAdd, n1, n2), n3));
+
+  // "Trig" module as a rational polynomial: r = (x + x^3/3) / (1 + x^2/2).
+  const ValueId xx = fk.binop(Opcode::FMul, n4, n4);
+  const ValueId x3v = fk.binop(Opcode::FMul, xx, n4);
+  const ValueId num = fk.binop(Opcode::FAdd, n4,
+      fk.binop(Opcode::FMul, x3v, fk.const_float(Type::F64, 1.0 / 3.0)));
+  const ValueId den = fk.binop(Opcode::FAdd, fk.const_float(Type::F64, 1.0),
+      fk.binop(Opcode::FMul, xx, fk.const_float(Type::F64, 0.5)));
+  const ValueId ratio = fk.binop(Opcode::FDiv, num, den);
+
+  // Module with procedure calls.
+  const ValueId pz = fk.call(p3, Type::F64, {ratio, n1});
+  store_elem(fk, pz, fk.global_addr(g_e), fk.const_int(Type::I32, 0), 8);
+  const ValueId inext = fk.binop(Opcode::Add, i, fk.const_int(Type::I32, 1));
+  fk.br(header);
+
+  fk.phi_incoming(i, fk.const_int(Type::I32, 0), fk.entry());
+  fk.phi_incoming(i, inext, body);
+  fk.phi_incoming(wx1, fk.const_float(Type::F64, 1.0), fk.entry());
+  fk.phi_incoming(wx1, n1, body);
+  fk.phi_incoming(wx2, fk.const_float(Type::F64, -1.0), fk.entry());
+  fk.phi_incoming(wx2, n2, body);
+  fk.phi_incoming(wx3, fk.const_float(Type::F64, -1.0), fk.entry());
+  fk.phi_incoming(wx3, n3, body);
+  fk.phi_incoming(wx4, fk.const_float(Type::F64, -1.0), fk.entry());
+  fk.phi_incoming(wx4, ratio, body);
+
+  fk.set_insert(done);
+  const ValueId probe = load_elem(fk, Type::F64, fk.global_addr(g_e),
+                                  fk.const_int(Type::I32, 0), 8);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32,
+                 fk.binop(Opcode::FMul, probe, fk.const_float(Type::F64, 1e6))));
+  const FuncId kernel = fk.finish();
+
+  FillerPlan plan;
+  plan.const_instructions = 80;
+  plan.dead_instructions = 75;
+  plan.live_instructions = 20;
+  plan.seed = 0x3E7u;
+  const FillerHooks filler = generate_filler(m, plan);
+  make_main(m, init, kernel, filler);
+  app.datasets = scaled_datasets(30000, 80000);
+  return app;
+}
+
+}  // namespace jitise::apps::detail

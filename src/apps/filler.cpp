@@ -1,0 +1,247 @@
+#include "apps/filler.hpp"
+
+#include <algorithm>
+
+#include "apps/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace jitise::apps {
+
+namespace {
+
+using namespace ir;
+
+/// Emits `count` deterministic arithmetic instructions operating on a
+/// rotating pool of i32/f64 values.
+void emit_mixed_ops(FunctionBuilder& fb, support::Xoshiro256& rng,
+                    std::vector<ValueId>& ints, std::vector<ValueId>& floats,
+                    std::uint32_t count, bool allow_float) {
+  static constexpr Opcode kIntOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                       Opcode::And, Opcode::Or,  Opcode::Xor,
+                                       Opcode::Shl, Opcode::AShr};
+  static constexpr Opcode kFloatOps[] = {Opcode::FAdd, Opcode::FSub,
+                                         Opcode::FMul};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (allow_float && !floats.empty() && rng.below(4) == 0) {
+      const ValueId a = floats[rng.below(floats.size())];
+      const ValueId b = floats[rng.below(floats.size())];
+      floats.push_back(fb.binop(kFloatOps[rng.below(std::size(kFloatOps))], a, b));
+      if (floats.size() > 8) floats.erase(floats.begin());
+    } else {
+      const ValueId a = ints[rng.below(ints.size())];
+      const ValueId b = ints[rng.below(ints.size())];
+      ints.push_back(fb.binop(kIntOps[rng.below(std::size(kIntOps))], a, b));
+      if (ints.size() > 8) ints.erase(ints.begin());
+    }
+  }
+}
+
+/// Builds one filler function of ~`budget` block instructions.
+/// `looped` functions wrap the body in a for (i = 0; i < n; ++i) loop so
+/// their block frequencies scale with the argument.
+// Live (looped) filler stays integer-only: it executes proportionally to the
+// input, and software-emulated FP there would swamp the kernel's time share.
+FuncId make_filler_function(Module& module, const std::string& name,
+                            std::uint32_t budget, const FillerPlan& plan,
+                            bool looped, support::Xoshiro256& rng) {
+  const bool allow_float = !looped;
+  FunctionBuilder fb(module, name, Type::I32, {Type::I32});
+  std::vector<ValueId> ints = {fb.param(0), fb.const_int(Type::I32, 0x9e3779b9),
+                               fb.const_int(Type::I32, 17)};
+  std::vector<ValueId> floats = {fb.const_float(Type::F64, 1.618033988749),
+                                 fb.const_float(Type::F64, 0.5772156649)};
+
+  const std::uint32_t per_block = std::max(2u, plan.instrs_per_block - 1);
+  const std::uint32_t n_blocks =
+      std::max(1u, budget / plan.instrs_per_block);
+
+  if (!looped) {
+    // Straight-line chain of blocks.
+    BlockId prev = fb.entry();
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      const BlockId next = fb.new_block("c" + std::to_string(b));
+      fb.set_insert(prev);
+      emit_mixed_ops(fb, rng, ints, floats, per_block, allow_float);
+      fb.br(next);
+      prev = next;
+    }
+    fb.set_insert(prev);
+    fb.ret(ints.back());
+    return fb.finish();
+  }
+
+  // Loop skeleton: entry -> header <-> body chain -> exit.
+  const BlockId header = fb.new_block("header");
+  const BlockId exit = fb.new_block("exit");
+  std::vector<BlockId> body;
+  const std::uint32_t body_blocks = std::max(1u, n_blocks);
+  for (std::uint32_t b = 0; b < body_blocks; ++b)
+    body.push_back(fb.new_block("b" + std::to_string(b)));
+
+  fb.set_insert(fb.entry());
+  fb.br(header);
+
+  fb.set_insert(header);
+  const ValueId i = fb.phi(Type::I32);
+  const ValueId acc = fb.phi(Type::I32);
+  const ValueId cont = fb.icmp(ICmpPred::Slt, i, fb.param(0));
+  fb.condbr(cont, body.front(), exit);
+
+  ints.push_back(i);
+  ints.push_back(acc);
+  for (std::uint32_t b = 0; b < body_blocks; ++b) {
+    fb.set_insert(body[b]);
+    emit_mixed_ops(fb, rng, ints, floats, per_block, allow_float);
+    if (b + 1 < body_blocks) fb.br(body[b + 1]);
+  }
+  const ValueId inext = fb.binop(Opcode::Add, i, fb.const_int(Type::I32, 1));
+  const ValueId anext = fb.binop(Opcode::Xor, ints.back(), acc);
+  fb.br(header);
+  fb.phi_incoming(i, fb.const_int(Type::I32, 0), fb.entry());
+  fb.phi_incoming(i, inext, body.back());
+  fb.phi_incoming(acc, fb.const_int(Type::I32, 0), fb.entry());
+  fb.phi_incoming(acc, anext, body.back());
+
+  fb.set_insert(exit);
+  fb.ret(acc);
+  return fb.finish();
+}
+
+std::vector<FuncId> make_class(Module& module, const char* prefix,
+                               std::uint32_t budget, const FillerPlan& plan,
+                               bool looped, support::Xoshiro256& rng) {
+  std::vector<FuncId> funcs;
+  const std::uint32_t per_fn =
+      plan.blocks_per_function * plan.instrs_per_block;
+  std::uint32_t remaining = budget;
+  std::uint32_t idx = 0;
+  while (remaining > plan.instrs_per_block) {
+    const std::uint32_t take = std::min(remaining, per_fn);
+    funcs.push_back(make_filler_function(
+        module, std::string(prefix) + std::to_string(idx++), take, plan,
+        looped, rng));
+    remaining -= take;
+  }
+  return funcs;
+}
+
+}  // namespace
+
+FillerHooks generate_filler(ir::Module& module, const FillerPlan& plan) {
+  support::Xoshiro256 rng(plan.seed);
+  FillerHooks hooks;
+  hooks.const_funcs =
+      make_class(module, "init_", plan.const_instructions, plan, false, rng);
+  hooks.live_funcs =
+      make_class(module, "aux_", plan.live_instructions, plan, true, rng);
+  hooks.dead_funcs =
+      make_class(module, "unused_", plan.dead_instructions, plan, false, rng);
+  return hooks;
+}
+
+ir::FuncId make_hot_path(ir::Module& module, const std::string& name,
+                         std::uint32_t budget, const HotMix& mix,
+                         ir::GlobalId scratch, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  FunctionBuilder fb(module, name, Type::I32, {Type::I32});
+  const bool is_f32 = mix.fp_type == Type::F32;
+  const std::uint32_t fp_stride = is_f32 ? 4 : 8;
+  // Scratch layout: first 256 slots of the fp type, then 256 i32 slots.
+  const std::uint32_t int_area = 256 * fp_stride;
+
+  // Block composition scales up with the budget so that large kernels have
+  // large blocks: the paper reports that blocks passing pruning average
+  // ~156 instructions for scientific applications.
+  const std::uint32_t unit = mix.loads_per_block + mix.stores_per_block +
+                             mix.int_per_block + mix.int_mul_per_block +
+                             mix.fp_per_block + 4;  // + addressing/branch
+  const std::uint32_t scale =
+      std::clamp(budget / std::max(1u, unit * 12), 1u, 6u);
+  HotMix m2 = mix;
+  m2.loads_per_block *= scale;
+  m2.stores_per_block *= scale;
+  m2.int_per_block *= scale;
+  m2.int_mul_per_block *= scale;
+  m2.fp_per_block *= scale;
+  const HotMix& mx = m2;
+  const std::uint32_t per_block = unit * scale;
+  const std::uint32_t n_blocks = std::max(1u, budget / std::max(1u, per_block));
+
+  const ValueId base = fb.global_addr(scratch);
+  std::vector<ValueId> ints = {fb.param(0), fb.const_int(Type::I32, 0x27d4eb2f),
+                               fb.const_int(Type::I32, 11)};
+  std::vector<ValueId> floats;
+
+  BlockId prev = fb.entry();
+  for (std::uint32_t b = 0; b < n_blocks; ++b) {
+    const BlockId next = fb.new_block("h" + std::to_string(b));
+    fb.set_insert(prev);
+
+    // Loads: indices derived from the live int pool (data-dependent).
+    for (std::uint32_t l = 0; l < mx.loads_per_block; ++l) {
+      const ValueId raw = ints[rng.below(ints.size())];
+      const ValueId idx = fb.binop(Opcode::And, raw, fb.const_int(Type::I32, 255));
+      if (l % 2 == 0 && mx.fp_per_block > 0) {
+        floats.push_back(load_elem(fb, mx.fp_type, base, idx, fp_stride));
+        if (floats.size() > 6) floats.erase(floats.begin());
+      } else {
+        const ValueId p = fb.gep(base, idx, 4);
+        const ValueId q = fb.gep(p, fb.const_int(Type::I32, int_area / 4), 4);
+        ints.push_back(fb.load(Type::I32, q));
+        if (ints.size() > 8) ints.erase(ints.begin());
+      }
+    }
+    // Integer ALU chains (cheap; custom instructions rarely pay off here).
+    static constexpr Opcode kAlu[] = {Opcode::Add, Opcode::Sub, Opcode::Xor,
+                                      Opcode::And, Opcode::Or,  Opcode::Shl,
+                                      Opcode::AShr};
+    for (std::uint32_t k = 0; k < mx.int_per_block; ++k) {
+      const ValueId a = ints[rng.below(ints.size())];
+      const ValueId c = ints[rng.below(ints.size())];
+      ints.push_back(fb.binop(kAlu[rng.below(std::size(kAlu))], a, c));
+      if (ints.size() > 8) ints.erase(ints.begin());
+    }
+    // Multi-cycle integer ops (profitable candidates on integer apps).
+    for (std::uint32_t k = 0; k < mx.int_mul_per_block; ++k) {
+      const ValueId a = ints[rng.below(ints.size())];
+      const ValueId c = ints[rng.below(ints.size())];
+      ints.push_back(fb.binop(Opcode::Mul, a, c));
+      if (ints.size() > 8) ints.erase(ints.begin());
+    }
+    // FP cluster (the chains ISE identification profits from).
+    static constexpr Opcode kFp[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul};
+    for (std::uint32_t k = 0; k < mx.fp_per_block; ++k) {
+      if (floats.size() < 2) break;
+      const ValueId a = floats[rng.below(floats.size())];
+      const ValueId c = floats[rng.below(floats.size())];
+      floats.push_back(fb.binop(kFp[rng.below(std::size(kFp))], a, c));
+      if (floats.size() > 6) floats.erase(floats.begin());
+    }
+    if (mx.fdiv_every_n_blocks && b % mx.fdiv_every_n_blocks == 0 &&
+        floats.size() >= 2) {
+      const ValueId num = floats[floats.size() - 1];
+      const ValueId den = fb.binop(Opcode::FAdd, floats[floats.size() - 2],
+                                   fb.const_float(mx.fp_type, 1.5));
+      floats.push_back(fb.binop(Opcode::FDiv, num, den));
+    }
+    // Stores.
+    for (std::uint32_t k = 0; k < mx.stores_per_block; ++k) {
+      const ValueId raw = ints[rng.below(ints.size())];
+      const ValueId idx = fb.binop(Opcode::And, raw, fb.const_int(Type::I32, 255));
+      if (!floats.empty() && mx.fp_per_block > 0 && k % 2 == 0) {
+        store_elem(fb, floats.back(), base, idx, fp_stride);
+      } else {
+        const ValueId p = fb.gep(base, idx, 4);
+        const ValueId q = fb.gep(p, fb.const_int(Type::I32, int_area / 4), 4);
+        fb.store(ints.back(), q);
+      }
+    }
+    fb.br(next);
+    prev = next;
+  }
+  fb.set_insert(prev);
+  fb.ret(ints.back());
+  return fb.finish();
+}
+
+}  // namespace jitise::apps

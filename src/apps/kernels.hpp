@@ -1,0 +1,82 @@
+// Shared helpers for building application kernels in IR: counted-loop
+// scaffolding and global-array initialization.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace jitise::apps {
+
+/// A counted loop under construction: `for (i = lo; i < hi; ++i)`.
+/// begin_loop() leaves the builder inside the loop body; end_loop() closes
+/// the back edge and moves insertion to the exit block. The body may span
+/// multiple blocks as long as control returns to the block current at
+/// end_loop() time.
+struct LoopCtx {
+  ir::BlockId preheader = 0;
+  ir::BlockId header = 0;
+  ir::BlockId body = 0;
+  ir::BlockId exit = 0;
+  ir::ValueId i = ir::kNoValue;
+};
+
+[[nodiscard]] inline LoopCtx begin_loop(ir::FunctionBuilder& fb,
+                                        ir::ValueId lo, ir::ValueId hi) {
+  LoopCtx loop;
+  loop.preheader = fb.insert_block();
+  loop.header = fb.new_block("loop_header");
+  loop.body = fb.new_block("loop_body");
+  loop.exit = fb.new_block("loop_exit");
+  fb.br(loop.header);
+  fb.set_insert(loop.header);
+  loop.i = fb.phi(ir::Type::I32);
+  const ir::ValueId cont = fb.icmp(ir::ICmpPred::Slt, loop.i, hi);
+  fb.condbr(cont, loop.body, loop.exit);
+  fb.phi_incoming(loop.i, lo, loop.preheader);
+  fb.set_insert(loop.body);
+  return loop;
+}
+
+inline void end_loop(ir::FunctionBuilder& fb, LoopCtx& loop) {
+  const ir::BlockId latch = fb.insert_block();
+  const ir::ValueId inext =
+      fb.binop(ir::Opcode::Add, loop.i, fb.const_int(ir::Type::I32, 1));
+  fb.br(loop.header);
+  fb.phi_incoming(loop.i, inext, latch);
+  fb.set_insert(loop.exit);
+}
+
+/// Bakes a vector of doubles into a zero-copy global initializer.
+[[nodiscard]] inline ir::GlobalId add_f64_table(ir::Module& m,
+                                                const std::string& name,
+                                                const std::vector<double>& v) {
+  std::vector<std::uint8_t> bytes(v.size() * sizeof(double));
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return ir::add_global(m, name, std::move(bytes));
+}
+
+[[nodiscard]] inline ir::GlobalId add_i32_table(ir::Module& m,
+                                                const std::string& name,
+                                                const std::vector<std::int32_t>& v) {
+  std::vector<std::uint8_t> bytes(v.size() * sizeof(std::int32_t));
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return ir::add_global(m, name, std::move(bytes));
+}
+
+/// load element: base[i] with element stride.
+[[nodiscard]] inline ir::ValueId load_elem(ir::FunctionBuilder& fb,
+                                           ir::Type t, ir::ValueId base,
+                                           ir::ValueId index,
+                                           std::uint32_t stride) {
+  return fb.load(t, fb.gep(base, index, stride));
+}
+
+inline void store_elem(ir::FunctionBuilder& fb, ir::ValueId value,
+                       ir::ValueId base, ir::ValueId index,
+                       std::uint32_t stride) {
+  fb.store(value, fb.gep(base, index, stride));
+}
+
+}  // namespace jitise::apps

@@ -1,0 +1,256 @@
+// Application registry + the paper's reference values (Tables I and II),
+// used by the benches for side-by-side reporting.
+#include "apps/app.hpp"
+
+#include <stdexcept>
+
+#include "apps/builders.hpp"
+
+namespace jitise::apps {
+
+namespace {
+
+/// Table I + Table II reference rows, in paper order.
+PaperStats paper_gzip() {
+  PaperStats p;
+  p.files = 20; p.loc = 8605; p.compile_s = 3.89;
+  p.blocks = 1006; p.instructions = 6925;
+  p.vm_s = 23.71; p.native_s = 18.47; p.vm_ratio = 1.28; p.asip_ratio_max = 1.17;
+  p.live_pct = 38.86; p.dead_pct = 44.66; p.const_pct = 16.48;
+  p.kernel_size_pct = 4.52; p.kernel_freq_pct = 91.05;
+  p.search_ms = 1.44; p.pruner_efficiency = 71.79;
+  p.pruned_blocks = 2; p.pruned_instructions = 100; p.candidates = 19;
+  p.asip_ratio_pruned = 1.00;
+  p.const_mmss = "56:22"; p.map_mmss = "13:02"; p.par_mmss = "18:28";
+  p.sum_mmss = "87:52"; p.break_even_dhms = "206:22:15:50";
+  return p;
+}
+PaperStats paper_art() {
+  PaperStats p;
+  p.files = 1; p.loc = 1270; p.compile_s = 1.06;
+  p.blocks = 376; p.instructions = 2164;
+  p.vm_s = 69.92; p.native_s = 74.70; p.vm_ratio = 0.94; p.asip_ratio_max = 1.46;
+  p.live_pct = 42.05; p.dead_pct = 28.47; p.const_pct = 29.48;
+  p.kernel_size_pct = 5.04; p.kernel_freq_pct = 91.63;
+  p.search_ms = 1.05; p.pruner_efficiency = 23.37;
+  p.pruned_blocks = 3; p.pruned_instructions = 79; p.candidates = 9;
+  p.asip_ratio_pruned = 1.01;
+  p.const_mmss = "26:42"; p.map_mmss = "8:58"; p.par_mmss = "13:20";
+  p.sum_mmss = "49:00"; p.break_even_dhms = "1:12:18:13";
+  return p;
+}
+PaperStats paper_equake() {
+  PaperStats p;
+  p.files = 1; p.loc = 1513; p.compile_s = 1.71;
+  p.blocks = 257; p.instructions = 2670;
+  p.vm_s = 7.97; p.native_s = 6.79; p.vm_ratio = 1.17; p.asip_ratio_max = 2.08;
+  p.live_pct = 75.39; p.dead_pct = 8.91; p.const_pct = 15.69;
+  p.kernel_size_pct = 15.32; p.kernel_freq_pct = 94.8;
+  p.search_ms = 2.25; p.pruner_efficiency = 8.33;
+  p.pruned_blocks = 2; p.pruned_instructions = 244; p.candidates = 11;
+  p.asip_ratio_pruned = 1.00;
+  p.const_mmss = "32:38"; p.map_mmss = "7:56"; p.par_mmss = "16:12";
+  p.sum_mmss = "56:46"; p.break_even_dhms = "259:02:28:33";
+  return p;
+}
+PaperStats paper_ammp() {
+  PaperStats p;
+  p.files = 31; p.loc = 13483; p.compile_s = 10.10;
+  p.blocks = 4244; p.instructions = 26647;
+  p.vm_s = 23.18; p.native_s = 17.24; p.vm_ratio = 1.34; p.asip_ratio_max = 3.44;
+  p.live_pct = 19.22; p.dead_pct = 70.89; p.const_pct = 9.89;
+  p.kernel_size_pct = 3.43; p.kernel_freq_pct = 95.79;
+  p.search_ms = 3.27; p.pruner_efficiency = 52.29;
+  p.pruned_blocks = 1; p.pruned_instructions = 382; p.candidates = 92;
+  p.asip_ratio_pruned = 1.41;
+  p.const_mmss = "272:58"; p.map_mmss = "102:12"; p.par_mmss = "142:49";
+  p.sum_mmss = "517:59"; p.break_even_dhms = "0:14:56:39";
+  return p;
+}
+PaperStats paper_mcf() {
+  PaperStats p;
+  p.files = 25; p.loc = 2685; p.compile_s = 0.97;
+  p.blocks = 284; p.instructions = 1917;
+  p.vm_s = 23.94; p.native_s = 24.06; p.vm_ratio = 1.00; p.asip_ratio_max = 1.08;
+  p.live_pct = 75.9; p.dead_pct = 13.09; p.const_pct = 11.01;
+  p.kernel_size_pct = 20.34; p.kernel_freq_pct = 94.18;
+  p.search_ms = 1.05; p.pruner_efficiency = 28.2;
+  p.pruned_blocks = 1; p.pruned_instructions = 77; p.candidates = 5;
+  p.asip_ratio_pruned = 1.00;
+  p.const_mmss = "14:50"; p.map_mmss = "4:06"; p.par_mmss = "7:48";
+  p.sum_mmss = "26:44"; p.break_even_dhms = "213:20:05:55";
+  return p;
+}
+PaperStats paper_milc() {
+  PaperStats p;
+  p.files = 89; p.loc = 15042; p.compile_s = 10.88;
+  p.blocks = 1538; p.instructions = 14260;
+  p.vm_s = 20.95; p.native_s = 16.43; p.vm_ratio = 1.28; p.asip_ratio_max = 1.26;
+  p.live_pct = 61.67; p.dead_pct = 34.72; p.const_pct = 3.61;
+  p.kernel_size_pct = 10.83; p.kernel_freq_pct = 93.47;
+  p.search_ms = 6.6; p.pruner_efficiency = 26.71;
+  p.pruned_blocks = 2; p.pruned_instructions = 673; p.candidates = 9;
+  p.asip_ratio_pruned = 1.00;
+  p.const_mmss = "26:42"; p.map_mmss = "6:44"; p.par_mmss = "15:08";
+  p.sum_mmss = "48:34"; p.break_even_dhms = "568:06:08:05";
+  return p;
+}
+PaperStats paper_namd() {
+  PaperStats p;
+  p.files = 32; p.loc = 5315; p.compile_s = 22.77;
+  p.blocks = 5147; p.instructions = 47534;
+  p.vm_s = 39.94; p.native_s = 34.31; p.vm_ratio = 1.16; p.asip_ratio_max = 1.61;
+  p.live_pct = 31.71; p.dead_pct = 62.81; p.const_pct = 5.48;
+  p.kernel_size_pct = 7.33; p.kernel_freq_pct = 93.59;
+  p.search_ms = 7.68; p.pruner_efficiency = 57.43;
+  p.pruned_blocks = 3; p.pruned_instructions = 776; p.candidates = 129;
+  p.asip_ratio_pruned = 1.03;
+  p.const_mmss = "382:45"; p.map_mmss = "117:24"; p.par_mmss = "178:04";
+  p.sum_mmss = "678:13"; p.break_even_dhms = "6:16:00:48";
+  return p;
+}
+PaperStats paper_sjeng() {
+  PaperStats p;
+  p.files = 23; p.loc = 13847; p.compile_s = 8.49;
+  p.blocks = 3373; p.instructions = 20531;
+  p.vm_s = 180.41; p.native_s = 155.66; p.vm_ratio = 1.16; p.asip_ratio_max = 1.13;
+  p.live_pct = 48.49; p.dead_pct = 49.44; p.const_pct = 2.07;
+  p.kernel_size_pct = 46.22; p.kernel_freq_pct = 100.0;
+  p.search_ms = 1.8; p.pruner_efficiency = 184.11;
+  p.pruned_blocks = 3; p.pruned_instructions = 121; p.candidates = 8;
+  p.asip_ratio_pruned = 1.00;
+  p.const_mmss = "23:44"; p.map_mmss = "6:56"; p.par_mmss = "12:58";
+  p.sum_mmss = "43:38"; p.break_even_dhms = "2403:01:35:57";
+  return p;
+}
+PaperStats paper_lbm() {
+  PaperStats p;
+  p.files = 6; p.loc = 1155; p.compile_s = 1.36;
+  p.blocks = 104; p.instructions = 1988;
+  p.vm_s = 5.68; p.native_s = 5.36; p.vm_ratio = 1.06; p.asip_ratio_max = 2.61;
+  p.live_pct = 55.23; p.dead_pct = 24.9; p.const_pct = 19.87;
+  p.kernel_size_pct = 29.38; p.kernel_freq_pct = 93.12;
+  p.search_ms = 10.62; p.pruner_efficiency = 2.43;
+  p.pruned_blocks = 3; p.pruned_instructions = 961; p.candidates = 179;
+  p.asip_ratio_pruned = 2.53;
+  p.const_mmss = "531:07"; p.map_mmss = "181:51"; p.par_mmss = "308:24";
+  p.sum_mmss = "1021:22"; p.break_even_dhms = "1:03:29:48";
+  return p;
+}
+PaperStats paper_astar() {
+  PaperStats p;
+  p.files = 19; p.loc = 5829; p.compile_s = 3.68;
+  p.blocks = 757; p.instructions = 6010;
+  p.vm_s = 66.00; p.native_s = 67.68; p.vm_ratio = 0.98; p.asip_ratio_max = 1.21;
+  p.live_pct = 78.79; p.dead_pct = 5.31; p.const_pct = 15.91;
+  p.kernel_size_pct = 8.3; p.kernel_freq_pct = 94.11;
+  p.search_ms = 2.25; p.pruner_efficiency = 38.2;
+  p.pruned_blocks = 3; p.pruned_instructions = 184; p.candidates = 33;
+  p.asip_ratio_pruned = 1.00;
+  p.const_mmss = "97:54"; p.map_mmss = "29:46"; p.par_mmss = "46:59";
+  p.sum_mmss = "174:39"; p.break_even_dhms = "5149:02:19:14";
+  return p;
+}
+PaperStats paper_adpcm() {
+  PaperStats p;
+  p.files = 6; p.loc = 448; p.compile_s = 0.29;
+  p.blocks = 43; p.instructions = 305;
+  p.vm_s = 29.22; p.native_s = 28.35; p.vm_ratio = 1.03; p.asip_ratio_max = 1.21;
+  p.live_pct = 85.41; p.dead_pct = 1.29; p.const_pct = 13.3;
+  p.kernel_size_pct = 39.92; p.kernel_freq_pct = 91.78;
+  p.search_ms = 0.84; p.pruner_efficiency = 5.59;
+  p.pruned_blocks = 2; p.pruned_instructions = 61; p.candidates = 8;
+  p.asip_ratio_pruned = 1.08;
+  p.const_mmss = "23:44"; p.map_mmss = "6:00"; p.par_mmss = "10:34";
+  p.sum_mmss = "40:18"; p.break_even_dhms = "0:04:34:10";
+  return p;
+}
+PaperStats paper_fft() {
+  PaperStats p;
+  p.files = 3; p.loc = 187; p.compile_s = 0.26;
+  p.blocks = 47; p.instructions = 304;
+  p.vm_s = 18.47; p.native_s = 18.49; p.vm_ratio = 1.00; p.asip_ratio_max = 2.94;
+  p.live_pct = 60.61; p.dead_pct = 24.58; p.const_pct = 14.81;
+  p.kernel_size_pct = 45.58; p.kernel_freq_pct = 97.56;
+  p.search_ms = 0.78; p.pruner_efficiency = 3.78;
+  p.pruned_blocks = 2; p.pruned_instructions = 75; p.candidates = 14;
+  p.asip_ratio_pruned = 2.40;
+  p.const_mmss = "41:32"; p.map_mmss = "11:44"; p.par_mmss = "20:56";
+  p.sum_mmss = "74:12"; p.break_even_dhms = "0:01:53:07";
+  return p;
+}
+PaperStats paper_sor() {
+  PaperStats p;
+  p.files = 3; p.loc = 74; p.compile_s = 0.13;
+  p.blocks = 19; p.instructions = 129;
+  p.vm_s = 15.83; p.native_s = 15.85; p.vm_ratio = 1.00; p.asip_ratio_max = 6.93;
+  p.live_pct = 63.64; p.dead_pct = 9.09; p.const_pct = 27.27;
+  p.kernel_size_pct = 10.0; p.kernel_freq_pct = 99.99;
+  p.search_ms = 0.24; p.pruner_efficiency = 2.21;
+  p.pruned_blocks = 1; p.pruned_instructions = 22; p.candidates = 2;
+  p.asip_ratio_pruned = 1.00;
+  p.const_mmss = "5:56"; p.map_mmss = "4:48"; p.par_mmss = "10:12";
+  p.sum_mmss = "20:56"; p.break_even_dhms = "0:00:24:19";
+  return p;
+}
+PaperStats paper_whetstone() {
+  PaperStats p;
+  p.files = 1; p.loc = 442; p.compile_s = 0.25;
+  p.blocks = 44; p.instructions = 284;
+  p.vm_s = 28.66; p.native_s = 28.50; p.vm_ratio = 1.01; p.asip_ratio_max = 17.78;
+  p.live_pct = 34.74; p.dead_pct = 26.32; p.const_pct = 38.95;
+  p.kernel_size_pct = 9.54; p.kernel_freq_pct = 93.27;
+  p.search_ms = 0.54; p.pruner_efficiency = 7.7;
+  p.pruned_blocks = 2; p.pruned_instructions = 49; p.candidates = 9;
+  p.asip_ratio_pruned = 15.43;
+  p.const_mmss = "26:42"; p.map_mmss = "11:34"; p.par_mmss = "25:52";
+  p.sum_mmss = "64:08"; p.break_even_dhms = "0:01:08:04";
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::string> app_names() {
+  return {"164.gzip", "179.art", "183.equake", "188.ammp", "429.mcf",
+          "433.milc", "444.namd", "458.sjeng", "470.lbm", "473.astar",
+          "adpcm", "fft", "sor", "whetstone"};
+}
+
+App build_app(const std::string& name) {
+  App app;
+  if (name == "adpcm") {
+    app = detail::build_adpcm();
+    app.paper = paper_adpcm();
+  } else if (name == "fft") {
+    app = detail::build_fft();
+    app.paper = paper_fft();
+  } else if (name == "sor") {
+    app = detail::build_sor();
+    app.paper = paper_sor();
+  } else if (name == "whetstone") {
+    app = detail::build_whetstone();
+    app.paper = paper_whetstone();
+  } else {
+    app = detail::build_scientific(name);
+    if (name == "164.gzip") app.paper = paper_gzip();
+    else if (name == "179.art") app.paper = paper_art();
+    else if (name == "183.equake") app.paper = paper_equake();
+    else if (name == "188.ammp") app.paper = paper_ammp();
+    else if (name == "429.mcf") app.paper = paper_mcf();
+    else if (name == "433.milc") app.paper = paper_milc();
+    else if (name == "444.namd") app.paper = paper_namd();
+    else if (name == "458.sjeng") app.paper = paper_sjeng();
+    else if (name == "470.lbm") app.paper = paper_lbm();
+    else if (name == "473.astar") app.paper = paper_astar();
+    else throw std::invalid_argument("unknown app: " + name);
+  }
+  return app;
+}
+
+std::vector<App> build_all_apps() {
+  std::vector<App> apps;
+  for (const std::string& name : app_names()) apps.push_back(build_app(name));
+  return apps;
+}
+
+}  // namespace jitise::apps

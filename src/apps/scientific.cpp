@@ -1,0 +1,631 @@
+// The ten scientific applications (paper Table I, upper half): structural
+// SPEC2000/2006 stand-ins. Each has a hand-written hot kernel mimicking the
+// real program's inner loop (operation mix, memory-interleave, feasible-
+// chain lengths) embedded in generated live/const/dead filler sized to match
+// the paper's block/instruction/coverage statistics.
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "apps/builders.hpp"
+#include "apps/filler.hpp"
+#include "apps/kernels.hpp"
+
+namespace jitise::apps::detail {
+
+namespace {
+
+using namespace ir;
+
+/// Emits an LCG fill loop for an i32 array into the current function.
+void emit_fill_i32(FunctionBuilder& fb, GlobalId g, std::int32_t count,
+                   std::int32_t mask, std::int32_t bias, std::int32_t seed) {
+  const ValueId slot = fb.alloca_bytes(4);
+  fb.store(fb.const_int(Type::I32, seed), slot);
+  LoopCtx loop = begin_loop(fb, fb.const_int(Type::I32, 0),
+                            fb.const_int(Type::I32, count));
+  const ValueId s = fb.load(Type::I32, slot);
+  const ValueId s2 = fb.binop(Opcode::Add,
+      fb.binop(Opcode::Mul, s, fb.const_int(Type::I32, 1103515245)),
+      fb.const_int(Type::I32, 12345));
+  fb.store(s2, slot);
+  const ValueId v = fb.binop(Opcode::Sub,
+      fb.binop(Opcode::And, fb.binop(Opcode::LShr, s2, fb.const_int(Type::I32, 16)),
+               fb.const_int(Type::I32, mask)),
+      fb.const_int(Type::I32, bias));
+  store_elem(fb, v, fb.global_addr(g), loop.i, 4);
+  end_loop(fb, loop);
+}
+
+/// Same for f64 arrays (values in (0, scale]).
+void emit_fill_f64(FunctionBuilder& fb, GlobalId g, std::int32_t count,
+                   double scale, std::int32_t seed) {
+  const ValueId slot = fb.alloca_bytes(4);
+  fb.store(fb.const_int(Type::I32, seed), slot);
+  LoopCtx loop = begin_loop(fb, fb.const_int(Type::I32, 0),
+                            fb.const_int(Type::I32, count));
+  const ValueId s = fb.load(Type::I32, slot);
+  const ValueId s2 = fb.binop(Opcode::Add,
+      fb.binop(Opcode::Mul, s, fb.const_int(Type::I32, 1103515245)),
+      fb.const_int(Type::I32, 12345));
+  fb.store(s2, slot);
+  const ValueId masked = fb.binop(Opcode::Add,
+      fb.binop(Opcode::And, fb.binop(Opcode::LShr, s2, fb.const_int(Type::I32, 16)),
+               fb.const_int(Type::I32, 1023)),
+      fb.const_int(Type::I32, 1));
+  const ValueId f = fb.cast(Opcode::SIToFP, Type::F64, masked);
+  store_elem(fb, fb.binop(Opcode::FMul, f,
+                          fb.const_float(Type::F64, scale / 1024.0)),
+             fb.global_addr(g), loop.i, 8);
+  end_loop(fb, loop);
+}
+
+/// A kernel builder returns (init function, kernel function). kernel(n)
+/// runs n outer iterations over its fixed-size arrays.
+struct KernelFns {
+  FuncId init = 0;
+  FuncId kernel = 0;
+};
+
+// --- 164.gzip: LZ77 longest-match scan (byte loads, compare, count). ------
+KernelFns kernel_gzip(Module& m) {
+  const GlobalId buf = add_global(m, "window", 4096);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  {
+    const ValueId slot = fi.alloca_bytes(4);
+    fi.store(fi.const_int(Type::I32, 3), slot);
+    LoopCtx loop = begin_loop(fi, fi.const_int(Type::I32, 0),
+                              fi.const_int(Type::I32, 4096));
+    const ValueId s = fi.load(Type::I32, slot);
+    const ValueId s2 = fi.binop(Opcode::Add,
+        fi.binop(Opcode::Mul, s, fi.const_int(Type::I32, 1103515245)),
+        fi.const_int(Type::I32, 12345));
+    fi.store(s2, slot);
+    const ValueId byte = fi.cast(Opcode::Trunc, Type::I8,
+        fi.binop(Opcode::And, fi.binop(Opcode::LShr, s2, fi.const_int(Type::I32, 16)),
+                 fi.const_int(Type::I32, 15)));  // small alphabet -> matches
+    store_elem(fi, byte, fi.global_addr(buf), loop.i, 1);
+    end_loop(fi, loop);
+    fi.ret(fi.const_int(Type::I32, 0));
+  }
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  const ValueId acc = fk.alloca_bytes(4);
+  fk.store(fk.const_int(Type::I32, 0), acc);
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  const ValueId pos = fk.binop(Opcode::And, lo.i, fk.const_int(Type::I32, 2047));
+  LoopCtx li = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 64));
+  const ValueId a = load_elem(fk, Type::I8, fk.global_addr(buf),
+                              fk.binop(Opcode::Add, pos, li.i), 1);
+  const ValueId b = load_elem(fk, Type::I8, fk.global_addr(buf),
+      fk.binop(Opcode::Add, fk.binop(Opcode::Add, pos, li.i),
+               fk.const_int(Type::I32, 1024)), 1);
+  const ValueId eq = fk.icmp(ICmpPred::Eq, a, b);
+  const ValueId inc = fk.cast(Opcode::ZExt, Type::I32, eq);
+  const ValueId cur = fk.load(Type::I32, acc);
+  const ValueId len = fk.binop(Opcode::Add, cur, inc);
+  // track the best match seen (if-converted, as gzip's longest_match does)
+  const ValueId better = fk.icmp(ICmpPred::Sgt, len, cur);
+  fk.store(fk.select(better, len, cur), acc);
+  end_loop(fk, li);
+  end_loop(fk, lo);
+  fk.ret(fk.load(Type::I32, acc));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 179.art: neural-network F1 layer (f32 multiply-accumulate + winner). -
+KernelFns kernel_art(Module& m) {
+  const GlobalId w = add_global(m, "weights", 1024 * 4);
+  const GlobalId x = add_global(m, "inputs", 1024 * 4);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  {
+    // f32 fills via an i32 LCG + sitofp to f32.
+    const ValueId slot = fi.alloca_bytes(4);
+    fi.store(fi.const_int(Type::I32, 5), slot);
+    for (GlobalId g : {w, x}) {
+      LoopCtx loop = begin_loop(fi, fi.const_int(Type::I32, 0),
+                                fi.const_int(Type::I32, 1024));
+      const ValueId s = fi.load(Type::I32, slot);
+      const ValueId s2 = fi.binop(Opcode::Add,
+          fi.binop(Opcode::Mul, s, fi.const_int(Type::I32, 1103515245)),
+          fi.const_int(Type::I32, 12345));
+      fi.store(s2, slot);
+      const ValueId masked = fi.binop(Opcode::And,
+          fi.binop(Opcode::LShr, s2, fi.const_int(Type::I32, 18)),
+          fi.const_int(Type::I32, 255));
+      const ValueId f = fi.cast(Opcode::SIToFP, Type::F32, masked);
+      store_elem(fi, fi.binop(Opcode::FMul, f,
+                              fi.const_float(Type::F32, 1.0f / 256.0f)),
+                 fi.global_addr(g), loop.i, 4);
+      end_loop(fi, loop);
+    }
+    fi.ret(fi.const_int(Type::I32, 0));
+  }
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  const ValueId best = fk.alloca_bytes(4);  // f32 winner
+  fk.store(fk.const_float(Type::F32, 0.0), best);
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  const ValueId sum_slot = fk.alloca_bytes(4);
+  fk.store(fk.const_float(Type::F32, 0.0), sum_slot);
+  LoopCtx li = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 1024));
+  const ValueId wv = load_elem(fk, Type::F32, fk.global_addr(w), li.i, 4);
+  const ValueId xv = load_elem(fk, Type::F32, fk.global_addr(x), li.i, 4);
+  const ValueId prod = fk.binop(Opcode::FMul, wv, xv);
+  fk.store(fk.binop(Opcode::FAdd, fk.load(Type::F32, sum_slot), prod), sum_slot);
+  end_loop(fk, li);
+  const ValueId sum = fk.load(Type::F32, sum_slot);
+  const ValueId cur = fk.load(Type::F32, best);
+  const ValueId gt = fk.fcmp(FCmpPred::OGt, sum, cur);
+  fk.store(fk.select(gt, sum, cur), best);
+  end_loop(fk, lo);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32,
+                 fk.cast(Opcode::FPExt, Type::F64, fk.load(Type::F32, best))));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 183.equake: sparse matrix-vector product (f64, indexed loads). -------
+KernelFns kernel_equake(Module& m) {
+  const GlobalId col = add_global(m, "colidx", 2048 * 4);
+  const GlobalId val = add_global(m, "values", 2048 * 8);
+  const GlobalId vec = add_global(m, "x", 512 * 8);
+  const GlobalId out = add_global(m, "y", 512 * 8);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_i32(fi, col, 2048, 511, 0, 11);
+  emit_fill_f64(fi, val, 2048, 2.0, 13);
+  emit_fill_f64(fi, vec, 512, 1.0, 17);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  LoopCtx lr = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 512));
+  // 4 nonzeros per row.
+  const ValueId base_k = fk.binop(Opcode::Shl, lr.i, fk.const_int(Type::I32, 2));
+  ValueId sum = fk.const_float(Type::F64, 0.0);
+  for (int nz = 0; nz < 4; ++nz) {
+    const ValueId kk = fk.binop(Opcode::Add, base_k, fk.const_int(Type::I32, nz));
+    const ValueId c = load_elem(fk, Type::I32, fk.global_addr(col), kk, 4);
+    const ValueId a = load_elem(fk, Type::F64, fk.global_addr(val), kk, 8);
+    const ValueId xv = load_elem(fk, Type::F64, fk.global_addr(vec), c, 8);
+    sum = fk.binop(Opcode::FAdd, sum, fk.binop(Opcode::FMul, a, xv));
+  }
+  store_elem(fk, sum, fk.global_addr(out), lr.i, 8);
+  end_loop(fk, lr);
+  end_loop(fk, lo);
+  const ValueId probe = load_elem(fk, Type::F64, fk.global_addr(out),
+                                  fk.const_int(Type::I32, 3), 8);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32,
+                 fk.binop(Opcode::FMul, probe, fk.const_float(Type::F64, 100.0))));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 188.ammp: non-bonded force with 1/r^2 (f64 divide in the chain). -----
+KernelFns kernel_ammp(Module& m) {
+  const GlobalId px = add_global(m, "posx", 512 * 8);
+  const GlobalId py = add_global(m, "posy", 512 * 8);
+  const GlobalId pz = add_global(m, "posz", 512 * 8);
+  const GlobalId fx = add_global(m, "forcex", 512 * 8);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_f64(fi, px, 512, 10.0, 19);
+  emit_fill_f64(fi, py, 512, 10.0, 23);
+  emit_fill_f64(fi, pz, 512, 10.0, 29);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  const ValueId j = fk.binop(Opcode::And, lo.i, fk.const_int(Type::I32, 511));
+  LoopCtx li = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 256));
+  const ValueId xa = load_elem(fk, Type::F64, fk.global_addr(px), li.i, 8);
+  const ValueId ya = load_elem(fk, Type::F64, fk.global_addr(py), li.i, 8);
+  const ValueId za = load_elem(fk, Type::F64, fk.global_addr(pz), li.i, 8);
+  const ValueId xb = load_elem(fk, Type::F64, fk.global_addr(px), j, 8);
+  const ValueId yb = load_elem(fk, Type::F64, fk.global_addr(py), j, 8);
+  const ValueId zb = load_elem(fk, Type::F64, fk.global_addr(pz), j, 8);
+  const ValueId dx = fk.binop(Opcode::FSub, xa, xb);
+  const ValueId dy = fk.binop(Opcode::FSub, ya, yb);
+  const ValueId dz = fk.binop(Opcode::FSub, za, zb);
+  const ValueId r2 = fk.binop(Opcode::FAdd,
+      fk.binop(Opcode::FAdd, fk.binop(Opcode::FMul, dx, dx),
+               fk.binop(Opcode::FMul, dy, dy)),
+      fk.binop(Opcode::FAdd, fk.binop(Opcode::FMul, dz, dz),
+               fk.const_float(Type::F64, 0.01)));
+  const ValueId rinv = fk.binop(Opcode::FDiv, fk.const_float(Type::F64, 1.0), r2);
+  const ValueId force = fk.binop(Opcode::FMul,
+      fk.binop(Opcode::FMul, rinv, rinv), dx);
+  const ValueId old = load_elem(fk, Type::F64, fk.global_addr(fx), li.i, 8);
+  store_elem(fk, fk.binop(Opcode::FAdd, old, force), fk.global_addr(fx), li.i, 8);
+  end_loop(fk, li);
+  end_loop(fk, lo);
+  const ValueId probe = load_elem(fk, Type::F64, fk.global_addr(fx),
+                                  fk.const_int(Type::I32, 5), 8);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32, probe));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 429.mcf: arc relaxation scan (integer loads, compares, selects). -----
+KernelFns kernel_mcf(Module& m) {
+  const GlobalId cost = add_global(m, "arc_cost", 2048 * 4);
+  const GlobalId head = add_global(m, "arc_head", 2048 * 4);
+  const GlobalId tail = add_global(m, "arc_tail", 2048 * 4);
+  const GlobalId pot = add_global(m, "potential", 512 * 4);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_i32(fi, cost, 2048, 8191, 4096, 31);
+  emit_fill_i32(fi, head, 2048, 511, 0, 37);
+  emit_fill_i32(fi, tail, 2048, 511, 0, 41);
+  emit_fill_i32(fi, pot, 512, 2047, 1024, 43);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  const ValueId best_slot = fk.alloca_bytes(4);
+  fk.store(fk.const_int(Type::I32, 0x7fffffff), best_slot);
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  LoopCtx la = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 2048));
+  const ValueId c = load_elem(fk, Type::I32, fk.global_addr(cost), la.i, 4);
+  const ValueId h = load_elem(fk, Type::I32, fk.global_addr(head), la.i, 4);
+  const ValueId t = load_elem(fk, Type::I32, fk.global_addr(tail), la.i, 4);
+  const ValueId ph = load_elem(fk, Type::I32, fk.global_addr(pot), h, 4);
+  const ValueId pt = load_elem(fk, Type::I32, fk.global_addr(pot), t, 4);
+  const ValueId red = fk.binop(Opcode::Add, fk.binop(Opcode::Sub, c, ph), pt);
+  const ValueId cur = fk.load(Type::I32, best_slot);
+  const ValueId lt = fk.icmp(ICmpPred::Slt, red, cur);
+  fk.store(fk.select(lt, red, cur), best_slot);
+  end_loop(fk, la);
+  end_loop(fk, lo);
+  fk.ret(fk.load(Type::I32, best_slot));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 433.milc: SU(3)-style complex multiply-accumulate rows (f64). --------
+KernelFns kernel_milc(Module& m) {
+  const GlobalId ar = add_global(m, "a_re", 768 * 8);
+  const GlobalId ai = add_global(m, "a_im", 768 * 8);
+  const GlobalId br = add_global(m, "b_re", 768 * 8);
+  const GlobalId bi = add_global(m, "b_im", 768 * 8);
+  const GlobalId cr = add_global(m, "c_re", 768 * 8);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_f64(fi, ar, 768, 1.0, 47);
+  emit_fill_f64(fi, ai, 768, 1.0, 53);
+  emit_fill_f64(fi, br, 768, 1.0, 59);
+  emit_fill_f64(fi, bi, 768, 1.0, 61);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  LoopCtx lr = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 256));
+  const ValueId base = fk.binop(Opcode::Mul, lr.i, fk.const_int(Type::I32, 3));
+  ValueId acc_re = fk.const_float(Type::F64, 0.0);
+  for (int k = 0; k < 3; ++k) {
+    const ValueId idx = fk.binop(Opcode::Add, base, fk.const_int(Type::I32, k));
+    const ValueId arv = load_elem(fk, Type::F64, fk.global_addr(ar), idx, 8);
+    const ValueId aiv = load_elem(fk, Type::F64, fk.global_addr(ai), idx, 8);
+    const ValueId brv = load_elem(fk, Type::F64, fk.global_addr(br), idx, 8);
+    const ValueId biv = load_elem(fk, Type::F64, fk.global_addr(bi), idx, 8);
+    // re += ar*br - ai*bi  (the complex-multiply feasible chain)
+    acc_re = fk.binop(Opcode::FAdd, acc_re,
+        fk.binop(Opcode::FSub, fk.binop(Opcode::FMul, arv, brv),
+                 fk.binop(Opcode::FMul, aiv, biv)));
+  }
+  store_elem(fk, acc_re, fk.global_addr(cr), lr.i, 8);
+  end_loop(fk, lr);
+  end_loop(fk, lo);
+  const ValueId probe = load_elem(fk, Type::F64, fk.global_addr(cr),
+                                  fk.const_int(Type::I32, 7), 8);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32,
+                 fk.binop(Opcode::FMul, probe, fk.const_float(Type::F64, 64.0))));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 444.namd: Lennard-Jones inner loop (f64, divide + long mul chain). ---
+KernelFns kernel_namd(Module& m) {
+  const GlobalId r2a = add_global(m, "r2_arr", 1024 * 8);
+  const GlobalId en = add_global(m, "energy", 8);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_f64(fi, r2a, 1024, 9.0, 67);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  LoopCtx li = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 1024));
+  const ValueId r2 = load_elem(fk, Type::F64, fk.global_addr(r2a), li.i, 8);
+  const ValueId r2i = fk.binop(Opcode::FDiv, fk.const_float(Type::F64, 1.0),
+      fk.binop(Opcode::FAdd, r2, fk.const_float(Type::F64, 0.5)));
+  const ValueId r6 = fk.binop(Opcode::FMul, fk.binop(Opcode::FMul, r2i, r2i), r2i);
+  const ValueId lj = fk.binop(Opcode::FMul,
+      fk.binop(Opcode::FSub,
+               fk.binop(Opcode::FMul, fk.const_float(Type::F64, 4.0), r6),
+               fk.const_float(Type::F64, 2.0)),
+      r6);
+  const ValueId e = fk.load(Type::F64, fk.global_addr(en));
+  fk.store(fk.binop(Opcode::FAdd, e, lj), fk.global_addr(en));
+  end_loop(fk, li);
+  end_loop(fk, lo);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32,
+                 fk.load(Type::F64, fk.global_addr(en))));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 458.sjeng: board evaluation (table lookups, masks, shifts). ----------
+KernelFns kernel_sjeng(Module& m) {
+  const GlobalId board = add_global(m, "board", 64 * 4);
+  const GlobalId pieceval = add_global(m, "piece_value", 16 * 4);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_i32(fi, board, 64, 15, 0, 71);
+  emit_fill_i32(fi, pieceval, 16, 255, 128, 73);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  const ValueId score = fk.alloca_bytes(4);
+  fk.store(fk.const_int(Type::I32, 0), score);
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  LoopCtx ls = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 64));
+  const ValueId piece = load_elem(fk, Type::I32, fk.global_addr(board), ls.i, 4);
+  const ValueId pv = load_elem(fk, Type::I32, fk.global_addr(pieceval), piece, 4);
+  // Mobility-ish mask math on the square index.
+  const ValueId file = fk.binop(Opcode::And, ls.i, fk.const_int(Type::I32, 7));
+  const ValueId rank = fk.binop(Opcode::AShr, ls.i, fk.const_int(Type::I32, 3));
+  const ValueId center = fk.binop(Opcode::Mul,
+      fk.binop(Opcode::Xor, file, fk.const_int(Type::I32, 3)),
+      fk.binop(Opcode::Xor, rank, fk.const_int(Type::I32, 3)));
+  const ValueId weighted = fk.binop(Opcode::Add, pv,
+      fk.binop(Opcode::Shl, center, fk.const_int(Type::I32, 1)));
+  fk.store(fk.binop(Opcode::Add, fk.load(Type::I32, score), weighted), score);
+  end_loop(fk, ls);
+  end_loop(fk, lo);
+  fk.ret(fk.load(Type::I32, score));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 470.lbm: D2Q9-ish stream-collide site update (long f64 chains). ------
+KernelFns kernel_lbm(Module& m) {
+  const GlobalId f = add_global(m, "f_lattice", 512 * 9 * 8);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_f64(fi, f, 512 * 9, 0.2, 79);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  LoopCtx ls = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 512));
+  const ValueId base = fk.binop(Opcode::Mul, ls.i, fk.const_int(Type::I32, 9));
+  // rho = sum of the 9 populations; u from a weighted subset.
+  std::vector<ValueId> pop;
+  for (int k = 0; k < 9; ++k)
+    pop.push_back(load_elem(fk, Type::F64, fk.global_addr(f),
+        fk.binop(Opcode::Add, base, fk.const_int(Type::I32, k)), 8));
+  ValueId rho = pop[0];
+  for (int k = 1; k < 9; ++k) rho = fk.binop(Opcode::FAdd, rho, pop[k]);
+  const ValueId ux = fk.binop(Opcode::FSub,
+      fk.binop(Opcode::FAdd, pop[1], pop[5]),
+      fk.binop(Opcode::FAdd, pop[3], pop[7]));
+  const ValueId uy = fk.binop(Opcode::FSub,
+      fk.binop(Opcode::FAdd, pop[2], pop[5]),
+      fk.binop(Opcode::FAdd, pop[4], pop[8]));
+  const ValueId usq = fk.binop(Opcode::FAdd,
+      fk.binop(Opcode::FMul, ux, ux), fk.binop(Opcode::FMul, uy, uy));
+  // Collide population 0 toward equilibrium.
+  const ValueId feq = fk.binop(Opcode::FMul, rho,
+      fk.binop(Opcode::FSub, fk.const_float(Type::F64, 4.0 / 9.0),
+               fk.binop(Opcode::FMul, usq, fk.const_float(Type::F64, 2.0 / 3.0))));
+  const ValueId relaxed = fk.binop(Opcode::FAdd, pop[0],
+      fk.binop(Opcode::FMul, fk.const_float(Type::F64, 0.6),
+               fk.binop(Opcode::FSub, feq, pop[0])));
+  store_elem(fk, relaxed, fk.global_addr(f), base, 8);
+  end_loop(fk, ls);
+  end_loop(fk, lo);
+  const ValueId probe = load_elem(fk, Type::F64, fk.global_addr(f),
+                                  fk.const_int(Type::I32, 9), 8);
+  fk.ret(fk.cast(Opcode::FPToSI, Type::I32,
+                 fk.binop(Opcode::FMul, probe, fk.const_float(Type::F64, 1e3))));
+  return {fi.finish(), fk.finish()};
+}
+
+// --- 473.astar: binary-heap sift-down (integer compares + swaps). ---------
+KernelFns kernel_astar(Module& m) {
+  const GlobalId keys = add_global(m, "heap_keys", 1024 * 4);
+  FunctionBuilder fi(m, "init_data", Type::I32, {});
+  emit_fill_i32(fi, keys, 1024, 65535, 0, 83);
+  fi.ret(fi.const_int(Type::I32, 0));
+
+  FunctionBuilder fk(m, "kernel", Type::I32, {Type::I32});
+  LoopCtx lo = begin_loop(fk, fk.const_int(Type::I32, 0), fk.param(0));
+  const ValueId start = fk.binop(Opcode::And, lo.i, fk.const_int(Type::I32, 255));
+  LoopCtx lv = begin_loop(fk, fk.const_int(Type::I32, 0),
+                          fk.const_int(Type::I32, 8));
+  // One sift step at node idx = start + level offset (branchless min-child).
+  const ValueId idx = fk.binop(Opcode::Add, start, lv.i);
+  const ValueId l = fk.binop(Opcode::Add, fk.binop(Opcode::Shl, idx,
+      fk.const_int(Type::I32, 1)), fk.const_int(Type::I32, 1));
+  const ValueId r = fk.binop(Opcode::Add, l, fk.const_int(Type::I32, 1));
+  const ValueId lm = fk.binop(Opcode::And, l, fk.const_int(Type::I32, 1023));
+  const ValueId rm = fk.binop(Opcode::And, r, fk.const_int(Type::I32, 1023));
+  const ValueId kp = load_elem(fk, Type::I32, fk.global_addr(keys), idx, 4);
+  const ValueId kl = load_elem(fk, Type::I32, fk.global_addr(keys), lm, 4);
+  const ValueId kr = load_elem(fk, Type::I32, fk.global_addr(keys), rm, 4);
+  const ValueId lr_lt = fk.icmp(ICmpPred::Slt, kl, kr);
+  const ValueId kmin = fk.select(lr_lt, kl, kr);
+  const ValueId swap = fk.icmp(ICmpPred::Slt, kmin, kp);
+  const ValueId new_parent = fk.select(swap, kmin, kp);
+  const ValueId new_child = fk.select(swap, kp, kmin);
+  const ValueId cidx = fk.select(lr_lt, lm, rm);
+  store_elem(fk, new_parent, fk.global_addr(keys), idx, 4);
+  store_elem(fk, new_child, fk.global_addr(keys), cidx, 4);
+  end_loop(fk, lv);
+  end_loop(fk, lo);
+  const ValueId probe = load_elem(fk, Type::I32, fk.global_addr(keys),
+                                  fk.const_int(Type::I32, 0), 4);
+  fk.ret(probe);
+  return {fi.finish(), fk.finish()};
+}
+
+struct SciSpec {
+  const char* name;
+  KernelFns (*builder)(Module&);
+  int target_instructions;
+  double live_pct, dead_pct, const_pct;  // Table I coverage targets
+  double kernel_pct;                     // Table I kernel-size target
+  std::int32_t train_n, ref_n;
+  /// Weighting between the flavour loop and the generated hot path:
+  /// flavour runs with (n >> flavor_shift) + 1 outer iterations, the hot
+  /// path runs n * hot_reps times.
+  std::uint32_t flavor_shift;
+  std::uint32_t hot_reps;
+  HotMix mix;
+  std::uint64_t seed;
+};
+
+// The HotMix per application reproduces each SPEC program's character:
+// integer programs (gzip/mcf/sjeng/astar) have cheap ALU chains where custom
+// instructions barely pay; FP programs differ in how many emulated-FP
+// operations sit between memory accesses, which sets their achievable
+// speedup (paper Table I ASIP ratios: 1.08x .. 3.44x).
+const SciSpec kSciSpecs[] = {
+    {"164.gzip", kernel_gzip, 6925, 38.86, 44.66, 16.48, 4.52, 600, 1500,
+     6, 2, HotMix{5, 1, 12, 4, 0, 0, Type::F64}, 164},
+    {"179.art", kernel_art, 2164, 42.05, 28.47, 29.48, 5.04, 60, 150,
+     5, 24, HotMix{6, 1, 8, 0, 2, 0, Type::F32}, 179},
+    {"183.equake", kernel_equake, 2670, 75.39, 8.91, 15.69, 15.32, 40, 100,
+     4, 12, HotMix{6, 1, 8, 0, 4, 0, Type::F64}, 183},
+    {"188.ammp", kernel_ammp, 26647, 19.22, 70.89, 9.89, 3.43, 120, 300,
+     6, 4, HotMix{4, 1, 6, 0, 6, 2, Type::F64}, 188},
+    {"429.mcf", kernel_mcf, 1917, 75.90, 13.09, 11.01, 20.34, 30, 75,
+     4, 24, HotMix{7, 1, 10, 3, 0, 0, Type::F64}, 429},
+    {"433.milc", kernel_milc, 14260, 61.67, 34.72, 3.61, 10.83, 100, 250,
+     5, 6, HotMix{7, 1, 10, 0, 1, 0, Type::F64}, 433},
+    {"444.namd", kernel_namd, 47534, 31.71, 62.81, 5.48, 7.33, 60, 150,
+     5, 4, HotMix{6, 1, 8, 0, 3, 0, Type::F64}, 444},
+    {"458.sjeng", kernel_sjeng, 20531, 48.49, 49.44, 2.07, 46.22, 200, 500,
+     4, 1, HotMix{5, 1, 14, 3, 0, 0, Type::F64}, 458},
+    {"470.lbm", kernel_lbm, 1988, 55.23, 24.90, 19.87, 29.38, 80, 200,
+     4, 10, HotMix{5, 1, 6, 0, 6, 0, Type::F64}, 470},
+    {"473.astar", kernel_astar, 6010, 78.79, 5.31, 15.91, 8.3, 2500, 6000,
+     8, 1, HotMix{5, 2, 12, 5, 0, 0, Type::F64}, 473},
+};
+
+}  // namespace
+
+App build_scientific(const std::string& name) {
+  const SciSpec* spec = nullptr;
+  for (const SciSpec& s : kSciSpecs)
+    if (name == s.name) spec = &s;
+  if (!spec) throw std::invalid_argument("unknown scientific app: " + name);
+
+  App app;
+  app.name = spec->name;
+  app.domain = Domain::Scientific;
+  Module& m = app.module;
+  m.name = spec->name;
+
+  KernelFns fns = (*spec->builder)(m);
+
+  // Generated hot path: the bulk of the kernel per Table I's kernel size,
+  // with feasible chains bounded by memory operations (HotMix).
+  const std::size_t flavor_ins =
+      m.functions[fns.kernel].block_instruction_count();
+  const GlobalId scratch = add_global(m, "hot_scratch", 4096);
+  const auto kernel_target = static_cast<std::uint32_t>(
+      static_cast<double>(spec->target_instructions) * spec->kernel_pct / 100.0);
+  const std::uint32_t hot_budget =
+      kernel_target > flavor_ins + 60
+          ? kernel_target - static_cast<std::uint32_t>(flavor_ins)
+          : 60;
+  const FuncId hot =
+      make_hot_path(m, "hot_path", hot_budget, spec->mix, scratch,
+                    spec->seed * 0x9E3779B97F4A7C15ULL + 7);
+
+  // kernel_wrapper(n): flavour loop at reduced weight + hot path n*reps times.
+  {
+    FunctionBuilder fw(m, "kernel_wrapper", Type::I32, {Type::I32});
+    const ValueId flavor_n = fw.binop(
+        Opcode::Add,
+        fw.binop(Opcode::AShr, fw.param(0),
+                 fw.const_int(Type::I32, static_cast<std::int32_t>(spec->flavor_shift))),
+        fw.const_int(Type::I32, 1));
+    const ValueId flavor_chk = fw.call(fns.kernel, Type::I32, {flavor_n});
+    const ValueId hot_n = fw.binop(
+        Opcode::Mul, fw.param(0),
+        fw.const_int(Type::I32, static_cast<std::int32_t>(spec->hot_reps)));
+    const ValueId acc_slot = fw.alloca_bytes(4);
+    fw.store(flavor_chk, acc_slot);
+    LoopCtx loop = begin_loop(fw, fw.const_int(Type::I32, 0), hot_n);
+    const ValueId h = fw.call(hot, Type::I32, {loop.i});
+    fw.store(fw.binop(Opcode::Xor, fw.load(Type::I32, acc_slot), h), acc_slot);
+    end_loop(fw, loop);
+    fw.ret(fw.load(Type::I32, acc_slot));
+    fns.kernel = fw.finish();
+  }
+
+  // Size the filler classes so static coverage matches the paper's targets.
+  std::size_t built_ins = 0;
+  for (const Function& f : m.functions) built_ins += f.block_instruction_count();
+  const auto total = static_cast<double>(spec->target_instructions);
+  const auto want = [&](double pct) {
+    return static_cast<std::uint32_t>(total * pct / 100.0);
+  };
+  // Kernel and init count toward live/const respectively.
+  const std::size_t kernel_ins =
+      m.functions[fns.kernel].block_instruction_count();
+  const std::size_t init_ins = m.functions[fns.init].block_instruction_count();
+
+  FillerPlan plan;
+  plan.seed = spec->seed;
+  plan.dead_instructions = want(spec->dead_pct);
+  plan.const_instructions =
+      want(spec->const_pct) > init_ins
+          ? want(spec->const_pct) - static_cast<std::uint32_t>(init_ins)
+          : 0;
+  plan.live_instructions =
+      want(spec->live_pct) > kernel_ins + 40
+          ? want(spec->live_pct) - static_cast<std::uint32_t>(kernel_ins) - 40
+          : 0;
+  const FillerHooks filler = generate_filler(m, plan);
+
+  // main(n, mode) — same scaffold as the embedded apps.
+  FunctionBuilder fb(m, "main", Type::I32, {Type::I32, Type::I32});
+  const BlockId dead = fb.new_block("dead_code");
+  const BlockId run = fb.new_block("run");
+  ValueId acc = fb.call(fns.init, Type::I32, {});
+  for (FuncId f : filler.const_funcs)
+    acc = fb.binop(Opcode::Xor, acc,
+                   fb.call(f, Type::I32, {fb.const_int(Type::I32, 29)}));
+  const ValueId is_magic =
+      fb.icmp(ICmpPred::Eq, fb.param(1), fb.const_int(Type::I32, 123456789));
+  fb.condbr(is_magic, dead, run);
+  fb.set_insert(dead);
+  ValueId dead_acc = fb.const_int(Type::I32, 0);
+  for (FuncId f : filler.dead_funcs)
+    dead_acc = fb.binop(Opcode::Xor, dead_acc,
+                        fb.call(f, Type::I32, {fb.param(0)}));
+  fb.br(run);
+  fb.set_insert(run);
+  const ValueId joined = fb.phi(Type::I32);
+  fb.phi_incoming(joined, acc, fb.entry());
+  fb.phi_incoming(joined, dead_acc, dead);
+  ValueId result = fb.call(fns.kernel, Type::I32, {fb.param(0)});
+  // Live cold code scales weakly with the input: (n >> 7) + (n & 7) + 1
+  // trips — enough to vary across data sets without rivaling the kernel.
+  const ValueId cold_n = fb.binop(
+      Opcode::Add,
+      fb.binop(Opcode::Add,
+               fb.binop(Opcode::AShr, fb.param(0), fb.const_int(Type::I32, 7)),
+               fb.binop(Opcode::And, fb.param(0), fb.const_int(Type::I32, 7))),
+      fb.const_int(Type::I32, 1));
+  for (FuncId f : filler.live_funcs)
+    result = fb.binop(Opcode::Xor, result, fb.call(f, Type::I32, {cold_n}));
+  fb.ret(fb.binop(Opcode::Xor, result, joined));
+  fb.finish();
+
+  app.datasets = {
+      Dataset{"train",
+              {vm::Slot::of_int(spec->train_n), vm::Slot::of_int(0)}},
+      Dataset{"ref", {vm::Slot::of_int(spec->ref_n), vm::Slot::of_int(1)}},
+  };
+  return app;
+}
+
+}  // namespace jitise::apps::detail

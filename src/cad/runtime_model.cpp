@@ -1,0 +1,73 @@
+#include "cad/runtime_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace jitise::cad {
+
+namespace {
+
+/// Deterministic gaussian jitter keyed by (seed, stage salt).
+double jittered(double mean, double stdev, std::uint64_t seed,
+                std::uint64_t salt) {
+  support::Xoshiro256 rng(seed ^ (salt * 0x9E3779B97F4A7C15ULL));
+  return std::max(0.0, mean + stdev * rng.gaussian());
+}
+
+}  // namespace
+
+double CadRuntimeModel::c2v_seconds(std::uint64_t seed) const {
+  return jittered(c2v_mean, c2v_stdev, seed, 1) * (1.0 - speedup_fraction);
+}
+
+double CadRuntimeModel::syn_seconds(std::uint64_t seed) const {
+  return jittered(syn_mean, syn_stdev, seed, 2) * (1.0 - speedup_fraction);
+}
+
+double CadRuntimeModel::xst_seconds(std::size_t cells, std::uint64_t seed) const {
+  // Netlists come from the PivPav cache; XST elaborates only the top module,
+  // so the size dependence is mild (paper: "does not vary a lot").
+  const double base = jittered(xst_mean, xst_stdev, seed, 3);
+  return (base + 0.002 * static_cast<double>(cells)) * (1.0 - speedup_fraction);
+}
+
+double CadRuntimeModel::tra_seconds(std::uint64_t seed) const {
+  return jittered(tra_mean, tra_stdev, seed, 4) * (1.0 - speedup_fraction);
+}
+
+double CadRuntimeModel::map_seconds(std::size_t cells, std::uint64_t seed) const {
+  const double raw =
+      map_base + map_coeff * std::pow(static_cast<double>(cells), map_power);
+  const double clamped = std::clamp(raw, map_min, map_max);
+  return jittered(clamped, clamped * 0.03, seed, 5) * (1.0 - speedup_fraction);
+}
+
+double CadRuntimeModel::par_seconds(std::size_t cells, std::size_t nets,
+                                    std::uint64_t seed) const {
+  const double rho =
+      par_rho_min + (par_rho_max - par_rho_min) *
+                        std::min(1.0, static_cast<double>(cells + nets / 4) /
+                                          par_rho_saturation_cells);
+  const double map_s = map_seconds(cells, seed);
+  const double raw = std::min(rho * map_s, par_max);
+  return jittered(raw, raw * 0.03, seed, 6);
+}
+
+double CadRuntimeModel::bitgen_seconds(std::uint64_t seed) const {
+  // Constant — depends only on the chosen FPGA, not the candidate (§V-C).
+  return jittered(bitgen_mean, bitgen_stdev, seed, 7) * (1.0 - speedup_fraction);
+}
+
+double CadRuntimeModel::bitgen_full_seconds(std::uint64_t seed) const {
+  return jittered(bitgen_full_mean, bitgen_stdev, seed, 8) *
+         (1.0 - speedup_fraction);
+}
+
+double CadRuntimeModel::constant_overhead_seconds(std::uint64_t seed) const {
+  return c2v_seconds(seed) + syn_seconds(seed) + xst_seconds(0, seed) +
+         tra_seconds(seed) + bitgen_seconds(seed);
+}
+
+}  // namespace jitise::cad

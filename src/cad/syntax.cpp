@@ -1,0 +1,183 @@
+#include "cad/syntax.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace jitise::cad {
+
+namespace {
+
+std::string strip_comment(const std::string& line) {
+  const auto pos = line.find("--");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+/// First identifier in `s` starting at `pos`.
+std::string ident_at(const std::string& s, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < s.size() &&
+         (std::isalnum(static_cast<unsigned char>(s[end])) || s[end] == '_'))
+    ++end;
+  return s.substr(pos, end - pos);
+}
+
+}  // namespace
+
+std::vector<std::string> check_vhdl_syntax(const std::string& vhdl) {
+  std::vector<std::string> errors;
+  std::istringstream in(vhdl);
+  std::string raw;
+  std::size_t lineno = 0;
+
+  enum class Scope { Top, Entity, ArchDecl, ArchBody };
+  Scope scope = Scope::Top;
+  bool saw_entity = false, saw_arch = false;
+  int paren_depth = 0;
+  std::set<std::string> names;  // declared ports, signals, components
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trimmed(strip_comment(raw));
+    if (line.empty()) continue;
+    const auto err = [&](const std::string& m) {
+      errors.push_back("line " + std::to_string(lineno) + ": " + m);
+    };
+
+    for (char c : line) {
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+    }
+    if (paren_depth < 0) {
+      err("unbalanced ')'");
+      paren_depth = 0;
+    }
+
+    if (starts_with(line, "library ") || starts_with(line, "use ")) {
+      if (scope != Scope::Top) err("library clause inside a design unit");
+      if (line.back() != ';') err("missing ';'");
+      continue;
+    }
+    if (starts_with(line, "entity ")) {
+      if (scope != Scope::Top) err("nested entity");
+      if (line.find(" is") == std::string::npos) err("entity missing 'is'");
+      scope = Scope::Entity;
+      saw_entity = true;
+      continue;
+    }
+    if (starts_with(line, "end entity")) {
+      if (scope != Scope::Entity) err("'end entity' outside entity");
+      scope = Scope::Top;
+      continue;
+    }
+    if (starts_with(line, "architecture ")) {
+      if (scope != Scope::Top) err("nested architecture");
+      if (line.find(" of ") == std::string::npos) err("architecture missing 'of'");
+      scope = Scope::ArchDecl;
+      saw_arch = true;
+      continue;
+    }
+    if (line == "begin") {
+      if (scope != Scope::ArchDecl) err("'begin' outside architecture");
+      scope = Scope::ArchBody;
+      continue;
+    }
+    if (starts_with(line, "end architecture")) {
+      if (scope != Scope::ArchBody) err("'end architecture' misplaced");
+      scope = Scope::Top;
+      continue;
+    }
+    if (starts_with(line, "end component")) continue;
+
+    switch (scope) {
+      case Scope::Entity: {
+        // port ( ... name : in/out type ; ... )
+        if (starts_with(line, "port")) continue;
+        const auto colon = line.find(" : ");
+        if (colon != std::string::npos) {
+          const std::string name = ident_at(line, 0);
+          if (name.empty()) {
+            err("port without a name");
+          } else {
+            names.insert(name);
+            const std::string dir = ident_at(line, colon + 3);
+            if (dir != "in" && dir != "out" && dir != "inout")
+              err("port '" + name + "' has no direction");
+          }
+        } else if (line != ");" && line != ")") {
+          err("unrecognized entity item: " + line);
+        }
+        break;
+      }
+      case Scope::ArchDecl: {
+        if (starts_with(line, "component ")) {
+          names.insert(ident_at(line, 10));
+        } else if (starts_with(line, "signal ")) {
+          const std::string name = ident_at(line, 7);
+          if (name.empty()) err("signal without a name");
+          names.insert(name);
+          if (line.find(" : ") == std::string::npos) err("signal missing type");
+          if (line.back() != ';') err("missing ';'");
+        } else if (starts_with(line, "port (") || starts_with(line, "port(")) {
+          // component port clause — shape-checked by paren balance
+        } else {
+          err("unrecognized declaration: " + line);
+        }
+        break;
+      }
+      case Scope::ArchBody: {
+        const auto arrow = line.find("<=");
+        if (arrow != std::string::npos) {
+          const std::string lhs = ident_at(line, 0);
+          const std::string rhs = ident_at(line, line.find_first_not_of(
+                                                      " \t", arrow + 2));
+          if (!names.count(lhs)) err("assignment to undeclared '" + lhs + "'");
+          if (!names.count(rhs)) err("use of undeclared '" + rhs + "'");
+          if (line.back() != ';') err("missing ';'");
+          break;
+        }
+        const auto colon = line.find(" : ");
+        if (colon != std::string::npos && line.find("port map") != std::string::npos) {
+          const std::string comp = ident_at(line, colon + 3);
+          if (!names.count(comp)) err("instantiation of undeclared component '" + comp + "'");
+          // Check actuals: "formal => actual" pairs.
+          std::size_t pos = 0;
+          while ((pos = line.find("=>", pos)) != std::string::npos) {
+            pos += 2;
+            while (pos < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[pos])))
+              ++pos;
+            const std::string actual = ident_at(line, pos);
+            if (!actual.empty() && actual != "open" && !names.count(actual))
+              err("port map uses undeclared '" + actual + "'");
+          }
+          break;
+        }
+        err("unrecognized statement: " + line);
+        break;
+      }
+      case Scope::Top:
+        err("statement outside design unit: " + line);
+        break;
+    }
+  }
+
+  if (!saw_entity) errors.push_back("no entity declaration");
+  if (!saw_arch) errors.push_back("no architecture");
+  if (scope != Scope::Top) errors.push_back("unterminated design unit");
+  if (paren_depth != 0) errors.push_back("unbalanced '('");
+  return errors;
+}
+
+}  // namespace jitise::cad

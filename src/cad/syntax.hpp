@@ -1,0 +1,16 @@
+// VHDL-lite syntax checker — the "Check Syntax" stage of the implementation
+// flow (paper Figure 2). Validates the structural subset the data-path
+// generator emits: entity/architecture/component bracketing, port-list
+// syntax, signal declarations, and that every identifier used in a port map
+// or assignment is a declared port, signal or constant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jitise::cad {
+
+/// Returns diagnostics (empty = syntactically valid).
+[[nodiscard]] std::vector<std::string> check_vhdl_syntax(const std::string& vhdl);
+
+}  // namespace jitise::cad

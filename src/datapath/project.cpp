@@ -1,0 +1,70 @@
+#include "datapath/project.hpp"
+
+#include <unordered_map>
+
+namespace jitise::datapath {
+
+CadProject create_project(const dfg::BlockDfg& graph,
+                          const ise::Candidate& cand, hwlib::CircuitDb& db,
+                          const std::string& name) {
+  CadProject proj;
+  proj.name = name;
+  proj.candidate = cand;
+  proj.signature = ise::candidate_signature(graph, cand);
+
+  // Task 1: Generate VHDL (PivPav data path generator).
+  proj.vhdl = generate_vhdl(graph, cand, db, name);
+
+  // Task 2: Extract netlists — pull each component's netlist from the
+  // database cache and stitch them along the candidate's data flow.
+  const ir::Function& fn = graph.function();
+  hwlib::Netlist& top = proj.netlist;
+  top.top_name = name;
+
+  std::vector<bool> in_set(graph.size(), false);
+  for (dfg::NodeId n : cand.nodes) in_set[n] = true;
+
+  // Nets carrying each candidate-visible value.
+  std::unordered_map<ir::ValueId, hwlib::NetId> net_of;
+  for (ir::ValueId in : cand.inputs) {
+    const hwlib::NetId net = top.new_net();
+    net_of.emplace(in, net);
+    proj.input_nets.push_back(net);
+    top.add_cell(hwlib::CellKind::PortIn, "pin_" + std::to_string(in), {}, {net});
+  }
+
+  for (dfg::NodeId n : cand.nodes) {
+    const ir::ValueId v = graph.value_of(n);
+    const ir::Instruction& inst = fn.values[v];
+    const hwlib::ComponentNetlist& core = db.netlist(inst.op, inst.type);
+    proj.cores_used.push_back(core.netlist.top_name);
+
+    std::vector<std::pair<hwlib::NetId, hwlib::NetId>> bind;
+    const unsigned nops = hwlib::hw_operand_count(inst.op);
+    for (unsigned i = 0; i < nops && i < inst.operands.size() &&
+                         i < core.input_nets.size(); ++i) {
+      const auto it = net_of.find(inst.operands[i]);
+      if (it != net_of.end()) bind.emplace_back(core.input_nets[i], it->second);
+    }
+    const auto map = hwlib::instantiate(top, core.netlist, bind,
+                                        "n" + std::to_string(n));
+    net_of.emplace(v, map[core.output_net]);
+  }
+
+  if (!cand.outputs.empty()) {
+    proj.output_net = net_of.at(cand.outputs[0]);
+    top.add_cell(hwlib::CellKind::PortOut, "pout", {proj.output_net}, {});
+  }
+
+  // Task 3: Create the project: part settings and placement constraints for
+  // the partial-reconfiguration region.
+  proj.constraints =
+      "# jitise generated constraints\n"
+      "CONFIG PART = " + proj.part + ";\n"
+      "AREA_GROUP \"pr_region\" RANGE = SLICE_X0Y0:SLICE_X31Y63;\n"
+      "INST \"" + name + "\" AREA_GROUP = \"pr_region\";\n"
+      "TIMESPEC \"TS_fcm_clk\" = PERIOD \"fcm_clk\" 10 ns;\n";
+  return proj;
+}
+
+}  // namespace jitise::datapath

@@ -1,0 +1,40 @@
+// FPGA CAD project assembly — the "Create Project" task of the Netlist
+// Generation phase (paper Figure 2, §V-B).
+//
+// A CadProject bundles everything the implementation flow needs: the
+// generated structural VHDL, the candidate's merged netlist (assembled from
+// the circuit database's *cached* component netlists, so synthesis later
+// only handles the top module), the device constraints and the target part.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datapath/vhdl_gen.hpp"
+#include "hwlib/component.hpp"
+#include "ise/candidate.hpp"
+
+namespace jitise::datapath {
+
+struct CadProject {
+  std::string name;  // candidate/entity name, e.g. "ci_fft_b2_0"
+  std::string part = "xc4vfx100-10-ff1152";
+  std::string vhdl;                 // top-level structural VHDL
+  hwlib::Netlist netlist;           // merged candidate netlist
+  std::vector<hwlib::NetId> input_nets;
+  hwlib::NetId output_net = hwlib::kNoNet;
+  std::vector<std::string> cores_used;  // component netlists pulled from cache
+  std::string constraints;          // UCF-style area/timing constraints
+  ise::Candidate candidate;
+  std::uint64_t signature = 0;
+};
+
+/// Runs the full Netlist Generation phase for one candidate:
+/// Generate VHDL -> Extract Netlists (cache) -> Create Project.
+[[nodiscard]] CadProject create_project(const dfg::BlockDfg& graph,
+                                        const ise::Candidate& cand,
+                                        hwlib::CircuitDb& db,
+                                        const std::string& name);
+
+}  // namespace jitise::datapath

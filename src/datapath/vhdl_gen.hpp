@@ -1,0 +1,24 @@
+// Structural VHDL generation — PivPav's data-path generator (paper §V-B).
+//
+// The generator walks the candidate's data-flow graph, instantiates one
+// library component per instruction, wires them with signals and emits a
+// synthesizable structural VHDL architecture. The text is a real artifact:
+// the CAD flow's syntax checker parses it, and tests assert on its shape.
+#pragma once
+
+#include <string>
+
+#include "hwlib/component.hpp"
+#include "ise/candidate.hpp"
+
+namespace jitise::datapath {
+
+/// Emits the structural VHDL for `cand` as entity `entity_name`.
+/// Port map: one `std_logic_vector` input per candidate input (constants are
+/// materialized as constant signals inside), one output.
+[[nodiscard]] std::string generate_vhdl(const dfg::BlockDfg& graph,
+                                        const ise::Candidate& cand,
+                                        hwlib::CircuitDb& db,
+                                        const std::string& entity_name);
+
+}  // namespace jitise::datapath

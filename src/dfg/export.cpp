@@ -1,0 +1,32 @@
+#include "dfg/export.hpp"
+
+#include <algorithm>
+
+namespace jitise::dfg {
+
+std::string to_dot(const BlockDfg& graph, std::span<const NodeId> highlight) {
+  std::vector<bool> marked(graph.size(), false);
+  for (NodeId n : highlight)
+    if (n < graph.size()) marked[n] = true;
+
+  std::string out = "digraph dfg {\n  rankdir=TB;\n  node [shape=box];\n";
+  const ir::Function& fn = graph.function();
+  for (NodeId n = 0; n < graph.size(); ++n) {
+    const ir::Instruction& inst = fn.values[graph.value_of(n)];
+    out += "  n" + std::to_string(n) + " [label=\"" +
+           std::string(ir::opcode_name(inst.op)) + " " +
+           std::string(ir::type_name(inst.type)) + "\"";
+    if (marked[n])
+      out += ", style=filled, fillcolor=lightblue";
+    else if (!graph.feasible(n))
+      out += ", color=grey, fontcolor=grey";
+    out += "];\n";
+  }
+  for (NodeId n = 0; n < graph.size(); ++n)
+    for (NodeId s : graph.succs(n))
+      out += "  n" + std::to_string(n) + " -> n" + std::to_string(s) + ";\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace jitise::dfg

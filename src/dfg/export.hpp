@@ -1,0 +1,17 @@
+// Graphviz export of data-flow graphs (with optional node highlight) for
+// documentation and debugging of the ISE algorithms.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace jitise::dfg {
+
+/// Renders the block DFG as a Graphviz digraph. Infeasible nodes are drawn
+/// grey; `highlight` nodes (e.g. a candidate's) are filled.
+[[nodiscard]] std::string to_dot(const BlockDfg& graph,
+                                 std::span<const NodeId> highlight = {});
+
+}  // namespace jitise::dfg

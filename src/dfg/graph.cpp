@@ -1,0 +1,85 @@
+#include "dfg/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace jitise::dfg {
+
+BlockDfg::BlockDfg(const ir::Function& fn, ir::BlockId block)
+    : fn_(fn), block_(block) {
+  const ir::BasicBlock& bb = fn.blocks[block];
+  values_ = bb.instrs;
+  const std::size_t n = values_.size();
+  preds_.resize(n);
+  succs_.resize(n);
+  feasible_.resize(n);
+  used_outside_.assign(n, false);
+
+  std::unordered_map<ir::ValueId, NodeId> index;
+  index.reserve(n);
+  for (NodeId i = 0; i < n; ++i) index.emplace(values_[i], i);
+
+  for (NodeId i = 0; i < n; ++i) {
+    const ir::Instruction& inst = fn.values[values_[i]];
+    feasible_[i] = hw_feasible(inst.op);
+    // Phi operands are not data-flow edges inside the block: the incoming
+    // value is consumed on the edge, before the block body runs.
+    if (inst.op == ir::Opcode::Phi) continue;
+    for (ir::ValueId o : inst.operands) {
+      const auto it = index.find(o);
+      if (it == index.end()) continue;
+      if (std::find(preds_[i].begin(), preds_[i].end(), it->second) ==
+          preds_[i].end())
+        preds_[i].push_back(it->second);
+      if (std::find(succs_[it->second].begin(), succs_[it->second].end(), i) ==
+          succs_[it->second].end())
+        succs_[it->second].push_back(i);
+    }
+  }
+
+  // Function-level scan for uses of this block's values from other blocks
+  // (including phi uses anywhere).
+  for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+    for (ir::ValueId v : fn.blocks[b].instrs) {
+      const ir::Instruction& inst = fn.values[v];
+      const bool external_user = (b != block) || inst.op == ir::Opcode::Phi;
+      if (!external_user) continue;
+      for (ir::ValueId o : inst.operands) {
+        const auto it = index.find(o);
+        if (it != index.end()) used_outside_[it->second] = true;
+      }
+    }
+  }
+}
+
+std::optional<NodeId> BlockDfg::node_of(ir::ValueId v) const {
+  for (NodeId i = 0; i < values_.size(); ++i)
+    if (values_[i] == v) return i;
+  return std::nullopt;
+}
+
+bool BlockDfg::is_convex(const std::vector<bool>& in_set) const {
+  // A set S is convex iff no node outside S is both reachable from S and
+  // reaches S. Node order is topological, so one forward sweep computes
+  // "descends from S" and membership of any S-node with an out-of-set
+  // ancestor that itself descends from S flags a violation.
+  const std::size_t n = size();
+  std::vector<bool> tainted(n, false);  // outside-S node reachable from S
+  for (NodeId i = 0; i < n; ++i) {
+    bool from_s_outside = false;
+    for (NodeId p : preds_[i]) {
+      if (in_set[p] || tainted[p]) from_s_outside = true;
+    }
+    if (in_set[i]) {
+      // If any predecessor path passes through a tainted (outside) node,
+      // the set is non-convex.
+      for (NodeId p : preds_[i])
+        if (!in_set[p] && tainted[p]) return false;
+    } else {
+      tainted[i] = from_s_outside;
+    }
+  }
+  return true;
+}
+
+}  // namespace jitise::dfg

@@ -1,0 +1,89 @@
+// Per-basic-block data-flow graphs — the search space of the ISE algorithms.
+//
+// Nodes are the block's instructions in order (which is a topological order,
+// since SSA forbids in-block forward references outside phis, and phis sit at
+// the block front taking only external/loop-carried inputs). Edges follow
+// operand references between instructions of the same block.
+//
+// Hardware feasibility (paper §V-D): instructions that access memory or
+// global storage, control flow, calls and phis can never be part of a custom
+// instruction — the Woolcano functional units have neither a memory port nor
+// control visibility. These nodes remain in the graph (they shape candidate
+// boundaries) but are excluded from every candidate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace jitise::dfg {
+
+using NodeId = std::uint32_t;
+
+/// True if `op` may appear inside a hardware custom instruction.
+[[nodiscard]] constexpr bool hw_feasible(ir::Opcode op) noexcept {
+  using ir::Opcode;
+  switch (op) {
+    case Opcode::Load: case Opcode::Store: case Opcode::Alloca:
+    case Opcode::GlobalAddr:                       // global/memory access
+    case Opcode::Br: case Opcode::CondBr: case Opcode::Ret:  // control flow
+    case Opcode::Call: case Opcode::Phi:
+    case Opcode::CustomOp:                         // already an extension
+    case Opcode::Param: case Opcode::ConstInt: case Opcode::ConstFloat:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Data-flow graph of one basic block plus function-level use information.
+class BlockDfg {
+ public:
+  BlockDfg(const ir::Function& fn, ir::BlockId block);
+
+  [[nodiscard]] const ir::Function& function() const noexcept { return fn_; }
+  [[nodiscard]] ir::BlockId block() const noexcept { return block_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// The instruction ValueId behind node `n`.
+  [[nodiscard]] ir::ValueId value_of(NodeId n) const { return values_[n]; }
+  /// Node index of `v` if it is an instruction of this block.
+  [[nodiscard]] std::optional<NodeId> node_of(ir::ValueId v) const;
+
+  /// In-block operand producers of `n` (deduplicated).
+  [[nodiscard]] std::span<const NodeId> preds(NodeId n) const {
+    return {preds_[n].data(), preds_[n].size()};
+  }
+  /// In-block consumers of `n`'s result (deduplicated).
+  [[nodiscard]] std::span<const NodeId> succs(NodeId n) const {
+    return {succs_[n].data(), succs_[n].size()};
+  }
+
+  [[nodiscard]] bool feasible(NodeId n) const { return feasible_[n]; }
+  /// True if `n`'s value is used by an instruction outside this block.
+  [[nodiscard]] bool used_outside(NodeId n) const { return used_outside_[n]; }
+
+  [[nodiscard]] std::size_t feasible_count() const noexcept {
+    std::size_t c = 0;
+    for (bool f : feasible_) c += f;
+    return c;
+  }
+
+  /// True if the node subset `in_set` (bitmask over nodes) is convex: no
+  /// data-flow path leaves the set and re-enters it.
+  [[nodiscard]] bool is_convex(const std::vector<bool>& in_set) const;
+
+ private:
+  const ir::Function& fn_;
+  ir::BlockId block_;
+  std::vector<ir::ValueId> values_;
+  std::vector<std::vector<NodeId>> preds_;
+  std::vector<std::vector<NodeId>> succs_;
+  std::vector<bool> feasible_;
+  std::vector<bool> used_outside_;
+};
+
+}  // namespace jitise::dfg

@@ -1,0 +1,55 @@
+#include "estimation/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace jitise::estimation {
+
+CandidateEstimate estimate_candidate(const dfg::BlockDfg& graph,
+                                     const ise::Candidate& cand,
+                                     hwlib::CircuitDb& db,
+                                     const vm::CostModel& cpu,
+                                     const FcmTiming& fcm) {
+  CandidateEstimate est;
+  const ir::Function& fn = graph.function();
+
+  std::vector<bool> in_set(graph.size(), false);
+  for (dfg::NodeId n : cand.nodes) in_set[n] = true;
+
+  // Arrival time (ns) at each candidate node's output; nodes are visited in
+  // ascending order = topological order, so operand arrivals are ready.
+  std::unordered_map<dfg::NodeId, double> arrival;
+  double critical = 0.0;
+
+  for (dfg::NodeId n : cand.nodes) {
+    const ir::Instruction& inst = fn.values[graph.value_of(n)];
+    est.sw_cycles += cpu.cycles(inst.op, inst.type);
+
+    const hwlib::ComponentRecord& rec = db.record(inst.op, inst.type);
+    est.area_slices += rec.slices;
+    est.dsps += rec.dsps;
+    est.brams += rec.brams;
+    est.power_mw += rec.power_mw;
+
+    double in_arrival = 0.0;  // candidate inputs arrive via interface regs
+    for (dfg::NodeId p : graph.preds(n))
+      if (in_set[p]) in_arrival = std::max(in_arrival, arrival[p]);
+    const double out = in_arrival + rec.latency_ns;
+    arrival[n] = out;
+    critical = std::max(critical, out);
+  }
+
+  est.hw_latency_ns = critical + 2.0 * fcm.interface_ns;
+  // Large multi-operator datapaths also pay interconnect between cores;
+  // folded into the interface term by estimation, measured by STA later.
+  const double cpu_period_ns = 1e9 / fcm.cpu_clock_hz;
+  est.hw_cycles = fcm.invoke_overhead_cycles +
+                  static_cast<std::uint32_t>(
+                      std::ceil(est.hw_latency_ns / cpu_period_ns));
+  est.saved_per_exec =
+      std::max(0.0, static_cast<double>(est.sw_cycles) - est.hw_cycles);
+  return est;
+}
+
+}  // namespace jitise::estimation

@@ -1,0 +1,53 @@
+// Candidate performance/area estimation (paper §III, "Estimation").
+//
+// For every candidate the tool flow must predict the benefit of moving it
+// to hardware *before* paying for synthesis. PivPav supplies the metric
+// database; this module combines it with the CPU cost model:
+//   SW cost  = sum of PPC405 cycles over the candidate's instructions
+//   HW cost  = FCM invocation overhead + critical path through the
+//              candidate's DFG using component latencies, in CPU cycles
+//   saving   = (SW - HW) x block execution frequency
+#pragma once
+
+#include <cstdint>
+
+#include "hwlib/component.hpp"
+#include "ise/candidate.hpp"
+#include "vm/cost_model.hpp"
+
+namespace jitise::estimation {
+
+/// Timing/interface parameters of the Woolcano FCM coupling. The APU
+/// controller pipelines operand transfer into the FCM, so the fixed
+/// handshake is short; it is the datapath latency that dominates.
+struct FcmTiming {
+  double cpu_clock_hz = 300e6;
+  /// APU/FCM handshake: decode + result writeback.
+  std::uint32_t invoke_overhead_cycles = 2;
+  /// Input/output register stage latency inside the FCM wrapper.
+  double interface_ns = 0.8;
+};
+
+struct CandidateEstimate {
+  std::uint32_t sw_cycles = 0;       // per execution on the base CPU
+  double hw_latency_ns = 0.0;        // critical path incl. interface
+  std::uint32_t hw_cycles = 0;       // per execution via the FCM
+  double saved_per_exec = 0.0;       // max(0, sw - hw)
+  double area_slices = 0.0;
+  std::uint32_t dsps = 0;
+  std::uint32_t brams = 0;
+  double power_mw = 0.0;
+
+  [[nodiscard]] double speedup_per_exec() const noexcept {
+    return hw_cycles > 0 ? static_cast<double>(sw_cycles) / hw_cycles : 1.0;
+  }
+};
+
+/// Estimates one candidate. `db` is mutated only through its memo caches.
+[[nodiscard]] CandidateEstimate estimate_candidate(const dfg::BlockDfg& graph,
+                                                   const ise::Candidate& cand,
+                                                   hwlib::CircuitDb& db,
+                                                   const vm::CostModel& cpu,
+                                                   const FcmTiming& fcm = {});
+
+}  // namespace jitise::estimation

@@ -1,0 +1,41 @@
+// Partial-reconfiguration bitstream generation ("BITGEN" with the Early
+// Access Partial Reconfiguration flow, paper §V-C).
+//
+// The bitstream is a real artifact: one configuration frame per fabric
+// column of the PR region, encoding site occupancy, a per-cell configuration
+// word (derived deterministically from the cell's identity) and the routing
+// switch state of every channel used in that column, followed by a CRC-32.
+// Identical placed-and-routed designs produce byte-identical bitstreams —
+// the property the bitstream cache relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/route.hpp"
+
+namespace jitise::fpga {
+
+struct Bitstream {
+  std::string part;
+  std::uint16_t region_width = 0;
+  std::uint16_t region_height = 0;
+  std::uint32_t frame_count = 0;
+  std::vector<std::uint8_t> bytes;
+  std::uint32_t crc32 = 0;
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return bytes.size(); }
+};
+
+/// Generates the partial bitstream for a placed & routed design.
+[[nodiscard]] Bitstream generate_bitstream(const MappedDesign& design,
+                                           const Fabric& fabric,
+                                           const Placement& placement,
+                                           const RoutingResult& routing,
+                                           const std::string& part);
+
+/// CRC-32 (IEEE 802.3) used for bitstream integrity words.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+}  // namespace jitise::fpga

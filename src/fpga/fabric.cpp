@@ -1,0 +1,49 @@
+#include "fpga/fabric.hpp"
+
+#include <stdexcept>
+
+namespace jitise::fpga {
+
+Fabric::Fabric(FabricConfig config) : config_(config) {
+  if (config_.width == 0 || config_.height == 0)
+    throw std::invalid_argument("fabric dimensions must be positive");
+  column_kind_.resize(config_.width, SiteKind::Clb);
+  for (std::uint16_t x = 0; x < config_.width; ++x) {
+    // DSP/BRAM columns interleave; DSP wins collisions (as on real parts the
+    // periods are chosen to avoid them).
+    if (config_.dsp_column_period &&
+        x % config_.dsp_column_period == config_.dsp_column_period - 1)
+      column_kind_[x] = SiteKind::Dsp;
+    else if (config_.bram_column_period &&
+             x % config_.bram_column_period == config_.bram_column_period - 1)
+      column_kind_[x] = SiteKind::Bram;
+  }
+  for (std::uint16_t x = 0; x < config_.width; ++x)
+    for (std::uint16_t y = 0; y < config_.height; ++y) {
+      const Coord c{x, y};
+      switch (column_kind_[x]) {
+        case SiteKind::Clb: clb_sites_.push_back(c); break;
+        case SiteKind::Dsp: dsp_sites_.push_back(c); break;
+        case SiteKind::Bram: bram_sites_.push_back(c); break;
+      }
+    }
+}
+
+const std::vector<Coord>& Fabric::sites_for(hwlib::CellKind kind) const {
+  switch (kind) {
+    case hwlib::CellKind::Dsp: return dsp_sites_;
+    case hwlib::CellKind::Bram: return bram_sites_;
+    default: return clb_sites_;
+  }
+}
+
+std::size_t Fabric::capacity(SiteKind kind) const {
+  switch (kind) {
+    case SiteKind::Clb: return clb_sites_.size();
+    case SiteKind::Dsp: return dsp_sites_.size();
+    case SiteKind::Bram: return bram_sites_.size();
+  }
+  return 0;
+}
+
+}  // namespace jitise::fpga

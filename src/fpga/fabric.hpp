@@ -1,0 +1,79 @@
+// Fabric model of the partial-reconfiguration region on a Virtex-4 FX100.
+//
+// The Woolcano architecture reserves a rectangular region of the device for
+// custom-instruction logic. We model it as a grid of sites: CLB sites (one
+// site hosts one Cluster cell ~ 4 slices), with dedicated DSP48 and BRAM
+// columns interleaved the way Virtex-4 arranges them. Routing uses one
+// switchbox per tile with a fixed number of wires per directed channel to
+// each of the four neighbours.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwlib/netlist.hpp"
+
+namespace jitise::fpga {
+
+struct Coord {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+enum class SiteKind : std::uint8_t { Clb, Dsp, Bram };
+
+struct FabricConfig {
+  std::uint16_t width = 32;    // tile columns in the PR region
+  std::uint16_t height = 80;   // tile rows (~10k slices of the 4FX100)
+  std::uint16_t dsp_column_period = 8;   // every k-th column is DSP
+  std::uint16_t bram_column_period = 12; // every k-th column is BRAM
+  std::uint16_t wires_per_channel = 10;  // routing capacity per directed edge
+
+  /// The region used in the paper's prototype (a slice of the 4FX100).
+  static FabricConfig woolcano_pr_region() { return FabricConfig{}; }
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config = {});
+
+  [[nodiscard]] std::uint16_t width() const noexcept { return config_.width; }
+  [[nodiscard]] std::uint16_t height() const noexcept { return config_.height; }
+  [[nodiscard]] std::uint16_t channel_capacity() const noexcept {
+    return config_.wires_per_channel;
+  }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] SiteKind site(std::uint16_t x, std::uint16_t y) const {
+    (void)y;
+    return column_kind_[x];
+  }
+
+  /// All sites compatible with `kind`, in deterministic scan order.
+  [[nodiscard]] const std::vector<Coord>& sites_for(hwlib::CellKind kind) const;
+
+  [[nodiscard]] static bool compatible(hwlib::CellKind cell, SiteKind site) noexcept {
+    switch (cell) {
+      case hwlib::CellKind::Cluster:
+      case hwlib::CellKind::PortIn:
+      case hwlib::CellKind::PortOut:
+        return site == SiteKind::Clb;
+      case hwlib::CellKind::Dsp: return site == SiteKind::Dsp;
+      case hwlib::CellKind::Bram: return site == SiteKind::Bram;
+    }
+    return false;
+  }
+
+  /// Capacity in cells of each site kind across the region.
+  [[nodiscard]] std::size_t capacity(SiteKind kind) const;
+
+ private:
+  FabricConfig config_;
+  std::vector<SiteKind> column_kind_;
+  std::vector<Coord> clb_sites_;
+  std::vector<Coord> dsp_sites_;
+  std::vector<Coord> bram_sites_;
+};
+
+}  // namespace jitise::fpga

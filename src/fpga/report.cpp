@@ -1,0 +1,65 @@
+#include "fpga/report.hpp"
+
+#include "support/table.hpp"
+
+namespace jitise::fpga {
+
+std::string floorplan_ascii(const MappedDesign& design, const Fabric& fabric,
+                            const Placement& placement) {
+  const std::uint16_t w = fabric.width(), h = fabric.height();
+  std::vector<char> grid(static_cast<std::size_t>(w) * h);
+  for (std::uint16_t y = 0; y < h; ++y)
+    for (std::uint16_t x = 0; x < w; ++x) {
+      char c = '.';
+      switch (fabric.site(x, y)) {
+        case SiteKind::Clb: c = '.'; break;
+        case SiteKind::Dsp: c = 'd'; break;
+        case SiteKind::Bram: c = 'b'; break;
+      }
+      grid[static_cast<std::size_t>(y) * w + x] = c;
+    }
+  for (hwlib::CellId c = 0; c < design.cells.size(); ++c) {
+    const Coord p = placement.location[c];
+    char mark = '#';
+    switch (design.cells[c].kind) {
+      case hwlib::CellKind::Dsp: mark = 'D'; break;
+      case hwlib::CellKind::Bram: mark = 'B'; break;
+      case hwlib::CellKind::PortIn: mark = 'I'; break;
+      case hwlib::CellKind::PortOut: mark = 'O'; break;
+      default: break;
+    }
+    grid[static_cast<std::size_t>(p.y) * w + p.x] = mark;
+  }
+  std::string out;
+  out.reserve((w + 1) * static_cast<std::size_t>(h));
+  for (std::uint16_t y = 0; y < h; ++y) {
+    out.append(grid.begin() + static_cast<std::ptrdiff_t>(y) * w,
+               grid.begin() + static_cast<std::ptrdiff_t>(y + 1) * w);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string utilization_report(const MappedDesign& design,
+                               const Fabric& fabric) {
+  const std::size_t clb_used = design.count(hwlib::CellKind::Cluster) +
+                               design.count(hwlib::CellKind::PortIn) +
+                               design.count(hwlib::CellKind::PortOut);
+  const std::size_t dsp_used = design.count(hwlib::CellKind::Dsp);
+  const std::size_t bram_used = design.count(hwlib::CellKind::Bram);
+  support::TextTable table({"Resource", "Used", "Available", "Utilization"});
+  const auto row = [&](const char* name, std::size_t used, std::size_t avail) {
+    table.add_row({name, support::strf("%zu", used),
+                   support::strf("%zu", avail),
+                   support::strf("%.1f%%",
+                                 avail ? 100.0 * static_cast<double>(used) /
+                                             static_cast<double>(avail)
+                                       : 0.0)});
+  };
+  row("CLB tiles", clb_used, fabric.capacity(SiteKind::Clb));
+  row("DSP48", dsp_used, fabric.capacity(SiteKind::Dsp));
+  row("BRAM18", bram_used, fabric.capacity(SiteKind::Bram));
+  return table.render();
+}
+
+}  // namespace jitise::fpga

@@ -1,0 +1,23 @@
+// Human-readable implementation reports: an ASCII floorplan of the placed
+// design and a utilization summary — the "look at what the tools did"
+// surface of the CAD flow.
+#pragma once
+
+#include <string>
+
+#include "fpga/place.hpp"
+
+namespace jitise::fpga {
+
+/// One character per tile: '.' empty CLB, '#' occupied CLB, 'D'/'d'
+/// occupied/empty DSP column, 'B'/'b' occupied/empty BRAM column,
+/// 'I'/'O' candidate ports. Row 0 is printed at the top.
+[[nodiscard]] std::string floorplan_ascii(const MappedDesign& design,
+                                          const Fabric& fabric,
+                                          const Placement& placement);
+
+/// Utilization summary ("Device Utilization" section of a MAP report).
+[[nodiscard]] std::string utilization_report(const MappedDesign& design,
+                                             const Fabric& fabric);
+
+}  // namespace jitise::fpga

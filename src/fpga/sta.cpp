@@ -1,0 +1,133 @@
+#include "fpga/sta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace jitise::fpga {
+
+namespace {
+
+double cell_delay(hwlib::CellKind kind, const DelayModel& d) {
+  switch (kind) {
+    case hwlib::CellKind::Cluster: return d.cluster_ns;
+    case hwlib::CellKind::Dsp: return d.dsp_ns;
+    case hwlib::CellKind::Bram: return d.bram_ns;
+    case hwlib::CellKind::PortIn:
+    case hwlib::CellKind::PortOut: return d.port_ns;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const MappedDesign& design, const Fabric& fabric,
+                            const Placement& placement,
+                            const RoutingResult& routing,
+                            const DelayModel& delays) {
+  TimingReport report;
+  const std::size_t n = design.cells.size();
+
+  // Wire delay per (net, sink): BFS depth over the routed tree from the
+  // driver tile; Manhattan distance as fallback when the net is intra-tile.
+  const std::uint16_t w = fabric.width();
+  auto tile_of = [&](hwlib::CellId c) {
+    const Coord p = placement.location[c];
+    return static_cast<std::uint32_t>(p.y) * w + p.x;
+  };
+
+  // Build cell adjacency (driver -> sink) with edge delays.
+  struct Arc {
+    hwlib::CellId to;
+    double delay;
+  };
+  std::vector<std::vector<Arc>> arcs(n);
+  std::vector<std::uint32_t> indegree(n, 0);
+
+  for (std::size_t ni = 0; ni < design.nets.size(); ++ni) {
+    const MappedNet& net = design.nets[ni];
+    // Tree depth per tile.
+    std::map<std::uint32_t, double> depth;
+    depth[tile_of(net.driver)] = 0.0;
+    if (ni < routing.nets.size()) {
+      // Edges are (from, to); relax until fixpoint (tree, so <= E passes).
+      const auto& edges = routing.nets[ni].edges;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::uint32_t eid : edges) {
+          // Reconstruct endpoints from the routing graph convention:
+          // edge id = tile*4 + dir.
+          const std::uint32_t from = eid / 4;
+          const unsigned dir = eid % 4;
+          std::uint32_t to = from;
+          const std::uint32_t x = from % w, y = from / w;
+          switch (dir) {
+            case 0: to = y * w + (x + 1); break;
+            case 1: to = y * w + (x - 1); break;
+            case 2: to = (y + 1) * w + x; break;
+            case 3: to = (y - 1) * w + x; break;
+          }
+          const auto it = depth.find(from);
+          if (it != depth.end()) {
+            const double d = it->second + delays.wire_hop_ns;
+            auto [jt, inserted] = depth.emplace(to, d);
+            if (!inserted && d < jt->second) {
+              jt->second = d;
+              changed = true;
+            } else if (inserted) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (hwlib::CellId s : net.sinks) {
+      const auto it = depth.find(tile_of(s));
+      const double wire = it != depth.end() ? it->second : 0.0;
+      arcs[net.driver].push_back(Arc{s, wire});
+      ++indegree[s];
+    }
+  }
+
+  // Longest path by Kahn topological order.
+  std::vector<double> arrival(n, 0.0);
+  std::vector<std::uint32_t> level(n, 1);
+  std::vector<hwlib::CellId> ready;
+  for (hwlib::CellId c = 0; c < n; ++c) {
+    arrival[c] = cell_delay(design.cells[c].kind, delays);
+    if (indegree[c] == 0) ready.push_back(c);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const hwlib::CellId c = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const Arc& arc : arcs[c]) {
+      const double t =
+          arrival[c] + arc.delay + cell_delay(design.cells[arc.to].kind, delays);
+      if (t > arrival[arc.to]) {
+        arrival[arc.to] = t;
+        level[arc.to] = level[c] + 1;
+      }
+      if (--indegree[arc.to] == 0) ready.push_back(arc.to);
+    }
+  }
+  if (processed != n) {
+    report.combinational_loop = true;
+    report.critical_path_ns = 1e9;
+    return report;
+  }
+
+  for (hwlib::CellId c = 0; c < n; ++c) {
+    if (arrival[c] > report.critical_path_ns) {
+      report.critical_path_ns = arrival[c];
+      report.logic_levels = level[c];
+    }
+  }
+  report.fmax_mhz =
+      report.critical_path_ns > 0 ? 1000.0 / report.critical_path_ns : 0.0;
+  return report;
+}
+
+}  // namespace jitise::fpga

@@ -1,0 +1,63 @@
+#include "fpga/synthesis.hpp"
+
+namespace jitise::fpga {
+
+MappedDesign synthesize_top(const hwlib::Netlist& netlist) {
+  MappedDesign design;
+  design.name = netlist.top_name;
+  design.cells = netlist.cells;
+
+  struct NetBuild {
+    hwlib::CellId driver = 0;
+    bool has_driver = false;
+    std::vector<hwlib::CellId> sinks;
+  };
+  std::vector<NetBuild> nets(netlist.num_nets);
+  for (hwlib::CellId c = 0; c < netlist.cells.size(); ++c) {
+    const hwlib::Cell& cell = netlist.cells[c];
+    for (hwlib::NetId n : cell.out_nets) {
+      if (n >= nets.size()) throw CadError("cell drives invalid net");
+      if (nets[n].has_driver)
+        throw CadError("net " + std::to_string(n) + " multiply driven");
+      nets[n].driver = c;
+      nets[n].has_driver = true;
+    }
+    for (hwlib::NetId n : cell.in_nets) {
+      if (n >= nets.size()) throw CadError("cell sinks invalid net");
+      nets[n].sinks.push_back(c);
+    }
+  }
+
+  for (const NetBuild& nb : nets) {
+    if (!nb.has_driver && !nb.sinks.empty())
+      throw CadError("undriven net with sinks");
+    if (!nb.has_driver || nb.sinks.empty()) {
+      ++design.pruned_nets;
+      continue;
+    }
+    design.nets.push_back(MappedNet{nb.driver, nb.sinks});
+  }
+  return design;
+}
+
+void check_fit(const MappedDesign& design, const Fabric& fabric) {
+  std::size_t clb = 0, dsp = 0, bram = 0;
+  for (const auto& cell : design.cells) {
+    switch (cell.kind) {
+      case hwlib::CellKind::Dsp: ++dsp; break;
+      case hwlib::CellKind::Bram: ++bram; break;
+      default: ++clb; break;
+    }
+  }
+  if (clb > fabric.capacity(SiteKind::Clb))
+    throw CadError("design needs " + std::to_string(clb) + " CLB sites, region has " +
+                   std::to_string(fabric.capacity(SiteKind::Clb)));
+  if (dsp > fabric.capacity(SiteKind::Dsp))
+    throw CadError("design needs " + std::to_string(dsp) + " DSP sites, region has " +
+                   std::to_string(fabric.capacity(SiteKind::Dsp)));
+  if (bram > fabric.capacity(SiteKind::Bram))
+    throw CadError("design needs " + std::to_string(bram) + " BRAM sites, region has " +
+                   std::to_string(fabric.capacity(SiteKind::Bram)));
+}
+
+}  // namespace jitise::fpga

@@ -1,0 +1,55 @@
+// Top-level synthesis and technology mapping ("XST" + "MAP").
+//
+// Because PivPav ships pre-synthesized netlists for every component, the
+// synthesis stage only has to elaborate the *top module*: design-rule-check
+// the merged netlist, convert it to the net-centric mapped form, and bind
+// every cell to a site kind of the fabric (paper §V-C: "the synthesis
+// process thus has to generate a netlist just for the top level module").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fpga/fabric.hpp"
+#include "hwlib/netlist.hpp"
+
+namespace jitise::fpga {
+
+class CadError : public std::runtime_error {
+ public:
+  explicit CadError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Net-centric view used by place & route: every net knows its driver cell
+/// and sink cells (dangling nets from unconnected template taps are pruned).
+struct MappedNet {
+  hwlib::CellId driver = 0;
+  std::vector<hwlib::CellId> sinks;
+};
+
+struct MappedDesign {
+  std::string name;
+  std::vector<hwlib::Cell> cells;  // same order as the source netlist
+  std::vector<MappedNet> nets;
+  std::size_t pruned_nets = 0;     // driverless/sinkless nets removed
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells.size(); }
+  [[nodiscard]] std::size_t net_count() const noexcept { return nets.size(); }
+  [[nodiscard]] std::size_t count(hwlib::CellKind kind) const noexcept {
+    std::size_t c = 0;
+    for (const auto& cell : cells) c += cell.kind == kind;
+    return c;
+  }
+};
+
+/// Elaborates the top module: DRC + net extraction. Throws CadError on
+/// multiply-driven nets.
+[[nodiscard]] MappedDesign synthesize_top(const hwlib::Netlist& netlist);
+
+/// Checks that the design fits the fabric (per-site-kind capacity).
+/// Throws CadError if not.
+void check_fit(const MappedDesign& design, const Fabric& fabric);
+
+}  // namespace jitise::fpga

@@ -1,0 +1,237 @@
+#include "hwlib/component.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jitise::hwlib {
+
+namespace {
+
+double log2u(unsigned w) { return std::log2(static_cast<double>(std::max(2u, w))); }
+
+}  // namespace
+
+unsigned hw_operand_count(ir::Opcode op) noexcept {
+  using ir::Opcode;
+  if (ir::is_binary(op) || op == Opcode::ICmp || op == Opcode::FCmp ||
+      op == Opcode::Gep)
+    return 2;
+  if (op == Opcode::Select) return 3;
+  if (ir::is_cast(op)) return 1;
+  return 1;
+}
+
+ComponentRecord characterize_component(ir::Opcode op, ir::Type type) {
+  using ir::Opcode;
+  using ir::Type;
+  const unsigned w = std::max(1u, ir::bit_width(type));
+  ComponentRecord rec;
+  rec.op = op;
+  rec.type = type;
+  rec.name = std::string(ir::opcode_name(op)) + "_" + std::string(ir::type_name(type));
+
+  switch (op) {
+    case Opcode::Add: case Opcode::Sub:
+      // Carry-chain adder: MUXCY delay per bit after the first LUT level.
+      rec.latency_ns = 1.5 + 0.045 * w;
+      rec.luts = w;
+      break;
+    case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      rec.latency_ns = 0.9;
+      rec.luts = w;
+      break;
+    case Opcode::ICmp:
+      rec.latency_ns = 1.4 + 0.040 * w;  // subtract + reduce
+      rec.luts = w + w / 4;
+      break;
+    case Opcode::Select:
+      rec.latency_ns = 1.1;
+      rec.luts = w;
+      break;
+    case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+      // Barrel shifter: log2(w) mux levels.
+      rec.latency_ns = 0.8 + 0.55 * log2u(w);
+      rec.luts = static_cast<std::uint32_t>(w * log2u(w) / 2.0);
+      break;
+    case Opcode::Mul:
+      if (w <= 18) {
+        rec.latency_ns = 4.1;
+        rec.dsps = 1;
+        rec.luts = 4;
+      } else if (w <= 32) {
+        rec.latency_ns = 6.4;  // 4 DSP48 + combining adders
+        rec.dsps = 4;
+        rec.luts = 40;
+      } else {
+        rec.latency_ns = 10.8;
+        rec.dsps = 16;
+        rec.luts = 160;
+      }
+      break;
+    case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem: case Opcode::URem:
+      // Combinational restoring array divider: O(w^2) area, O(w) delay.
+      rec.latency_ns = 1.1 * w;
+      rec.luts = w * w / 2;
+      break;
+    case Opcode::FAdd: case Opcode::FSub:
+      rec.latency_ns = (type == Type::F32) ? 8.5 : 12.5;
+      rec.luts = (type == Type::F32) ? 380 : 740;
+      break;
+    case Opcode::FMul:
+      rec.latency_ns = (type == Type::F32) ? 7.2 : 10.6;
+      rec.luts = (type == Type::F32) ? 150 : 320;
+      rec.dsps = (type == Type::F32) ? 4 : 12;
+      break;
+    case Opcode::FDiv:
+      rec.latency_ns = (type == Type::F32) ? 27.0 : 41.0;
+      rec.luts = (type == Type::F32) ? 820 : 3100;
+      break;
+    case Opcode::FCmp:
+      rec.latency_ns = 3.8;
+      rec.luts = (type == Type::F32) ? 110 : 160;
+      break;
+    case Opcode::ZExt: case Opcode::Trunc:
+      rec.latency_ns = 0.15;  // wiring only
+      rec.luts = 0;
+      break;
+    case Opcode::SExt:
+      rec.latency_ns = 0.3;
+      rec.luts = w / 8;
+      break;
+    case Opcode::FPToSI: case Opcode::SIToFP:
+      rec.latency_ns = 6.0;
+      rec.luts = 230;
+      break;
+    case Opcode::FPExt: case Opcode::FPTrunc:
+      rec.latency_ns = 2.1;
+      rec.luts = 60;
+      break;
+    case Opcode::Gep:
+      // addr = base + index * stride: constant-multiplier (shift-add) + add.
+      rec.latency_ns = 3.0;
+      rec.luts = 64;
+      break;
+    default:
+      throw std::invalid_argument("no hardware component for opcode " +
+                                  std::string(ir::opcode_name(op)));
+  }
+
+  // Derived metrics shared across cores.
+  rec.slices = std::max<std::uint32_t>(1, (rec.luts + 1) / 2);
+  rec.ffs = rec.luts / 4;  // interface/retiming registers
+  rec.pipeline_depth =
+      static_cast<std::uint32_t>(std::ceil(rec.latency_ns / 4.0));
+  rec.max_freq_mhz = std::min(350.0, 1000.0 / std::max(1.0, rec.latency_ns / 2.0));
+  rec.power_mw = 0.05 * rec.luts + 2.1 * rec.dsps + 3.4 * rec.brams + 0.4;
+  return rec;
+}
+
+std::vector<std::pair<std::string, double>> ComponentRecord::metrics() const {
+  return {
+      {"latency_ns", latency_ns},
+      {"luts", static_cast<double>(luts)},
+      {"ffs", static_cast<double>(ffs)},
+      {"slices", static_cast<double>(slices)},
+      {"dsp48", static_cast<double>(dsps)},
+      {"bram18", static_cast<double>(brams)},
+      {"power_mw", power_mw},
+      {"pipeline_depth", static_cast<double>(pipeline_depth)},
+      {"max_freq_mhz", max_freq_mhz},
+      {"area_delay_product", latency_ns * slices},
+      {"luts_per_slice", slices ? static_cast<double>(luts) / slices : 0.0},
+      {"energy_per_op_pj", power_mw * latency_ns},
+  };
+}
+
+ComponentNetlist build_component_netlist(const ComponentRecord& rec,
+                                         unsigned operand_count) {
+  ComponentNetlist cn;
+  Netlist& nl = cn.netlist;
+  nl.top_name = rec.name;
+
+  for (unsigned i = 0; i < operand_count; ++i)
+    cn.input_nets.push_back(nl.new_net());
+
+  // Bit-slice-parallel topology: a head cluster fans the operands out to k
+  // parallel slice clusters (the datapath bit slices), and a merge cluster
+  // combines them. Logic depth is thus ~3 cells regardless of width — wide
+  // cores grow in area, not in structural depth (their true combinational
+  // latency lives in the component record, which estimation and the ASIP
+  // cycle model consume). DSP/BRAM blocks sit beside the slices.
+  const auto clusters = static_cast<std::uint32_t>(
+      std::max<std::uint32_t>(1, (rec.slices + 3) / 4));
+  const NetId head_out = nl.new_net();
+  nl.add_cell(CellKind::Cluster, "head", cn.input_nets, {head_out});
+
+  std::vector<NetId> merge_ins;
+  for (std::uint32_t c = 1; c + 1 < clusters; ++c) {
+    const NetId out = nl.new_net();
+    std::vector<NetId> ins{head_out};
+    // Slices also tap a primary operand directly (bit-sliced operand bus).
+    if (!cn.input_nets.empty()) ins.push_back(cn.input_nets[c % operand_count]);
+    nl.add_cell(CellKind::Cluster, "u" + std::to_string(c), std::move(ins), {out});
+    merge_ins.push_back(out);
+  }
+  for (std::uint32_t d = 0; d < rec.dsps; ++d) {
+    const NetId out = nl.new_net();
+    std::vector<NetId> ins = cn.input_nets;
+    nl.add_cell(CellKind::Dsp, "dsp" + std::to_string(d), std::move(ins), {out});
+    merge_ins.push_back(out);
+  }
+  for (std::uint32_t b = 0; b < rec.brams; ++b) {
+    const NetId out = nl.new_net();
+    nl.add_cell(CellKind::Bram, "bram" + std::to_string(b), {cn.input_nets[0]},
+                {out});
+    merge_ins.push_back(out);
+  }
+  if (merge_ins.empty()) {
+    cn.output_net = head_out;
+    return cn;
+  }
+  // Merge-reduction tree (arity 6) keeps per-cell fan-in routable.
+  merge_ins.push_back(head_out);
+  std::uint32_t merge_idx = 0;
+  while (merge_ins.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i < merge_ins.size(); i += 6) {
+      const std::size_t end = std::min(merge_ins.size(), i + 6);
+      if (end - i == 1) {
+        next.push_back(merge_ins[i]);
+        continue;
+      }
+      std::vector<NetId> group(merge_ins.begin() + static_cast<std::ptrdiff_t>(i),
+                               merge_ins.begin() + static_cast<std::ptrdiff_t>(end));
+      const NetId out = nl.new_net();
+      nl.add_cell(CellKind::Cluster, "merge" + std::to_string(merge_idx++),
+                  std::move(group), {out});
+      next.push_back(out);
+    }
+    merge_ins = std::move(next);
+  }
+  cn.output_net = merge_ins.front();
+  return cn;
+}
+
+const ComponentRecord& CircuitDb::record(ir::Opcode op, ir::Type type) {
+  const std::uint32_t k = key(op, type);
+  const auto it = records_.find(k);
+  if (it != records_.end()) return it->second;
+  return records_.emplace(k, characterize_component(op, type)).first->second;
+}
+
+const ComponentNetlist& CircuitDb::netlist(ir::Opcode op, ir::Type type) {
+  const std::uint32_t k = key(op, type);
+  const auto it = netlists_.find(k);
+  if (it != netlists_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const ComponentRecord& rec = record(op, type);
+  return netlists_
+      .emplace(k, build_component_netlist(rec, hw_operand_count(op)))
+      .first->second;
+}
+
+}  // namespace jitise::hwlib

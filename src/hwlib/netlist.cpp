@@ -1,0 +1,54 @@
+#include "hwlib/netlist.hpp"
+
+namespace jitise::hwlib {
+
+std::vector<std::string> Netlist::validate(
+    const std::vector<NetId>& external_inputs) const {
+  std::vector<std::string> errors;
+  std::vector<int> drivers(num_nets, 0);
+  std::vector<int> sinks(num_nets, 0);
+  for (NetId n : external_inputs)
+    if (n < num_nets) ++drivers[n];
+  for (const Cell& cell : cells) {
+    for (NetId n : cell.out_nets) {
+      if (n >= num_nets) {
+        errors.push_back("cell " + cell.name + " drives invalid net");
+        continue;
+      }
+      ++drivers[n];
+    }
+    for (NetId n : cell.in_nets) {
+      if (n >= num_nets) {
+        errors.push_back("cell " + cell.name + " sinks invalid net");
+        continue;
+      }
+      ++sinks[n];
+    }
+  }
+  for (NetId n = 0; n < num_nets; ++n) {
+    if (drivers[n] == 0 && sinks[n] > 0)
+      errors.push_back("net " + std::to_string(n) + " has sinks but no driver");
+    if (drivers[n] > 1)
+      errors.push_back("net " + std::to_string(n) + " has multiple drivers");
+  }
+  return errors;
+}
+
+std::vector<NetId> instantiate(Netlist& dest, const Netlist& sub,
+                               const std::vector<std::pair<NetId, NetId>>& bind,
+                               const std::string& prefix) {
+  std::vector<NetId> map(sub.num_nets, kNoNet);
+  for (const auto& [sub_net, dest_net] : bind) map[sub_net] = dest_net;
+  for (NetId n = 0; n < sub.num_nets; ++n)
+    if (map[n] == kNoNet) map[n] = dest.new_net();
+  for (const Cell& cell : sub.cells) {
+    Cell copy = cell;
+    copy.name = prefix + "/" + cell.name;
+    for (NetId& n : copy.in_nets) n = map[n];
+    for (NetId& n : copy.out_nets) n = map[n];
+    dest.cells.push_back(std::move(copy));
+  }
+  return map;
+}
+
+}  // namespace jitise::hwlib

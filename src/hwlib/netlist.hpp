@@ -1,0 +1,97 @@
+// Structural netlists — the artifact flowing from the circuit library
+// through synthesis into place-and-route.
+//
+// Granularity: cells are *clusters* of FPGA resources (one Cluster cell ~ 4
+// Virtex-4 slices of combined LUT/FF/carry logic, one Dsp cell ~ a DSP48
+// block, one Bram cell ~ an 18 kb block RAM). This keeps candidate netlists
+// in the tens-to-hundreds of cells so the placer and router run genuine
+// algorithms at tractable size; area accounting converts back to slices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitise::hwlib {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+
+inline constexpr NetId kNoNet = 0xffffffffu;
+
+enum class CellKind : std::uint8_t {
+  Cluster,  // ~4 slices of LUT/FF/carry fabric logic
+  Dsp,      // DSP48 block
+  Bram,     // 18 kb block RAM
+  PortIn,   // candidate operand port (FCM input register)
+  PortOut,  // candidate result port (FCM output register)
+};
+
+[[nodiscard]] constexpr const char* cell_kind_name(CellKind k) noexcept {
+  switch (k) {
+    case CellKind::Cluster: return "CLUSTER";
+    case CellKind::Dsp: return "DSP48";
+    case CellKind::Bram: return "RAMB18";
+    case CellKind::PortIn: return "PORT_IN";
+    case CellKind::PortOut: return "PORT_OUT";
+  }
+  return "?";
+}
+
+struct Cell {
+  CellKind kind = CellKind::Cluster;
+  std::string name;
+  std::vector<NetId> in_nets;   // nets this cell sinks
+  std::vector<NetId> out_nets;  // nets this cell drives
+};
+
+/// A flat structural netlist. Nets are ids; each net has exactly one driver
+/// cell and any number of sinks (checked by validate()).
+struct Netlist {
+  std::string top_name;
+  std::vector<Cell> cells;
+  std::uint32_t num_nets = 0;
+
+  NetId new_net() { return num_nets++; }
+
+  CellId add_cell(CellKind kind, std::string name,
+                  std::vector<NetId> ins, std::vector<NetId> outs) {
+    cells.push_back(Cell{kind, std::move(name), std::move(ins), std::move(outs)});
+    return static_cast<CellId>(cells.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t count(CellKind kind) const noexcept {
+    std::size_t c = 0;
+    for (const Cell& cell : cells) c += cell.kind == kind;
+    return c;
+  }
+
+  /// Equivalent slice count (clusters x 4 + port registers).
+  [[nodiscard]] std::size_t slice_equiv() const noexcept {
+    std::size_t s = 0;
+    for (const Cell& cell : cells) {
+      switch (cell.kind) {
+        case CellKind::Cluster: s += 4; break;
+        case CellKind::PortIn:
+        case CellKind::PortOut: s += 2; break;
+        default: break;  // DSP/BRAM are dedicated blocks, not slices
+      }
+    }
+    return s;
+  }
+
+  /// Checks single-driver and dangling-net rules; returns diagnostics.
+  /// `external_inputs` lists boundary nets that are legitimately driven from
+  /// outside this netlist (component-template operand nets).
+  [[nodiscard]] std::vector<std::string> validate(
+      const std::vector<NetId>& external_inputs = {}) const;
+};
+
+/// Deep-merges `sub` into `dest`, remapping `sub`'s net ids into fresh nets
+/// of `dest` except where `bind` maps a sub net to an existing dest net.
+/// Returns the mapping from sub nets to dest nets.
+std::vector<NetId> instantiate(Netlist& dest, const Netlist& sub,
+                               const std::vector<std::pair<NetId, NetId>>& bind,
+                               const std::string& prefix);
+
+}  // namespace jitise::hwlib

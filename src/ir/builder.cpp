@@ -1,0 +1,232 @@
+#include "ir/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace jitise::ir {
+
+FunctionBuilder::FunctionBuilder(Module& module, std::string name,
+                                 Type ret_type, std::vector<Type> params)
+    : module_(module) {
+  fn_.name = std::move(name);
+  fn_.ret_type = ret_type;
+  fn_.params = std::move(params);
+  for (Type t : fn_.params) {
+    Instruction p;
+    p.op = Opcode::Param;
+    p.type = t;
+    fn_.values.push_back(std::move(p));
+  }
+  new_block("entry");
+  insert_ = 0;
+}
+
+BlockId FunctionBuilder::new_block(std::string name) {
+  fn_.blocks.push_back(BasicBlock{std::move(name), {}});
+  return static_cast<BlockId>(fn_.blocks.size() - 1);
+}
+
+ValueId FunctionBuilder::append(Instruction inst) {
+  assert(insert_ != kNoBlock && "no insertion block set");
+  const auto id = static_cast<ValueId>(fn_.values.size());
+  fn_.values.push_back(std::move(inst));
+  fn_.blocks[insert_].instrs.push_back(id);
+  return id;
+}
+
+ValueId FunctionBuilder::const_int(Type t, std::int64_t v) {
+  v = wrap_to(t, v);
+  const auto key = std::make_pair(static_cast<std::uint8_t>(t), v);
+  if (const auto it = int_consts_.find(key); it != int_consts_.end())
+    return it->second;
+  Instruction c;
+  c.op = Opcode::ConstInt;
+  c.type = t;
+  c.imm = v;
+  const auto id = static_cast<ValueId>(fn_.values.size());
+  fn_.values.push_back(std::move(c));
+  int_consts_.emplace(key, id);
+  return id;
+}
+
+ValueId FunctionBuilder::const_float(Type t, double v) {
+  const auto key = std::make_pair(static_cast<std::uint8_t>(t), v);
+  if (const auto it = float_consts_.find(key); it != float_consts_.end())
+    return it->second;
+  Instruction c;
+  c.op = Opcode::ConstFloat;
+  c.type = t;
+  c.fimm = v;
+  const auto id = static_cast<ValueId>(fn_.values.size());
+  fn_.values.push_back(std::move(c));
+  float_consts_.emplace(key, id);
+  return id;
+}
+
+ValueId FunctionBuilder::binop(Opcode op, ValueId a, ValueId b) {
+  assert(is_binary(op));
+  Instruction inst;
+  inst.op = op;
+  inst.type = fn_.values[a].type;
+  inst.operands = {a, b};
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::icmp(ICmpPred pred, ValueId a, ValueId b) {
+  Instruction inst;
+  inst.op = Opcode::ICmp;
+  inst.type = Type::I1;
+  inst.operands = {a, b};
+  inst.aux = static_cast<std::uint32_t>(pred);
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::fcmp(FCmpPred pred, ValueId a, ValueId b) {
+  Instruction inst;
+  inst.op = Opcode::FCmp;
+  inst.type = Type::I1;
+  inst.operands = {a, b};
+  inst.aux = static_cast<std::uint32_t>(pred);
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::select(ValueId cond, ValueId if_true, ValueId if_false) {
+  Instruction inst;
+  inst.op = Opcode::Select;
+  inst.type = fn_.values[if_true].type;
+  inst.operands = {cond, if_true, if_false};
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::cast(Opcode op, Type to, ValueId v) {
+  assert(is_cast(op));
+  Instruction inst;
+  inst.op = op;
+  inst.type = to;
+  inst.operands = {v};
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::alloca_bytes(std::uint32_t bytes) {
+  Instruction inst;
+  inst.op = Opcode::Alloca;
+  inst.type = Type::Ptr;
+  inst.imm = bytes;
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::load(Type t, ValueId ptr) {
+  Instruction inst;
+  inst.op = Opcode::Load;
+  inst.type = t;
+  inst.operands = {ptr};
+  return append(std::move(inst));
+}
+
+void FunctionBuilder::store(ValueId value, ValueId ptr) {
+  Instruction inst;
+  inst.op = Opcode::Store;
+  inst.type = Type::Void;
+  inst.operands = {value, ptr};
+  append(std::move(inst));
+}
+
+ValueId FunctionBuilder::gep(ValueId base, ValueId index, std::uint32_t stride) {
+  Instruction inst;
+  inst.op = Opcode::Gep;
+  inst.type = Type::Ptr;
+  inst.operands = {base, index};
+  inst.imm = stride;
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::global_addr(GlobalId g) {
+  Instruction inst;
+  inst.op = Opcode::GlobalAddr;
+  inst.type = Type::Ptr;
+  inst.aux = g;
+  return append(std::move(inst));
+}
+
+void FunctionBuilder::br(BlockId target) {
+  Instruction inst;
+  inst.op = Opcode::Br;
+  inst.aux = target;
+  append(std::move(inst));
+}
+
+void FunctionBuilder::condbr(ValueId cond, BlockId if_true, BlockId if_false) {
+  Instruction inst;
+  inst.op = Opcode::CondBr;
+  inst.operands = {cond};
+  inst.aux = if_true;
+  inst.aux2 = if_false;
+  append(std::move(inst));
+}
+
+void FunctionBuilder::ret() {
+  Instruction inst;
+  inst.op = Opcode::Ret;
+  append(std::move(inst));
+}
+
+void FunctionBuilder::ret(ValueId v) {
+  Instruction inst;
+  inst.op = Opcode::Ret;
+  inst.operands = {v};
+  append(std::move(inst));
+}
+
+ValueId FunctionBuilder::call(FuncId callee, Type ret_type,
+                              std::vector<ValueId> args) {
+  Instruction inst;
+  inst.op = Opcode::Call;
+  inst.type = ret_type;
+  inst.aux = callee;
+  inst.operands = std::move(args);
+  return append(std::move(inst));
+}
+
+ValueId FunctionBuilder::phi(Type t) {
+  assert(insert_ != kNoBlock);
+  Instruction inst;
+  inst.op = Opcode::Phi;
+  inst.type = t;
+  const auto id = static_cast<ValueId>(fn_.values.size());
+  fn_.values.push_back(std::move(inst));
+  // Phis live at the block front, before any computation.
+  auto& instrs = fn_.blocks[insert_].instrs;
+  std::size_t pos = 0;
+  while (pos < instrs.size() && fn_.values[instrs[pos]].op == Opcode::Phi) ++pos;
+  instrs.insert(instrs.begin() + static_cast<std::ptrdiff_t>(pos), id);
+  return id;
+}
+
+void FunctionBuilder::phi_incoming(ValueId phi_value, ValueId incoming,
+                                   BlockId from) {
+  Instruction& p = fn_.values[phi_value];
+  assert(p.op == Opcode::Phi);
+  p.operands.push_back(incoming);
+  p.phi_blocks.push_back(from);
+}
+
+FuncId FunctionBuilder::finish() {
+  if (finished_) throw std::logic_error("FunctionBuilder::finish called twice");
+  finished_ = true;
+  module_.functions.push_back(std::move(fn_));
+  return static_cast<FuncId>(module_.functions.size() - 1);
+}
+
+GlobalId add_global(Module& module, std::string name, std::uint32_t size_bytes) {
+  module.globals.push_back(Global{std::move(name), size_bytes, {}});
+  return static_cast<GlobalId>(module.globals.size() - 1);
+}
+
+GlobalId add_global(Module& module, std::string name,
+                    std::vector<std::uint8_t> init) {
+  const auto size = static_cast<std::uint32_t>(init.size());
+  module.globals.push_back(Global{std::move(name), size, std::move(init)});
+  return static_cast<GlobalId>(module.globals.size() - 1);
+}
+
+}  // namespace jitise::ir

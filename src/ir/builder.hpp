@@ -1,0 +1,83 @@
+// Convenience builder for constructing IR functions programmatically.
+// Used by the benchmark-application generators and by tests/examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace jitise::ir {
+
+/// Builds one Function instruction-by-instruction, then commits it to a
+/// Module with finish(). Integer/float constants are deduplicated per
+/// function. The builder keeps an insertion block; computational helpers
+/// append there and return the new ValueId.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module& module, std::string name, Type ret_type,
+                  std::vector<Type> params);
+
+  /// Creates a new (initially empty) basic block; does not move insertion.
+  BlockId new_block(std::string name);
+  /// Directs subsequent instruction appends into `b`.
+  void set_insert(BlockId b) noexcept { insert_ = b; }
+  [[nodiscard]] BlockId insert_block() const noexcept { return insert_; }
+  [[nodiscard]] BlockId entry() const noexcept { return 0; }
+
+  [[nodiscard]] ValueId param(std::uint32_t i) const noexcept { return i; }
+
+  ValueId const_int(Type t, std::int64_t v);
+  ValueId const_float(Type t, double v);
+
+  ValueId binop(Opcode op, ValueId a, ValueId b);
+  ValueId icmp(ICmpPred pred, ValueId a, ValueId b);
+  ValueId fcmp(FCmpPred pred, ValueId a, ValueId b);
+  ValueId select(ValueId cond, ValueId if_true, ValueId if_false);
+  ValueId cast(Opcode op, Type to, ValueId v);
+
+  ValueId alloca_bytes(std::uint32_t bytes);
+  ValueId load(Type t, ValueId ptr);
+  void store(ValueId value, ValueId ptr);
+  /// address = base + index * stride (byte stride of the element type).
+  ValueId gep(ValueId base, ValueId index, std::uint32_t stride);
+  ValueId global_addr(GlobalId g);
+
+  void br(BlockId target);
+  void condbr(ValueId cond, BlockId if_true, BlockId if_false);
+  void ret();
+  void ret(ValueId v);
+  ValueId call(FuncId callee, Type ret_type, std::vector<ValueId> args);
+
+  /// Creates an (initially empty) phi at the *front* of the insertion block.
+  ValueId phi(Type t);
+  void phi_incoming(ValueId phi_value, ValueId incoming, BlockId from);
+
+  /// Commits the function to the module; the builder must not be used after.
+  FuncId finish();
+
+  /// Read access for tests that inspect the partially built function.
+  [[nodiscard]] const Function& function() const noexcept { return fn_; }
+
+ private:
+  ValueId append(Instruction inst);
+
+  Module& module_;
+  Function fn_;
+  BlockId insert_ = kNoBlock;
+  std::map<std::pair<std::uint8_t, std::int64_t>, ValueId> int_consts_;
+  std::map<std::pair<std::uint8_t, double>, ValueId> float_consts_;
+  bool finished_ = false;
+};
+
+/// Adds a zero-initialized global byte array to `module`, returns its id.
+GlobalId add_global(Module& module, std::string name, std::uint32_t size_bytes);
+
+/// Adds a global with explicit initial bytes.
+GlobalId add_global(Module& module, std::string name,
+                    std::vector<std::uint8_t> init);
+
+}  // namespace jitise::ir

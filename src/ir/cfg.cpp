@@ -1,0 +1,106 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jitise::ir {
+
+std::vector<BlockId> block_successors(const Function& fn, BlockId b) {
+  const BasicBlock& block = fn.blocks[b];
+  if (block.instrs.empty()) return {};
+  const Instruction& term = fn.values[block.instrs.back()];
+  switch (term.op) {
+    case Opcode::Br:
+      return {term.aux};
+    case Opcode::CondBr:
+      if (term.aux == term.aux2) return {term.aux};
+      return {term.aux, term.aux2};
+    default:
+      return {};
+  }
+}
+
+Cfg::Cfg(const Function& fn) {
+  const std::size_t n = fn.blocks.size();
+  succ_.resize(n);
+  pred_.resize(n);
+  for (BlockId b = 0; b < n; ++b) succ_[b] = block_successors(fn, b);
+  for (BlockId b = 0; b < n; ++b)
+    for (BlockId s : succ_[b]) pred_[s].push_back(b);
+  compute_rpo(fn);
+  compute_dominators();
+  for (BlockId b : rpo_)
+    for (BlockId s : succ_[b])
+      if (reachable(s) && dominates(s, b)) back_edges_.emplace_back(b, s);
+}
+
+void Cfg::compute_rpo(const Function& fn) {
+  const std::size_t n = fn.blocks.size();
+  rpo_index_.assign(n, -1);
+  if (n == 0) return;
+  // Iterative post-order DFS from the entry block.
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  std::vector<BlockId> postorder;
+  postorder.reserve(n);
+  stack.emplace_back(0, 0);
+  visited[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < succ_[b].size()) {
+      const BlockId s = succ_[b][next++];
+      if (!visited[s]) {
+        visited[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      postorder.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i)
+    rpo_index_[rpo_[i]] = static_cast<std::int32_t>(i);
+}
+
+void Cfg::compute_dominators() {
+  // Cooper, Harvey, Kennedy: "A simple, fast dominance algorithm" (2001).
+  const std::size_t n = succ_.size();
+  idom_.assign(n, kNoBlock);
+  if (rpo_.empty()) return;
+  idom_[rpo_[0]] = rpo_[0];
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index_[a] > rpo_index_[b]) a = idom_[a];
+      while (rpo_index_[b] > rpo_index_[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < rpo_.size(); ++i) {
+      const BlockId b = rpo_[i];
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : pred_[b]) {
+        if (!reachable(p) || idom_[p] == kNoBlock) continue;
+        new_idom = (new_idom == kNoBlock) ? p : intersect(p, new_idom);
+      }
+      assert(new_idom != kNoBlock && "reachable block without processed pred");
+      if (idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(BlockId a, BlockId b) const {
+  assert(reachable(a) && reachable(b));
+  while (b != a && b != rpo_[0]) b = idom_[b];
+  return b == a;
+}
+
+}  // namespace jitise::ir

@@ -1,0 +1,64 @@
+// Control-flow-graph analyses over a Function: successors/predecessors,
+// reverse post-order, dominator tree (Cooper–Harvey–Kennedy), and natural
+// loop detection. Used by the verifier (SSA dominance check), the VM's block
+// profiler and the benchmark-suite statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace jitise::ir {
+
+/// Immutable CFG view of one function. Built once, queried many times.
+class Cfg {
+ public:
+  explicit Cfg(const Function& fn);
+
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return succ_.size(); }
+  [[nodiscard]] const std::vector<BlockId>& successors(BlockId b) const {
+    return succ_[b];
+  }
+  [[nodiscard]] const std::vector<BlockId>& predecessors(BlockId b) const {
+    return pred_[b];
+  }
+
+  /// Blocks in reverse post-order from the entry; unreachable blocks are
+  /// excluded.
+  [[nodiscard]] const std::vector<BlockId>& rpo() const noexcept { return rpo_; }
+
+  /// True if `b` is reachable from the entry block.
+  [[nodiscard]] bool reachable(BlockId b) const { return rpo_index_[b] >= 0; }
+
+  /// Immediate dominator of `b`; the entry block is its own idom. Only valid
+  /// for reachable blocks.
+  [[nodiscard]] BlockId idom(BlockId b) const { return idom_[b]; }
+
+  /// True if `a` dominates `b` (reflexive). Both must be reachable.
+  [[nodiscard]] bool dominates(BlockId a, BlockId b) const;
+
+  /// Back edges (tail -> header) of natural loops: edges whose target
+  /// dominates their source.
+  [[nodiscard]] const std::vector<std::pair<BlockId, BlockId>>& back_edges()
+      const noexcept {
+    return back_edges_;
+  }
+
+ private:
+  void compute_rpo(const Function& fn);
+  void compute_dominators();
+
+  std::vector<std::vector<BlockId>> succ_;
+  std::vector<std::vector<BlockId>> pred_;
+  std::vector<BlockId> rpo_;
+  std::vector<std::int32_t> rpo_index_;  // -1 for unreachable
+  std::vector<BlockId> idom_;
+  std::vector<std::pair<BlockId, BlockId>> back_edges_;
+};
+
+/// Successor blocks of `b` derived from its terminator (empty for Ret or a
+/// block without terminator).
+[[nodiscard]] std::vector<BlockId> block_successors(const Function& fn, BlockId b);
+
+}  // namespace jitise::ir

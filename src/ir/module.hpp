@@ -1,0 +1,112 @@
+// In-memory representation of the jitise IR: modules, functions, basic
+// blocks, instructions.
+//
+// Storage layout follows the index-based arena idiom: a Function owns a
+// single `std::vector<Instruction>` (its value table); ValueId is an index
+// into it. Basic blocks hold ordered lists of ValueIds. Constants and formal
+// parameters occupy the value table but belong to no block, so block
+// instruction counts match what the paper calls "bitcode instructions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace jitise::ir {
+
+using ValueId = std::uint32_t;
+using BlockId = std::uint32_t;
+using FuncId = std::uint32_t;
+using GlobalId = std::uint32_t;
+
+inline constexpr ValueId kNoValue = 0xffffffffu;
+inline constexpr BlockId kNoBlock = 0xffffffffu;
+
+/// A single IR instruction / value-table entry. Payload fields are shared
+/// across opcodes (documented per opcode in opcode.hpp).
+struct Instruction {
+  Opcode op = Opcode::ConstInt;
+  Type type = Type::Void;
+  std::vector<ValueId> operands;
+  std::int64_t imm = 0;    // ConstInt literal, Alloca size, Gep stride
+  double fimm = 0.0;       // ConstFloat literal
+  std::uint32_t aux = 0;   // pred / callee / global / CI id / br target
+  std::uint32_t aux2 = 0;  // condbr false target
+  std::vector<BlockId> phi_blocks;  // parallel to operands, Phi only
+
+  [[nodiscard]] ICmpPred icmp_pred() const noexcept {
+    return static_cast<ICmpPred>(aux);
+  }
+  [[nodiscard]] FCmpPred fcmp_pred() const noexcept {
+    return static_cast<FCmpPred>(aux);
+  }
+};
+
+/// An ordered sequence of instructions ending in a terminator.
+struct BasicBlock {
+  std::string name;
+  std::vector<ValueId> instrs;
+};
+
+/// A function: typed signature + value table + blocks. Block 0 is the entry.
+struct Function {
+  std::string name;
+  Type ret_type = Type::Void;
+  std::vector<Type> params;
+  std::vector<Instruction> values;
+  std::vector<BasicBlock> blocks;
+
+  /// ValueId of the i-th formal parameter (they are created first, in order).
+  [[nodiscard]] ValueId param_value(std::uint32_t i) const noexcept { return i; }
+
+  [[nodiscard]] const Instruction& value(ValueId v) const { return values[v]; }
+  [[nodiscard]] Instruction& value(ValueId v) { return values[v]; }
+  [[nodiscard]] const BasicBlock& block(BlockId b) const { return blocks[b]; }
+  [[nodiscard]] BasicBlock& block(BlockId b) { return blocks[b]; }
+
+  /// Total instructions inside blocks (the paper's `ins` statistic).
+  [[nodiscard]] std::size_t block_instruction_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.instrs.size();
+    return n;
+  }
+};
+
+/// A module-level byte array (globals model statically allocated data;
+/// `GlobalAddr` yields its base address in VM memory).
+struct Global {
+  std::string name;
+  std::uint32_t size_bytes = 0;
+  std::vector<std::uint8_t> init;  // zero-filled to size_bytes if shorter
+};
+
+/// A compilation unit: functions + globals. Function 0 by convention need not
+/// be the entry point; run the function chosen by name.
+struct Module {
+  std::string name;
+  std::vector<Function> functions;
+  std::vector<Global> globals;
+
+  /// Index of the function with `name`, or -1.
+  [[nodiscard]] std::int64_t find_function(std::string_view fn_name) const noexcept {
+    for (std::size_t i = 0; i < functions.size(); ++i)
+      if (functions[i].name == fn_name) return static_cast<std::int64_t>(i);
+    return -1;
+  }
+
+  [[nodiscard]] std::size_t total_blocks() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : functions) n += f.blocks.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t total_instructions() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : functions) n += f.block_instruction_count();
+    return n;
+  }
+};
+
+}  // namespace jitise::ir

@@ -1,0 +1,183 @@
+// Instruction opcodes of the jitise IR and their static traits.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jitise::ir {
+
+enum class Opcode : std::uint8_t {
+  // Non-block values (live in the function's value table, not in any block).
+  Param,      // formal argument
+  ConstInt,   // integer/pointer literal (payload: imm)
+  ConstFloat, // floating literal (payload: fimm)
+
+  // Integer arithmetic / bitwise.
+  Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+  And, Or, Xor, Shl, LShr, AShr,
+
+  // Floating point (software-emulated on the PPC405 base CPU).
+  FAdd, FSub, FMul, FDiv,
+
+  // Comparisons and selection.
+  ICmp,    // aux = ICmpPred
+  FCmp,    // aux = FCmpPred
+  Select,  // operands = {cond, if_true, if_false}
+
+  // Conversions.
+  ZExt, SExt, Trunc, FPToSI, SIToFP, FPExt, FPTrunc,
+
+  // Memory.
+  Alloca,      // imm = byte size; yields Ptr into the frame's stack area
+  Load,        // operands = {ptr}
+  Store,       // operands = {value, ptr}; no result
+  Gep,         // operands = {base, index}; imm = element byte stride
+  GlobalAddr,  // aux = global index; yields Ptr
+
+  // Control flow (block terminators except Phi/Call).
+  Br,      // aux = target block
+  CondBr,  // operands = {cond}; aux = true block, aux2 = false block
+  Ret,     // operands = {value} or {}
+  Call,    // aux = callee function index; operands = arguments
+  Phi,     // operands = incoming values; phi_blocks = incoming blocks
+
+  // The reconfigurable ASIP extension: an implemented custom instruction.
+  CustomOp,  // aux = custom-instruction id; operands = live-in values
+};
+
+inline constexpr std::uint8_t kNumOpcodes = static_cast<std::uint8_t>(Opcode::CustomOp) + 1;
+
+enum class ICmpPred : std::uint8_t { Eq, Ne, Slt, Sle, Sgt, Sge, Ult, Ule, Ugt, Uge };
+enum class FCmpPred : std::uint8_t { OEq, ONe, OLt, OLe, OGt, OGe };
+
+[[nodiscard]] constexpr std::string_view opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Param: return "param";
+    case Opcode::ConstInt: return "const";
+    case Opcode::ConstFloat: return "fconst";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::UDiv: return "udiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::URem: return "urem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Select: return "select";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::FPExt: return "fpext";
+    case Opcode::FPTrunc: return "fptrunc";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "gep";
+    case Opcode::GlobalAddr: return "gaddr";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Ret: return "ret";
+    case Opcode::Call: return "call";
+    case Opcode::Phi: return "phi";
+    case Opcode::CustomOp: return "custom";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view icmp_pred_name(ICmpPred p) noexcept {
+  switch (p) {
+    case ICmpPred::Eq: return "eq";
+    case ICmpPred::Ne: return "ne";
+    case ICmpPred::Slt: return "slt";
+    case ICmpPred::Sle: return "sle";
+    case ICmpPred::Sgt: return "sgt";
+    case ICmpPred::Sge: return "sge";
+    case ICmpPred::Ult: return "ult";
+    case ICmpPred::Ule: return "ule";
+    case ICmpPred::Ugt: return "ugt";
+    case ICmpPred::Uge: return "uge";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view fcmp_pred_name(FCmpPred p) noexcept {
+  switch (p) {
+    case FCmpPred::OEq: return "oeq";
+    case FCmpPred::ONe: return "one";
+    case FCmpPred::OLt: return "olt";
+    case FCmpPred::OLe: return "ole";
+    case FCmpPred::OGt: return "ogt";
+    case FCmpPred::OGe: return "oge";
+  }
+  return "?";
+}
+
+/// True for opcodes that end a basic block.
+[[nodiscard]] constexpr bool is_terminator(Opcode op) noexcept {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+/// True for two-operand integer/float computational instructions.
+[[nodiscard]] constexpr bool is_binary(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+    case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem: case Opcode::URem:
+    case Opcode::And: case Opcode::Or: case Opcode::Xor:
+    case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+    case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr bool is_cast(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::ZExt: case Opcode::SExt: case Opcode::Trunc:
+    case Opcode::FPToSI: case Opcode::SIToFP:
+    case Opcode::FPExt: case Opcode::FPTrunc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for instructions that touch memory (never HW-feasible in a custom
+/// instruction — the Woolcano FCM datapath has no memory port; see paper §V-D).
+[[nodiscard]] constexpr bool touches_memory(Opcode op) noexcept {
+  return op == Opcode::Load || op == Opcode::Store || op == Opcode::Alloca;
+}
+
+/// True for values that are defined outside any basic block (constants and
+/// formal parameters live in the function's value table only).
+[[nodiscard]] constexpr bool is_block_free(Opcode op) noexcept {
+  return op == Opcode::Param || op == Opcode::ConstInt ||
+         op == Opcode::ConstFloat;
+}
+
+/// True if the instruction produces an SSA result value.
+[[nodiscard]] constexpr bool has_result(Opcode op, bool is_void_call = false) noexcept {
+  switch (op) {
+    case Opcode::Store: case Opcode::Br: case Opcode::CondBr: case Opcode::Ret:
+      return false;
+    case Opcode::Call:
+      return !is_void_call;
+    default:
+      return true;
+  }
+}
+
+}  // namespace jitise::ir

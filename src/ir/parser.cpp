@@ -1,0 +1,522 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace jitise::ir {
+
+namespace {
+
+std::optional<Type> type_from_name(std::string_view s) {
+  for (Type t : {Type::Void, Type::I1, Type::I8, Type::I16, Type::I32,
+                 Type::I64, Type::F32, Type::F64, Type::Ptr})
+    if (type_name(t) == s) return t;
+  return std::nullopt;
+}
+
+std::optional<Opcode> opcode_from_name(std::string_view s) {
+  for (std::uint8_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    if (opcode_name(op) == s) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<ICmpPred> icmp_pred_from_name(std::string_view s) {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(ICmpPred::Uge); ++i) {
+    const auto p = static_cast<ICmpPred>(i);
+    if (icmp_pred_name(p) == s) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<FCmpPred> fcmp_pred_from_name(std::string_view s) {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(FCmpPred::OGe); ++i) {
+    const auto p = static_cast<FCmpPred>(i);
+    if (fcmp_pred_name(p) == s) return p;
+  }
+  return std::nullopt;
+}
+
+/// Character-level cursor with line tracking and token helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ';') {  // line comment
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool try_consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!try_consume(c))
+      throw ParseError(line_, std::string("expected '") + c + "'");
+  }
+
+  bool try_consume_word(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    const std::size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) || text_[after] == '_'))
+      return false;
+    pos_ = after;
+    return true;
+  }
+
+  std::string ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.'))
+      ++pos_;
+    if (pos_ == start) throw ParseError(line_, "expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string quoted_string() {
+    expect('"');
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+    if (pos_ >= text_.size()) throw ParseError(line_, "unterminated string");
+    std::string s(text_.substr(start, pos_ - start));
+    ++pos_;
+    return s;
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ == start) throw ParseError(line_, "expected integer");
+    return std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                        nullptr, 10);
+  }
+
+  double floating() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+          c == '.' || c == 'e' || c == 'E' || c == 'x' || c == 'p' ||
+          (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) throw ParseError(line_, "expected float literal");
+    return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  /// %N — printed value name.
+  std::uint32_t value_name() {
+    expect('%');
+    return static_cast<std::uint32_t>(integer());
+  }
+
+  /// bN — block reference.
+  BlockId block_ref() {
+    skip_ws();
+    const std::string id = ident();
+    if (id.size() < 2 || id[0] != 'b')
+      throw ParseError(line_, "expected block reference, got '" + id + "'");
+    return static_cast<BlockId>(std::strtoul(id.c_str() + 1, nullptr, 10));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+class FunctionParser {
+ public:
+  FunctionParser(Cursor& cur, Module& module,
+                 const std::unordered_map<std::string, FuncId>& fn_ids,
+                 const std::unordered_map<std::string, GlobalId>& global_ids)
+      : cur_(cur), module_(module), fn_ids_(fn_ids), global_ids_(global_ids) {}
+
+  Function parse() {
+    cur_.expect('@');
+    fn_.name = cur_.ident();
+    cur_.expect('(');
+    if (!cur_.try_consume(')')) {
+      do {
+        const Type t = parse_type();
+        fn_.params.push_back(t);
+        const std::uint32_t printed = cur_.value_name();
+        Instruction p;
+        p.op = Opcode::Param;
+        p.type = t;
+        printed_to_value_.emplace(printed, static_cast<ValueId>(fn_.values.size()));
+        fn_.values.push_back(std::move(p));
+      } while (cur_.try_consume(','));
+      cur_.expect(')');
+    }
+    expect_arrow();
+    fn_.ret_type = parse_type();
+    cur_.expect('{');
+    while (!cur_.try_consume('}')) parse_block_or_instr();
+    resolve_fixups();
+    return std::move(fn_);
+  }
+
+ private:
+  Type parse_type() {
+    const std::size_t ln = cur_.line();
+    const std::string id = cur_.ident();
+    const auto t = type_from_name(id);
+    if (!t) throw ParseError(ln, "unknown type '" + id + "'");
+    return *t;
+  }
+
+  void expect_arrow() {
+    cur_.expect('-');
+    cur_.expect('>');
+  }
+
+  ValueId make_const_int(Type t, std::int64_t v) {
+    v = wrap_to(t, v);
+    const auto key = std::make_pair(static_cast<std::uint8_t>(t), v);
+    if (const auto it = int_consts_.find(key); it != int_consts_.end())
+      return it->second;
+    Instruction c;
+    c.op = Opcode::ConstInt;
+    c.type = t;
+    c.imm = v;
+    const auto id = static_cast<ValueId>(fn_.values.size());
+    fn_.values.push_back(std::move(c));
+    int_consts_.emplace(key, id);
+    return id;
+  }
+
+  ValueId make_const_float(Type t, double v) {
+    const auto key = std::make_pair(static_cast<std::uint8_t>(t), v);
+    if (const auto it = float_consts_.find(key); it != float_consts_.end())
+      return it->second;
+    Instruction c;
+    c.op = Opcode::ConstFloat;
+    c.type = t;
+    c.fimm = v;
+    const auto id = static_cast<ValueId>(fn_.values.size());
+    fn_.values.push_back(std::move(c));
+    float_consts_.emplace(key, id);
+    return id;
+  }
+
+  /// Operand := %N | <type> <literal>. Returns the ValueId, or records a
+  /// fixup and returns kNoValue if %N is not yet defined.
+  ValueId parse_operand(ValueId user, std::size_t operand_index) {
+    if (cur_.peek() == '%') {
+      const std::uint32_t printed = cur_.value_name();
+      if (const auto it = printed_to_value_.find(printed);
+          it != printed_to_value_.end())
+        return it->second;
+      fixups_.push_back(Fixup{user, operand_index, printed, cur_.line()});
+      return kNoValue;
+    }
+    const Type t = parse_type();
+    if (is_float(t)) return make_const_float(t, cur_.floating());
+    return make_const_int(t, cur_.integer());
+  }
+
+  void parse_operand_list_into(Instruction& inst, ValueId user) {
+    // Caller must have reserved the user's ValueId == fn_.values.size().
+    do {
+      inst.operands.push_back(parse_operand(user, inst.operands.size()));
+    } while (cur_.try_consume(','));
+  }
+
+  void parse_block_or_instr() {
+    const std::size_t ln = cur_.line();
+    if (cur_.try_consume_word("block")) {
+      const BlockId id = cur_.block_ref();
+      if (id != fn_.blocks.size())
+        throw ParseError(ln, "blocks must appear in index order");
+      const std::string name = cur_.quoted_string();
+      cur_.expect(':');
+      fn_.blocks.push_back(BasicBlock{name, {}});
+      return;
+    }
+    if (fn_.blocks.empty()) throw ParseError(ln, "instruction before any block");
+    parse_instr(ln);
+  }
+
+  void parse_instr(std::size_t ln) {
+    Instruction inst;
+    std::optional<std::uint32_t> printed_name;
+    if (cur_.peek() == '%') {
+      printed_name = cur_.value_name();
+      cur_.expect('=');
+      inst.type = parse_type();
+    }
+    // The ValueId this instruction will occupy (operand fixups may target it).
+    const auto self = static_cast<ValueId>(fn_.values.size());
+    // Constants created while parsing operands shift the table, so we stage
+    // operands referencing a *reserved* slot: push a placeholder now.
+    fn_.values.emplace_back();
+    const std::string mnemonic = cur_.ident();
+
+    if (mnemonic == "icmp") {
+      inst.op = Opcode::ICmp;
+      const std::string pred = cur_.ident();
+      const auto p = icmp_pred_from_name(pred);
+      if (!p) throw ParseError(ln, "bad icmp predicate '" + pred + "'");
+      inst.aux = static_cast<std::uint32_t>(*p);
+      parse_operand_list_into(inst, self);
+    } else if (mnemonic == "fcmp") {
+      inst.op = Opcode::FCmp;
+      const std::string pred = cur_.ident();
+      const auto p = fcmp_pred_from_name(pred);
+      if (!p) throw ParseError(ln, "bad fcmp predicate '" + pred + "'");
+      inst.aux = static_cast<std::uint32_t>(*p);
+      parse_operand_list_into(inst, self);
+    } else if (mnemonic == "alloca") {
+      inst.op = Opcode::Alloca;
+      inst.imm = cur_.integer();
+    } else if (mnemonic == "gep") {
+      inst.op = Opcode::Gep;
+      inst.operands.push_back(parse_operand(self, 0));
+      cur_.expect(',');
+      inst.operands.push_back(parse_operand(self, 1));
+      cur_.expect(',');
+      inst.imm = cur_.integer();
+    } else if (mnemonic == "gaddr") {
+      inst.op = Opcode::GlobalAddr;
+      cur_.expect('@');
+      const std::string g = cur_.ident();
+      const auto it = global_ids_.find(g);
+      if (it == global_ids_.end()) throw ParseError(ln, "unknown global @" + g);
+      inst.aux = it->second;
+    } else if (mnemonic == "br") {
+      inst.op = Opcode::Br;
+      inst.aux = cur_.block_ref();
+    } else if (mnemonic == "condbr") {
+      inst.op = Opcode::CondBr;
+      inst.operands.push_back(parse_operand(self, 0));
+      cur_.expect(',');
+      inst.aux = cur_.block_ref();
+      cur_.expect(',');
+      inst.aux2 = cur_.block_ref();
+    } else if (mnemonic == "ret") {
+      inst.op = Opcode::Ret;
+      // Optional operand: next token is either a new statement or an operand.
+      const char c = cur_.peek();
+      if (c == '%') {
+        inst.operands.push_back(parse_operand(self, 0));
+      } else if (c != '\0' && c != '}') {
+        // A type name would also start an identifier — disambiguate by
+        // checking against the type table without consuming.
+        // (Statements start with %, "block", "}", or a mnemonic; only
+        // operands start with a type name.)
+        if (peek_is_type()) inst.operands.push_back(parse_operand(self, 0));
+      }
+    } else if (mnemonic == "call") {
+      inst.op = Opcode::Call;
+      cur_.expect('@');
+      const std::string callee = cur_.ident();
+      const auto it = fn_ids_.find(callee);
+      if (it == fn_ids_.end()) throw ParseError(ln, "unknown function @" + callee);
+      inst.aux = it->second;
+      cur_.expect('(');
+      if (!cur_.try_consume(')')) {
+        parse_operand_list_into(inst, self);
+        cur_.expect(')');
+      }
+      if (!printed_name) {
+        expect_arrow();
+        const Type t = parse_type();
+        if (t != Type::Void) throw ParseError(ln, "unnamed call must be void");
+        inst.type = Type::Void;
+      }
+    } else if (mnemonic == "phi") {
+      inst.op = Opcode::Phi;
+      while (cur_.try_consume('[')) {
+        inst.operands.push_back(parse_operand(self, inst.operands.size()));
+        cur_.expect(',');
+        inst.phi_blocks.push_back(cur_.block_ref());
+        cur_.expect(']');
+        if (!cur_.try_consume(',')) break;
+      }
+    } else if (mnemonic == "custom") {
+      inst.op = Opcode::CustomOp;
+      cur_.expect('#');
+      inst.aux = static_cast<std::uint32_t>(cur_.integer());
+      cur_.expect('(');
+      if (!cur_.try_consume(')')) {
+        parse_operand_list_into(inst, self);
+        cur_.expect(')');
+      }
+    } else {
+      const auto op = opcode_from_name(mnemonic);
+      if (!op || is_block_free(*op))
+        throw ParseError(ln, "unknown mnemonic '" + mnemonic + "'");
+      inst.op = *op;
+      parse_operand_list_into(inst, self);
+    }
+
+    if (printed_name) {
+      if (!has_result(inst.op, inst.type == Type::Void))
+        throw ParseError(ln, "instruction cannot produce a result");
+      printed_to_value_.emplace(*printed_name, self);
+    }
+    fn_.values[self] = std::move(inst);
+    fn_.blocks.back().instrs.push_back(self);
+  }
+
+  /// True if the next token names a type (operand start) — lookahead only.
+  bool peek_is_type() {
+    // Cheap lookahead: types are short lowercase words; try each.
+    for (Type t : {Type::I1, Type::I8, Type::I16, Type::I32, Type::I64,
+                   Type::F32, Type::F64, Type::Ptr}) {
+      // try_consume_word only consumes on success, so probe-and-rewind is
+      // emulated by checking and never consuming here.
+      if (peek_word(type_name(t))) return true;
+    }
+    return false;
+  }
+
+  bool peek_word(std::string_view w) {
+    // Non-consuming variant of try_consume_word via copy of the cursor.
+    Cursor probe = cur_;
+    return probe.try_consume_word(w);
+  }
+
+  void resolve_fixups() {
+    for (const Fixup& fx : fixups_) {
+      const auto it = printed_to_value_.find(fx.printed);
+      if (it == printed_to_value_.end())
+        throw ParseError(fx.line, "undefined value %" + std::to_string(fx.printed));
+      fn_.values[fx.user].operands[fx.operand_index] = it->second;
+    }
+  }
+
+  struct Fixup {
+    ValueId user;
+    std::size_t operand_index;
+    std::uint32_t printed;
+    std::size_t line;
+  };
+
+  Cursor& cur_;
+  Module& module_;
+  const std::unordered_map<std::string, FuncId>& fn_ids_;
+  const std::unordered_map<std::string, GlobalId>& global_ids_;
+  Function fn_;
+  std::unordered_map<std::uint32_t, ValueId> printed_to_value_;
+  std::map<std::pair<std::uint8_t, std::int64_t>, ValueId> int_consts_;
+  std::map<std::pair<std::uint8_t, double>, ValueId> float_consts_;
+  std::vector<Fixup> fixups_;
+};
+
+/// Pre-scan for function names so calls can reference later functions.
+std::unordered_map<std::string, FuncId> scan_function_names(std::string_view text) {
+  std::unordered_map<std::string, FuncId> ids;
+  Cursor cur(text);
+  FuncId next = 0;
+  while (!cur.at_end()) {
+    if (cur.try_consume_word("func")) {
+      cur.expect('@');
+      ids.emplace(cur.ident(), next++);
+    } else if (cur.try_consume_word("block")) {
+      // skip the rest of the header line quickly
+      cur.block_ref();
+      cur.quoted_string();
+      cur.expect(':');
+    } else {
+      // Advance one "word" or one punctuation char.
+      const char c = cur.peek();
+      if (c == '\0') break;
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        cur.ident();
+      } else if (c == '"') {
+        cur.quoted_string();
+      } else {
+        cur.try_consume(c);
+      }
+    }
+  }
+  return ids;
+}
+
+}  // namespace
+
+Module parse_module(std::string_view text) {
+  Module module;
+  const auto fn_ids = scan_function_names(text);
+  std::unordered_map<std::string, GlobalId> global_ids;
+
+  Cursor cur(text);
+  if (!cur.try_consume_word("module"))
+    throw ParseError(cur.line(), "expected 'module'");
+  module.name = cur.quoted_string();
+
+  while (!cur.at_end()) {
+    const std::size_t ln = cur.line();
+    if (cur.try_consume_word("global")) {
+      cur.expect('@');
+      Global g;
+      g.name = cur.ident();
+      g.size_bytes = static_cast<std::uint32_t>(cur.integer());
+      if (cur.try_consume_word("init")) {
+        const std::string hex = cur.ident();
+        if (hex.size() % 2 != 0) throw ParseError(ln, "odd-length init hex");
+        for (std::size_t i = 0; i < hex.size(); i += 2) {
+          auto nib = [&](char c) -> std::uint8_t {
+            if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+            if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+            throw ParseError(ln, "bad hex digit");
+          };
+          g.init.push_back(static_cast<std::uint8_t>((nib(hex[i]) << 4) | nib(hex[i + 1])));
+        }
+      }
+      global_ids.emplace(g.name, static_cast<GlobalId>(module.globals.size()));
+      module.globals.push_back(std::move(g));
+    } else if (cur.try_consume_word("func")) {
+      FunctionParser fp(cur, module, fn_ids, global_ids);
+      module.functions.push_back(fp.parse());
+    } else {
+      throw ParseError(ln, "expected 'global' or 'func'");
+    }
+  }
+  return module;
+}
+
+}  // namespace jitise::ir

@@ -1,0 +1,31 @@
+// Parser for the textual IR emitted by printer.hpp.
+//
+// Accepts exactly the printer's canonical language plus flexible whitespace
+// and `;` line comments. Value forward-references (e.g. loop-carried phi
+// operands) are resolved with a patch list after the function body is read.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ir/module.hpp"
+
+namespace jitise::ir {
+
+/// Thrown on malformed input; carries a 1-based line number and message.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a complete module. Throws ParseError on malformed input.
+[[nodiscard]] Module parse_module(std::string_view text);
+
+}  // namespace jitise::ir

@@ -1,0 +1,193 @@
+#include "ir/printer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace jitise::ir {
+
+namespace {
+
+/// Sequential printed names: parameters first, then block instructions in
+/// (block, position) order. Inline-printed constants get no name.
+std::unordered_map<ValueId, std::uint32_t> number_values(const Function& fn) {
+  std::unordered_map<ValueId, std::uint32_t> names;
+  std::uint32_t next = 0;
+  for (std::uint32_t i = 0; i < fn.params.size(); ++i) names[i] = next++;
+  for (const BasicBlock& b : fn.blocks)
+    for (ValueId v : b.instrs)
+      if (has_result(fn.values[v].op, fn.values[v].type == Type::Void))
+        names[v] = next++;
+  return names;
+}
+
+std::string float_repr(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Grammar summary (see parser.cpp for the full accepted language):
+//   instruction := ["%N = " type] mnemonic operands
+//   operand     := "%N" | type literal        (constants are inlined at uses)
+// The explicit result type after "=" makes parsing single-pass except for
+// value forward-references, which are patched afterwards.
+class FunctionPrinter {
+ public:
+  FunctionPrinter(const Module& m, const Function& fn)
+      : module_(m), fn_(fn), names_(number_values(fn)) {}
+
+  std::string print() {
+    out_ += "func @" + fn_.name + "(";
+    for (std::size_t i = 0; i < fn_.params.size(); ++i) {
+      if (i) out_ += ", ";
+      out_ += type_name(fn_.params[i]);
+      out_ += " %" + std::to_string(i);
+    }
+    out_ += ") -> ";
+    out_ += type_name(fn_.ret_type);
+    out_ += " {\n";
+    for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+      out_ += "block b" + std::to_string(b) + " \"" + fn_.blocks[b].name + "\":\n";
+      for (ValueId v : fn_.blocks[b].instrs) print_instr(v);
+    }
+    out_ += "}\n";
+    return std::move(out_);
+  }
+
+ private:
+  void print_operand(ValueId v) {
+    const Instruction& inst = fn_.values[v];
+    if (inst.op == Opcode::ConstInt) {
+      out_ += type_name(inst.type);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %" PRId64, inst.imm);
+      out_ += buf;
+      return;
+    }
+    if (inst.op == Opcode::ConstFloat) {
+      out_ += type_name(inst.type);
+      out_ += " " + float_repr(inst.fimm);
+      return;
+    }
+    out_ += "%" + std::to_string(names_.at(v));
+  }
+
+  void print_operand_list(const Instruction& inst) {
+    for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+      if (i) out_ += ", ";
+      print_operand(inst.operands[i]);
+    }
+  }
+
+  void print_instr(ValueId v) {
+    const Instruction& inst = fn_.values[v];
+    out_ += "  ";
+    if (const auto it = names_.find(v); it != names_.end()) {
+      out_ += "%" + std::to_string(it->second) + " = ";
+      out_ += type_name(inst.type);
+      out_ += " ";
+    }
+    switch (inst.op) {
+      case Opcode::ICmp:
+        out_ += "icmp ";
+        out_ += icmp_pred_name(inst.icmp_pred());
+        out_ += " ";
+        print_operand_list(inst);
+        break;
+      case Opcode::FCmp:
+        out_ += "fcmp ";
+        out_ += fcmp_pred_name(inst.fcmp_pred());
+        out_ += " ";
+        print_operand_list(inst);
+        break;
+      case Opcode::Alloca:
+        out_ += "alloca " + std::to_string(inst.imm);
+        break;
+      case Opcode::Gep:
+        out_ += "gep ";
+        print_operand_list(inst);
+        out_ += ", " + std::to_string(inst.imm);
+        break;
+      case Opcode::GlobalAddr:
+        out_ += "gaddr @" + module_.globals[inst.aux].name;
+        break;
+      case Opcode::Br:
+        out_ += "br b" + std::to_string(inst.aux);
+        break;
+      case Opcode::CondBr:
+        out_ += "condbr ";
+        print_operand(inst.operands[0]);
+        out_ += ", b" + std::to_string(inst.aux) + ", b" + std::to_string(inst.aux2);
+        break;
+      case Opcode::Ret:
+        out_ += "ret";
+        if (!inst.operands.empty()) {
+          out_ += " ";
+          print_operand(inst.operands[0]);
+        }
+        break;
+      case Opcode::Call:
+        out_ += "call @" + module_.functions[inst.aux].name + "(";
+        print_operand_list(inst);
+        out_ += ")";
+        if (inst.type == Type::Void) out_ += " -> void";
+        break;
+      case Opcode::Phi:
+        out_ += "phi";
+        for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+          out_ += i ? ", [" : " [";
+          print_operand(inst.operands[i]);
+          out_ += ", b" + std::to_string(inst.phi_blocks[i]) + "]";
+        }
+        break;
+      case Opcode::CustomOp:
+        out_ += "custom #" + std::to_string(inst.aux) + " (";
+        print_operand_list(inst);
+        out_ += ")";
+        break;
+      default:
+        // Binary ops, casts, select, load, store share one rendering.
+        out_ += opcode_name(inst.op);
+        out_ += " ";
+        print_operand_list(inst);
+        break;
+    }
+    out_ += "\n";
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  std::unordered_map<ValueId, std::uint32_t> names_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string print_function(const Module& module, const Function& fn) {
+  return FunctionPrinter(module, fn).print();
+}
+
+std::string print_module(const Module& module) {
+  std::string out = "module \"" + module.name + "\"\n\n";
+  for (const Global& g : module.globals) {
+    out += "global @" + g.name + " " + std::to_string(g.size_bytes);
+    if (!g.init.empty()) {
+      out += " init ";
+      static const char* hex = "0123456789abcdef";
+      for (std::uint8_t byte : g.init) {
+        out += hex[byte >> 4];
+        out += hex[byte & 0xf];
+      }
+    }
+    out += "\n";
+  }
+  if (!module.globals.empty()) out += "\n";
+  for (const Function& fn : module.functions) {
+    out += print_function(module, fn);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jitise::ir

@@ -1,0 +1,22 @@
+// Textual serialization of IR modules.
+//
+// The format is canonical: printing a parsed module reproduces the original
+// text byte-for-byte (print -> parse -> print is a fixpoint), which the test
+// suite checks for every benchmark application.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace jitise::ir {
+
+/// Renders `fn` (standalone, for diagnostics). Value names are assigned
+/// sequentially (%0.. for parameters, then instruction order); constants are
+/// printed inline at their use sites.
+[[nodiscard]] std::string print_function(const Module& module, const Function& fn);
+
+/// Renders the whole module (globals, then functions).
+[[nodiscard]] std::string print_module(const Module& module);
+
+}  // namespace jitise::ir

@@ -1,0 +1,227 @@
+#include "ir/random_program.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/rng.hpp"
+
+namespace jitise::ir {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const RandomProgramConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  Module run() {
+    Module m;
+    m.name = "random_" + std::to_string(config_.seed);
+    for (std::uint32_t g = 0; g < config_.num_globals; ++g)
+      add_global(m, "g" + std::to_string(g), config_.global_bytes);
+
+    std::vector<FuncId> callees;
+    for (std::uint32_t f = 0; f < config_.num_functions; ++f)
+      callees.push_back(build_function(m, "f" + std::to_string(f), callees));
+    build_function(m, "main", callees);
+
+    const auto errors = verify_module(m);
+    if (!errors.empty())
+      throw std::logic_error("random program generator produced invalid IR: " +
+                             errors.front().to_string());
+    return m;
+  }
+
+ private:
+  /// Emits a mix of safe operations into the current block, growing `ints`.
+  void emit_ops(FunctionBuilder& fb, std::vector<ValueId>& ints,
+                std::uint32_t count, const std::vector<FuncId>& callees,
+                const Module& m) {
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const ValueId a = pick(ints);
+      const ValueId b = pick(ints);
+      switch (rng_.below(14)) {
+        case 0: ints.push_back(fb.binop(Opcode::Add, a, b)); break;
+        case 1: ints.push_back(fb.binop(Opcode::Sub, a, b)); break;
+        case 2: ints.push_back(fb.binop(Opcode::Mul, a, b)); break;
+        case 3: ints.push_back(fb.binop(Opcode::Xor, a, b)); break;
+        case 4: ints.push_back(fb.binop(Opcode::And, a, b)); break;
+        case 5: ints.push_back(fb.binop(Opcode::Shl, a, b)); break;
+        case 6: ints.push_back(fb.binop(Opcode::AShr, a, b)); break;
+        case 7: {
+          // Division with a guaranteed non-zero divisor.
+          const ValueId divisor =
+              fb.binop(Opcode::Or, b, fb.const_int(Type::I32, 1));
+          ints.push_back(fb.binop(rng_.below(2) ? Opcode::SDiv : Opcode::SRem,
+                                  a, divisor));
+          break;
+        }
+        case 8: {
+          // Select on a comparison.
+          const ValueId c = fb.icmp(
+              static_cast<ICmpPred>(rng_.below(10)), a, b);
+          ints.push_back(fb.select(c, a, b));
+          break;
+        }
+        case 9: {
+          // Width round-trip: i32 -> i64 -> i32.
+          const ValueId wide =
+              fb.cast(rng_.below(2) ? Opcode::ZExt : Opcode::SExt, Type::I64, a);
+          const ValueId wide2 = fb.binop(Opcode::Add, wide, wide);
+          ints.push_back(fb.cast(Opcode::Trunc, Type::I32, wide2));
+          break;
+        }
+        case 10: {
+          if (!config_.with_floats) break;
+          // Block-local float chain: bounded sources, never persisted, so
+          // magnitudes stay finite and round-trip through text exactly.
+          const ValueId src1 = fb.binop(Opcode::And, a,
+                                        fb.const_int(Type::I32, 1023));
+          const ValueId src2 = fb.binop(Opcode::And, b,
+                                        fb.const_int(Type::I32, 1023));
+          const ValueId fa = fb.cast(Opcode::SIToFP, Type::F64, src1);
+          const ValueId fc = fb.cast(Opcode::SIToFP, Type::F64, src2);
+          ValueId f = fb.binop(Opcode::FMul, fa, fc);
+          if (rng_.below(2))
+            f = fb.binop(Opcode::FAdd, f, fb.const_float(Type::F64, 0.25));
+          const ValueId back = fb.cast(Opcode::FPToSI, Type::I32, f);
+          const ValueId cmp = fb.fcmp(FCmpPred::OLt, fa, fc);
+          ints.push_back(fb.select(cmp, back, a));
+          break;
+        }
+        case 11: {
+          if (!config_.with_memory || m.globals.empty()) break;
+          const auto g = static_cast<GlobalId>(rng_.below(m.globals.size()));
+          // Power-of-two slot mask keeps every access in bounds.
+          std::int32_t mask = 1;
+          while (mask * 2 <= static_cast<std::int32_t>(config_.global_bytes / 4) - 1)
+            mask *= 2;
+          const ValueId idx =
+              fb.binop(Opcode::And, a, fb.const_int(Type::I32, mask - 1));
+          const ValueId addr = fb.gep(fb.global_addr(g), idx, 4);
+          if (rng_.below(2)) {
+            fb.store(b, addr);
+          } else {
+            ints.push_back(fb.load(Type::I32, addr));
+          }
+          break;
+        }
+        case 12: {
+          if (!config_.with_calls || callees.empty()) break;
+          const FuncId callee =
+              callees[rng_.below(callees.size())];
+          ints.push_back(fb.call(callee, Type::I32, {a}));
+          break;
+        }
+        default:
+          ints.push_back(fb.binop(Opcode::Or, a, b));
+          break;
+      }
+      while (ints.size() > 10) ints.erase(ints.begin());
+    }
+  }
+
+  ValueId pick(const std::vector<ValueId>& pool) {
+    return pool[rng_.below(pool.size())];
+  }
+
+  FuncId build_function(Module& m, const std::string& name,
+                        const std::vector<FuncId>& callees) {
+    FunctionBuilder fb(m, name, Type::I32, {Type::I32});
+    std::vector<ValueId> ints = {fb.param(0), fb.const_int(Type::I32, 3),
+                                 fb.const_int(Type::I32, -7)};
+
+    const std::uint32_t segments = std::max(1u, config_.blocks_per_function / 3);
+    for (std::uint32_t s = 0; s < segments; ++s) {
+      switch (rng_.below(3)) {
+        case 0:  // straight-line block
+          emit_ops(fb, ints, config_.ops_per_block, callees, m);
+          break;
+        case 1: {  // diamond
+          const BlockId then_b = fb.new_block("then" + std::to_string(s));
+          const BlockId else_b = fb.new_block("else" + std::to_string(s));
+          const BlockId join_b = fb.new_block("join" + std::to_string(s));
+          const ValueId cond = fb.icmp(static_cast<ICmpPred>(rng_.below(10)),
+                                       pick(ints), pick(ints));
+          fb.condbr(cond, then_b, else_b);
+
+          const std::vector<ValueId> snapshot = ints;
+          fb.set_insert(then_b);
+          std::vector<ValueId> then_pool = snapshot;
+          emit_ops(fb, then_pool, config_.ops_per_block / 2, callees, m);
+          const ValueId then_v = pick(then_pool);
+          fb.br(join_b);
+          const BlockId then_end = then_b;
+
+          fb.set_insert(else_b);
+          std::vector<ValueId> else_pool = snapshot;
+          emit_ops(fb, else_pool, config_.ops_per_block / 2, callees, m);
+          const ValueId else_v = pick(else_pool);
+          fb.br(join_b);
+
+          fb.set_insert(join_b);
+          const ValueId joined = fb.phi(Type::I32);
+          fb.phi_incoming(joined, then_v, then_end);
+          fb.phi_incoming(joined, else_v, else_b);
+          ints = snapshot;
+          ints.push_back(joined);
+          break;
+        }
+        case 2: {  // bounded counted loop with an accumulator
+          const BlockId pre = fb.insert_block();
+          const BlockId header = fb.new_block("hdr" + std::to_string(s));
+          const BlockId body = fb.new_block("body" + std::to_string(s));
+          const BlockId exit = fb.new_block("exit" + std::to_string(s));
+          const auto trip = static_cast<std::int32_t>(
+              1 + rng_.below(config_.max_loop_trip));
+          const ValueId seed_v = pick(ints);
+          fb.br(header);
+
+          fb.set_insert(header);
+          const ValueId i = fb.phi(Type::I32);
+          const ValueId acc = fb.phi(Type::I32);
+          const ValueId cont =
+              fb.icmp(ICmpPred::Slt, i, fb.const_int(Type::I32, trip));
+          fb.condbr(cont, body, exit);
+
+          fb.set_insert(body);
+          std::vector<ValueId> body_pool = ints;
+          body_pool.push_back(i);
+          body_pool.push_back(acc);
+          emit_ops(fb, body_pool, config_.ops_per_block, callees, m);
+          const ValueId anext = fb.binop(Opcode::Xor, pick(body_pool), acc);
+          const ValueId inext =
+              fb.binop(Opcode::Add, i, fb.const_int(Type::I32, 1));
+          fb.br(header);
+
+          fb.phi_incoming(i, fb.const_int(Type::I32, 0), pre);
+          fb.phi_incoming(i, inext, body);
+          fb.phi_incoming(acc, seed_v, pre);
+          fb.phi_incoming(acc, anext, body);
+
+          fb.set_insert(exit);
+          ints.push_back(acc);
+          break;
+        }
+      }
+    }
+    ValueId result = pick(ints);
+    for (std::size_t k = 1; k + 1 < ints.size(); ++k)
+      result = fb.binop(Opcode::Xor, result, ints[k]);
+    fb.ret(result);
+    return fb.finish();
+  }
+
+  RandomProgramConfig config_;
+  support::Xoshiro256 rng_;
+};
+
+}  // namespace
+
+Module generate_random_program(const RandomProgramConfig& config) {
+  return Generator(config).run();
+}
+
+}  // namespace jitise::ir

@@ -1,0 +1,98 @@
+// Scalar type system of the jitise IR ("bitcode").
+//
+// The IR models the subset of LLVM 2.x types the paper's tool flow touches:
+// integers of the widths the PowerPC 405 / Virtex-4 datapath handles, IEEE
+// floats (software-emulated on the PPC405, which has no FPU — this is what
+// makes float-heavy kernels profitable as custom instructions), and a 32-bit
+// pointer type (the PPC405 is a 32-bit core).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jitise::ir {
+
+enum class Type : std::uint8_t {
+  Void,
+  I1,
+  I8,
+  I16,
+  I32,
+  I64,
+  F32,
+  F64,
+  Ptr,  // 32-bit byte address into the VM's flat memory
+};
+
+/// Number of value bits (I1 -> 1, Ptr -> 32, Void -> 0).
+[[nodiscard]] constexpr unsigned bit_width(Type t) noexcept {
+  switch (t) {
+    case Type::Void: return 0;
+    case Type::I1: return 1;
+    case Type::I8: return 8;
+    case Type::I16: return 16;
+    case Type::I32: return 32;
+    case Type::I64: return 64;
+    case Type::F32: return 32;
+    case Type::F64: return 64;
+    case Type::Ptr: return 32;
+  }
+  return 0;
+}
+
+/// Storage size in bytes when loaded/stored (I1 occupies one byte).
+[[nodiscard]] constexpr unsigned store_size(Type t) noexcept {
+  const unsigned bits = bit_width(t);
+  return bits <= 8 ? (bits == 0 ? 0 : 1) : bits / 8;
+}
+
+[[nodiscard]] constexpr bool is_integer(Type t) noexcept {
+  return t == Type::I1 || t == Type::I8 || t == Type::I16 || t == Type::I32 ||
+         t == Type::I64;
+}
+
+[[nodiscard]] constexpr bool is_float(Type t) noexcept {
+  return t == Type::F32 || t == Type::F64;
+}
+
+[[nodiscard]] constexpr bool is_pointer(Type t) noexcept {
+  return t == Type::Ptr;
+}
+
+/// Canonical spelling used by the printer/parser ("i32", "f64", "ptr", ...).
+[[nodiscard]] constexpr std::string_view type_name(Type t) noexcept {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I1: return "i1";
+    case Type::I8: return "i8";
+    case Type::I16: return "i16";
+    case Type::I32: return "i32";
+    case Type::I64: return "i64";
+    case Type::F32: return "f32";
+    case Type::F64: return "f64";
+    case Type::Ptr: return "ptr";
+  }
+  return "?";
+}
+
+/// Wraps a 64-bit value to the signed interpretation of `t`'s bit width.
+/// All integer arithmetic in the VM is performed modulo 2^width.
+[[nodiscard]] constexpr std::int64_t wrap_to(Type t, std::int64_t v) noexcept {
+  switch (t) {
+    case Type::I1: return v & 1;
+    case Type::I8: return static_cast<std::int8_t>(v);
+    case Type::I16: return static_cast<std::int16_t>(v);
+    case Type::I32: return static_cast<std::int32_t>(v);
+    case Type::Ptr: return static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+    default: return v;
+  }
+}
+
+/// Unsigned view of `v` at the width of `t` (used by unsigned div/rem/cmp).
+[[nodiscard]] constexpr std::uint64_t as_unsigned(Type t, std::int64_t v) noexcept {
+  const unsigned bits = bit_width(t);
+  if (bits >= 64) return static_cast<std::uint64_t>(v);
+  return static_cast<std::uint64_t>(v) & ((std::uint64_t{1} << bits) - 1);
+}
+
+}  // namespace jitise::ir

@@ -1,0 +1,343 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ir/cfg.hpp"
+
+namespace jitise::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Module& m, const Function& fn,
+                   std::vector<VerifyError>& out)
+      : module_(m), fn_(fn), out_(out) {}
+
+  void run() {
+    check_value_table();
+    check_blocks();
+    if (structurally_sound_) {
+      const Cfg cfg(fn_);
+      check_phis(cfg);
+      check_dominance(cfg);
+    }
+  }
+
+ private:
+  void error(BlockId b, std::string message) {
+    out_.push_back(VerifyError{
+        fn_.name, b == kNoBlock ? "" : fn_.blocks[b].name, std::move(message)});
+  }
+
+  bool value_ok(ValueId v) const {
+    return v != kNoValue && v < fn_.values.size();
+  }
+
+  void check_value_table() {
+    for (std::uint32_t i = 0; i < fn_.params.size(); ++i) {
+      if (i >= fn_.values.size() || fn_.values[i].op != Opcode::Param ||
+          fn_.values[i].type != fn_.params[i]) {
+        error(kNoBlock, "parameter table mismatch at index " + std::to_string(i));
+        structurally_sound_ = false;
+      }
+    }
+    for (ValueId v = 0; v < fn_.values.size(); ++v) {
+      for (ValueId o : fn_.values[v].operands) {
+        if (!value_ok(o)) {
+          error(kNoBlock, "value %" + std::to_string(v) + " has invalid operand");
+          structurally_sound_ = false;
+        }
+      }
+    }
+  }
+
+  void check_blocks() {
+    if (fn_.blocks.empty()) {
+      error(kNoBlock, "function has no blocks");
+      structurally_sound_ = false;
+      return;
+    }
+    def_block_.assign(fn_.values.size(), kNoBlock);
+    def_pos_.assign(fn_.values.size(), 0);
+    for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+      const BasicBlock& block = fn_.blocks[b];
+      if (block.instrs.empty()) {
+        error(b, "empty block");
+        structurally_sound_ = false;
+        continue;
+      }
+      bool seen_non_phi = false;
+      for (std::size_t pos = 0; pos < block.instrs.size(); ++pos) {
+        const ValueId v = block.instrs[pos];
+        if (!value_ok(v)) {
+          error(b, "block lists invalid value id");
+          structurally_sound_ = false;
+          continue;
+        }
+        if (def_block_[v] != kNoBlock) {
+          error(b, "value %" + std::to_string(v) + " listed in two blocks");
+          structurally_sound_ = false;
+        }
+        def_block_[v] = b;
+        def_pos_[v] = pos;
+        const Instruction& inst = fn_.values[v];
+        if (is_block_free(inst.op)) {
+          error(b, "constant/param inside a block");
+          structurally_sound_ = false;
+        }
+        if (inst.op == Opcode::Phi) {
+          if (seen_non_phi) error(b, "phi after non-phi instruction");
+        } else {
+          seen_non_phi = true;
+        }
+        const bool is_last = pos + 1 == block.instrs.size();
+        if (is_terminator(inst.op) != is_last) {
+          error(b, is_last ? "block does not end with a terminator"
+                           : "terminator in the middle of a block");
+          if (!is_last) structurally_sound_ = false;
+        }
+        check_instruction(b, inst, v);
+      }
+    }
+  }
+
+  Type ty(ValueId v) const { return fn_.values[v].type; }
+
+  void check_instruction(BlockId b, const Instruction& inst, ValueId v) {
+    const auto want_operands = [&](std::size_t n) {
+      if (inst.operands.size() != n) {
+        error(b, std::string(opcode_name(inst.op)) + " expects " +
+                     std::to_string(n) + " operands, value %" + std::to_string(v));
+        return false;
+      }
+      for (ValueId o : inst.operands)
+        if (!value_ok(o)) return false;
+      return true;
+    };
+
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::SDiv: case Opcode::UDiv: case Opcode::SRem: case Opcode::URem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+        if (!want_operands(2)) break;
+        if (!is_integer(inst.type) || ty(inst.operands[0]) != inst.type ||
+            ty(inst.operands[1]) != inst.type)
+          error(b, std::string(opcode_name(inst.op)) + ": integer type mismatch");
+        break;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv:
+        if (!want_operands(2)) break;
+        if (!is_float(inst.type) || ty(inst.operands[0]) != inst.type ||
+            ty(inst.operands[1]) != inst.type)
+          error(b, std::string(opcode_name(inst.op)) + ": float type mismatch");
+        break;
+      case Opcode::ICmp:
+        if (!want_operands(2)) break;
+        if (inst.type != Type::I1) error(b, "icmp result must be i1");
+        if (ty(inst.operands[0]) != ty(inst.operands[1]) ||
+            (!is_integer(ty(inst.operands[0])) && !is_pointer(ty(inst.operands[0]))))
+          error(b, "icmp operand types invalid");
+        break;
+      case Opcode::FCmp:
+        if (!want_operands(2)) break;
+        if (inst.type != Type::I1) error(b, "fcmp result must be i1");
+        if (ty(inst.operands[0]) != ty(inst.operands[1]) ||
+            !is_float(ty(inst.operands[0])))
+          error(b, "fcmp operand types invalid");
+        break;
+      case Opcode::Select:
+        if (!want_operands(3)) break;
+        if (ty(inst.operands[0]) != Type::I1) error(b, "select condition must be i1");
+        if (ty(inst.operands[1]) != inst.type || ty(inst.operands[2]) != inst.type)
+          error(b, "select arm type mismatch");
+        break;
+      case Opcode::ZExt: case Opcode::SExt:
+        if (!want_operands(1)) break;
+        if (!is_integer(ty(inst.operands[0])) || !is_integer(inst.type) ||
+            bit_width(ty(inst.operands[0])) >= bit_width(inst.type))
+          error(b, "zext/sext must widen an integer");
+        break;
+      case Opcode::Trunc:
+        if (!want_operands(1)) break;
+        if (!is_integer(ty(inst.operands[0])) || !is_integer(inst.type) ||
+            bit_width(ty(inst.operands[0])) <= bit_width(inst.type))
+          error(b, "trunc must narrow an integer");
+        break;
+      case Opcode::FPToSI:
+        if (!want_operands(1)) break;
+        if (!is_float(ty(inst.operands[0])) || !is_integer(inst.type))
+          error(b, "fptosi types invalid");
+        break;
+      case Opcode::SIToFP:
+        if (!want_operands(1)) break;
+        if (!is_integer(ty(inst.operands[0])) || !is_float(inst.type))
+          error(b, "sitofp types invalid");
+        break;
+      case Opcode::FPExt:
+        if (!want_operands(1)) break;
+        if (ty(inst.operands[0]) != Type::F32 || inst.type != Type::F64)
+          error(b, "fpext must be f32 -> f64");
+        break;
+      case Opcode::FPTrunc:
+        if (!want_operands(1)) break;
+        if (ty(inst.operands[0]) != Type::F64 || inst.type != Type::F32)
+          error(b, "fptrunc must be f64 -> f32");
+        break;
+      case Opcode::Alloca:
+        if (inst.type != Type::Ptr) error(b, "alloca must yield ptr");
+        if (inst.imm <= 0) error(b, "alloca size must be positive");
+        break;
+      case Opcode::Load:
+        if (!want_operands(1)) break;
+        if (!is_pointer(ty(inst.operands[0]))) error(b, "load needs ptr operand");
+        if (inst.type == Type::Void) error(b, "load result cannot be void");
+        break;
+      case Opcode::Store:
+        if (!want_operands(2)) break;
+        if (!is_pointer(ty(inst.operands[1]))) error(b, "store needs ptr operand");
+        if (ty(inst.operands[0]) == Type::Void) error(b, "cannot store void");
+        break;
+      case Opcode::Gep:
+        if (!want_operands(2)) break;
+        if (!is_pointer(ty(inst.operands[0])) || !is_integer(ty(inst.operands[1])))
+          error(b, "gep needs (ptr, integer)");
+        if (inst.type != Type::Ptr) error(b, "gep must yield ptr");
+        if (inst.imm <= 0) error(b, "gep stride must be positive");
+        break;
+      case Opcode::GlobalAddr:
+        if (inst.aux >= module_.globals.size()) error(b, "gaddr: bad global index");
+        if (inst.type != Type::Ptr) error(b, "gaddr must yield ptr");
+        break;
+      case Opcode::Br:
+        if (inst.aux >= fn_.blocks.size()) error(b, "br: bad target");
+        break;
+      case Opcode::CondBr:
+        if (!want_operands(1)) break;
+        if (ty(inst.operands[0]) != Type::I1) error(b, "condbr condition must be i1");
+        if (inst.aux >= fn_.blocks.size() || inst.aux2 >= fn_.blocks.size())
+          error(b, "condbr: bad target");
+        break;
+      case Opcode::Ret:
+        if (fn_.ret_type == Type::Void) {
+          if (!inst.operands.empty()) error(b, "void function returns a value");
+        } else if (inst.operands.size() != 1 ||
+                   ty(inst.operands[0]) != fn_.ret_type) {
+          error(b, "ret type mismatch");
+        }
+        break;
+      case Opcode::Call: {
+        if (inst.aux >= module_.functions.size()) {
+          error(b, "call: bad callee index");
+          break;
+        }
+        const Function& callee = module_.functions[inst.aux];
+        if (inst.type != callee.ret_type) error(b, "call result type mismatch");
+        if (inst.operands.size() != callee.params.size()) {
+          error(b, "call arity mismatch to @" + callee.name);
+          break;
+        }
+        for (std::size_t i = 0; i < inst.operands.size(); ++i)
+          if (value_ok(inst.operands[i]) &&
+              ty(inst.operands[i]) != callee.params[i])
+            error(b, "call argument " + std::to_string(i) + " type mismatch");
+        break;
+      }
+      case Opcode::Phi:
+        if (inst.operands.size() != inst.phi_blocks.size())
+          error(b, "phi operand/block list size mismatch");
+        for (ValueId o : inst.operands)
+          if (value_ok(o) && ty(o) != inst.type) error(b, "phi incoming type mismatch");
+        break;
+      case Opcode::CustomOp:
+        if (inst.type == Type::Void) error(b, "custom op must produce a value");
+        break;
+      case Opcode::Param: case Opcode::ConstInt: case Opcode::ConstFloat:
+        break;  // diagnosed as block-free above
+    }
+  }
+
+  void check_phis(const Cfg& cfg) {
+    for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+      for (ValueId v : fn_.blocks[b].instrs) {
+        const Instruction& inst = fn_.values[v];
+        if (inst.op != Opcode::Phi) continue;
+        auto preds = cfg.predecessors(b);
+        auto arcs = inst.phi_blocks;
+        std::sort(preds.begin(), preds.end());
+        std::sort(arcs.begin(), arcs.end());
+        if (preds != arcs)
+          error(b, "phi arcs do not match CFG predecessors");
+      }
+    }
+  }
+
+  void check_dominance(const Cfg& cfg) {
+    for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+      if (!cfg.reachable(b)) continue;
+      const BasicBlock& block = fn_.blocks[b];
+      for (std::size_t pos = 0; pos < block.instrs.size(); ++pos) {
+        const ValueId v = block.instrs[pos];
+        const Instruction& inst = fn_.values[v];
+        for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+          const ValueId d = inst.operands[i];
+          if (!value_ok(d)) continue;
+          if (is_block_free(fn_.values[d].op)) continue;
+          const BlockId db = def_block_[d];
+          if (db == kNoBlock) {
+            error(b, "use of value not in any block");
+            continue;
+          }
+          if (!cfg.reachable(db)) {
+            error(b, "use of value defined in unreachable block");
+            continue;
+          }
+          if (inst.op == Opcode::Phi) {
+            // The use point is the end of the incoming edge's source block.
+            const BlockId src = inst.phi_blocks[i];
+            if (cfg.reachable(src) && !cfg.dominates(db, src))
+              error(b, "phi incoming value does not dominate its edge");
+            continue;
+          }
+          if (db == b) {
+            if (def_pos_[d] >= pos)
+              error(b, "use before definition in block");
+          } else if (!cfg.dominates(db, b)) {
+            error(b, "definition does not dominate use");
+          }
+        }
+      }
+    }
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  std::vector<VerifyError>& out_;
+  std::vector<BlockId> def_block_;
+  std::vector<std::size_t> def_pos_;
+  bool structurally_sound_ = true;
+};
+
+}  // namespace
+
+std::vector<VerifyError> verify_module(const Module& module) {
+  std::vector<VerifyError> errors;
+  for (const Function& fn : module.functions)
+    FunctionVerifier(module, fn, errors).run();
+  return errors;
+}
+
+void verify_module_or_throw(const Module& module) {
+  const auto errors = verify_module(module);
+  if (errors.empty()) return;
+  std::string msg = "IR verification failed:";
+  const std::size_t limit = std::min<std::size_t>(errors.size(), 20);
+  for (std::size_t i = 0; i < limit; ++i) msg += "\n  " + errors[i].to_string();
+  if (errors.size() > limit)
+    msg += "\n  ... and " + std::to_string(errors.size() - limit) + " more";
+  throw std::runtime_error(msg);
+}
+
+}  // namespace jitise::ir

@@ -1,0 +1,44 @@
+// Structural and semantic well-formedness checks for IR modules.
+//
+// The verifier is run on every generated benchmark application and after
+// every binary-rewriting step (custom-instruction splicing), so rewriter
+// bugs surface as verifier diagnostics rather than silent VM misbehaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace jitise::ir {
+
+/// One diagnostic: function/block context plus a human-readable message.
+struct VerifyError {
+  std::string function;
+  std::string block;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = function;
+    if (!block.empty()) s += "/" + block;
+    return s + ": " + message;
+  }
+};
+
+/// Checks performed:
+///  - every block ends with exactly one terminator, terminators only at ends
+///  - operand/aux indices are in range (values, blocks, globals, functions)
+///  - operand types match the opcode's contract (binops homogeneous, icmp on
+///    integers/ptr, fcmp on floats, load/store/gep pointers, ...)
+///  - phis: at block front only, incoming arc per CFG predecessor, no
+///    duplicate arcs
+///  - SSA dominance: every use is dominated by its definition (phi uses are
+///    checked at the incoming edge's source block)
+///  - constants/params appear in no block; block instructions are not
+///    block-free opcodes
+[[nodiscard]] std::vector<VerifyError> verify_module(const Module& module);
+
+/// Throws std::runtime_error listing all diagnostics if verification fails.
+void verify_module_or_throw(const Module& module);
+
+}  // namespace jitise::ir

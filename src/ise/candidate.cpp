@@ -1,0 +1,81 @@
+#include "ise/candidate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/rng.hpp"
+
+namespace jitise::ise {
+
+void compute_io(const dfg::BlockDfg& graph, Candidate& cand) {
+  cand.inputs.clear();
+  cand.outputs.clear();
+  const ir::Function& fn = graph.function();
+
+  std::vector<bool> in_set(graph.size(), false);
+  for (dfg::NodeId n : cand.nodes) in_set[n] = true;
+
+  for (dfg::NodeId n : cand.nodes) {
+    const ir::Instruction& inst = fn.values[graph.value_of(n)];
+    for (ir::ValueId o : inst.operands) {
+      const auto node = graph.node_of(o);
+      const bool internal = node.has_value() && in_set[*node];
+      if (!internal &&
+          std::find(cand.inputs.begin(), cand.inputs.end(), o) ==
+              cand.inputs.end())
+        cand.inputs.push_back(o);
+    }
+    // Output if used outside the block, or by an in-block node not in the set.
+    bool is_output = graph.used_outside(n);
+    if (!is_output)
+      for (dfg::NodeId s : graph.succs(n))
+        if (!in_set[s]) {
+          is_output = true;
+          break;
+        }
+    if (is_output) cand.outputs.push_back(graph.value_of(n));
+  }
+}
+
+std::uint64_t candidate_signature(const dfg::BlockDfg& graph,
+                                  const Candidate& cand) {
+  const ir::Function& fn = graph.function();
+  // Local renumbering: inputs first (in cand.inputs order), then nodes in
+  // topological (sorted) order.
+  std::unordered_map<ir::ValueId, std::uint32_t> local;
+  std::uint32_t next = 0;
+  for (ir::ValueId in : cand.inputs) local.emplace(in, next++);
+  for (dfg::NodeId n : cand.nodes) local.emplace(graph.value_of(n), next++);
+
+  support::Fnv1a h;
+  h.update_value<std::uint32_t>(static_cast<std::uint32_t>(cand.inputs.size()));
+  for (ir::ValueId in : cand.inputs) {
+    const ir::Instruction& def = fn.values[in];
+    h.update_value<std::uint8_t>(static_cast<std::uint8_t>(def.type));
+    // Constant inputs are baked into the datapath; their literal matters.
+    if (def.op == ir::Opcode::ConstInt) {
+      h.update_value<std::uint8_t>(1);
+      h.update_value<std::int64_t>(def.imm);
+    } else if (def.op == ir::Opcode::ConstFloat) {
+      h.update_value<std::uint8_t>(2);
+      h.update_value<double>(def.fimm);
+    } else {
+      h.update_value<std::uint8_t>(0);
+    }
+  }
+  for (dfg::NodeId n : cand.nodes) {
+    const ir::Instruction& inst = fn.values[graph.value_of(n)];
+    h.update_value<std::uint8_t>(static_cast<std::uint8_t>(inst.op));
+    h.update_value<std::uint8_t>(static_cast<std::uint8_t>(inst.type));
+    h.update_value<std::uint32_t>(inst.aux);  // icmp/fcmp predicate
+    if (inst.op == ir::Opcode::Gep) h.update_value<std::int64_t>(inst.imm);
+    for (ir::ValueId o : inst.operands)
+      h.update_value<std::uint32_t>(local.at(o));
+  }
+  // Output positions (relative to local numbering).
+  for (ir::ValueId out : cand.outputs)
+    h.update_value<std::uint32_t>(local.at(out));
+  return h.digest();
+}
+
+}  // namespace jitise::ise

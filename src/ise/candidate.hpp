@@ -1,0 +1,44 @@
+// Custom-instruction candidates: a convex, hardware-feasible subgraph of one
+// basic block's data-flow graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "ir/module.hpp"
+
+namespace jitise::ise {
+
+/// A candidate custom instruction. `nodes` are indices into the BlockDfg of
+/// (function, block), sorted ascending (= topological order).
+struct Candidate {
+  ir::FuncId function = 0;
+  ir::BlockId block = 0;
+  std::vector<dfg::NodeId> nodes;
+  /// Values flowing into the subgraph from outside (constants, params,
+  /// other-block values, or in-block nodes not part of the candidate),
+  /// deduplicated in first-use order. These become FCM operand ports.
+  std::vector<ir::ValueId> inputs;
+  /// Values computed inside and used outside. The Woolcano FCM interface is
+  /// single-result; identification algorithms that can produce multi-output
+  /// cuts report them here, but only single-output candidates are
+  /// implementable (selection filters accordingly).
+  std::vector<ir::ValueId> outputs;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
+  [[nodiscard]] bool single_output() const noexcept { return outputs.size() == 1; }
+};
+
+/// Populates `inputs`/`outputs` of `cand` from the DFG (nodes must be set).
+void compute_io(const dfg::BlockDfg& graph, Candidate& cand);
+
+/// Content hash of the candidate's *structure*: opcodes, types, internal
+/// edges, input arity/types and constant-input literals — independent of
+/// function/block position and ValueId numbering. Two structurally identical
+/// candidates from different applications hash equally, which is exactly the
+/// property the partial-bitstream cache (paper §VI-A) needs for its keys.
+[[nodiscard]] std::uint64_t candidate_signature(const dfg::BlockDfg& graph,
+                                                const Candidate& cand);
+
+}  // namespace jitise::ise

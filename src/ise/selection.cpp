@@ -1,0 +1,90 @@
+#include "ise/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace jitise::ise {
+
+namespace {
+
+bool eligible(const ScoredCandidate& sc, const SelectConfig& config) {
+  if (sc.cycles_saved_total < config.min_saving) return false;
+  if (config.require_single_output && !sc.candidate.single_output()) return false;
+  return sc.area_slices <= config.area_budget_slices;
+}
+
+}  // namespace
+
+Selection select_greedy(std::span<const ScoredCandidate> scored,
+                        const SelectConfig& config) {
+  std::vector<std::size_t> order(scored.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = scored[a].cycles_saved_total /
+                      std::max(1.0, scored[a].area_slices);
+    const double db = scored[b].cycles_saved_total /
+                      std::max(1.0, scored[b].area_slices);
+    if (da != db) return da > db;
+    return a < b;  // deterministic tie-break
+  });
+
+  Selection sel;
+  for (std::size_t i : order) {
+    if (sel.chosen.size() >= config.max_instructions) break;
+    const ScoredCandidate& sc = scored[i];
+    if (!eligible(sc, config)) continue;
+    if (sel.total_area + sc.area_slices > config.area_budget_slices) continue;
+    sel.chosen.push_back(i);
+    sel.total_saving += sc.cycles_saved_total;
+    sel.total_area += sc.area_slices;
+  }
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  return sel;
+}
+
+Selection select_knapsack(std::span<const ScoredCandidate> scored,
+                          const SelectConfig& config,
+                          double area_granularity) {
+  // Discretize area; respect the slot cap by a 2-D DP (capacity x slots kept
+  // implicit: slots rarely bind, so run capacity DP and trim afterwards —
+  // if the slot cap binds, fall back to greedy which honours it exactly).
+  const auto capacity = static_cast<std::size_t>(
+      std::floor(config.area_budget_slices / area_granularity));
+  std::vector<std::size_t> items;
+  for (std::size_t i = 0; i < scored.size(); ++i)
+    if (eligible(scored[i], config)) items.push_back(i);
+
+  std::vector<double> best(capacity + 1, 0.0);
+  std::vector<std::vector<std::uint8_t>> take(items.size(),
+                                              std::vector<std::uint8_t>(capacity + 1, 0));
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const ScoredCandidate& sc = scored[items[k]];
+    const auto w = static_cast<std::size_t>(
+        std::ceil(sc.area_slices / area_granularity));
+    for (std::size_t c = capacity + 1; c-- > w;) {
+      const double with = best[c - w] + sc.cycles_saved_total;
+      if (with > best[c]) {
+        best[c] = with;
+        take[k][c] = 1;
+      }
+    }
+  }
+
+  Selection sel;
+  std::size_t c = capacity;
+  for (std::size_t k = items.size(); k-- > 0;) {
+    if (!take[k][c]) continue;
+    const ScoredCandidate& sc = scored[items[k]];
+    sel.chosen.push_back(items[k]);
+    sel.total_saving += sc.cycles_saved_total;
+    sel.total_area += sc.area_slices;
+    c -= static_cast<std::size_t>(std::ceil(sc.area_slices / area_granularity));
+  }
+  if (sel.chosen.size() > config.max_instructions)
+    return select_greedy(scored, config);
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  return sel;
+}
+
+}  // namespace jitise::ise

@@ -1,0 +1,38 @@
+#include "jit/breakeven.hpp"
+
+namespace jitise::jit {
+
+double break_even_seconds(std::span<const BlockTerm> blocks,
+                          double overhead_seconds) {
+  double const_time = 0.0, const_saving = 0.0;
+  double live_time = 0.0, live_saving_rate = 0.0;
+  for (const BlockTerm& term : blocks) {
+    const double saving_frac =
+        term.speedup > 1.0 ? 1.0 - 1.0 / term.speedup : 0.0;
+    switch (term.cls) {
+      case vm::CoverageClass::Dead:
+        break;
+      case vm::CoverageClass::Const:
+        const_time += term.time_seconds;
+        const_saving += term.time_seconds * saving_frac;
+        break;
+      case vm::CoverageClass::Live:
+        live_time += term.time_seconds;
+        live_saving_rate += term.time_seconds * saving_frac;
+        break;
+    }
+  }
+
+  if (overhead_seconds <= const_saving) {
+    // Compensated already within the first execution's const portion.
+    return const_time;
+  }
+  const double remaining = overhead_seconds - const_saving;
+  if (live_saving_rate <= 0.0) return kNeverBreaksEven;
+  const double scale = remaining / live_saving_rate;
+  // x >= 1 by definition (the first execution's live part runs anyway).
+  const double x = scale < 1.0 ? 1.0 : scale;
+  return const_time + x * live_time;
+}
+
+}  // namespace jitise::jit

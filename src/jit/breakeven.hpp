@@ -1,0 +1,66 @@
+// Break-even analysis (paper §V-D).
+//
+// "We have followed a more sophisticated approach of computing the break
+//  even time, which assumes that more input data is processed instead of
+//  multiple executions of the same application. Hence, the additional
+//  runtime is spent only in the parts of the code which are live, while
+//  code parts that are const or dead are not affected."
+//
+// Model: each basic block contributes its profiled execution time t_i, its
+// coverage class, and its accelerated speedup s_i (1.0 where no custom
+// instruction applies). Const blocks run exactly once (first execution);
+// live blocks scale with the input by a factor x >= 1. The ASIP overhead O
+// is compensated when the accumulated saved time reaches O:
+//
+//    sum_const t_i (1 - 1/s_i)  +  x * sum_live t_i (1 - 1/s_i)  >=  O
+//
+// The reported break-even time is the (original-equivalent) execution time
+// of the application at that point:  sum_const t_i + x* . sum_live t_i.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "vm/coverage.hpp"
+
+namespace jitise::jit {
+
+struct BlockTerm {
+  double time_seconds = 0.0;   // profiled time of this block (one execution)
+  vm::CoverageClass cls = vm::CoverageClass::Dead;
+  double speedup = 1.0;        // accelerated speedup of this block
+};
+
+inline constexpr double kNeverBreaksEven = std::numeric_limits<double>::infinity();
+
+/// Seconds of application execution until the ASIP-SP overhead is
+/// compensated; kNeverBreaksEven if savings can never cover the overhead.
+[[nodiscard]] double break_even_seconds(std::span<const BlockTerm> blocks,
+                                        double overhead_seconds);
+
+/// Convenience: builds the BlockTerm list from a module profile + coverage
+/// report, applying `block_speedup(f, b)` per block.
+template <typename SpeedupFn>
+[[nodiscard]] std::vector<BlockTerm> block_terms(
+    const ir::Module& module, const vm::Profile& profile,
+    const vm::CoverageReport& coverage, const vm::CostModel& cost,
+    SpeedupFn&& block_speedup) {
+  std::vector<BlockTerm> terms;
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    const ir::Function& fn = module.functions[f];
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      std::uint64_t cycles = 0;
+      for (ir::ValueId v : fn.blocks[b].instrs)
+        cycles += cost.cycles(fn.values[v].op, fn.values[v].type);
+      BlockTerm term;
+      term.time_seconds =
+          cost.seconds(profile.block_counts[f][b] * cycles);
+      term.cls = coverage.classes[f][b];
+      term.speedup = block_speedup(static_cast<ir::FuncId>(f), b);
+      terms.push_back(term);
+    }
+  }
+  return terms;
+}
+
+}  // namespace jitise::jit

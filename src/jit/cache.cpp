@@ -1,0 +1,46 @@
+#include "jit/cache.hpp"
+
+namespace jitise::jit {
+
+std::optional<CachedImplementation> BitstreamCache::lookup(
+    std::uint64_t signature) {
+  const auto it = map_.find(signature);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->entry;
+}
+
+void BitstreamCache::insert(std::uint64_t signature,
+                            CachedImplementation entry) {
+  const std::size_t size = entry.bitstream.size_bytes();
+  if (const auto it = map_.find(signature); it != map_.end()) {
+    bytes_ -= it->second->entry.bitstream.size_bytes();
+    it->second->entry = std::move(entry);
+    bytes_ += size;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{signature, std::move(entry)});
+  map_[signature] = lru_.begin();
+  bytes_ += size;
+  if (capacity_ == 0) return;
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    const Node& victim = lru_.back();
+    bytes_ -= victim.entry.bitstream.size_bytes();
+    map_.erase(victim.signature);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void BitstreamCache::clear() {
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace jitise::jit

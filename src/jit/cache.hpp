@@ -1,0 +1,78 @@
+// Partial-reconfiguration bitstream cache (paper §VI-A).
+//
+// "Much like virtual machines cache the binary code that was generated
+// on-the-fly, we can cache the generated partial bitstreams for each custom
+// instruction. Each candidate needs a unique identifier used as a key."
+// The key is the candidate's structural signature (ise::candidate_signature),
+// so identical datapaths hit across applications and runs. A size-bounded
+// LRU policy models the on-disk database.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "fpga/bitgen.hpp"
+
+namespace jitise::jit {
+
+struct CachedImplementation {
+  fpga::Bitstream bitstream;
+  std::uint32_t hw_cycles = 1;
+  double critical_path_ns = 0.0;
+  double area_slices = 0.0;
+  std::size_t cells = 0;
+  /// What generating this bitstream cost (modeled seconds) — the amount a
+  /// cache hit saves.
+  double generation_seconds = 0.0;
+};
+
+class BitstreamCache {
+ public:
+  /// `capacity_bytes` bounds the sum of cached bitstream sizes (LRU
+  /// eviction); 0 means unbounded.
+  explicit BitstreamCache(std::size_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  /// Returns the entry and refreshes its LRU position.
+  std::optional<CachedImplementation> lookup(std::uint64_t signature);
+
+  void insert(std::uint64_t signature, CachedImplementation entry);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] bool contains(std::uint64_t signature) const {
+    return map_.count(signature) != 0;
+  }
+
+  void clear();
+
+  /// Stable snapshot of all entries (most recently used first) for
+  /// serialization and inspection.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, const CachedImplementation*>>
+  snapshot() const {
+    std::vector<std::pair<std::uint64_t, const CachedImplementation*>> out;
+    out.reserve(lru_.size());
+    for (const Node& node : lru_) out.emplace_back(node.signature, &node.entry);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t signature;
+    CachedImplementation entry;
+  };
+  std::size_t capacity_;
+  std::list<Node> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Node>::iterator> map_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace jitise::jit

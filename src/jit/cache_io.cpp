@@ -1,0 +1,124 @@
+#include "jit/cache_io.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "fpga/bitgen.hpp"
+
+namespace jitise::jit {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4A495443;  // "JITC"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t n) {
+  if (std::fwrite(data, 1, n, f) != n)
+    throw std::runtime_error("cache file: write failed");
+}
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_bytes(f, &v, sizeof(v));
+}
+void write_string(std::FILE* f, const std::string& s) {
+  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()));
+  write_bytes(f, s.data(), s.size());
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t n) {
+  if (std::fread(data, 1, n, f) != n)
+    throw std::runtime_error("cache file: truncated");
+}
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v;
+  read_bytes(f, &v, sizeof(v));
+  return v;
+}
+std::string read_string(std::FILE* f) {
+  const auto n = read_pod<std::uint32_t>(f);
+  if (n > (1u << 20)) throw std::runtime_error("cache file: bad string size");
+  std::string s(n, '\0');
+  read_bytes(f, s.data(), n);
+  return s;
+}
+
+}  // namespace
+
+void save_cache(const BitstreamCache& cache, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open cache file for writing: " + path);
+
+  const auto entries = cache.snapshot();
+  write_pod(f.get(), kMagic);
+  write_pod(f.get(), kVersion);
+  write_pod<std::uint64_t>(f.get(), entries.size());
+  for (const auto& [signature, entry] : entries) {
+    write_pod(f.get(), signature);
+    write_pod(f.get(), entry->hw_cycles);
+    write_pod(f.get(), entry->critical_path_ns);
+    write_pod(f.get(), entry->area_slices);
+    write_pod<std::uint64_t>(f.get(), entry->cells);
+    write_pod(f.get(), entry->generation_seconds);
+    const fpga::Bitstream& bs = entry->bitstream;
+    write_string(f.get(), bs.part);
+    write_pod(f.get(), bs.region_width);
+    write_pod(f.get(), bs.region_height);
+    write_pod(f.get(), bs.frame_count);
+    write_pod(f.get(), bs.crc32);
+    write_pod<std::uint64_t>(f.get(), bs.bytes.size());
+    write_bytes(f.get(), bs.bytes.data(), bs.bytes.size());
+  }
+}
+
+void load_cache(BitstreamCache& cache, const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open cache file: " + path);
+
+  if (read_pod<std::uint32_t>(f.get()) != kMagic)
+    throw std::runtime_error("cache file: bad magic");
+  if (read_pod<std::uint32_t>(f.get()) != kVersion)
+    throw std::runtime_error("cache file: unsupported version");
+  const auto count = read_pod<std::uint64_t>(f.get());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto signature = read_pod<std::uint64_t>(f.get());
+    CachedImplementation entry;
+    entry.hw_cycles = read_pod<std::uint32_t>(f.get());
+    entry.critical_path_ns = read_pod<double>(f.get());
+    entry.area_slices = read_pod<double>(f.get());
+    entry.cells = static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
+    entry.generation_seconds = read_pod<double>(f.get());
+    entry.bitstream.part = read_string(f.get());
+    entry.bitstream.region_width = read_pod<std::uint16_t>(f.get());
+    entry.bitstream.region_height = read_pod<std::uint16_t>(f.get());
+    entry.bitstream.frame_count = read_pod<std::uint32_t>(f.get());
+    entry.bitstream.crc32 = read_pod<std::uint32_t>(f.get());
+    const auto nbytes = read_pod<std::uint64_t>(f.get());
+    if (nbytes > (1ull << 30)) throw std::runtime_error("cache file: bad size");
+    entry.bitstream.bytes.resize(static_cast<std::size_t>(nbytes));
+    read_bytes(f.get(), entry.bitstream.bytes.data(),
+               entry.bitstream.bytes.size());
+    // Integrity: the stored CRC must match the payload (excluding the
+    // trailing CRC word appended by bitgen).
+    if (!entry.bitstream.bytes.empty()) {
+      const std::size_t body = entry.bitstream.bytes.size() >= 4
+                                   ? entry.bitstream.bytes.size() - 4
+                                   : 0;
+      if (fpga::crc32(entry.bitstream.bytes.data(), body) !=
+          entry.bitstream.crc32)
+        throw std::runtime_error("cache file: CRC mismatch (corrupt entry)");
+    }
+    cache.insert(signature, std::move(entry));
+  }
+}
+
+}  // namespace jitise::jit

@@ -1,0 +1,21 @@
+// Binary serialization of the bitstream cache — the paper's §VI-A suggests
+// storing generated partial bitstreams "in an on-disk database" so later
+// runs (even of other applications with structurally identical candidates)
+// skip hardware generation entirely.
+#pragma once
+
+#include <string>
+
+#include "jit/cache.hpp"
+
+namespace jitise::jit {
+
+/// Writes all cache entries to `path` (binary, versioned, CRC-protected).
+/// Throws std::runtime_error on I/O failure.
+void save_cache(const BitstreamCache& cache, const std::string& path);
+
+/// Reads a cache file; entries merge into `cache` (existing signatures are
+/// overwritten). Throws std::runtime_error on I/O failure or a corrupt file.
+void load_cache(BitstreamCache& cache, const std::string& path);
+
+}  // namespace jitise::jit

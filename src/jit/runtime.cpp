@@ -1,0 +1,100 @@
+#include "jit/runtime.hpp"
+
+#include "jit/breakeven.hpp"
+#include "support/table.hpp"
+#include "woolcano/asip.hpp"
+
+namespace jitise::jit {
+
+AdaptiveRunReport simulate_adaptive_run(const ir::Module& module,
+                                        const std::string& entry,
+                                        std::span<const vm::Slot> args,
+                                        const AdaptiveRunConfig& config) {
+  AdaptiveRunReport report;
+  double now = 0.0;
+  const auto mark = [&](const std::string& what) {
+    report.events.push_back(TimelineEvent{now, what});
+  };
+
+  // Execution 1: profiled run on the VM.
+  vm::Machine machine(module, config.specializer.cpu);
+  machine.run(entry, args, 1ull << 32);
+  report.one_execution_s =
+      config.specializer.cpu.seconds(machine.profile().cpu_cycles);
+  now += report.one_execution_s;
+  mark("profiling execution complete");
+
+  // ASIP-SP runs on the host, concurrent with further VM executions.
+  const auto spec = specialize(module, machine.profile(), config.specializer);
+  mark(support::strf("candidate search done: %zu found, %zu selected "
+                     "(%.2f ms real)",
+                     spec.candidates_found, spec.candidates_selected,
+                     spec.search_real_ms));
+  double sp_clock = now;  // the host works while the app keeps running
+  for (const auto& impl : spec.implemented) {
+    sp_clock += impl.total_seconds();
+    report.events.push_back(TimelineEvent{
+        sp_clock, support::strf("bitstream ready: %s (%zu B)",
+                                impl.name.c_str(), impl.bitstream_bytes)});
+  }
+
+  // Adaptation: partial reconfiguration of every implemented instruction.
+  woolcano::ReconfigController icap(config.woolcano);
+  for (const auto& ci : spec.registry.all())
+    report.reconfiguration_s += icap.load(ci);
+  sp_clock += report.reconfiguration_s;
+  report.specialization_ready_at = sp_clock;
+  now = sp_clock;
+  mark(support::strf("FCM reconfigured (%llu slot loads, %.2f ms)",
+                     static_cast<unsigned long long>(icap.loads()),
+                     report.reconfiguration_s * 1e3));
+
+  // Measure the accelerated execution.
+  const auto diff =
+      woolcano::run_adapted(module, spec.rewritten, spec.registry, entry, args,
+                            config.specializer.cpu);
+  report.speedup = diff.speedup();
+  report.accelerated_execution_s =
+      config.specializer.cpu.seconds(diff.adapted_cycles);
+
+  // Break-even: cumulative saved execution time repays the ASIP-SP overhead.
+  const double saved_per_exec =
+      report.one_execution_s - report.accelerated_execution_s;
+  if (saved_per_exec <= 0.0) {
+    report.break_even_at = kNeverBreaksEven;
+    mark("no net speedup: overhead is never amortized");
+  } else {
+    const double overhead = spec.sum_total_s;
+    report.executions_to_break_even =
+        static_cast<std::uint64_t>(overhead / saved_per_exec) + 1;
+    report.break_even_at =
+        report.specialization_ready_at +
+        static_cast<double>(report.executions_to_break_even) *
+            report.accelerated_execution_s;
+    now = report.break_even_at;
+    mark(support::strf("break even: overhead (%.0f s) repaid after %llu "
+                       "accelerated executions",
+                       overhead,
+                       static_cast<unsigned long long>(
+                           report.executions_to_break_even)));
+  }
+
+  // Workload totals.
+  const std::uint64_t n = config.workload_executions;
+  report.vm_only_total_s = static_cast<double>(n) * report.one_execution_s;
+  // Executions until the hardware is ready run on the VM.
+  const auto before =
+      static_cast<std::uint64_t>(report.specialization_ready_at /
+                                 std::max(1e-12, report.one_execution_s)) +
+      1;
+  if (before >= n) {
+    report.adaptive_total_s = report.vm_only_total_s;
+  } else {
+    report.adaptive_total_s =
+        static_cast<double>(before) * report.one_execution_s +
+        static_cast<double>(n - before) * report.accelerated_execution_s;
+  }
+  return report;
+}
+
+}  // namespace jitise::jit

@@ -1,0 +1,57 @@
+// Adaptive-execution timeline simulation (paper Figure 1 and §V-D).
+//
+// In the deployed system the application executes on the VM while the ASIP
+// Specialization Process runs concurrently on the host workstation; when
+// bitstreams are ready the FCM is partially reconfigured and execution
+// continues accelerated. This module simulates that timeline for a workload
+// of repeated executions and reports when the hardware-generation overhead
+// is amortized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jit/specializer.hpp"
+
+namespace jitise::jit {
+
+struct TimelineEvent {
+  double at_seconds = 0.0;
+  std::string what;
+};
+
+struct AdaptiveRunReport {
+  std::vector<TimelineEvent> events;
+
+  double one_execution_s = 0.0;        // VM time of one profiled execution
+  double accelerated_execution_s = 0.0;
+  double speedup = 1.0;
+
+  double specialization_ready_at = 0.0;  // profile + ASIP-SP + reconfig
+  double reconfiguration_s = 0.0;
+
+  /// Time at which the cumulative saved execution time equals the ASIP-SP
+  /// overhead (kNeverBreaksEven if the speedup is 1.0).
+  double break_even_at = 0.0;
+  std::uint64_t executions_to_break_even = 0;
+
+  /// Total wall-clock for `workload_executions` with and without JIT ISE.
+  double vm_only_total_s = 0.0;
+  double adaptive_total_s = 0.0;
+};
+
+struct AdaptiveRunConfig {
+  SpecializerConfig specializer;
+  woolcano::WoolcanoConfig woolcano;
+  /// How many times the profiled input executes in the simulated workload.
+  std::uint64_t workload_executions = 100000;
+};
+
+/// Simulates the adaptive run of `module(entry, args)`. The first execution
+/// profiles; the specialization process starts immediately afterwards and
+/// overlaps subsequent executions.
+[[nodiscard]] AdaptiveRunReport simulate_adaptive_run(
+    const ir::Module& module, const std::string& entry,
+    std::span<const vm::Slot> args, const AdaptiveRunConfig& config = {});
+
+}  // namespace jitise::jit

@@ -1,0 +1,214 @@
+#include "jit/specializer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "datapath/project.hpp"
+#include "ise/identify.hpp"
+#include "support/stopwatch.hpp"
+#include "woolcano/rewriter.hpp"
+
+namespace jitise::jit {
+
+namespace {
+
+/// Hardware cycles of one FCM execution given its combinational latency.
+std::uint32_t hw_cycles_from_ns(double latency_ns, const SpecializerConfig& cfg) {
+  const double period_ns = 1e9 / cfg.woolcano.cpu_clock_hz;
+  const auto transfer = static_cast<std::uint32_t>(
+      latency_ns > 0 ? (latency_ns + period_ns - 1.0) / period_ns : 1);
+  return cfg.woolcano.fcm_overhead_cycles + std::max(1u, transfer);
+}
+
+}  // namespace
+
+SpecializationResult specialize(const ir::Module& module,
+                                const vm::Profile& profile,
+                                const SpecializerConfig& config,
+                                BitstreamCache* cache) {
+  SpecializationResult result;
+  hwlib::CircuitDb db;
+  support::Stopwatch search_timer;
+
+  // ---- Phase 1: Candidate Search -----------------------------------------
+  result.prune = ise::prune_blocks(module, profile, config.cpu, config.prune);
+
+  struct Found {
+    ise::ScoredCandidate scored;
+    estimation::CandidateEstimate estimate;
+  };
+  std::vector<Found> found;
+  std::vector<std::unique_ptr<dfg::BlockDfg>> graphs;
+  std::vector<std::size_t> graph_of;  // found index -> graphs index
+
+  for (const ise::PrunedBlock& blk : result.prune.blocks) {
+    auto graph = std::make_unique<dfg::BlockDfg>(
+        module.functions[blk.function], blk.block);
+    const std::size_t graph_index = graphs.size();
+    auto identified = config.identify == SpecializerConfig::Identify::UnionMiso
+                          ? ise::find_union_misos(*graph)
+                          : ise::find_max_misos(*graph);
+    for (ise::Candidate& cand : identified) {
+      cand.function = blk.function;
+      const auto est = estimation::estimate_candidate(*graph, cand, db,
+                                                      config.cpu, config.fcm);
+      ise::ScoredCandidate scored;
+      scored.signature = ise::candidate_signature(*graph, cand);
+      scored.candidate = std::move(cand);
+      scored.cycles_saved_total =
+          est.saved_per_exec * static_cast<double>(blk.exec_count);
+      scored.area_slices = est.area_slices;
+      found.push_back(Found{std::move(scored), est});
+      graph_of.push_back(graph_index);
+    }
+    graphs.push_back(std::move(graph));
+  }
+  result.candidates_found = found.size();
+
+  std::vector<ise::ScoredCandidate> scored;
+  scored.reserve(found.size());
+  for (const Found& f : found) scored.push_back(f.scored);
+  const ise::Selection selection = ise::select_greedy(scored, config.select);
+  result.candidates_selected = selection.chosen.size();
+  result.search_real_ms = search_timer.elapsed_ms();
+
+  // ---- Phases 2+3: Netlist Generation + Instruction Implementation -------
+  double saved_cycles_total = 0.0;
+  for (std::size_t idx : selection.chosen) {
+    const Found& f = found[idx];
+    const dfg::BlockDfg& graph = *graphs[graph_of[idx]];
+    ImplementedCandidate impl;
+    impl.name = "ci_" + module.name + "_f" +
+                std::to_string(f.scored.candidate.function) + "_b" +
+                std::to_string(f.scored.candidate.block) + "_" +
+                std::to_string(result.registry.size());
+    impl.signature = f.scored.signature;
+    impl.instructions = f.scored.candidate.size();
+    impl.area_slices = f.scored.area_slices;
+
+    woolcano::CustomInstruction ci;
+    ci.candidate = f.scored.candidate;
+    ci.signature = f.scored.signature;
+    ci.program = woolcano::snapshot_program(graph, f.scored.candidate);
+    ci.area_slices = f.scored.area_slices;
+
+    if (!config.implement_hardware) {
+      ci.hw_cycles = f.estimate.hw_cycles;
+      ci.critical_path_ns = f.estimate.hw_latency_ns;
+      impl.hw_cycles = ci.hw_cycles;
+    } else {
+      std::optional<CachedImplementation> hit;
+      if (cache) hit = cache->lookup(impl.signature);
+      if (hit) {
+        impl.cache_hit = true;
+        impl.cells = hit->cells;
+        impl.bitstream_bytes = hit->bitstream.size_bytes();
+        impl.hw_cycles = hit->hw_cycles;
+        ci.hw_cycles = hit->hw_cycles;
+        ci.critical_path_ns = hit->critical_path_ns;
+        ci.bitstream_bytes = hit->bitstream.size_bytes();
+        // All generation stages are skipped: zero modeled seconds.
+      } else {
+        const auto project =
+            datapath::create_project(graph, f.scored.candidate, db, impl.name);
+        cad::ImplementationResult hw;
+        try {
+          hw = cad::implement_candidate(project, config.flow);
+        } catch (const fpga::CadError&) {
+          // Oversized or unroutable candidate: the tool flow rejects it and
+          // the specializer simply drops it (it stays in software).
+          ++result.candidates_failed;
+          continue;
+        }
+        impl.cells = hw.cells;
+        impl.bitstream_bytes = hw.bitstream.size_bytes();
+        impl.c2v_s = hw.c2v.modeled_seconds;
+        impl.syn_s = hw.syn.modeled_seconds;
+        impl.xst_s = hw.xst.modeled_seconds;
+        impl.tra_s = hw.tra.modeled_seconds;
+        impl.map_s = hw.map.modeled_seconds;
+        impl.par_s = hw.par.modeled_seconds;
+        impl.bitgen_s = hw.bitgen.modeled_seconds;
+        // STA measures interconnect over the coarse cluster netlist; the
+        // component database carries each core's true combinational latency.
+        // The effective FCM latency is bounded below by both.
+        ci.critical_path_ns =
+            std::max(hw.timing.critical_path_ns, f.estimate.hw_latency_ns);
+        ci.hw_cycles = std::max(hw_cycles_from_ns(ci.critical_path_ns, config),
+                                f.estimate.hw_cycles);
+        ci.bitstream_bytes = hw.bitstream.size_bytes();
+        impl.hw_cycles = ci.hw_cycles;
+        if (cache)
+          cache->insert(impl.signature,
+                        CachedImplementation{hw.bitstream, ci.hw_cycles,
+                                             ci.critical_path_ns,
+                                             impl.area_slices, hw.cells,
+                                             impl.total_seconds()});
+      }
+    }
+
+    // Cycle bookkeeping for the predicted speedup: actual hardware cycles
+    // replace the estimate in the saving. A candidate whose implemented
+    // latency turned out no better than software is *not activated* (the VM
+    // keeps the software path), but its generation cost was already paid —
+    // exactly the paper's accounting, where every implemented candidate
+    // contributes to the overhead regardless of its eventual benefit.
+    const double saved_per_exec =
+        static_cast<double>(f.estimate.sw_cycles) -
+        static_cast<double>(ci.hw_cycles);
+    const bool activated = saved_per_exec > 0.0;
+    if (activated) {
+      for (const auto& b : result.prune.blocks)
+        if (b.function == f.scored.candidate.function &&
+            b.block == f.scored.candidate.block)
+          saved_cycles_total +=
+              saved_per_exec * static_cast<double>(b.exec_count);
+    }
+
+    result.sum_const_s += impl.const_seconds();
+    result.sum_map_s += impl.map_s;
+    result.sum_par_s += impl.par_s;
+    result.sum_total_s += impl.total_seconds();
+    if (activated) result.registry.add(std::move(ci));
+    result.implemented.push_back(std::move(impl));
+  }
+
+  // ---- Adaptation phase ---------------------------------------------------
+  result.rewritten = woolcano::rewrite_module(module, result.registry);
+  const double base = static_cast<double>(profile.cpu_cycles);
+  const double accel = base - saved_cycles_total;
+  result.predicted_speedup = accel > 0.0 && base > 0.0 ? base / accel : 1.0;
+  return result;
+}
+
+UpperBound asip_upper_bound(const ir::Module& module,
+                            const vm::Profile& profile,
+                            const vm::CostModel& cpu,
+                            const estimation::FcmTiming& fcm) {
+  UpperBound ub;
+  ub.base_cycles = profile.cpu_cycles;
+  hwlib::CircuitDb db;
+
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    const ir::Function& fn = module.functions[f];
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const std::uint64_t count = profile.block_counts[f][b];
+      if (count == 0) continue;
+      const dfg::BlockDfg graph(fn, b);
+      if (graph.feasible_count() < 2) continue;
+      for (ise::Candidate& cand : ise::find_max_misos(graph)) {
+        cand.function = static_cast<ir::FuncId>(f);
+        if (!cand.single_output()) continue;
+        const auto est =
+            estimation::estimate_candidate(graph, cand, db, cpu, fcm);
+        if (est.saved_per_exec <= 0.0) continue;
+        ++ub.candidates;
+        ub.saved_cycles += est.saved_per_exec * static_cast<double>(count);
+      }
+    }
+  }
+  return ub;
+}
+
+}  // namespace jitise::jit

@@ -1,0 +1,109 @@
+// The ASIP Specialization Process — the paper's core contribution
+// (Figure 2): Candidate Search (prune -> identify -> estimate -> select),
+// Netlist Generation, Instruction Implementation, and the adaptation phase
+// that rewrites the running binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cad/flow.hpp"
+#include "estimation/estimator.hpp"
+#include "ise/pruning.hpp"
+#include "ise/selection.hpp"
+#include "jit/cache.hpp"
+#include "woolcano/asip.hpp"
+
+namespace jitise::jit {
+
+struct SpecializerConfig {
+  /// Identification algorithm (ablation: Union-MISO grows candidates past
+  /// the MAXMISO partition, addressing the paper's §V-D size limitation).
+  enum class Identify { MaxMiso, UnionMiso };
+  Identify identify = Identify::MaxMiso;
+  ise::PruneConfig prune = ise::PruneConfig::at50pS3L();
+  ise::SelectConfig select;
+  estimation::FcmTiming fcm;
+  vm::CostModel cpu;
+  cad::ToolFlowConfig flow;
+  woolcano::WoolcanoConfig woolcano;
+  /// Skip the CAD flow and use estimation-based hardware cycles (used by
+  /// upper-bound experiments; no bitstreams are produced).
+  bool implement_hardware = true;
+};
+
+/// Per-candidate implementation record (modeled seconds are zero on a
+/// bitstream-cache hit — the paper's §VI-A accounting).
+struct ImplementedCandidate {
+  std::string name;
+  std::uint64_t signature = 0;
+  bool cache_hit = false;
+  std::size_t instructions = 0;  // IR instructions covered
+  std::size_t cells = 0;
+  std::size_t bitstream_bytes = 0;
+  std::uint32_t hw_cycles = 1;
+  double area_slices = 0.0;
+  double c2v_s = 0, syn_s = 0, xst_s = 0, tra_s = 0;
+  double map_s = 0, par_s = 0, bitgen_s = 0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return c2v_s + syn_s + xst_s + tra_s + map_s + par_s + bitgen_s;
+  }
+  [[nodiscard]] double const_seconds() const noexcept {
+    return total_seconds() - map_s - par_s;
+  }
+};
+
+struct SpecializationResult {
+  // Candidate search (paper Table II, left half).
+  ise::PruneResult prune;
+  double search_real_ms = 0.0;  // prune+identify+estimate+select, measured
+  std::size_t candidates_found = 0;
+  std::size_t candidates_selected = 0;
+  std::size_t candidates_failed = 0;  // rejected by the CAD flow (fit/route)
+
+  // Implementation (paper Table II, Runtime Overheads).
+  std::vector<ImplementedCandidate> implemented;
+  double sum_const_s = 0.0;  // per-candidate constant stages, summed
+  double sum_map_s = 0.0;
+  double sum_par_s = 0.0;
+  double sum_total_s = 0.0;
+
+  // Adaptation.
+  woolcano::CiRegistry registry;
+  ir::Module rewritten;
+
+  /// Speedup over the profiled execution predicted from cycle bookkeeping
+  /// (base cycles / (base - saved)); the differential-execution measurement
+  /// lives in woolcano::run_adapted.
+  double predicted_speedup = 1.0;
+};
+
+/// Runs the complete ASIP-SP against a profiled module. If `cache` is given,
+/// implementations are looked up/inserted by candidate signature.
+[[nodiscard]] SpecializationResult specialize(const ir::Module& module,
+                                              const vm::Profile& profile,
+                                              const SpecializerConfig& config,
+                                              BitstreamCache* cache = nullptr);
+
+/// The paper's Table-I "ASIP ratio" upper bound: every MAXMISO candidate in
+/// every executed block is assumed implemented (no pruning, no budgets, no
+/// CAD); hardware cycles come from estimation.
+struct UpperBound {
+  std::uint64_t base_cycles = 0;
+  double saved_cycles = 0.0;
+  std::size_t candidates = 0;
+
+  [[nodiscard]] double ratio() const noexcept {
+    const double accel = static_cast<double>(base_cycles) - saved_cycles;
+    return accel > 0.0 ? static_cast<double>(base_cycles) / accel : 1.0;
+  }
+};
+
+[[nodiscard]] UpperBound asip_upper_bound(const ir::Module& module,
+                                          const vm::Profile& profile,
+                                          const vm::CostModel& cpu = {},
+                                          const estimation::FcmTiming& fcm = {});
+
+}  // namespace jitise::jit

@@ -1,0 +1,310 @@
+#include "opt/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "vm/eval.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jitise::opt {
+
+namespace {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::ValueId;
+
+bool is_const(const Function& fn, ValueId v) {
+  const Opcode op = fn.values[v].op;
+  return op == Opcode::ConstInt || op == Opcode::ConstFloat;
+}
+
+bool is_const_int(const Function& fn, ValueId v, std::int64_t value) {
+  const Instruction& inst = fn.values[v];
+  return inst.op == Opcode::ConstInt && inst.imm == value;
+}
+
+/// Materializes a literal in the function's value table (deduplicated).
+ValueId make_const(Function& fn, Type t, bool is_float, std::int64_t iv,
+                   double fv) {
+  for (ValueId v = 0; v < fn.values.size(); ++v) {
+    const Instruction& inst = fn.values[v];
+    if (is_float && inst.op == Opcode::ConstFloat && inst.type == t &&
+        inst.fimm == fv)
+      return v;
+    if (!is_float && inst.op == Opcode::ConstInt && inst.type == t &&
+        inst.imm == iv)
+      return v;
+  }
+  Instruction c;
+  c.op = is_float ? Opcode::ConstFloat : Opcode::ConstInt;
+  c.type = t;
+  c.imm = is_float ? 0 : iv;
+  c.fimm = is_float ? fv : 0.0;
+  fn.values.push_back(std::move(c));
+  return static_cast<ValueId>(fn.values.size() - 1);
+}
+
+/// Erases `victims` (which must have no remaining uses) from block lists.
+void erase_from_blocks(Function& fn, const std::vector<bool>& victim) {
+  for (ir::BasicBlock& block : fn.blocks) {
+    block.instrs.erase(
+        std::remove_if(block.instrs.begin(), block.instrs.end(),
+                       [&](ValueId v) { return victim[v]; }),
+        block.instrs.end());
+  }
+}
+
+/// True if removing the instruction (given no uses) is safe.
+bool removable(Opcode op) {
+  switch (op) {
+    case Opcode::Store: case Opcode::Call: case Opcode::CustomOp:
+    case Opcode::Br: case Opcode::CondBr: case Opcode::Ret:
+    case Opcode::Alloca:  // keep: pointers may have escaped via stores
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+void replace_all_uses(Function& fn, ValueId from, ValueId to) {
+  for (Instruction& inst : fn.values)
+    for (ValueId& o : inst.operands)
+      if (o == from) o = to;
+}
+
+PassStats constant_fold(Function& fn) {
+  PassStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<bool> victim(fn.values.size(), false);
+    for (const ir::BasicBlock& block : fn.blocks) {
+      for (ValueId v : block.instrs) {
+        Instruction& inst = fn.values[v];
+        if (!vm::is_pure_op(inst.op)) continue;
+        bool all_const = !inst.operands.empty();
+        for (ValueId o : inst.operands) all_const &= is_const(fn, o);
+        if (!all_const) continue;
+
+        vm::Slot ops[3];
+        for (std::size_t k = 0; k < inst.operands.size() && k < 3; ++k) {
+          const Instruction& def = fn.values[inst.operands[k]];
+          ops[k] = def.op == Opcode::ConstFloat ? vm::Slot::of_float(def.fimm)
+                                                : vm::Slot::of_int(def.imm);
+        }
+        vm::PureOp spec;
+        spec.op = inst.op;
+        spec.type = inst.type;
+        spec.src_type = fn.values[inst.operands[0]].type;
+        spec.aux = inst.aux;
+        spec.imm = inst.imm;
+        vm::Slot result;
+        try {
+          result = vm::eval_pure(
+              spec, std::span<const vm::Slot>(ops, inst.operands.size()));
+        } catch (const vm::ExecutionError&) {
+          continue;  // division by a zero constant: leave it to trap at runtime
+        }
+        const bool fp = ir::is_float(inst.type);
+        const ValueId c =
+            make_const(fn, inst.type, fp, result.i, result.f);
+        replace_all_uses(fn, v, c);
+        victim[v] = true;
+        ++stats.folded;
+        changed = true;
+      }
+    }
+    if (changed) erase_from_blocks(fn, victim);
+  }
+  return stats;
+}
+
+PassStats simplify_algebraic(Function& fn) {
+  PassStats stats;
+  std::vector<bool> victim(fn.values.size(), false);
+  for (const ir::BasicBlock& block : fn.blocks) {
+    for (ValueId v : block.instrs) {
+      const Instruction& inst = fn.values[v];
+      ValueId repl = ir::kNoValue;
+      const auto op0 = [&] { return inst.operands[0]; };
+      const auto op1 = [&] { return inst.operands[1]; };
+      switch (inst.op) {
+        case Opcode::Add: case Opcode::Or: case Opcode::Xor:
+        case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+          if (is_const_int(fn, op1(), 0)) repl = op0();
+          if (inst.op == Opcode::Add && is_const_int(fn, op0(), 0)) repl = op1();
+          if (inst.op == Opcode::Or && op0() == op1()) repl = op0();
+          if (inst.op == Opcode::Xor && op0() == op1())
+            repl = make_const(fn, inst.type, false, 0, 0.0);
+          break;
+        case Opcode::Sub:
+          if (is_const_int(fn, op1(), 0)) repl = op0();
+          if (op0() == op1()) repl = make_const(fn, inst.type, false, 0, 0.0);
+          break;
+        case Opcode::Mul:
+          if (is_const_int(fn, op1(), 1)) repl = op0();
+          if (is_const_int(fn, op0(), 1)) repl = op1();
+          if (is_const_int(fn, op1(), 0) || is_const_int(fn, op0(), 0))
+            repl = make_const(fn, inst.type, false, 0, 0.0);
+          break;
+        case Opcode::And:
+          if (op0() == op1()) repl = op0();
+          if (is_const_int(fn, op1(), 0) || is_const_int(fn, op0(), 0))
+            repl = make_const(fn, inst.type, false, 0, 0.0);
+          if (is_const_int(fn, op1(), -1)) repl = op0();
+          break;
+        case Opcode::SDiv: case Opcode::UDiv:
+          if (is_const_int(fn, op1(), 1)) repl = op0();
+          break;
+        case Opcode::Select:
+          if (inst.operands[1] == inst.operands[2]) repl = inst.operands[1];
+          else if (is_const_int(fn, op0(), 1)) repl = inst.operands[1];
+          else if (is_const_int(fn, op0(), 0)) repl = inst.operands[2];
+          break;
+        default:
+          break;
+      }
+      if (repl != ir::kNoValue && repl != v) {
+        replace_all_uses(fn, v, repl);
+        victim[v] = true;
+        ++stats.simplified;
+      }
+    }
+  }
+  erase_from_blocks(fn, victim);
+  return stats;
+}
+
+PassStats common_subexpression(Function& fn) {
+  PassStats stats;
+  std::vector<bool> victim(fn.values.size(), false);
+  using Key = std::tuple<std::uint8_t, std::uint8_t, std::uint32_t,
+                         std::int64_t, std::vector<ValueId>>;
+  for (const ir::BasicBlock& block : fn.blocks) {
+    std::map<Key, ValueId> seen;
+    for (ValueId v : block.instrs) {
+      const Instruction& inst = fn.values[v];
+      // Loads are excluded: an intervening store/call may change memory.
+      if (!vm::is_pure_op(inst.op)) continue;
+      Key key{static_cast<std::uint8_t>(inst.op),
+              static_cast<std::uint8_t>(inst.type), inst.aux, inst.imm,
+              inst.operands};
+      const auto [it, inserted] = seen.emplace(std::move(key), v);
+      if (!inserted) {
+        replace_all_uses(fn, v, it->second);
+        victim[v] = true;
+        ++stats.cse_hits;
+      }
+    }
+  }
+  erase_from_blocks(fn, victim);
+  return stats;
+}
+
+PassStats dead_code_elim(Function& fn) {
+  PassStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::uint32_t> uses(fn.values.size(), 0);
+    for (const Instruction& inst : fn.values)
+      for (ValueId o : inst.operands) ++uses[o];
+    // Only count uses from instructions that are actually in blocks (orphans
+    // do not keep values alive).
+    std::vector<bool> in_block(fn.values.size(), false);
+    for (const ir::BasicBlock& block : fn.blocks)
+      for (ValueId v : block.instrs) in_block[v] = true;
+    std::fill(uses.begin(), uses.end(), 0);
+    for (const ir::BasicBlock& block : fn.blocks)
+      for (ValueId v : block.instrs)
+        for (ValueId o : fn.values[v].operands) ++uses[o];
+
+    std::vector<bool> victim(fn.values.size(), false);
+    for (const ir::BasicBlock& block : fn.blocks) {
+      for (ValueId v : block.instrs) {
+        const Instruction& inst = fn.values[v];
+        if (!removable(inst.op)) continue;
+        if (uses[v] != 0) continue;
+        victim[v] = true;
+        ++stats.removed;
+        changed = true;
+      }
+    }
+    if (changed) erase_from_blocks(fn, victim);
+  }
+  return stats;
+}
+
+PassStats load_forwarding(Function& fn) {
+  PassStats stats;
+  std::vector<bool> victim(fn.values.size(), false);
+  for (const ir::BasicBlock& block : fn.blocks) {
+    // address ValueId -> value currently known to be in memory at it, plus
+    // the type it was accessed with (reuse only on matching type).
+    std::map<ValueId, std::pair<ValueId, Type>> known;
+    for (ValueId v : block.instrs) {
+      const Instruction& inst = fn.values[v];
+      switch (inst.op) {
+        case Opcode::Load: {
+          const ValueId addr = inst.operands[0];
+          const auto it = known.find(addr);
+          if (it != known.end() && it->second.second == inst.type) {
+            replace_all_uses(fn, v, it->second.first);
+            victim[v] = true;
+            ++stats.removed;
+          } else {
+            known[addr] = {v, inst.type};
+          }
+          break;
+        }
+        case Opcode::Store: {
+          const ValueId value = inst.operands[0];
+          const ValueId addr = inst.operands[1];
+          // The store may alias every other tracked address.
+          known.clear();
+          known[addr] = {value, fn.values[value].type};
+          break;
+        }
+        case Opcode::Call:
+        case Opcode::CustomOp:
+          known.clear();  // callee may write anything
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  erase_from_blocks(fn, victim);
+  return stats;
+}
+
+PassStats optimize_function(Function& fn, unsigned max_rounds) {
+  PassStats total;
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    PassStats rounds;
+    rounds += constant_fold(fn);
+    rounds += simplify_algebraic(fn);
+    rounds += common_subexpression(fn);
+    rounds += load_forwarding(fn);
+    rounds += dead_code_elim(fn);
+    total += rounds;
+    if (rounds.total() == 0) break;
+  }
+  return total;
+}
+
+PassStats optimize_module(ir::Module& module, unsigned max_rounds) {
+  PassStats total;
+  for (ir::Function& fn : module.functions)
+    total += optimize_function(fn, max_rounds);
+  return total;
+}
+
+}  // namespace jitise::opt

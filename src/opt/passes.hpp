@@ -1,0 +1,67 @@
+// IR optimization passes — the "dynamic translation / optimization" box of
+// the paper's Figure 1 VM. The JIT runs these before ISE identification:
+// folding and CSE shrink the data-flow graphs candidates are mined from,
+// and DCE keeps dead filler out of the interpreter.
+//
+// All passes are semantics-preserving (checked by differential execution on
+// randomly generated programs in the test suite).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/module.hpp"
+
+namespace jitise::opt {
+
+struct PassStats {
+  std::uint32_t folded = 0;      // constant-folded instructions
+  std::uint32_t simplified = 0;  // algebraic identities applied
+  std::uint32_t cse_hits = 0;    // common subexpressions removed
+  std::uint32_t removed = 0;     // dead instructions removed
+
+  [[nodiscard]] std::uint32_t total() const noexcept {
+    return folded + simplified + cse_hits + removed;
+  }
+  PassStats& operator+=(const PassStats& o) noexcept {
+    folded += o.folded;
+    simplified += o.simplified;
+    cse_hits += o.cse_hits;
+    removed += o.removed;
+    return *this;
+  }
+};
+
+/// Rewrites every use of `from` (operands and phi arcs) to `to`.
+void replace_all_uses(ir::Function& fn, ir::ValueId from, ir::ValueId to);
+
+/// Evaluates pure instructions whose operands are all literals; uses become
+/// constants. Iterates within the function until a fixpoint.
+PassStats constant_fold(ir::Function& fn);
+
+/// Algebraic identities: x+0, x-0, x-x, x*0, x*1, x&0, x&x, x|0, x|x, x^x,
+/// x^0, shifts by 0, x/1, select(c,x,x), select(true/false, a, b).
+PassStats simplify_algebraic(ir::Function& fn);
+
+/// Block-local common-subexpression elimination over pure operations
+/// (memory reads are never merged — no alias analysis is attempted).
+PassStats common_subexpression(ir::Function& fn);
+
+/// Removes side-effect-free instructions whose results are unused
+/// (calls and stores are always kept). Iterates until a fixpoint.
+PassStats dead_code_elim(ir::Function& fn);
+
+/// Block-local redundant-load elimination with conservative aliasing:
+///  - a load from address value A reuses a previous load/store of the same
+///    A when no store to a *different* address and no call intervened,
+///  - any store invalidates every tracked address except its own,
+///  - calls and custom ops invalidate everything.
+/// (The paper's VM performs alias analysis — Figure 1 — this is its sound,
+/// identity-based core.)
+PassStats load_forwarding(ir::Function& fn);
+
+/// Runs fold -> simplify -> cse -> load-forwarding -> dce rounds until nothing changes
+/// (bounded by `max_rounds`); returns accumulated statistics.
+PassStats optimize_function(ir::Function& fn, unsigned max_rounds = 8);
+PassStats optimize_module(ir::Module& module, unsigned max_rounds = 8);
+
+}  // namespace jitise::opt

@@ -1,0 +1,62 @@
+#include "support/duration.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace jitise::support {
+
+namespace {
+
+std::uint64_t to_whole_seconds(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  return static_cast<std::uint64_t>(std::llround(seconds));
+}
+
+}  // namespace
+
+std::string format_min_sec(double seconds) {
+  const std::uint64_t s = to_whole_seconds(seconds);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu:%02llu",
+                static_cast<unsigned long long>(s / 60),
+                static_cast<unsigned long long>(s % 60));
+  return buf;
+}
+
+std::string format_day_hms(double seconds) {
+  const std::uint64_t s = to_whole_seconds(seconds);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu:%02llu",
+                static_cast<unsigned long long>(s / 86400),
+                static_cast<unsigned long long>(s / 3600 % 24),
+                static_cast<unsigned long long>(s / 60 % 60),
+                static_cast<unsigned long long>(s % 60));
+  return buf;
+}
+
+std::string format_hms(double seconds) {
+  const std::uint64_t s = to_whole_seconds(seconds);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02llu:%02llu:%02llu",
+                static_cast<unsigned long long>(s / 3600),
+                static_cast<unsigned long long>(s / 60 % 60),
+                static_cast<unsigned long long>(s % 60));
+  return buf;
+}
+
+double parse_day_hms(const std::string& text) {
+  unsigned long long d = 0, h = 0, m = 0, s = 0;
+  // Accept d:hh:mm:ss, hh:mm:ss and mm:ss.
+  const int n4 = std::sscanf(text.c_str(), "%llu:%llu:%llu:%llu", &d, &h, &m, &s);
+  if (n4 == 4) return static_cast<double>(((d * 24 + h) * 60 + m) * 60 + s);
+  d = h = m = s = 0;
+  const int n3 = std::sscanf(text.c_str(), "%llu:%llu:%llu", &h, &m, &s);
+  if (n3 == 3) return static_cast<double>((h * 60 + m) * 60 + s);
+  h = m = s = 0;
+  const int n2 = std::sscanf(text.c_str(), "%llu:%llu", &m, &s);
+  if (n2 == 2) return static_cast<double>(m * 60 + s);
+  throw std::invalid_argument("unparsable duration: " + text);
+}
+
+}  // namespace jitise::support

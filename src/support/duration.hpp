@@ -1,0 +1,24 @@
+// Human-readable durations in the formats the paper's tables use:
+// seconds, m:s, and d:h:m:s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jitise::support {
+
+/// Formats `seconds` as "m:ss" (minutes not zero-padded), e.g. 87:52.
+/// Matches the `const`/`map`/`par`/`sum` columns of the paper's Table II.
+[[nodiscard]] std::string format_min_sec(double seconds);
+
+/// Formats `seconds` as "d:hh:mm:ss", e.g. 206:22:15:50.
+/// Matches the `break even time` column of the paper's Table II.
+[[nodiscard]] std::string format_day_hms(double seconds);
+
+/// Formats `seconds` as "hh:mm:ss", e.g. 01:59:55 (paper Table IV).
+[[nodiscard]] std::string format_hms(double seconds);
+
+/// Parses "d:hh:mm:ss" back into seconds (used by tests and reference data).
+[[nodiscard]] double parse_day_hms(const std::string& text);
+
+}  // namespace jitise::support

@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic parts of the library (simulated annealing, cache population,
+// calibrated runtime jitter, workload generators) draw from SplitMix64-seeded
+// xoshiro256** generators so that every run of every experiment is exactly
+// reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace jitise::support {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the workhorse generator.
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators", ACM TOMS 2021. Public-domain reference implementation.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Unbiased enough for simulation purposes
+  /// (Lemire-style multiply-shift reduction).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Approximately normal(0,1) via sum of 4 uniforms (Irwin–Hall, rescaled).
+  /// Adequate for runtime-jitter modeling; avoids <random> state bloat.
+  constexpr double gaussian() noexcept {
+    double s = 0.0;
+    for (int i = 0; i < 4; ++i) s += uniform();
+    return (s - 2.0) * 1.7320508075688772;  // var(U(0,1))=1/12; scale to unit
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// 64-bit FNV-1a — stable content hashing for cache keys and seeds.
+class Fnv1a {
+ public:
+  constexpr void update(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  template <typename T>
+  constexpr void update_value(const T& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(&v, sizeof(v));
+  }
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace jitise::support

@@ -1,0 +1,64 @@
+// Small running-statistics helpers used by the CAD runtime model, benchmark
+// tables (mean/stdev rows of the paper's Table III) and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jitise::support {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample standard deviation (n-1 denominator), 0 for n < 2.
+  [[nodiscard]] double stdev() const noexcept {
+    return n_ < 2 ? 0.0 : std::sqrt(m2_ / static_cast<double>(n_ - 1));
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for empty input.
+[[nodiscard]] inline double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Geometric mean of positive values; 0 if any value <= 0 or empty.
+[[nodiscard]] inline double geomean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+}  // namespace jitise::support

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for measuring the *real* runtimes of the algorithmic
+// phases (candidate search is reported in real milliseconds, as in the
+// paper's Table II `real` column).
+#pragma once
+
+#include <chrono>
+
+namespace jitise::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace jitise::support

@@ -1,0 +1,63 @@
+#include "support/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+namespace jitise::support {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : columns_(header.size()) {
+  rows_.push_back(Row{std::move(header), false});
+  rows_.push_back(Row{{}, true});
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_);
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(columns_, 0);
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+  std::string out;
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      for (std::size_t c = 0; c < columns_; ++c) {
+        out += (c == 0) ? "|" : "+";
+        out.append(widths[c] + 2, '-');
+      }
+      out += "|\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_; ++c) {
+      out += "| ";
+      const std::string& cell = row.cells[c];
+      out += cell;
+      out.append(widths[c] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace jitise::support

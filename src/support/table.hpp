@@ -1,0 +1,38 @@
+// Plain-text aligned table printer used by the bench binaries to render the
+// paper's tables side-by-side with measured values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jitise::support {
+
+/// Column-aligned monospace table. Rows are added as vectors of cell strings;
+/// a header row and optional separator rows keep the output readable in a
+/// terminal and in EXPERIMENTS.md code blocks.
+class TextTable {
+ public:
+  /// `header` defines the column count; later rows may be shorter (padded).
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  /// Renders with single-space padding and `|`-separated columns.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::size_t columns_;
+  std::vector<Row> rows_;
+};
+
+/// printf-style helper returning std::string (used for numeric cells).
+[[nodiscard]] std::string strf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace jitise::support

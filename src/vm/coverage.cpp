@@ -1,0 +1,105 @@
+#include "vm/coverage.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jitise::vm {
+
+CoverageReport classify_coverage(const ir::Module& module,
+                                 std::span<const Profile> profiles) {
+  assert(!profiles.empty());
+  CoverageReport report;
+  report.classes.resize(module.functions.size());
+  std::uint64_t live_ins = 0, dead_ins = 0, const_ins = 0;
+
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    const ir::Function& fn = module.functions[f];
+    report.classes[f].resize(fn.blocks.size(), CoverageClass::Dead);
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const std::uint64_t first = profiles[0].block_counts[f][b];
+      bool all_zero = first == 0;
+      bool all_equal = true;
+      for (std::size_t p = 1; p < profiles.size(); ++p) {
+        const std::uint64_t c = profiles[p].block_counts[f][b];
+        if (c != 0) all_zero = false;
+        if (c != first) all_equal = false;
+      }
+      CoverageClass cls;
+      if (all_zero)
+        cls = CoverageClass::Dead;
+      else if (all_equal)
+        cls = CoverageClass::Const;
+      else
+        cls = CoverageClass::Live;
+      report.classes[f][b] = cls;
+      const std::uint64_t n = fn.blocks[b].instrs.size();
+      switch (cls) {
+        case CoverageClass::Dead: dead_ins += n; break;
+        case CoverageClass::Const: const_ins += n; break;
+        case CoverageClass::Live: live_ins += n; break;
+      }
+    }
+  }
+
+  const std::uint64_t total = live_ins + dead_ins + const_ins;
+  if (total > 0) {
+    report.live_pct = 100.0 * static_cast<double>(live_ins) / static_cast<double>(total);
+    report.dead_pct = 100.0 * static_cast<double>(dead_ins) / static_cast<double>(total);
+    report.const_pct = 100.0 * static_cast<double>(const_ins) / static_cast<double>(total);
+  }
+  return report;
+}
+
+KernelReport find_kernel(const ir::Module& module, const Profile& profile,
+                         const CostModel& cost, double threshold_pct) {
+  struct Entry {
+    BlockRef ref;
+    std::uint64_t time = 0;   // count x static cycles
+    std::uint64_t instrs = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total_time = 0;
+  std::uint64_t total_ins = 0;
+
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    const ir::Function& fn = module.functions[f];
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      std::uint64_t cycles = 0;
+      for (ir::ValueId v : fn.blocks[b].instrs)
+        cycles += cost.cycles(fn.values[v].op, fn.values[v].type);
+      const std::uint64_t count = profile.block_counts[f][b];
+      Entry e;
+      e.ref = BlockRef{static_cast<ir::FuncId>(f), b};
+      e.time = count * cycles;
+      e.instrs = fn.blocks[b].instrs.size();
+      total_time += e.time;
+      total_ins += e.instrs;
+      entries.push_back(e);
+    }
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.time > b.time; });
+
+  KernelReport report;
+  report.total_instructions = total_ins;
+  if (total_time == 0) return report;
+
+  const auto threshold =
+      static_cast<std::uint64_t>(static_cast<double>(total_time) * threshold_pct / 100.0);
+  std::uint64_t covered = 0;
+  for (const Entry& e : entries) {
+    if (covered >= threshold) break;
+    if (e.time == 0) break;
+    covered += e.time;
+    report.blocks.push_back(e.ref);
+    report.kernel_instructions += e.instrs;
+  }
+  report.size_pct = 100.0 * static_cast<double>(report.kernel_instructions) /
+                    static_cast<double>(total_ins);
+  report.freq_pct = 100.0 * static_cast<double>(covered) /
+                    static_cast<double>(total_time);
+  return report;
+}
+
+}  // namespace jitise::vm

@@ -1,0 +1,65 @@
+// Code-coverage classification and kernel statistics (paper §IV-C).
+//
+// The paper executes each application with different input data sets and
+// compares per-block execution frequencies across runs:
+//   dead  — frequency 0 in every run,
+//   const — frequency non-zero but identical across runs,
+//   live  — frequency varies with the input.
+// The kernel is the smallest set of basic blocks (by execution time)
+// covering >= 90 % of total execution time; its size is measured in
+// instructions relative to the whole program.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "vm/cost_model.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jitise::vm {
+
+enum class CoverageClass : std::uint8_t { Dead, Const, Live };
+
+struct BlockRef {
+  ir::FuncId function;
+  ir::BlockId block;
+};
+
+struct CoverageReport {
+  /// classes[function][block]
+  std::vector<std::vector<CoverageClass>> classes;
+  /// Percentages by *static instruction count* (the paper's Code Coverage
+  /// columns measure relative code size).
+  double live_pct = 0.0;
+  double dead_pct = 0.0;
+  double const_pct = 0.0;
+
+  [[nodiscard]] CoverageClass at(const BlockRef& b) const {
+    return classes[b.function][b.block];
+  }
+};
+
+struct KernelReport {
+  /// Blocks of the kernel, most expensive first.
+  std::vector<BlockRef> blocks;
+  std::uint64_t kernel_instructions = 0;  // static size of kernel blocks
+  std::uint64_t total_instructions = 0;   // static size of the program
+  double size_pct = 0.0;   // kernel instructions / program instructions
+  double freq_pct = 0.0;   // share of execution time covered (>= threshold)
+};
+
+/// Classifies every block given profiles from >= 2 input data sets.
+/// All profiles must stem from the same module.
+[[nodiscard]] CoverageReport classify_coverage(
+    const ir::Module& module, std::span<const Profile> profiles);
+
+/// Computes the >=`threshold_pct` execution-time kernel from a profile
+/// (block time = count x static block cycles under `cost`).
+[[nodiscard]] KernelReport find_kernel(const ir::Module& module,
+                                       const Profile& profile,
+                                       const CostModel& cost,
+                                       double threshold_pct = 90.0);
+
+}  // namespace jitise::vm

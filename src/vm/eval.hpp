@@ -1,0 +1,47 @@
+// Pure-operation evaluation shared between the interpreter and the
+// custom-instruction functional simulator.
+//
+// The Woolcano adaptation phase replaces IR subgraphs with CustomOp
+// instructions whose semantics are simulated from a snapshot of the covered
+// datapath. Both the interpreter and that simulator call eval_pure(), so a
+// rewritten program is semantically equivalent to the original *by
+// construction* — and the differential tests verify it end to end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace jitise::vm {
+
+struct Slot;
+
+/// Static description of one side-effect-free operation.
+struct PureOp {
+  ir::Opcode op = ir::Opcode::Add;
+  ir::Type type = ir::Type::I32;      // result type
+  ir::Type src_type = ir::Type::I32;  // operand 0 type (icmp/zext/trunc...)
+  std::uint32_t aux = 0;              // comparison predicate
+  std::int64_t imm = 0;               // gep stride
+};
+
+/// Evaluates a pure op over already-fetched operand values. Throws
+/// ExecutionError on division by zero. `operands.size()` must match the
+/// opcode's arity.
+[[nodiscard]] Slot eval_pure(const PureOp& op, std::span<const Slot> operands);
+
+/// True if `op` can be evaluated by eval_pure (no memory, control, calls).
+[[nodiscard]] constexpr bool is_pure_op(ir::Opcode op) noexcept {
+  using ir::Opcode;
+  if (ir::is_binary(op) || ir::is_cast(op)) return true;
+  switch (op) {
+    case Opcode::ICmp: case Opcode::FCmp: case Opcode::Select: case Opcode::Gep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace jitise::vm

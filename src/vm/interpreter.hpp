@@ -1,0 +1,127 @@
+// The virtual machine: an IR interpreter with execution profiling.
+//
+// This is the stand-in for the LLVM VM of the paper's tool flow. It provides
+// the two things the ASIP specialization process needs at runtime:
+//   1. functional execution of the application (with results, for the
+//      differential tests of the binary rewriter), and
+//   2. a profile: per-basic-block execution counts and dynamic cycle counts
+//      under the PPC405 cost model, which drive pruning, estimation,
+//      coverage classification and break-even analysis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "vm/cost_model.hpp"
+#include "vm/memory.hpp"
+
+namespace jitise::vm {
+
+/// One SSA register: integer/pointer values live in `i`, floats in `f`.
+struct Slot {
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  static Slot of_int(std::int64_t v) noexcept { return Slot{v, 0.0}; }
+  static Slot of_float(double v) noexcept { return Slot{0, v}; }
+};
+
+/// Execution profile accumulated across one or more run() calls.
+struct Profile {
+  /// block_counts[function][block] = number of executions.
+  std::vector<std::vector<std::uint64_t>> block_counts;
+  std::uint64_t dyn_instructions = 0;  // dynamic block-instruction executions
+  std::uint64_t cpu_cycles = 0;        // per the PPC405 cost model
+  std::array<std::uint64_t, ir::kNumOpcodes> opcode_counts{};
+
+  void clear() noexcept {
+    for (auto& f : block_counts) std::fill(f.begin(), f.end(), 0);
+    dyn_instructions = 0;
+    cpu_cycles = 0;
+    opcode_counts.fill(0);
+  }
+};
+
+/// Thrown when execution exceeds the step budget or traps.
+class ExecutionError : public std::runtime_error {
+ public:
+  explicit ExecutionError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct RunResult {
+  Slot ret;
+  std::uint64_t steps = 0;       // dynamic instructions this run
+  std::uint64_t cycles = 0;      // modeled CPU cycles this run
+};
+
+/// Result and HW cycle cost of one custom-instruction execution.
+struct CustomExec {
+  Slot result;
+  std::uint32_t cycles = 1;
+};
+
+/// Semantics of CustomOp: (custom-instruction id, live-in values) -> result.
+/// Installed by the Woolcano ASIP model after the adaptation phase.
+using CustomOpHandler =
+    std::function<CustomExec(std::uint32_t ci, std::span<const Slot> inputs)>;
+
+/// A loaded module + memory image, ready to execute.
+///
+/// Globals are placed into memory at construction (and on reset()); the
+/// profile accumulates across runs until clear_profile().
+class Machine {
+ public:
+  explicit Machine(const ir::Module& module, CostModel cost = {},
+                   std::uint32_t memory_bytes = 16u << 20);
+
+  /// Re-initializes memory and global placement; keeps the profile.
+  void reset_memory();
+
+  [[nodiscard]] Memory& memory() noexcept { return memory_; }
+  [[nodiscard]] const Memory& memory() const noexcept { return memory_; }
+  [[nodiscard]] std::uint32_t global_address(ir::GlobalId g) const {
+    return global_addr_.at(g);
+  }
+  [[nodiscard]] const ir::Module& module() const noexcept { return module_; }
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return cost_; }
+
+  void set_custom_handler(CustomOpHandler handler) {
+    custom_ = std::move(handler);
+  }
+
+  /// Executes `fn` with `args`. Throws ExecutionError on trap or when the
+  /// dynamic instruction count of this run exceeds `max_steps`.
+  RunResult run(ir::FuncId fn, std::span<const Slot> args,
+                std::uint64_t max_steps = 1ull << 32);
+  RunResult run(std::string_view fn_name, std::span<const Slot> args,
+                std::uint64_t max_steps = 1ull << 32);
+
+  [[nodiscard]] const Profile& profile() const noexcept { return profile_; }
+  void clear_profile() noexcept { profile_.clear(); }
+
+ private:
+  struct Frame;
+  Slot exec_function(ir::FuncId fn, std::span<const Slot> args, unsigned depth);
+  Slot eval_instruction(const ir::Function& f, const ir::Instruction& inst,
+                        Frame& frame, unsigned depth);
+
+  const ir::Module& module_;
+  CostModel cost_;
+  Memory memory_;
+  std::vector<std::uint32_t> global_addr_;
+  Profile profile_;
+  CustomOpHandler custom_;
+  std::uint64_t steps_left_ = 0;
+  std::uint64_t run_steps_ = 0;
+  std::uint64_t run_cycles_ = 0;
+  // Per-function constant/param presets, computed lazily.
+  std::vector<std::vector<Slot>> const_frames_;
+  std::vector<bool> const_ready_;
+};
+
+}  // namespace jitise::vm

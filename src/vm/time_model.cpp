@@ -1,0 +1,59 @@
+#include "vm/time_model.hpp"
+
+#include "support/rng.hpp"
+
+namespace jitise::vm {
+
+namespace {
+
+/// Static cycle cost of one execution of block `b` of `fn`.
+std::uint64_t block_cycles(const ir::Function& fn, ir::BlockId b,
+                           const CostModel& cost) {
+  std::uint64_t cycles = 0;
+  for (ir::ValueId v : fn.blocks[b].instrs) {
+    const ir::Instruction& inst = fn.values[v];
+    cycles += cost.cycles(inst.op, inst.type);
+  }
+  return cycles;
+}
+
+}  // namespace
+
+ExecTimes model_exec_times(const ir::Module& module, const Profile& profile,
+                           const CostModel& cost,
+                           const TimeModelConfig& config) {
+  std::uint64_t cold_cycles = 0;
+  std::uint64_t total_cycles = 0;
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    const ir::Function& fn = module.functions[f];
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const std::uint64_t count = profile.block_counts[f][b];
+      if (count == 0) continue;
+      const std::uint64_t cyc = count * block_cycles(fn, b, cost);
+      total_cycles += cyc;
+      if (count < config.hot_threshold) cold_cycles += cyc;
+    }
+  }
+
+  ExecTimes times;
+  times.native_seconds = cost.seconds(total_cycles);
+  if (total_cycles == 0) return times;
+
+  const double cold_share =
+      static_cast<double>(cold_cycles) / static_cast<double>(total_cycles);
+  const double hot_share = 1.0 - cold_share;
+
+  // Deterministic per-application dynamic-optimization gain in
+  // [0, max_opt_gain], seeded by the module name.
+  support::Fnv1a h;
+  h.update(module.name.data(), module.name.size());
+  support::Xoshiro256 rng(h.digest());
+  const double opt_gain = rng.uniform() * config.max_opt_gain;
+
+  const double factor =
+      1.0 + (config.interp_factor - 1.0) * cold_share - opt_gain * hot_share;
+  times.vm_seconds = times.native_seconds * factor;
+  return times;
+}
+
+}  // namespace jitise::vm

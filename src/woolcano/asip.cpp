@@ -1,0 +1,49 @@
+#include "woolcano/asip.hpp"
+
+#include <algorithm>
+
+namespace jitise::woolcano {
+
+double ReconfigController::load(const CustomInstruction& ci) {
+  const auto it = std::find(lru_.begin(), lru_.end(), ci.id);
+  if (it != lru_.end()) {
+    lru_.erase(it);
+    lru_.push_back(ci.id);
+    return 0.0;
+  }
+  if (lru_.size() >= config_.ci_slots) {
+    lru_.erase(lru_.begin());
+    ++evictions_;
+  }
+  lru_.push_back(ci.id);
+  ++loads_;
+  const double seconds =
+      static_cast<double>(ci.bitstream_bytes) / config_.icap_bytes_per_second;
+  total_seconds_ += seconds;
+  return seconds;
+}
+
+bool ReconfigController::resident(std::uint32_t ci_id) const {
+  return std::find(lru_.begin(), lru_.end(), ci_id) != lru_.end();
+}
+
+AdaptedRun run_adapted(const ir::Module& original, const ir::Module& rewritten,
+                       const CiRegistry& registry, std::string_view fn,
+                       std::span<const vm::Slot> args,
+                       const vm::CostModel& cost) {
+  AdaptedRun result;
+
+  vm::Machine base(original, cost);
+  const vm::RunResult orig = base.run(fn, args);
+  result.original_result = orig.ret;
+  result.original_cycles = orig.cycles;
+
+  vm::Machine asip(rewritten, cost);
+  asip.set_custom_handler(registry.handler());
+  const vm::RunResult accel = asip.run(fn, args);
+  result.adapted_result = accel.ret;
+  result.adapted_cycles = accel.cycles;
+  return result;
+}
+
+}  // namespace jitise::woolcano

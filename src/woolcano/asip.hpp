@@ -1,0 +1,71 @@
+// The Woolcano architecture model: PPC405 base CPU + reconfigurable
+// custom-instruction slots in the CPU datapath (paper §I, [6]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "vm/interpreter.hpp"
+#include "woolcano/custom_instruction.hpp"
+#include "woolcano/rewriter.hpp"
+
+namespace jitise::woolcano {
+
+struct WoolcanoConfig {
+  double cpu_clock_hz = 300e6;         // PPC405 core clock
+  std::size_t ci_slots = 32;           // UDI opcode slots in the FCM
+  std::uint32_t fcm_overhead_cycles = 2;
+  /// ICAP throughput for partial reconfiguration (V4: 32 bit @ 100 MHz).
+  double icap_bytes_per_second = 400e6;
+};
+
+/// Manages the FCM's reconfigurable slots: loading a custom instruction
+/// costs bitstream_size / icap_bandwidth seconds; when all slots are taken
+/// the least-recently-loaded instruction is evicted.
+class ReconfigController {
+ public:
+  explicit ReconfigController(WoolcanoConfig config = {}) : config_(config) {}
+
+  /// Loads `ci`; returns the reconfiguration time in seconds (0 if already
+  /// resident).
+  double load(const CustomInstruction& ci);
+
+  [[nodiscard]] bool resident(std::uint32_t ci_id) const;
+  [[nodiscard]] std::uint64_t loads() const noexcept { return loads_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
+
+ private:
+  WoolcanoConfig config_;
+  std::vector<std::uint32_t> lru_;  // front = least recently loaded
+  std::uint64_t loads_ = 0;
+  std::uint64_t evictions_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+/// Differential execution of original vs. rewritten module.
+struct AdaptedRun {
+  vm::Slot original_result;
+  vm::Slot adapted_result;
+  std::uint64_t original_cycles = 0;
+  std::uint64_t adapted_cycles = 0;
+
+  [[nodiscard]] double speedup() const noexcept {
+    return adapted_cycles > 0
+               ? static_cast<double>(original_cycles) / adapted_cycles
+               : 1.0;
+  }
+};
+
+/// Runs `fn(args)` on both modules (fresh machines, identical memory images)
+/// and reports cycles and results. The adapted machine uses the registry's
+/// functional simulator with each instruction's hardware cycle cost.
+[[nodiscard]] AdaptedRun run_adapted(const ir::Module& original,
+                                     const ir::Module& rewritten,
+                                     const CiRegistry& registry,
+                                     std::string_view fn,
+                                     std::span<const vm::Slot> args,
+                                     const vm::CostModel& cost = {});
+
+}  // namespace jitise::woolcano

@@ -1,0 +1,63 @@
+#include "woolcano/custom_instruction.hpp"
+
+#include <unordered_map>
+
+namespace jitise::woolcano {
+
+vm::Slot PureProgram::evaluate(std::span<const vm::Slot> inputs) const {
+  if (inputs.size() != num_inputs)
+    throw vm::ExecutionError("custom instruction input arity mismatch");
+  std::vector<vm::Slot> values(inputs.begin(), inputs.end());
+  values.resize(num_inputs + steps.size());
+  vm::Slot ops[3];
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const ProgramStep& step = steps[s];
+    for (std::size_t k = 0; k < step.operands.size() && k < 3; ++k)
+      ops[k] = values[step.operands[k]];
+    values[num_inputs + s] = vm::eval_pure(
+        step.spec, std::span<const vm::Slot>(ops, step.operands.size()));
+  }
+  return values.at(result_index);
+}
+
+PureProgram snapshot_program(const dfg::BlockDfg& graph,
+                             const ise::Candidate& cand) {
+  const ir::Function& fn = graph.function();
+  PureProgram program;
+  program.num_inputs = static_cast<std::uint32_t>(cand.inputs.size());
+
+  std::unordered_map<ir::ValueId, std::uint32_t> index;
+  for (std::uint32_t i = 0; i < cand.inputs.size(); ++i)
+    index.emplace(cand.inputs[i], i);
+
+  for (dfg::NodeId n : cand.nodes) {
+    const ir::ValueId v = graph.value_of(n);
+    const ir::Instruction& inst = fn.values[v];
+    ProgramStep step;
+    step.spec.op = inst.op;
+    step.spec.type = inst.type;
+    step.spec.src_type =
+        inst.operands.empty() ? inst.type : fn.values[inst.operands[0]].type;
+    step.spec.aux = inst.aux;
+    step.spec.imm = inst.imm;
+    for (ir::ValueId o : inst.operands) step.operands.push_back(index.at(o));
+    index.emplace(v, program.num_inputs +
+                         static_cast<std::uint32_t>(program.steps.size()));
+    program.steps.push_back(std::move(step));
+  }
+
+  if (cand.outputs.size() != 1)
+    throw std::invalid_argument(
+        "snapshot_program requires a single-output candidate");
+  program.result_index = index.at(cand.outputs[0]);
+  return program;
+}
+
+vm::CustomOpHandler CiRegistry::handler() const {
+  return [this](std::uint32_t id, std::span<const vm::Slot> inputs) {
+    const CustomInstruction& ci = get(id);
+    return vm::CustomExec{ci.program.evaluate(inputs), ci.hw_cycles};
+  };
+}
+
+}  // namespace jitise::woolcano

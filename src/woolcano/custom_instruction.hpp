@@ -1,0 +1,75 @@
+// Custom-instruction registry of the Woolcano ASIP model.
+//
+// Each implemented candidate becomes a CustomInstruction: a functional
+// snapshot of the covered datapath (for VM simulation after rewriting), its
+// hardware latency in CPU cycles (from STA + the FCM interface model), and
+// its partial bitstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/bitgen.hpp"
+#include "ise/candidate.hpp"
+#include "vm/eval.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jitise::woolcano {
+
+/// One step of the functional snapshot. Operands reference either a
+/// custom-instruction input (index < num_inputs) or an earlier step's result
+/// (num_inputs + step index).
+struct ProgramStep {
+  vm::PureOp spec;
+  std::vector<std::uint32_t> operands;
+};
+
+/// Straight-line evaluation program for one custom instruction.
+struct PureProgram {
+  std::uint32_t num_inputs = 0;
+  std::vector<ProgramStep> steps;
+  std::uint32_t result_index = 0;  // into the combined value space
+
+  [[nodiscard]] vm::Slot evaluate(std::span<const vm::Slot> inputs) const;
+};
+
+struct CustomInstruction {
+  std::uint32_t id = 0;
+  ise::Candidate candidate;
+  std::uint64_t signature = 0;
+  PureProgram program;
+  std::uint32_t hw_cycles = 1;       // per execution, incl. FCM overhead
+  double critical_path_ns = 0.0;
+  std::size_t bitstream_bytes = 0;
+  double area_slices = 0.0;
+};
+
+/// Builds the functional snapshot of `cand` (nodes in topological order).
+[[nodiscard]] PureProgram snapshot_program(const dfg::BlockDfg& graph,
+                                           const ise::Candidate& cand);
+
+/// Registry of implemented custom instructions; provides the VM handler.
+class CiRegistry {
+ public:
+  std::uint32_t add(CustomInstruction ci) {
+    ci.id = static_cast<std::uint32_t>(instructions_.size());
+    instructions_.push_back(std::move(ci));
+    return instructions_.back().id;
+  }
+  [[nodiscard]] const CustomInstruction& get(std::uint32_t id) const {
+    return instructions_.at(id);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return instructions_.size(); }
+  [[nodiscard]] const std::vector<CustomInstruction>& all() const noexcept {
+    return instructions_;
+  }
+
+  /// Handler for vm::Machine::set_custom_handler. The registry must outlive
+  /// the machine run.
+  [[nodiscard]] vm::CustomOpHandler handler() const;
+
+ private:
+  std::vector<CustomInstruction> instructions_;
+};
+
+}  // namespace jitise::woolcano

@@ -1,0 +1,66 @@
+#include "woolcano/rewriter.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace jitise::woolcano {
+
+ir::Module rewrite_module(const ir::Module& module, const CiRegistry& registry) {
+  ir::Module out = module;
+
+  // Group custom instructions by (function, block) and check overlap.
+  std::set<std::pair<std::uint32_t, ir::ValueId>> covered;  // (func, value)
+  for (const CustomInstruction& ci : registry.all()) {
+    if (ci.candidate.outputs.size() != 1)
+      throw std::invalid_argument("rewriter requires single-output candidates");
+    ir::Function& fn = out.functions.at(ci.candidate.function);
+    ir::BasicBlock& block = fn.blocks.at(ci.candidate.block);
+
+    // Resolve the covered ValueIds via the block's instruction list (node
+    // indices refer to positions in the *original* block; we rewrite blocks
+    // highest-position-first per candidate, but candidates never overlap, so
+    // positions of other candidates' nodes stay valid as long as we map
+    // positions before erasing. Collect values first.)
+    std::vector<ir::ValueId> covered_values;
+    for (dfg::NodeId n : ci.candidate.nodes)
+      covered_values.push_back(module.functions[ci.candidate.function]
+                                   .blocks[ci.candidate.block]
+                                   .instrs.at(n));
+    for (ir::ValueId v : covered_values) {
+      if (!covered.insert({ci.candidate.function, v}).second)
+        throw std::invalid_argument("overlapping candidates in rewrite");
+    }
+
+    const ir::ValueId out_value = ci.candidate.outputs[0];
+
+    // Replace the output instruction in place with the CustomOp.
+    ir::Instruction& repl = fn.values.at(out_value);
+    repl.op = ir::Opcode::CustomOp;
+    repl.operands = ci.candidate.inputs;
+    repl.aux = ci.id;
+    repl.aux2 = 0;
+    repl.imm = 0;
+    repl.phi_blocks.clear();
+
+    // Remove the interior (non-output) instructions from the block list.
+    std::set<ir::ValueId> interior(covered_values.begin(), covered_values.end());
+    interior.erase(out_value);
+    auto& instrs = block.instrs;
+    instrs.erase(std::remove_if(instrs.begin(), instrs.end(),
+                                [&](ir::ValueId v) { return interior.count(v); }),
+                 instrs.end());
+  }
+  return out;
+}
+
+std::size_t count_custom_ops(const ir::Module& module) {
+  std::size_t count = 0;
+  for (const ir::Function& fn : module.functions)
+    for (const ir::BasicBlock& block : fn.blocks)
+      for (ir::ValueId v : block.instrs)
+        count += fn.values[v].op == ir::Opcode::CustomOp;
+  return count;
+}
+
+}  // namespace jitise::woolcano

@@ -1,0 +1,28 @@
+// Binary rewriting — the "adaptation phase" of the tool flow (paper §III).
+//
+// Once a custom instruction's bitstream is loaded, the application binary is
+// modified to use it: the candidate's output instruction is replaced in
+// place by a CustomOp taking the candidate's live-ins, and the remaining
+// covered instructions are removed from the block. Because covered interior
+// nodes have no uses outside the candidate (single-output property), the
+// rewrite preserves SSA form — verified by the IR verifier and by
+// differential execution in the tests.
+#pragma once
+
+#include <vector>
+
+#include "ise/candidate.hpp"
+#include "woolcano/custom_instruction.hpp"
+
+namespace jitise::woolcano {
+
+/// Splices all registry instructions into a copy of `module`.
+/// Candidates must be single-output and non-overlapping (as produced by
+/// MAXMISO + selection). Throws std::invalid_argument otherwise.
+[[nodiscard]] ir::Module rewrite_module(const ir::Module& module,
+                                        const CiRegistry& registry);
+
+/// Number of CustomOp instructions in `module` (for tests/stats).
+[[nodiscard]] std::size_t count_custom_ops(const ir::Module& module);
+
+}  // namespace jitise::woolcano

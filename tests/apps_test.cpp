@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "vm/coverage.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+using namespace jitise;
+
+class AppSuite : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSuite,
+                         ::testing::ValuesIn(apps::app_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '.') c = '_';
+                           return n;
+                         });
+
+TEST_P(AppSuite, BuildsAndVerifies) {
+  const apps::App app = apps::build_app(GetParam());
+  EXPECT_EQ(app.name, GetParam());
+  const auto errors = ir::verify_module(app.module);
+  for (const auto& e : errors) ADD_FAILURE() << e.to_string();
+  ASSERT_GE(app.datasets.size(), 2u);
+  EXPECT_GT(app.module.total_instructions(), 0u);
+}
+
+TEST_P(AppSuite, PrintParseFixpoint) {
+  const apps::App app = apps::build_app(GetParam());
+  const std::string text = ir::print_module(app.module);
+  const ir::Module reparsed = ir::parse_module(text);
+  ir::verify_module_or_throw(reparsed);
+  EXPECT_EQ(ir::print_module(reparsed), text);
+}
+
+TEST_P(AppSuite, ExecutesDeterministically) {
+  const apps::App app = apps::build_app(GetParam());
+  vm::Machine m1(app.module);
+  const auto r1 = m1.run(app.entry, app.datasets[0].args, 1ull << 28);
+  vm::Machine m2(app.module);
+  const auto r2 = m2.run(app.entry, app.datasets[0].args, 1ull << 28);
+  EXPECT_EQ(r1.ret.i, r2.ret.i);
+  EXPECT_EQ(r1.steps, r2.steps);
+  EXPECT_GT(r1.cycles, 1000u);
+}
+
+TEST_P(AppSuite, CoverageHasAllThreeClasses) {
+  const apps::App app = apps::build_app(GetParam());
+  vm::Machine machine(app.module);
+  std::vector<vm::Profile> profiles;
+  for (const apps::Dataset& ds : app.datasets) {
+    machine.clear_profile();
+    machine.reset_memory();
+    machine.run(app.entry, ds.args, 1ull << 28);
+    profiles.push_back(machine.profile());
+  }
+  const auto cov = vm::classify_coverage(app.module, profiles);
+  EXPECT_GT(cov.live_pct, 5.0) << "live code missing";
+  EXPECT_GT(cov.const_pct, 0.5) << "const code missing";
+  EXPECT_GT(cov.dead_pct, 0.5) << "dead code missing";
+  EXPECT_NEAR(cov.live_pct + cov.dead_pct + cov.const_pct, 100.0, 1e-9);
+}
+
+TEST_P(AppSuite, KernelDominatesExecution) {
+  const apps::App app = apps::build_app(GetParam());
+  vm::Machine machine(app.module);
+  machine.run(app.entry, app.datasets[0].args, 1ull << 28);
+  const auto kernel = vm::find_kernel(app.module, machine.profile(),
+                                      machine.cost_model());
+  EXPECT_GE(kernel.freq_pct, 90.0);
+  EXPECT_LT(kernel.size_pct, 60.0) << "kernel should be a small code share";
+}
+
+TEST(Apps, StatisticsTrackPaperScale) {
+  // Embedded apps are small; scientific apps are 1-2 orders larger.
+  const apps::App fft = apps::build_app("fft");
+  const apps::App namd = apps::build_app("444.namd");
+  EXPECT_LT(fft.module.total_instructions(), 1500u);
+  EXPECT_GT(namd.module.total_instructions(), 20000u);
+  // Generated sizes within a reasonable factor of the paper's Table I.
+  const double fft_ratio = static_cast<double>(fft.module.total_instructions()) /
+                           fft.paper.instructions;
+  const double namd_ratio =
+      static_cast<double>(namd.module.total_instructions()) /
+      namd.paper.instructions;
+  EXPECT_GT(fft_ratio, 0.5);
+  EXPECT_LT(fft_ratio, 4.0);
+  EXPECT_GT(namd_ratio, 0.5);
+  EXPECT_LT(namd_ratio, 2.0);
+}
+
+TEST(Apps, DatasetsDifferInLiveWork) {
+  const apps::App app = apps::build_app("adpcm");
+  vm::Machine m1(app.module);
+  m1.run(app.entry, app.datasets[0].args, 1ull << 28);
+  vm::Machine m2(app.module);
+  m2.run(app.entry, app.datasets[1].args, 1ull << 28);
+  EXPECT_GT(m2.profile().cpu_cycles, m1.profile().cpu_cycles);
+}
+
+}  // namespace

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "cad/flow.hpp"
+#include "cad/runtime_model.hpp"
+#include "cad/syntax.hpp"
+#include "fpga/bitgen.hpp"
+#include "fpga/fabric.hpp"
+#include "fpga/place.hpp"
+#include "fpga/report.hpp"
+#include "fpga/route.hpp"
+#include "fpga/sta.hpp"
+#include "fpga/synthesis.hpp"
+#include "ir/builder.hpp"
+#include "ise/identify.hpp"
+#include "support/statistics.hpp"
+
+namespace {
+
+using namespace jitise;
+using namespace jitise::ir;
+
+TEST(Fabric, Geometry) {
+  const fpga::Fabric fabric;
+  EXPECT_GT(fabric.capacity(fpga::SiteKind::Clb), 0u);
+  EXPECT_GT(fabric.capacity(fpga::SiteKind::Dsp), 0u);
+  EXPECT_GT(fabric.capacity(fpga::SiteKind::Bram), 0u);
+  EXPECT_EQ(fabric.capacity(fpga::SiteKind::Clb) +
+                fabric.capacity(fpga::SiteKind::Dsp) +
+                fabric.capacity(fpga::SiteKind::Bram),
+            static_cast<std::size_t>(fabric.width()) * fabric.height());
+  EXPECT_TRUE(fpga::Fabric::compatible(hwlib::CellKind::Dsp, fpga::SiteKind::Dsp));
+  EXPECT_FALSE(fpga::Fabric::compatible(hwlib::CellKind::Dsp, fpga::SiteKind::Clb));
+}
+
+/// Small chain netlist: in -> c0 -> c1 -> ... -> c{k-1} -> out, plus a DSP.
+hwlib::Netlist make_chain_netlist(unsigned k) {
+  hwlib::Netlist nl;
+  nl.top_name = "chain";
+  hwlib::NetId prev = nl.new_net();
+  nl.add_cell(hwlib::CellKind::PortIn, "in", {}, {prev});
+  for (unsigned i = 0; i < k; ++i) {
+    const hwlib::NetId next = nl.new_net();
+    nl.add_cell(hwlib::CellKind::Cluster, "c" + std::to_string(i), {prev}, {next});
+    prev = next;
+  }
+  const hwlib::NetId dsp_out = nl.new_net();
+  nl.add_cell(hwlib::CellKind::Dsp, "d0", {prev}, {dsp_out});
+  nl.add_cell(hwlib::CellKind::PortOut, "out", {dsp_out}, {});
+  return nl;
+}
+
+TEST(Synthesis, NetExtraction) {
+  const auto nl = make_chain_netlist(5);
+  const auto design = fpga::synthesize_top(nl);
+  EXPECT_EQ(design.cell_count(), 8u);        // in + 5 clusters + dsp + out
+  EXPECT_EQ(design.net_count(), 7u);         // each net has driver and sink
+  EXPECT_EQ(design.count(hwlib::CellKind::Dsp), 1u);
+  EXPECT_EQ(design.pruned_nets, 0u);
+}
+
+TEST(Synthesis, RejectsMultiplyDriven) {
+  hwlib::Netlist nl;
+  const hwlib::NetId n = nl.new_net();
+  nl.add_cell(hwlib::CellKind::Cluster, "a", {}, {n});
+  nl.add_cell(hwlib::CellKind::Cluster, "b", {}, {n});
+  EXPECT_THROW((void)fpga::synthesize_top(nl), fpga::CadError);
+}
+
+TEST(Placer, LegalAndDeterministic) {
+  const auto design = fpga::synthesize_top(make_chain_netlist(30));
+  const fpga::Fabric fabric;
+  const auto p1 = fpga::place(design, fabric);
+  const auto p2 = fpga::place(design, fabric);
+  EXPECT_TRUE(p1.legal(design, fabric));
+  EXPECT_EQ(p1.location, p2.location);  // same seed, same result
+  EXPECT_GT(p1.moves_tried, 0u);
+
+  fpga::PlacerConfig other;
+  other.seed = 99;
+  const auto p3 = fpga::place(design, fabric, other);
+  EXPECT_TRUE(p3.legal(design, fabric));
+}
+
+TEST(Placer, ImprovesOverRandom) {
+  const auto design = fpga::synthesize_top(make_chain_netlist(60));
+  const fpga::Fabric fabric;
+  // Initial scatter cost: measure with zero annealing effort.
+  fpga::PlacerConfig frozen;
+  frozen.initial_temp = 1e-9;
+  frozen.stop_temp = 1.0;
+  const auto random_placement = fpga::place(design, fabric, frozen);
+  const auto annealed = fpga::place(design, fabric);
+  EXPECT_LT(annealed.hpwl, random_placement.hpwl * 0.7)
+      << "annealing should shrink wirelength substantially";
+}
+
+TEST(Router, RoutesAndValidates) {
+  const auto design = fpga::synthesize_top(make_chain_netlist(40));
+  const fpga::Fabric fabric;
+  const auto placement = fpga::place(design, fabric);
+  const auto routing = fpga::route(design, fabric, placement);
+  EXPECT_TRUE(routing.success);
+  EXPECT_EQ(routing.overused_edges, 0u);
+  EXPECT_GT(routing.total_wirelength, 0u);
+  const auto errors = fpga::validate_routing(design, fabric, placement, routing);
+  for (const auto& e : errors) ADD_FAILURE() << e;
+}
+
+TEST(Router, HandlesCongestion) {
+  // Tight fabric with small channel capacity forces negotiation.
+  fpga::FabricConfig cfg;
+  cfg.width = 6;
+  cfg.height = 6;
+  cfg.dsp_column_period = 0;
+  cfg.bram_column_period = 0;
+  cfg.wires_per_channel = 2;
+  const fpga::Fabric fabric(cfg);
+
+  // Star netlist: one hub driving many leaves -> congestion near the hub.
+  hwlib::Netlist nl;
+  nl.top_name = "star";
+  const hwlib::NetId hub_out = nl.new_net();
+  nl.add_cell(hwlib::CellKind::Cluster, "hub", {}, {hub_out});
+  for (int i = 0; i < 12; ++i) {
+    const hwlib::NetId leaf_out = nl.new_net();
+    nl.add_cell(hwlib::CellKind::Cluster, "leaf" + std::to_string(i),
+                {hub_out}, {leaf_out});
+    nl.add_cell(hwlib::CellKind::PortOut, "o" + std::to_string(i), {leaf_out}, {});
+  }
+  const auto design = fpga::synthesize_top(nl);
+  const auto placement = fpga::place(design, fabric);
+  const auto routing = fpga::route(design, fabric, placement);
+  EXPECT_TRUE(routing.success);
+  const auto errors = fpga::validate_routing(design, fabric, placement, routing);
+  for (const auto& e : errors) ADD_FAILURE() << e;
+}
+
+TEST(Sta, ChainTiming) {
+  const unsigned k = 10;
+  const auto design = fpga::synthesize_top(make_chain_netlist(k));
+  const fpga::Fabric fabric;
+  const auto placement = fpga::place(design, fabric);
+  const auto routing = fpga::route(design, fabric, placement);
+  const auto timing = fpga::analyze_timing(design, fabric, placement, routing);
+  EXPECT_FALSE(timing.combinational_loop);
+  // Path: in + 10 clusters + dsp + out = 13 cells.
+  EXPECT_EQ(timing.logic_levels, k + 3);
+  fpga::DelayModel d;
+  const double min_expected =
+      2 * d.port_ns + k * d.cluster_ns + d.dsp_ns;  // zero wire delay bound
+  EXPECT_GE(timing.critical_path_ns, min_expected);
+  EXPECT_GT(timing.fmax_mhz, 0.0);
+}
+
+TEST(Bitgen, DeterministicAndSized) {
+  const auto design = fpga::synthesize_top(make_chain_netlist(20));
+  const fpga::Fabric fabric;
+  const auto placement = fpga::place(design, fabric);
+  const auto routing = fpga::route(design, fabric, placement);
+  const auto b1 =
+      fpga::generate_bitstream(design, fabric, placement, routing, "xc4vfx100");
+  const auto b2 =
+      fpga::generate_bitstream(design, fabric, placement, routing, "xc4vfx100");
+  EXPECT_EQ(b1.bytes, b2.bytes);
+  EXPECT_EQ(b1.crc32, b2.crc32);
+  EXPECT_EQ(b1.frame_count, fabric.width());
+  EXPECT_GT(b1.size_bytes(),
+            static_cast<std::size_t>(fabric.width()) * fabric.height());
+
+  // A different placement seed changes the bitstream.
+  fpga::PlacerConfig other;
+  other.seed = 1234;
+  const auto placement2 = fpga::place(design, fabric, other);
+  const auto routing2 = fpga::route(design, fabric, placement2);
+  const auto b3 = fpga::generate_bitstream(design, fabric, placement2, routing2,
+                                           "xc4vfx100");
+  EXPECT_NE(b1.bytes, b3.bytes);
+}
+
+TEST(RuntimeModel, CalibratedToPaperTableIII) {
+  const cad::CadRuntimeModel model;
+  support::RunningStats c2v, syn, xst, tra, bitgen;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    c2v.add(model.c2v_seconds(seed));
+    syn.add(model.syn_seconds(seed));
+    xst.add(model.xst_seconds(100, seed));
+    tra.add(model.tra_seconds(seed));
+    bitgen.add(model.bitgen_seconds(seed));
+  }
+  EXPECT_NEAR(c2v.mean(), 3.22, 0.05);
+  EXPECT_NEAR(syn.mean(), 4.22, 0.05);
+  EXPECT_NEAR(xst.mean(), 10.60 + 0.2, 0.15);
+  EXPECT_NEAR(tra.mean(), 8.99, 0.25);
+  EXPECT_NEAR(bitgen.mean(), 151.0, 1.0);
+  EXPECT_NEAR(bitgen.stdev(), 2.43, 0.8);
+  // Bitgen dominates the constant overheads (paper: 85 %).
+  const double constants = model.constant_overhead_seconds(42);
+  EXPECT_GT(model.bitgen_seconds(42) / constants, 0.80);
+}
+
+TEST(RuntimeModel, MapParScaling) {
+  const cad::CadRuntimeModel model;
+  // Small candidates near the lower bound, big candidates near the upper.
+  EXPECT_NEAR(model.map_seconds(5, 1), 40.0, 6.0);
+  EXPECT_GT(model.map_seconds(900, 1), 300.0);
+  EXPECT_LE(model.map_seconds(5000, 1), 456.0 * 1.1);
+  // PAR/map ratio grows from ~1.4 with size (paper §V-C), but PAR never
+  // exceeds the observed 728 s ceiling.
+  const double small_ratio = model.par_seconds(10, 10, 1) / model.map_seconds(10, 1);
+  const double mid_ratio = model.par_seconds(300, 300, 1) / model.map_seconds(300, 1);
+  EXPECT_NEAR(small_ratio, 1.4, 0.2);
+  EXPECT_GT(mid_ratio, small_ratio);
+  EXPECT_LE(model.par_seconds(900, 900, 1), 728.0 * 1.05);
+  // Speedup fraction scales everything linearly.
+  cad::CadRuntimeModel faster = model;
+  faster.speedup_fraction = 0.30;
+  EXPECT_NEAR(faster.bitgen_seconds(7), 0.7 * model.bitgen_seconds(7), 1e-9);
+}
+
+TEST(Syntax, AcceptsGeneratedVhdl) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32, Type::I32});
+  const ValueId s = fb.binop(Opcode::Add, fb.param(0), fb.param(1));
+  const ValueId t = fb.binop(Opcode::Mul, s, fb.const_int(Type::I32, 3));
+  fb.ret(t);
+  fb.finish();
+  const dfg::BlockDfg graph(m.functions[0], 0);
+  const auto misos = ise::find_max_misos(graph);
+  ASSERT_EQ(misos.size(), 1u);
+  hwlib::CircuitDb db;
+  const std::string vhdl = datapath::generate_vhdl(graph, misos[0], db, "ok");
+  const auto errors = cad::check_vhdl_syntax(vhdl);
+  for (const auto& e : errors) ADD_FAILURE() << e << "\n" << vhdl;
+}
+
+TEST(Syntax, RejectsBroken) {
+  EXPECT_FALSE(cad::check_vhdl_syntax("garbage").empty());
+  EXPECT_FALSE(cad::check_vhdl_syntax(
+                   "entity x is\nend entity;\n")  // no architecture
+                   .empty());
+  const char* bad_signal =
+      "library ieee;\n"
+      "entity x is\n  port (\n    a : in std_logic_vector(3 downto 0)\n  );\n"
+      "end entity;\n"
+      "architecture s of x is\nbegin\n  y <= a;\nend architecture;\n";
+  const auto errors = cad::check_vhdl_syntax(bad_signal);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("undeclared"), std::string::npos);
+}
+
+TEST(Flow, EndToEndImplementation) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32, Type::I32});
+  const ValueId s = fb.binop(Opcode::Add, fb.param(0), fb.param(1));
+  const ValueId d = fb.binop(Opcode::Sub, fb.param(0), fb.param(1));
+  const ValueId p = fb.binop(Opcode::Mul, s, d);
+  const ValueId q = fb.binop(Opcode::Xor, p, s);
+  fb.ret(q);
+  fb.finish();
+  const dfg::BlockDfg graph(m.functions[0], 0);
+  auto misos = ise::find_max_misos(graph);
+  // s feeds both mul and xor, so it roots its own MaxMISO; {d, p, q} is the
+  // other. Implement the larger one.
+  std::sort(misos.begin(), misos.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  ASSERT_EQ(misos.size(), 2u);
+  ASSERT_EQ(misos[0].size(), 3u);
+
+  hwlib::CircuitDb db;
+  const auto project = datapath::create_project(graph, misos[0], db, "ci_e2e");
+  const auto result = cad::implement_candidate(project);
+
+  EXPECT_GT(result.cells, 0u);
+  EXPECT_GT(result.nets, 0u);
+  EXPECT_GT(result.dsp_cells, 0u);  // mul
+  EXPECT_GT(result.bitstream.size_bytes(), 0u);
+  EXPECT_FALSE(result.timing.combinational_loop);
+  EXPECT_GT(result.timing.critical_path_ns, 0.0);
+
+  // Modeled runtimes: every stage populated, bitgen dominates constants.
+  EXPECT_GT(result.syn.modeled_seconds, 0.0);
+  EXPECT_GT(result.map.modeled_seconds, 30.0);
+  EXPECT_GT(result.par.modeled_seconds, result.map.modeled_seconds);
+  EXPECT_GT(result.bitgen.modeled_seconds, 100.0);
+  EXPECT_GT(result.total_modeled_seconds(), result.constant_modeled_seconds());
+
+  // Determinism end to end.
+  const auto again = cad::implement_candidate(project);
+  EXPECT_EQ(result.bitstream.bytes, again.bitstream.bytes);
+}
+
+TEST(GreedyPlacer, LegalDeterministicAndRoutable) {
+  const auto design = fpga::synthesize_top(make_chain_netlist(50));
+  const fpga::Fabric fabric;
+  const auto p1 = fpga::place_greedy(design, fabric);
+  const auto p2 = fpga::place_greedy(design, fabric);
+  EXPECT_TRUE(p1.legal(design, fabric));
+  EXPECT_EQ(p1.location, p2.location);
+  // Connected cells should sit close: greedy HPWL must beat random scatter.
+  fpga::PlacerConfig frozen;
+  frozen.initial_temp = 1e-9;
+  frozen.stop_temp = 1.0;
+  const auto random_placement = fpga::place(design, fabric, frozen);
+  EXPECT_LT(p1.hpwl, random_placement.hpwl);
+  // And the result routes.
+  const auto routing = fpga::route(design, fabric, p1);
+  EXPECT_TRUE(routing.success);
+}
+
+TEST(Flow, FastPlacerMode) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32, Type::I32});
+  const ValueId s = fb.binop(Opcode::Add, fb.param(0), fb.param(1));
+  const ValueId d = fb.binop(Opcode::Mul, s, fb.param(0));
+  fb.ret(d);
+  fb.finish();
+  const dfg::BlockDfg graph(m.functions[0], 0);
+  auto misos = ise::find_max_misos(graph);
+  ASSERT_EQ(misos.size(), 1u);
+  hwlib::CircuitDb db;
+  const auto project = datapath::create_project(graph, misos[0], db, "fastci");
+
+  cad::ToolFlowConfig fast;
+  fast.fast_placer = true;
+  const auto result = cad::implement_candidate(project, fast);
+  EXPECT_GT(result.bitstream.size_bytes(), 0u);
+  EXPECT_FALSE(result.timing.combinational_loop);
+}
+
+TEST(RuntimeModel, CoarseGrainedOverlayIsMuchFaster) {
+  const cad::CadRuntimeModel fine;
+  const auto coarse = cad::CadRuntimeModel::coarse_grained_overlay();
+  EXPECT_LT(coarse.constant_overhead_seconds(1) * 20,
+            fine.constant_overhead_seconds(1));
+  EXPECT_LT(coarse.map_seconds(200, 1) * 5, fine.map_seconds(200, 1));
+}
+
+TEST(Report, FloorplanAndUtilization) {
+  const auto design = fpga::synthesize_top(make_chain_netlist(10));
+  const fpga::Fabric fabric;
+  const auto placement = fpga::place_greedy(design, fabric);
+  const std::string plan = fpga::floorplan_ascii(design, fabric, placement);
+  // One line per row, each as wide as the fabric.
+  std::size_t lines = 0;
+  for (char c : plan) lines += c == '\n';
+  EXPECT_EQ(lines, fabric.height());
+  EXPECT_NE(plan.find('#'), std::string::npos);  // clusters visible
+  EXPECT_NE(plan.find('D'), std::string::npos);  // the DSP cell
+  const std::string util = fpga::utilization_report(design, fabric);
+  EXPECT_NE(util.find("DSP48"), std::string::npos);
+  EXPECT_NE(util.find("%"), std::string::npos);
+}
+
+}  // namespace

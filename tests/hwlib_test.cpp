@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "datapath/project.hpp"
+#include "datapath/vhdl_gen.hpp"
+#include "estimation/estimator.hpp"
+#include "hwlib/component.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "ise/identify.hpp"
+
+namespace {
+
+using namespace jitise;
+using namespace jitise::ir;
+
+TEST(Component, CharacterizationSanity) {
+  // Wider adders are slower and bigger.
+  const auto a16 = hwlib::characterize_component(Opcode::Add, Type::I16);
+  const auto a32 = hwlib::characterize_component(Opcode::Add, Type::I32);
+  const auto a64 = hwlib::characterize_component(Opcode::Add, Type::I64);
+  EXPECT_LT(a16.latency_ns, a32.latency_ns);
+  EXPECT_LT(a32.latency_ns, a64.latency_ns);
+  EXPECT_LT(a16.luts, a32.luts);
+
+  // Multipliers consume DSP blocks; dividers are big and slow.
+  const auto m32 = hwlib::characterize_component(Opcode::Mul, Type::I32);
+  EXPECT_GT(m32.dsps, 0u);
+  const auto d32 = hwlib::characterize_component(Opcode::SDiv, Type::I32);
+  EXPECT_GT(d32.latency_ns, 10 * a32.latency_ns);
+  EXPECT_GT(d32.luts, 100u);
+
+  // Double-precision FP is much bigger than single.
+  const auto f32 = hwlib::characterize_component(Opcode::FAdd, Type::F32);
+  const auto f64 = hwlib::characterize_component(Opcode::FAdd, Type::F64);
+  EXPECT_GT(f64.luts, f32.luts);
+
+  // No hardware for memory ops.
+  EXPECT_THROW((void)hwlib::characterize_component(Opcode::Load, Type::I32),
+               std::invalid_argument);
+
+  // Metric listing is populated.
+  EXPECT_GE(a32.metrics().size(), 12u);
+}
+
+TEST(Component, NetlistCacheHitsAndValidity) {
+  hwlib::CircuitDb db;
+  (void)db.netlist(Opcode::Add, Type::I32);
+  EXPECT_EQ(db.netlist_cache_misses(), 1u);
+  (void)db.netlist(Opcode::Add, Type::I32);
+  (void)db.netlist(Opcode::Add, Type::I32);
+  EXPECT_EQ(db.netlist_cache_hits(), 2u);
+  (void)db.netlist(Opcode::Mul, Type::I32);
+  EXPECT_EQ(db.netlist_cache_misses(), 2u);
+
+  const auto& mul = db.netlist(Opcode::Mul, Type::I32);
+  EXPECT_TRUE(mul.netlist.validate(mul.input_nets).empty());
+  EXPECT_GT(mul.netlist.count(hwlib::CellKind::Dsp), 0u);
+  EXPECT_NE(mul.output_net, hwlib::kNoNet);
+  EXPECT_EQ(mul.input_nets.size(), 2u);
+}
+
+TEST(Component, DbReferencesStableAcrossInsertions) {
+  hwlib::CircuitDb db;
+  const auto& first = db.record(Opcode::Add, Type::I32);
+  const std::string name_before = first.name;
+  for (Type t : {Type::I8, Type::I16, Type::I64, Type::F32, Type::F64})
+    (void)db.record(Opcode::FAdd == Opcode::FAdd && is_float(t) ? Opcode::FAdd
+                                                                : Opcode::Add,
+                    t);
+  EXPECT_EQ(first.name, name_before);  // reference still valid
+}
+
+/// (a+b)*(a-b) over i32 as the canonical test candidate.
+struct Fixture {
+  Module m;
+  ise::Candidate cand;
+  std::unique_ptr<dfg::BlockDfg> graph;
+
+  Fixture() {
+    FunctionBuilder fb(m, "f", Type::I32, {Type::I32, Type::I32});
+    const ValueId s = fb.binop(Opcode::Add, fb.param(0), fb.param(1));
+    const ValueId d = fb.binop(Opcode::Sub, fb.param(0), fb.param(1));
+    const ValueId p = fb.binop(Opcode::Mul, s, d);
+    fb.ret(p);
+    fb.finish();
+    verify_module_or_throw(m);
+    graph = std::make_unique<dfg::BlockDfg>(m.functions[0], 0);
+    auto misos = ise::find_max_misos(*graph);
+    if (misos.size() != 1) throw std::logic_error("expected one MaxMISO");
+    cand = misos[0];
+  }
+};
+
+TEST(Estimator, SavingsReflectCostGap) {
+  Fixture fx;
+  hwlib::CircuitDb db;
+  vm::CostModel cpu;
+  const auto est = estimation::estimate_candidate(*fx.graph, fx.cand, db, cpu);
+  // SW: add(1) + sub(1) + mul(4) = 6 cycles.
+  EXPECT_EQ(est.sw_cycles, 6u);
+  EXPECT_GT(est.hw_latency_ns, 0.0);
+  EXPECT_GT(est.hw_cycles, 4u);  // overhead alone is 4
+  // add/sub in parallel then mul: critical path ~ 3.0 + 6.4 + interface.
+  EXPECT_NEAR(est.hw_latency_ns, 2.945 + 6.4 + 1.6, 0.5);
+  EXPECT_GT(est.area_slices, 0.0);
+}
+
+TEST(Estimator, FloatCandidatesSaveMore) {
+  // A float multiply-add saves far more cycles than the integer version
+  // because the PPC405 emulates FP in software.
+  Module m;
+  FunctionBuilder fb(m, "f", Type::F64, {Type::F64, Type::F64});
+  const ValueId s = fb.binop(Opcode::FMul, fb.param(0), fb.param(1));
+  const ValueId t = fb.binop(Opcode::FAdd, s, fb.param(0));
+  fb.ret(t);
+  fb.finish();
+  const dfg::BlockDfg graph(m.functions[0], 0);
+  auto misos = ise::find_max_misos(graph);
+  ASSERT_EQ(misos.size(), 1u);
+
+  hwlib::CircuitDb db;
+  vm::CostModel cpu;
+  const auto est = estimation::estimate_candidate(graph, misos[0], db, cpu);
+  EXPECT_EQ(est.sw_cycles, cpu.fp_mul + cpu.fp_add);
+  EXPECT_GT(est.saved_per_exec, 100.0);
+  EXPECT_GT(est.speedup_per_exec(), 10.0);
+}
+
+TEST(VhdlGen, StructuralShape) {
+  Fixture fx;
+  hwlib::CircuitDb db;
+  const std::string vhdl =
+      datapath::generate_vhdl(*fx.graph, fx.cand, db, "ci_test");
+  EXPECT_NE(vhdl.find("entity ci_test is"), std::string::npos);
+  EXPECT_NE(vhdl.find("component add_i32"), std::string::npos);
+  EXPECT_NE(vhdl.find("component sub_i32"), std::string::npos);
+  EXPECT_NE(vhdl.find("component mul_i32"), std::string::npos);
+  EXPECT_NE(vhdl.find("port map"), std::string::npos);
+  EXPECT_NE(vhdl.find("result <= "), std::string::npos);
+  // Two operand ports.
+  EXPECT_NE(vhdl.find("op0 : in std_logic_vector(31 downto 0)"), std::string::npos);
+  EXPECT_NE(vhdl.find("op1 : in std_logic_vector(31 downto 0)"), std::string::npos);
+}
+
+TEST(VhdlGen, ConstantsBecomeSignals) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32});
+  const ValueId x = fb.binop(Opcode::Mul, fb.param(0), fb.const_int(Type::I32, 5));
+  fb.ret(x);
+  fb.finish();
+  const dfg::BlockDfg graph(m.functions[0], 0);
+  const auto misos = ise::find_max_misos(graph);
+  ASSERT_EQ(misos.size(), 1u);
+  hwlib::CircuitDb db;
+  const std::string vhdl = datapath::generate_vhdl(graph, misos[0], db, "e");
+  // 5 = ...00000101 as a 32-bit literal.
+  EXPECT_NE(vhdl.find("00000000000000000000000000000101"), std::string::npos);
+}
+
+TEST(Project, NetlistAssembly) {
+  Fixture fx;
+  hwlib::CircuitDb db;
+  const auto proj = datapath::create_project(*fx.graph, fx.cand, db, "ci0");
+  EXPECT_EQ(proj.name, "ci0");
+  const auto errors = proj.netlist.validate();
+  for (const auto& e : errors) ADD_FAILURE() << e;
+  EXPECT_EQ(proj.input_nets.size(), 2u);
+  EXPECT_NE(proj.output_net, hwlib::kNoNet);
+  EXPECT_EQ(proj.cores_used.size(), 3u);  // add, sub, mul
+  EXPECT_GT(proj.netlist.slice_equiv(), 0u);
+  EXPECT_GT(proj.netlist.count(hwlib::CellKind::Dsp), 0u);  // from mul
+  EXPECT_NE(proj.constraints.find(proj.part), std::string::npos);
+  EXPECT_NE(proj.signature, 0u);
+}
+
+TEST(Project, SharedCoresHitTheCache) {
+  Fixture fx;
+  hwlib::CircuitDb db;
+  (void)datapath::create_project(*fx.graph, fx.cand, db, "ci0");
+  const auto misses_first = db.netlist_cache_misses();
+  (void)datapath::create_project(*fx.graph, fx.cand, db, "ci1");
+  EXPECT_EQ(db.netlist_cache_misses(), misses_first);  // all hits second time
+  EXPECT_GT(db.netlist_cache_hits(), 0u);
+}
+
+}  // namespace

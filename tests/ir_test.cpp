@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/cfg.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace {
+
+using namespace jitise::ir;
+
+/// sum(n) = 1 + 2 + ... + n via a loop with a phi.
+Module make_sum_module() {
+  Module m;
+  m.name = "sum";
+  FunctionBuilder fb(m, "sum", Type::I32, {Type::I32});
+  const BlockId body = fb.new_block("body");
+  const BlockId exit = fb.new_block("exit");
+
+  fb.set_insert(fb.entry());
+  fb.br(body);
+
+  fb.set_insert(body);
+  const ValueId i = fb.phi(Type::I32);
+  const ValueId acc = fb.phi(Type::I32);
+  const ValueId inext = fb.binop(Opcode::Add, i, fb.const_int(Type::I32, 1));
+  const ValueId anext = fb.binop(Opcode::Add, acc, inext);
+  const ValueId done = fb.icmp(ICmpPred::Sge, inext, fb.param(0));
+  fb.condbr(done, exit, body);
+  fb.phi_incoming(i, fb.const_int(Type::I32, 0), fb.entry());
+  fb.phi_incoming(i, inext, body);
+  fb.phi_incoming(acc, fb.const_int(Type::I32, 0), fb.entry());
+  fb.phi_incoming(acc, anext, body);
+
+  fb.set_insert(exit);
+  const ValueId result = fb.phi(Type::I32);
+  fb.phi_incoming(result, anext, body);
+  fb.ret(result);
+  fb.finish();
+  return m;
+}
+
+TEST(Builder, SumModuleVerifies) {
+  const Module m = make_sum_module();
+  const auto errors = verify_module(m);
+  for (const auto& e : errors) ADD_FAILURE() << e.to_string();
+  EXPECT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].blocks.size(), 3u);
+}
+
+TEST(Builder, ConstantsDeduplicated) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {});
+  const ValueId a = fb.const_int(Type::I32, 7);
+  const ValueId b = fb.const_int(Type::I32, 7);
+  const ValueId c = fb.const_int(Type::I64, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  fb.ret(a);
+  fb.finish();
+}
+
+TEST(Builder, GlobalRoundTrip) {
+  Module m;
+  m.name = "g";
+  add_global(m, "table", std::vector<std::uint8_t>{1, 2, 3, 255});
+  add_global(m, "scratch", 64);
+  FunctionBuilder fb(m, "main", Type::I32, {});
+  const ValueId p = fb.global_addr(0);
+  const ValueId v = fb.load(Type::I8, p);
+  const ValueId w = fb.cast(Opcode::ZExt, Type::I32, v);
+  fb.ret(w);
+  fb.finish();
+  verify_module_or_throw(m);
+
+  const std::string text = print_module(m);
+  const Module m2 = parse_module(text);
+  ASSERT_EQ(m2.globals.size(), 2u);
+  EXPECT_EQ(m2.globals[0].init, (std::vector<std::uint8_t>{1, 2, 3, 255}));
+  EXPECT_EQ(m2.globals[1].size_bytes, 64u);
+  EXPECT_EQ(print_module(m2), text);
+}
+
+TEST(Printer, ParsePrintFixpoint) {
+  const Module m = make_sum_module();
+  const std::string text1 = print_module(m);
+  const Module m2 = parse_module(text1);
+  verify_module_or_throw(m2);
+  const std::string text2 = print_module(m2);
+  EXPECT_EQ(text1, text2);
+}
+
+TEST(Parser, RejectsGarbage) {
+  EXPECT_THROW(parse_module("modulo \"x\""), ParseError);
+  EXPECT_THROW(parse_module("module \"x\"\nfunc @f() -> i32 {\nblock b0 \"e\":\n  ret %9\n}\n"),
+               ParseError);
+  EXPECT_THROW(parse_module("module \"x\"\nfunc @f() -> i32 {\nblock b0 \"e\":\n  %0 = i32 frobnicate %1\n}\n"),
+               ParseError);
+}
+
+TEST(Parser, ForwardReferencesThroughPhi) {
+  // Textual forward reference: the phi in b1 uses %3 defined later in b1.
+  const char* text =
+      "module \"fwd\"\n"
+      "func @f(i32 %0) -> i32 {\n"
+      "block b0 \"entry\":\n"
+      "  br b1\n"
+      "block b1 \"loop\":\n"
+      "  %1 = i32 phi [i32 0, b0], [%2, b1]\n"
+      "  %2 = i32 add %1, i32 1\n"
+      "  %3 = i1 icmp slt %2, %0\n"
+      "  condbr %3, b1, b2\n"
+      "block b2 \"exit\":\n"
+      "  ret %2\n"
+      "}\n";
+  const Module m = parse_module(text);
+  verify_module_or_throw(m);
+  EXPECT_EQ(print_module(parse_module(print_module(m))), print_module(m));
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32});
+  fb.binop(Opcode::Add, fb.param(0), fb.param(0));
+  fb.finish();  // no ret
+  const auto errors = verify_module(m);
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST(Verifier, CatchesTypeMismatch) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32, Type::I64});
+  // add i32 %0, %1 where %1 is i64 — builder trusts, verifier must catch.
+  const ValueId bad = fb.binop(Opcode::Add, fb.param(0), fb.param(1));
+  fb.ret(bad);
+  fb.finish();
+  EXPECT_FALSE(verify_module(m).empty());
+}
+
+TEST(Verifier, CatchesUseBeforeDef) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {});
+  // Build manually broken IR: swap two instructions.
+  const ValueId a = fb.const_int(Type::I32, 1);
+  const ValueId x = fb.binop(Opcode::Add, a, a);
+  const ValueId y = fb.binop(Opcode::Mul, x, x);
+  fb.ret(y);
+  FuncId f = fb.finish();
+  auto& instrs = m.functions[f].blocks[0].instrs;
+  std::swap(instrs[0], instrs[1]);  // y now precedes x
+  EXPECT_FALSE(verify_module(m).empty());
+}
+
+TEST(Verifier, CatchesPhiArcMismatch) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {});
+  const BlockId next = fb.new_block("next");
+  fb.br(next);
+  fb.set_insert(next);
+  const ValueId p = fb.phi(Type::I32);
+  fb.phi_incoming(p, fb.const_int(Type::I32, 5), fb.entry());
+  fb.phi_incoming(p, fb.const_int(Type::I32, 6), next);  // bogus arc
+  fb.ret(p);
+  fb.finish();
+  EXPECT_FALSE(verify_module(m).empty());
+}
+
+TEST(Verifier, AcceptsDeadBlocks) {
+  // Unreachable (dead) code is a designed property of the benchmark suite.
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {});
+  const BlockId dead = fb.new_block("dead");
+  const ValueId c = fb.const_int(Type::I32, 3);
+  fb.ret(c);
+  fb.set_insert(dead);
+  const ValueId x = fb.binop(Opcode::Add, c, c);
+  fb.ret(x);
+  fb.finish();
+  const auto errors = verify_module(m);
+  for (const auto& e : errors) ADD_FAILURE() << e.to_string();
+}
+
+TEST(Cfg, DiamondDominators) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I1});
+  const BlockId left = fb.new_block("left");
+  const BlockId right = fb.new_block("right");
+  const BlockId join = fb.new_block("join");
+  fb.condbr(fb.param(0), left, right);
+  fb.set_insert(left);
+  fb.br(join);
+  fb.set_insert(right);
+  fb.br(join);
+  fb.set_insert(join);
+  fb.ret(fb.const_int(Type::I32, 0));
+  const FuncId f = fb.finish();
+
+  const Cfg cfg(m.functions[f]);
+  EXPECT_TRUE(cfg.dominates(0, left));
+  EXPECT_TRUE(cfg.dominates(0, join));
+  EXPECT_FALSE(cfg.dominates(left, join));
+  EXPECT_FALSE(cfg.dominates(right, join));
+  EXPECT_EQ(cfg.idom(join), 0u);
+  EXPECT_EQ(cfg.idom(left), 0u);
+  EXPECT_TRUE(cfg.back_edges().empty());
+  EXPECT_EQ(cfg.rpo().front(), 0u);
+  EXPECT_EQ(cfg.rpo().back(), join);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  const Module m = make_sum_module();
+  const Cfg cfg(m.functions[0]);
+  ASSERT_EQ(cfg.back_edges().size(), 1u);
+  EXPECT_EQ(cfg.back_edges()[0].first, 1u);   // body -> body
+  EXPECT_EQ(cfg.back_edges()[0].second, 1u);
+}
+
+TEST(Cfg, DominanceMatchesBruteForce) {
+  // Property check on a nontrivial CFG: a dominates b iff removing a makes b
+  // unreachable from the entry.
+  const char* text =
+      "module \"m\"\n"
+      "func @f(i1 %0) -> i32 {\n"
+      "block b0 \"e\":\n  condbr %0, b1, b2\n"
+      "block b1 \"a\":\n  condbr %0, b3, b4\n"
+      "block b2 \"b\":\n  br b4\n"
+      "block b3 \"c\":\n  br b5\n"
+      "block b4 \"d\":\n  condbr %0, b5, b1\n"
+      "block b5 \"x\":\n  ret i32 0\n"
+      "}\n";
+  const Module m = parse_module(text);
+  const Function& fn = m.functions[0];
+  const Cfg cfg(fn);
+
+  auto reachable_avoiding = [&](BlockId avoid, BlockId target) {
+    if (avoid == 0) return false;
+    std::vector<bool> seen(fn.blocks.size(), false);
+    std::vector<BlockId> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const BlockId b = stack.back();
+      stack.pop_back();
+      if (b == target) return true;
+      for (BlockId s : cfg.successors(b))
+        if (s != avoid && !seen[s]) {
+          seen[s] = true;
+          stack.push_back(s);
+        }
+    }
+    return false;
+  };
+
+  for (BlockId a = 0; a < fn.blocks.size(); ++a)
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const bool dom = cfg.dominates(a, b);
+      const bool brute = (a == b) || !reachable_avoiding(a, b);
+      EXPECT_EQ(dom, brute) << "a=" << a << " b=" << b;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "ise/identify.hpp"
+#include "support/rng.hpp"
+#include "jit/breakeven.hpp"
+#include "jit/cache.hpp"
+#include "jit/specializer.hpp"
+#include "woolcano/asip.hpp"
+#include "woolcano/rewriter.hpp"
+
+namespace {
+
+using namespace jitise;
+using namespace jitise::ir;
+
+/// Hot loop computing a polynomial hash over i (feasible 5-op chain) plus a
+/// cold block; good candidate material.
+Module make_app() {
+  Module m;
+  m.name = "miniapp";
+  FunctionBuilder fb(m, "main", Type::I32, {Type::I32});
+  const BlockId hot = fb.new_block("hot");
+  const BlockId exit = fb.new_block("exit");
+  fb.br(hot);
+  fb.set_insert(hot);
+  const ValueId i = fb.phi(Type::I32);
+  const ValueId acc = fb.phi(Type::I32);
+  // The chain contains a divide — exactly the kind of multi-cycle operation
+  // that makes integer candidates profitable on the FCM.
+  const ValueId t1 = fb.binop(Opcode::Mul, acc, fb.const_int(Type::I32, 31));
+  const ValueId t2 = fb.binop(Opcode::Add, t1, i);
+  const ValueId t2b = fb.binop(Opcode::SDiv, t2, fb.const_int(Type::I32, 7));
+  const ValueId t3 = fb.binop(Opcode::Xor, t2b, fb.const_int(Type::I32, 0x5a5a));
+  const ValueId t4 = fb.binop(Opcode::And, t3, fb.const_int(Type::I32, 0x7fffffff));
+  const ValueId inext = fb.binop(Opcode::Add, i, fb.const_int(Type::I32, 1));
+  const ValueId cont = fb.icmp(ICmpPred::Slt, inext, fb.param(0));
+  fb.condbr(cont, hot, exit);
+  fb.phi_incoming(i, fb.const_int(Type::I32, 0), fb.entry());
+  fb.phi_incoming(i, inext, hot);
+  fb.phi_incoming(acc, fb.const_int(Type::I32, 7), fb.entry());
+  fb.phi_incoming(acc, t4, hot);
+  fb.set_insert(exit);
+  fb.ret(t4);
+  fb.finish();
+  verify_module_or_throw(m);
+  return m;
+}
+
+TEST(Specializer, EndToEndPipeline) {
+  const Module m = make_app();
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(2000)};
+  const auto orig = machine.run("main", args);
+
+  jit::SpecializerConfig config;
+  const auto result = jit::specialize(m, machine.profile(), config);
+
+  EXPECT_GE(result.candidates_found, 1u);
+  EXPECT_GE(result.candidates_selected, 1u);
+  EXPECT_GT(result.search_real_ms, 0.0);
+  ASSERT_FALSE(result.implemented.empty());
+  const auto& impl = result.implemented[0];
+  EXPECT_FALSE(impl.cache_hit);
+  EXPECT_GT(impl.bitstream_bytes, 0u);
+  EXPECT_GT(impl.total_seconds(), 150.0);  // bitgen alone is ~151 s modeled
+  EXPECT_GT(result.predicted_speedup, 1.0);
+
+  // Rewritten module is valid and semantically identical.
+  verify_module_or_throw(result.rewritten);
+  EXPECT_GE(woolcano::count_custom_ops(result.rewritten), 1u);
+  const auto diff = woolcano::run_adapted(m, result.rewritten, result.registry,
+                                          "main", args);
+  EXPECT_EQ(diff.original_result.i, orig.ret.i);
+  EXPECT_EQ(diff.adapted_result.i, orig.ret.i);
+  EXPECT_LT(diff.adapted_cycles, diff.original_cycles);
+  EXPECT_GT(diff.speedup(), 1.0);
+}
+
+
+TEST(Specializer, UnionMisoFindsLargerOrEqualCandidates) {
+  const Module m = make_app();
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(1000)};
+  machine.run("main", args);
+
+  jit::SpecializerConfig maxm;
+  maxm.implement_hardware = false;
+  jit::SpecializerConfig unionm = maxm;
+  unionm.identify = jit::SpecializerConfig::Identify::UnionMiso;
+
+  const auto a = jit::specialize(m, machine.profile(), maxm);
+  const auto b = jit::specialize(m, machine.profile(), unionm);
+  EXPECT_LE(b.candidates_found, a.candidates_found);
+  EXPECT_GE(b.predicted_speedup, a.predicted_speedup * 0.999)
+      << "larger candidates must not lose speedup";
+  // Semantics still hold.
+  const auto diff =
+      woolcano::run_adapted(m, b.rewritten, b.registry, "main", args);
+  EXPECT_EQ(diff.original_result.i, diff.adapted_result.i);
+}
+
+TEST(Specializer, CacheSkipsGeneration) {
+  const Module m = make_app();
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(500)};
+  machine.run("main", args);
+
+  jit::BitstreamCache cache;
+  jit::SpecializerConfig config;
+  const auto first = jit::specialize(m, machine.profile(), config, &cache);
+  EXPECT_GT(first.sum_total_s, 0.0);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(cache.entries(), 0u);
+
+  const auto second = jit::specialize(m, machine.profile(), config, &cache);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_DOUBLE_EQ(second.sum_total_s, 0.0);  // all hits: no generation cost
+  ASSERT_FALSE(second.implemented.empty());
+  EXPECT_TRUE(second.implemented[0].cache_hit);
+  // The cached hardware behaves identically.
+  const auto diff = woolcano::run_adapted(m, second.rewritten, second.registry,
+                                          "main", args);
+  EXPECT_EQ(diff.original_result.i, diff.adapted_result.i);
+}
+
+TEST(Specializer, UpperBoundBeatsOrMatchesSelected) {
+  const Module m = make_app();
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(1000)};
+  machine.run("main", args);
+
+  const auto ub = jit::asip_upper_bound(m, machine.profile());
+  EXPECT_GE(ub.candidates, 1u);
+  EXPECT_GT(ub.ratio(), 1.0);
+
+  jit::SpecializerConfig config;
+  config.implement_hardware = false;  // estimation-based, like the bound
+  const auto sel = jit::specialize(m, machine.profile(), config);
+  EXPECT_GE(ub.ratio(), sel.predicted_speedup * 0.999);
+}
+
+TEST(Cache, LruEviction) {
+  jit::BitstreamCache cache(1000);
+  auto entry = [](std::size_t bytes) {
+    jit::CachedImplementation e;
+    e.bitstream.bytes.assign(bytes, 0xAB);
+    return e;
+  };
+  cache.insert(1, entry(400));
+  cache.insert(2, entry(400));
+  EXPECT_EQ(cache.entries(), 2u);
+  (void)cache.lookup(1);            // refresh 1 -> LRU order: 2, 1
+  cache.insert(3, entry(400));      // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), 1000u);
+}
+
+TEST(Cache, HitMissAccounting) {
+  jit::BitstreamCache cache;
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  jit::CachedImplementation e;
+  e.generation_seconds = 12.5;
+  cache.insert(42, e);
+  const auto hit = cache.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->generation_seconds, 12.5);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BreakEven, ClosedFormCases) {
+  using vm::CoverageClass;
+  // One live block, 10 s per execution, 2x speedup -> saves 5 s per scale
+  // unit. Overhead 50 s -> x = 10, break-even = 100 s.
+  const jit::BlockTerm live{10.0, CoverageClass::Live, 2.0};
+  {
+    const jit::BlockTerm terms[] = {live};
+    EXPECT_DOUBLE_EQ(jit::break_even_seconds(terms, 50.0), 100.0);
+  }
+  // Const code contributes its one-off saving and execution time.
+  {
+    const jit::BlockTerm terms[] = {live,
+                                    {4.0, CoverageClass::Const, 2.0}};
+    // const saves 2 s once; remaining 48 s at 5 s/unit -> x = 9.6.
+    EXPECT_DOUBLE_EQ(jit::break_even_seconds(terms, 50.0), 4.0 + 9.6 * 10.0);
+  }
+  // Dead code contributes nothing.
+  {
+    const jit::BlockTerm terms[] = {live, {100.0, CoverageClass::Dead, 5.0}};
+    EXPECT_DOUBLE_EQ(jit::break_even_seconds(terms, 50.0), 100.0);
+  }
+  // No speedup anywhere -> never breaks even.
+  {
+    const jit::BlockTerm terms[] = {{10.0, CoverageClass::Live, 1.0}};
+    EXPECT_EQ(jit::break_even_seconds(terms, 1.0), jit::kNeverBreaksEven);
+  }
+  // Overhead already covered by const savings -> first execution suffices.
+  {
+    const jit::BlockTerm terms[] = {{10.0, CoverageClass::Const, 2.0}};
+    EXPECT_DOUBLE_EQ(jit::break_even_seconds(terms, 3.0), 10.0);
+  }
+}
+
+TEST(BreakEven, MonotoneInOverheadAndSpeedup) {
+  using vm::CoverageClass;
+  const jit::BlockTerm base{5.0, CoverageClass::Live, 3.0};
+  double prev = 0.0;
+  for (double overhead : {10.0, 20.0, 40.0, 80.0}) {
+    const jit::BlockTerm terms[] = {base};
+    const double be = jit::break_even_seconds(terms, overhead);
+    EXPECT_GT(be, prev);
+    prev = be;
+  }
+  // Higher speedup -> earlier break-even.
+  const jit::BlockTerm faster{5.0, CoverageClass::Live, 6.0};
+  const jit::BlockTerm t1[] = {base}, t2[] = {faster};
+  EXPECT_GT(jit::break_even_seconds(t1, 100.0),
+            jit::break_even_seconds(t2, 100.0));
+}
+
+TEST(Reconfig, SlotEvictionAndTiming) {
+  woolcano::WoolcanoConfig cfg;
+  cfg.ci_slots = 2;
+  cfg.icap_bytes_per_second = 1000.0;
+  woolcano::ReconfigController ctl(cfg);
+
+  auto ci = [](std::uint32_t id, std::size_t bytes) {
+    woolcano::CustomInstruction c;
+    c.id = id;
+    c.bitstream_bytes = bytes;
+    return c;
+  };
+  EXPECT_DOUBLE_EQ(ctl.load(ci(0, 500)), 0.5);
+  EXPECT_DOUBLE_EQ(ctl.load(ci(1, 1000)), 1.0);
+  EXPECT_DOUBLE_EQ(ctl.load(ci(0, 500)), 0.0);  // resident
+  EXPECT_DOUBLE_EQ(ctl.load(ci(2, 2000)), 2.0); // evicts 1 (LRU)
+  EXPECT_FALSE(ctl.resident(1));
+  EXPECT_TRUE(ctl.resident(0));
+  EXPECT_TRUE(ctl.resident(2));
+  EXPECT_EQ(ctl.evictions(), 1u);
+  EXPECT_DOUBLE_EQ(ctl.total_seconds(), 3.5);
+}
+
+TEST(Rewriter, RejectsOverlap) {
+  const Module m = make_app();
+  const dfg::BlockDfg graph(m.functions[0], 1);
+  auto misos = ise::find_max_misos(graph);
+  ASSERT_FALSE(misos.empty());
+  // Register the same candidate twice -> overlapping coverage.
+  woolcano::CiRegistry reg;
+  for (int k = 0; k < 2; ++k) {
+    woolcano::CustomInstruction ci;
+    ci.candidate = misos[0];
+    ci.candidate.function = 0;
+    ci.program = woolcano::snapshot_program(graph, misos[0]);
+    reg.add(std::move(ci));
+  }
+  EXPECT_THROW((void)woolcano::rewrite_module(m, reg), std::invalid_argument);
+}
+
+TEST(Snapshot, EvaluatesLikeInterpreter) {
+  // Property sweep: random inputs through the snapshot vs. direct IR
+  // execution of a pure function wrapping the same expression.
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32, Type::I32});
+  const ValueId a = fb.binop(Opcode::Mul, fb.param(0), fb.const_int(Type::I32, 31));
+  const ValueId b = fb.binop(Opcode::Add, a, fb.param(1));
+  const ValueId c = fb.binop(Opcode::Xor, b, fb.const_int(Type::I32, 0x55));
+  const ValueId d = fb.binop(Opcode::AShr, c, fb.const_int(Type::I32, 3));
+  fb.ret(d);
+  fb.finish();
+  const dfg::BlockDfg graph(m.functions[0], 0);
+  auto misos = ise::find_max_misos(graph);
+  ASSERT_EQ(misos.size(), 1u);
+  const auto program = woolcano::snapshot_program(graph, misos[0]);
+
+  vm::Machine machine(m);
+  support::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = static_cast<std::int32_t>(rng());
+    const auto y = static_cast<std::int32_t>(rng());
+    const vm::Slot args[] = {vm::Slot::of_int(x), vm::Slot::of_int(y)};
+    const auto direct = machine.run("f", args);
+    // Snapshot inputs follow cand.inputs order.
+    std::vector<vm::Slot> inputs;
+    for (ValueId in : misos[0].inputs) {
+      const auto& def = m.functions[0].values[in];
+      if (def.op == Opcode::Param)
+        inputs.push_back(args[in]);
+      else if (def.op == Opcode::ConstInt)
+        inputs.push_back(vm::Slot::of_int(def.imm));
+    }
+    const vm::Slot out = program.evaluate(inputs);
+    EXPECT_EQ(out.i, direct.ret.i) << "x=" << x << " y=" << y;
+  }
+}
+
+}  // namespace

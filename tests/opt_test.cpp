@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/random_program.hpp"
+#include "ir/verifier.hpp"
+#include "opt/passes.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+using namespace jitise;
+using namespace jitise::ir;
+
+TEST(ConstantFold, FoldsChains) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32});
+  const ValueId a = fb.binop(Opcode::Add, fb.const_int(Type::I32, 3),
+                             fb.const_int(Type::I32, 4));
+  const ValueId b = fb.binop(Opcode::Mul, a, fb.const_int(Type::I32, 6));
+  const ValueId c = fb.binop(Opcode::Add, b, fb.param(0));  // not foldable
+  fb.ret(c);
+  fb.finish();
+  Function& fn = m.functions[0];
+
+  const auto stats = opt::constant_fold(fn);
+  EXPECT_EQ(stats.folded, 2u);
+  verify_module_or_throw(m);
+  // Only the param-dependent add and the ret remain in the block.
+  EXPECT_EQ(fn.blocks[0].instrs.size(), 2u);
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(10)};
+  EXPECT_EQ(machine.run("f", args).ret.i, 52);
+}
+
+TEST(ConstantFold, LeavesDivByZeroToRuntime) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {});
+  const ValueId d = fb.binop(Opcode::SDiv, fb.const_int(Type::I32, 5),
+                             fb.const_int(Type::I32, 0));
+  fb.ret(d);
+  fb.finish();
+  EXPECT_EQ(opt::constant_fold(m.functions[0]).folded, 0u);
+  vm::Machine machine(m);
+  EXPECT_THROW(machine.run("f", {}), vm::ExecutionError);
+}
+
+TEST(Simplify, Identities) {
+  Module m;
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32, Type::I32});
+  const ValueId zero = fb.const_int(Type::I32, 0);
+  const ValueId one = fb.const_int(Type::I32, 1);
+  const ValueId a1 = fb.binop(Opcode::Add, fb.param(0), zero);      // -> p0
+  const ValueId m1 = fb.binop(Opcode::Mul, a1, one);                // -> p0
+  const ValueId x1 = fb.binop(Opcode::Xor, m1, m1);                 // -> 0
+  const ValueId s1 = fb.select(fb.icmp(ICmpPred::Eq, x1, zero),
+                               fb.param(1), fb.param(1));           // -> p1
+  const ValueId r = fb.binop(Opcode::Or, s1, x1);                   // -> p1|0 -> p1
+  fb.ret(r);
+  fb.finish();
+
+  const auto stats = opt::optimize_function(m.functions[0]);
+  EXPECT_GE(stats.simplified, 4u);
+  verify_module_or_throw(m);
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(123), vm::Slot::of_int(77)};
+  EXPECT_EQ(machine.run("f", args).ret.i, 77);
+  // Everything folds away: only ret should remain.
+  EXPECT_EQ(m.functions[0].blocks[0].instrs.size(), 1u);
+}
+
+TEST(Cse, MergesPureDuplicatesOnly) {
+  Module m;
+  add_global(m, "g", 16);
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32});
+  const ValueId x1 = fb.binop(Opcode::Mul, fb.param(0), fb.param(0));
+  const ValueId p = fb.global_addr(0);
+  const ValueId l1 = fb.load(Type::I32, p);
+  fb.store(x1, p);
+  const ValueId l2 = fb.load(Type::I32, p);  // NOT mergeable with l1
+  const ValueId x2 = fb.binop(Opcode::Mul, fb.param(0), fb.param(0));  // = x1
+  const ValueId s = fb.binop(Opcode::Add, fb.binop(Opcode::Add, l1, l2),
+                             fb.binop(Opcode::Add, x1, x2));
+  fb.ret(s);
+  fb.finish();
+
+  const auto stats = opt::common_subexpression(m.functions[0]);
+  EXPECT_EQ(stats.cse_hits, 1u);  // only the repeated multiply
+  verify_module_or_throw(m);
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(5)};
+  // l1 = 0 (initial), l2 = 25 after the store, x1 = x2 = 25 -> 75.
+  EXPECT_EQ(machine.run("f", args).ret.i, 75);
+}
+
+TEST(Dce, RemovesUnusedKeepsEffects) {
+  Module m;
+  add_global(m, "g", 16);
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32});
+  fb.binop(Opcode::Mul, fb.param(0), fb.param(0));       // dead
+  const ValueId dead2 = fb.binop(Opcode::Add, fb.param(0), fb.param(0));
+  fb.binop(Opcode::Xor, dead2, dead2);                    // dead chain
+  fb.store(fb.param(0), fb.global_addr(0));               // kept
+  fb.ret(fb.param(0));
+  fb.finish();
+
+  const auto stats = opt::dead_code_elim(m.functions[0]);
+  EXPECT_GE(stats.removed, 3u);
+  verify_module_or_throw(m);
+  // store + gaddr + ret survive.
+  EXPECT_EQ(m.functions[0].blocks[0].instrs.size(), 3u);
+}
+
+TEST(LoadForwarding, ForwardsAndInvalidatesCorrectly) {
+  Module m;
+  add_global(m, "g", 64);
+  FunctionBuilder fb(m, "f", Type::I32, {Type::I32});
+  const ValueId base = fb.global_addr(0);
+  const ValueId p = fb.gep(base, fb.const_int(Type::I32, 0), 4);
+  const ValueId q = fb.gep(base, fb.const_int(Type::I32, 1), 4);
+  const ValueId l1 = fb.load(Type::I32, p);   // first load: kept
+  const ValueId l2 = fb.load(Type::I32, p);   // duplicate: forwarded from l1
+  fb.store(fb.param(0), q);                   // store elsewhere: clears table
+  const ValueId l3 = fb.load(Type::I32, p);   // kept (may alias q)
+  const ValueId l4 = fb.load(Type::I32, q);   // forwarded from the store
+  ValueId acc = fb.binop(Opcode::Add, l1, l2);
+  acc = fb.binop(Opcode::Add, acc, l3);
+  acc = fb.binop(Opcode::Add, acc, l4);
+  fb.ret(acc);
+  fb.finish();
+
+  // Reference semantics before optimizing.
+  std::int64_t expected;
+  {
+    vm::Machine machine(m);
+    const vm::Slot args[] = {vm::Slot::of_int(11)};
+    expected = machine.run("f", args).ret.i;
+  }
+
+  const auto stats = opt::load_forwarding(m.functions[0]);
+  EXPECT_EQ(stats.removed, 2u);  // l2 and l4
+  verify_module_or_throw(m);
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(11)};
+  EXPECT_EQ(machine.run("f", args).ret.i, expected);
+}
+
+TEST(LoadForwarding, CallsInvalidateEverything) {
+  Module m;
+  add_global(m, "g", 16);
+  FunctionBuilder callee(m, "writer", Type::I32, {});
+  callee.store(callee.const_int(Type::I32, 99), callee.global_addr(0));
+  callee.ret(callee.const_int(Type::I32, 0));
+  const FuncId writer = callee.finish();
+
+  FunctionBuilder fb(m, "f", Type::I32, {});
+  const ValueId p = fb.global_addr(0);
+  const ValueId l1 = fb.load(Type::I32, p);
+  fb.call(writer, Type::I32, {});
+  const ValueId l2 = fb.load(Type::I32, p);  // must NOT be forwarded
+  fb.ret(fb.binop(Opcode::Sub, l2, l1));
+  fb.finish();
+
+  EXPECT_EQ(opt::load_forwarding(m.functions[1]).removed, 0u);
+  vm::Machine machine(m);
+  EXPECT_EQ(machine.run("f", {}).ret.i, 99);  // 99 - 0
+}
+
+class OptProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, OptProperty,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+TEST_P(OptProperty, OptimizationPreservesSemantics) {
+  RandomProgramConfig config;
+  config.seed = GetParam();
+  config.blocks_per_function = 9;
+  Module m = generate_random_program(config);
+
+  const std::size_t before = m.total_instructions();
+  std::vector<std::int64_t> reference;
+  {
+    vm::Machine machine(m);
+    for (std::int64_t arg : {0, 1, -5, 4096}) {
+      const vm::Slot args[] = {vm::Slot::of_int(arg)};
+      reference.push_back(machine.run("main", args, 1ull << 26).ret.i);
+      machine.reset_memory();
+    }
+  }
+
+  const auto stats = opt::optimize_module(m);
+  verify_module_or_throw(m);
+  EXPECT_LE(m.total_instructions(), before);
+
+  vm::Machine machine(m);
+  std::size_t k = 0;
+  for (std::int64_t arg : {0, 1, -5, 4096}) {
+    const vm::Slot args[] = {vm::Slot::of_int(arg)};
+    EXPECT_EQ(machine.run("main", args, 1ull << 26).ret.i, reference[k++])
+        << "seed=" << GetParam() << " arg=" << arg
+        << " (opts applied: " << stats.total() << ")";
+    machine.reset_memory();
+  }
+}
+
+TEST_P(OptProperty, OptimizationIsIdempotentAtFixpoint) {
+  RandomProgramConfig config;
+  config.seed = GetParam();
+  Module m = generate_random_program(config);
+  opt::optimize_module(m);
+  const auto second = opt::optimize_module(m);
+  EXPECT_EQ(second.total(), 0u) << "fixpoint not reached";
+}
+
+}  // namespace

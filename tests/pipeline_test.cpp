@@ -1,0 +1,137 @@
+// Suite-wide integration properties: for every benchmark application, the
+// full hardware pipeline must be deterministic, cache-keyable and
+// semantics-preserving on every data set.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "ir/verifier.hpp"
+#include "ise/selection.hpp"
+#include "jit/specializer.hpp"
+#include "support/rng.hpp"
+#include "woolcano/asip.hpp"
+
+namespace {
+
+using namespace jitise;
+
+class Pipeline : public ::testing::TestWithParam<std::string> {
+ protected:
+  static vm::Profile profile_of(const apps::App& app) {
+    vm::Machine machine(app.module);
+    machine.run(app.entry, app.datasets[0].args, 1ull << 30);
+    return machine.profile();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllApps, Pipeline,
+                         ::testing::ValuesIn(apps::app_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '.') c = '_';
+                           return n;
+                         });
+
+TEST_P(Pipeline, SpecializationIsDeterministic) {
+  const apps::App app = apps::build_app(GetParam());
+  const auto profile = profile_of(app);
+  jit::SpecializerConfig config;
+  const auto s1 = jit::specialize(app.module, profile, config);
+  const auto s2 = jit::specialize(app.module, profile, config);
+  ASSERT_EQ(s1.implemented.size(), s2.implemented.size());
+  for (std::size_t i = 0; i < s1.implemented.size(); ++i) {
+    EXPECT_EQ(s1.implemented[i].signature, s2.implemented[i].signature);
+    EXPECT_EQ(s1.implemented[i].bitstream_bytes, s2.implemented[i].bitstream_bytes);
+    EXPECT_EQ(s1.implemented[i].hw_cycles, s2.implemented[i].hw_cycles);
+    EXPECT_DOUBLE_EQ(s1.implemented[i].total_seconds(),
+                     s2.implemented[i].total_seconds());
+  }
+  EXPECT_DOUBLE_EQ(s1.sum_total_s, s2.sum_total_s);
+  EXPECT_DOUBLE_EQ(s1.predicted_speedup, s2.predicted_speedup);
+}
+
+TEST_P(Pipeline, RewritePreservesSemanticsOnAllDatasets) {
+  const apps::App app = apps::build_app(GetParam());
+  const auto profile = profile_of(app);
+  jit::SpecializerConfig config;
+  const auto spec = jit::specialize(app.module, profile, config);
+  ir::verify_module_or_throw(spec.rewritten);
+
+  for (const apps::Dataset& ds : app.datasets) {
+    const auto diff = woolcano::run_adapted(app.module, spec.rewritten,
+                                            spec.registry, app.entry, ds.args);
+    EXPECT_EQ(diff.original_result.i, diff.adapted_result.i)
+        << GetParam() << " dataset " << ds.name;
+    EXPECT_GE(diff.speedup(), 0.999) << "adaptation must never slow down";
+  }
+}
+
+TEST_P(Pipeline, CacheRoundTripMatchesFreshImplementation) {
+  const apps::App app = apps::build_app(GetParam());
+  const auto profile = profile_of(app);
+  jit::BitstreamCache cache;
+  jit::SpecializerConfig config;
+  const auto fresh = jit::specialize(app.module, profile, config, &cache);
+  const auto cached = jit::specialize(app.module, profile, config, &cache);
+  ASSERT_EQ(fresh.implemented.size(), cached.implemented.size());
+  for (std::size_t i = 0; i < fresh.implemented.size(); ++i) {
+    EXPECT_TRUE(cached.implemented[i].cache_hit);
+    EXPECT_EQ(cached.implemented[i].hw_cycles, fresh.implemented[i].hw_cycles);
+  }
+  // The cached hardware must behave identically on the reference data set.
+  const auto d1 = woolcano::run_adapted(app.module, fresh.rewritten,
+                                        fresh.registry, app.entry,
+                                        app.datasets[1].args);
+  const auto d2 = woolcano::run_adapted(app.module, cached.rewritten,
+                                        cached.registry, app.entry,
+                                        app.datasets[1].args);
+  EXPECT_EQ(d1.adapted_result.i, d2.adapted_result.i);
+  EXPECT_EQ(d1.adapted_cycles, d2.adapted_cycles);
+}
+
+// --- selection solver cross-check on random knapsack instances ------------
+
+class SelectionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST_P(SelectionProperty, KnapsackNeverWorseThanGreedyAndBothFeasible) {
+  support::Xoshiro256 rng(GetParam());
+  std::vector<ise::ScoredCandidate> cands(8 + rng.below(12));
+  for (auto& sc : cands) {
+    sc.cycles_saved_total = 1.0 + static_cast<double>(rng.below(1000));
+    sc.area_slices = 1.0 + static_cast<double>(rng.below(400));
+    sc.candidate.outputs.push_back(0);
+  }
+  ise::SelectConfig config;
+  config.area_budget_slices = 300 + static_cast<double>(rng.below(700));
+
+  const auto greedy = ise::select_greedy(cands, config);
+  const auto exact = ise::select_knapsack(cands, config, 1.0);
+  EXPECT_LE(greedy.total_area, config.area_budget_slices);
+  EXPECT_LE(exact.total_area, config.area_budget_slices + 1e-9);
+  EXPECT_LE(greedy.chosen.size(), config.max_instructions);
+  EXPECT_GE(exact.total_saving, greedy.total_saving - 1e-9)
+      << "DP must never lose to the greedy heuristic";
+
+  // Exhaustive oracle for small instances.
+  if (cands.size() <= 14) {
+    double best = 0.0;
+    for (std::uint32_t mask = 0; mask < (1u << cands.size()); ++mask) {
+      double area = 0.0, saving = 0.0;
+      for (std::size_t i = 0; i < cands.size(); ++i)
+        if (mask & (1u << i)) {
+          area += cands[i].area_slices;
+          saving += cands[i].cycles_saved_total;
+        }
+      if (area <= config.area_budget_slices &&
+          __builtin_popcount(mask) <=
+              static_cast<int>(config.max_instructions))
+        best = std::max(best, saving);
+    }
+    EXPECT_NEAR(exact.total_saving, best, best * 1e-12 + 1e-9)
+        << "knapsack must match the exhaustive optimum";
+  }
+}
+
+}  // namespace
