@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fast_cad.dir/micro_fast_cad.cpp.o"
+  "CMakeFiles/micro_fast_cad.dir/micro_fast_cad.cpp.o.d"
+  "micro_fast_cad"
+  "micro_fast_cad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fast_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ise_algorithms.dir/micro_ise_algorithms.cpp.o"
+  "CMakeFiles/micro_ise_algorithms.dir/micro_ise_algorithms.cpp.o.d"
+  "micro_ise_algorithms"
+  "micro_ise_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ise_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_place_route.dir/micro_place_route.cpp.o"
+  "CMakeFiles/micro_place_route.dir/micro_place_route.cpp.o.d"
+  "micro_place_route"
+  "micro_place_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_place_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_characterization.cpp" "bench/CMakeFiles/table1_characterization.dir/table1_characterization.cpp.o" "gcc" "bench/CMakeFiles/table1_characterization.dir/table1_characterization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/jitise_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/jitise_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cad/CMakeFiles/jitise_cad.dir/DependInfo.cmake"
+  "/root/repo/build/src/datapath/CMakeFiles/jitise_datapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/jitise_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/woolcano/CMakeFiles/jitise_woolcano.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/jitise_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwlib/CMakeFiles/jitise_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ise/CMakeFiles/jitise_ise.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jitise_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/jitise_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jitise_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jitise_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_overheads.dir/table2_overheads.cpp.o"
+  "CMakeFiles/table2_overheads.dir/table2_overheads.cpp.o.d"
+  "table2_overheads"
+  "table2_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cad_constants.dir/table3_cad_constants.cpp.o"
+  "CMakeFiles/table3_cad_constants.dir/table3_cad_constants.cpp.o.d"
+  "table3_cad_constants"
+  "table3_cad_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cad_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

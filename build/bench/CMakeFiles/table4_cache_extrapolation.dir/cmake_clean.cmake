@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cache_extrapolation.dir/table4_cache_extrapolation.cpp.o"
+  "CMakeFiles/table4_cache_extrapolation.dir/table4_cache_extrapolation.cpp.o.d"
+  "table4_cache_extrapolation"
+  "table4_cache_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cache_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

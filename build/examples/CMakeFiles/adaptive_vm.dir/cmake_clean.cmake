@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_vm.dir/adaptive_vm.cpp.o"
+  "CMakeFiles/adaptive_vm.dir/adaptive_vm.cpp.o.d"
+  "adaptive_vm"
+  "adaptive_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_cli.dir/jitise_cli.cpp.o"
+  "CMakeFiles/jitise_cli.dir/jitise_cli.cpp.o.d"
+  "jitise_cli"
+  "jitise_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

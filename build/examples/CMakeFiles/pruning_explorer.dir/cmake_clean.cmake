@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruning_explorer.dir/pruning_explorer.cpp.o"
+  "CMakeFiles/pruning_explorer.dir/pruning_explorer.cpp.o.d"
+  "pruning_explorer"
+  "pruning_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruning_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("vm")
+subdirs("opt")
+subdirs("dfg")
+subdirs("ise")
+subdirs("hwlib")
+subdirs("estimation")
+subdirs("datapath")
+subdirs("fpga")
+subdirs("cad")
+subdirs("woolcano")
+subdirs("jit")
+subdirs("apps")

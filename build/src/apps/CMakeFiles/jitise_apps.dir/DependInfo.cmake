@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/embedded.cpp" "src/apps/CMakeFiles/jitise_apps.dir/embedded.cpp.o" "gcc" "src/apps/CMakeFiles/jitise_apps.dir/embedded.cpp.o.d"
+  "/root/repo/src/apps/filler.cpp" "src/apps/CMakeFiles/jitise_apps.dir/filler.cpp.o" "gcc" "src/apps/CMakeFiles/jitise_apps.dir/filler.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/jitise_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/jitise_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/scientific.cpp" "src/apps/CMakeFiles/jitise_apps.dir/scientific.cpp.o" "gcc" "src/apps/CMakeFiles/jitise_apps.dir/scientific.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/jitise_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jitise_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jitise_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_apps.dir/embedded.cpp.o"
+  "CMakeFiles/jitise_apps.dir/embedded.cpp.o.d"
+  "CMakeFiles/jitise_apps.dir/filler.cpp.o"
+  "CMakeFiles/jitise_apps.dir/filler.cpp.o.d"
+  "CMakeFiles/jitise_apps.dir/registry.cpp.o"
+  "CMakeFiles/jitise_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/jitise_apps.dir/scientific.cpp.o"
+  "CMakeFiles/jitise_apps.dir/scientific.cpp.o.d"
+  "libjitise_apps.a"
+  "libjitise_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_cad.dir/flow.cpp.o"
+  "CMakeFiles/jitise_cad.dir/flow.cpp.o.d"
+  "CMakeFiles/jitise_cad.dir/runtime_model.cpp.o"
+  "CMakeFiles/jitise_cad.dir/runtime_model.cpp.o.d"
+  "CMakeFiles/jitise_cad.dir/syntax.cpp.o"
+  "CMakeFiles/jitise_cad.dir/syntax.cpp.o.d"
+  "libjitise_cad.a"
+  "libjitise_cad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_datapath.dir/project.cpp.o"
+  "CMakeFiles/jitise_datapath.dir/project.cpp.o.d"
+  "CMakeFiles/jitise_datapath.dir/vhdl_gen.cpp.o"
+  "CMakeFiles/jitise_datapath.dir/vhdl_gen.cpp.o.d"
+  "libjitise_datapath.a"
+  "libjitise_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

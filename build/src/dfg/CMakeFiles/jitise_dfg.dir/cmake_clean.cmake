@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_dfg.dir/export.cpp.o"
+  "CMakeFiles/jitise_dfg.dir/export.cpp.o.d"
+  "CMakeFiles/jitise_dfg.dir/graph.cpp.o"
+  "CMakeFiles/jitise_dfg.dir/graph.cpp.o.d"
+  "libjitise_dfg.a"
+  "libjitise_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_estimation.dir/estimator.cpp.o"
+  "CMakeFiles/jitise_estimation.dir/estimator.cpp.o.d"
+  "libjitise_estimation.a"
+  "libjitise_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bitgen.cpp" "src/fpga/CMakeFiles/jitise_fpga.dir/bitgen.cpp.o" "gcc" "src/fpga/CMakeFiles/jitise_fpga.dir/bitgen.cpp.o.d"
+  "/root/repo/src/fpga/fabric.cpp" "src/fpga/CMakeFiles/jitise_fpga.dir/fabric.cpp.o" "gcc" "src/fpga/CMakeFiles/jitise_fpga.dir/fabric.cpp.o.d"
+  "/root/repo/src/fpga/place.cpp" "src/fpga/CMakeFiles/jitise_fpga.dir/place.cpp.o" "gcc" "src/fpga/CMakeFiles/jitise_fpga.dir/place.cpp.o.d"
+  "/root/repo/src/fpga/report.cpp" "src/fpga/CMakeFiles/jitise_fpga.dir/report.cpp.o" "gcc" "src/fpga/CMakeFiles/jitise_fpga.dir/report.cpp.o.d"
+  "/root/repo/src/fpga/route.cpp" "src/fpga/CMakeFiles/jitise_fpga.dir/route.cpp.o" "gcc" "src/fpga/CMakeFiles/jitise_fpga.dir/route.cpp.o.d"
+  "/root/repo/src/fpga/sta.cpp" "src/fpga/CMakeFiles/jitise_fpga.dir/sta.cpp.o" "gcc" "src/fpga/CMakeFiles/jitise_fpga.dir/sta.cpp.o.d"
+  "/root/repo/src/fpga/synthesis.cpp" "src/fpga/CMakeFiles/jitise_fpga.dir/synthesis.cpp.o" "gcc" "src/fpga/CMakeFiles/jitise_fpga.dir/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwlib/CMakeFiles/jitise_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jitise_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jitise_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

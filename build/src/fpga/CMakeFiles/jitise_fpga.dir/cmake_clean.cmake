@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_fpga.dir/bitgen.cpp.o"
+  "CMakeFiles/jitise_fpga.dir/bitgen.cpp.o.d"
+  "CMakeFiles/jitise_fpga.dir/fabric.cpp.o"
+  "CMakeFiles/jitise_fpga.dir/fabric.cpp.o.d"
+  "CMakeFiles/jitise_fpga.dir/place.cpp.o"
+  "CMakeFiles/jitise_fpga.dir/place.cpp.o.d"
+  "CMakeFiles/jitise_fpga.dir/report.cpp.o"
+  "CMakeFiles/jitise_fpga.dir/report.cpp.o.d"
+  "CMakeFiles/jitise_fpga.dir/route.cpp.o"
+  "CMakeFiles/jitise_fpga.dir/route.cpp.o.d"
+  "CMakeFiles/jitise_fpga.dir/sta.cpp.o"
+  "CMakeFiles/jitise_fpga.dir/sta.cpp.o.d"
+  "CMakeFiles/jitise_fpga.dir/synthesis.cpp.o"
+  "CMakeFiles/jitise_fpga.dir/synthesis.cpp.o.d"
+  "libjitise_fpga.a"
+  "libjitise_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

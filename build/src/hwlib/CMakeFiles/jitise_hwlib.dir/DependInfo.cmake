@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwlib/component.cpp" "src/hwlib/CMakeFiles/jitise_hwlib.dir/component.cpp.o" "gcc" "src/hwlib/CMakeFiles/jitise_hwlib.dir/component.cpp.o.d"
+  "/root/repo/src/hwlib/netlist.cpp" "src/hwlib/CMakeFiles/jitise_hwlib.dir/netlist.cpp.o" "gcc" "src/hwlib/CMakeFiles/jitise_hwlib.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/jitise_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jitise_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_hwlib.dir/component.cpp.o"
+  "CMakeFiles/jitise_hwlib.dir/component.cpp.o.d"
+  "CMakeFiles/jitise_hwlib.dir/netlist.cpp.o"
+  "CMakeFiles/jitise_hwlib.dir/netlist.cpp.o.d"
+  "libjitise_hwlib.a"
+  "libjitise_hwlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_hwlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_ir.dir/builder.cpp.o"
+  "CMakeFiles/jitise_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/jitise_ir.dir/cfg.cpp.o"
+  "CMakeFiles/jitise_ir.dir/cfg.cpp.o.d"
+  "CMakeFiles/jitise_ir.dir/parser.cpp.o"
+  "CMakeFiles/jitise_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/jitise_ir.dir/printer.cpp.o"
+  "CMakeFiles/jitise_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/jitise_ir.dir/random_program.cpp.o"
+  "CMakeFiles/jitise_ir.dir/random_program.cpp.o.d"
+  "CMakeFiles/jitise_ir.dir/verifier.cpp.o"
+  "CMakeFiles/jitise_ir.dir/verifier.cpp.o.d"
+  "libjitise_ir.a"
+  "libjitise_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ise/candidate.cpp" "src/ise/CMakeFiles/jitise_ise.dir/candidate.cpp.o" "gcc" "src/ise/CMakeFiles/jitise_ise.dir/candidate.cpp.o.d"
+  "/root/repo/src/ise/identify.cpp" "src/ise/CMakeFiles/jitise_ise.dir/identify.cpp.o" "gcc" "src/ise/CMakeFiles/jitise_ise.dir/identify.cpp.o.d"
+  "/root/repo/src/ise/pruning.cpp" "src/ise/CMakeFiles/jitise_ise.dir/pruning.cpp.o" "gcc" "src/ise/CMakeFiles/jitise_ise.dir/pruning.cpp.o.d"
+  "/root/repo/src/ise/selection.cpp" "src/ise/CMakeFiles/jitise_ise.dir/selection.cpp.o" "gcc" "src/ise/CMakeFiles/jitise_ise.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/jitise_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jitise_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jitise_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jitise_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

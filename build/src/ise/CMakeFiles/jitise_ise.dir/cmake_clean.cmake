@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_ise.dir/candidate.cpp.o"
+  "CMakeFiles/jitise_ise.dir/candidate.cpp.o.d"
+  "CMakeFiles/jitise_ise.dir/identify.cpp.o"
+  "CMakeFiles/jitise_ise.dir/identify.cpp.o.d"
+  "CMakeFiles/jitise_ise.dir/pruning.cpp.o"
+  "CMakeFiles/jitise_ise.dir/pruning.cpp.o.d"
+  "CMakeFiles/jitise_ise.dir/selection.cpp.o"
+  "CMakeFiles/jitise_ise.dir/selection.cpp.o.d"
+  "libjitise_ise.a"
+  "libjitise_ise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_ise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

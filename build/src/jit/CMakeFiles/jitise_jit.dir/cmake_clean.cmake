@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_jit.dir/breakeven.cpp.o"
+  "CMakeFiles/jitise_jit.dir/breakeven.cpp.o.d"
+  "CMakeFiles/jitise_jit.dir/cache.cpp.o"
+  "CMakeFiles/jitise_jit.dir/cache.cpp.o.d"
+  "CMakeFiles/jitise_jit.dir/cache_io.cpp.o"
+  "CMakeFiles/jitise_jit.dir/cache_io.cpp.o.d"
+  "CMakeFiles/jitise_jit.dir/runtime.cpp.o"
+  "CMakeFiles/jitise_jit.dir/runtime.cpp.o.d"
+  "CMakeFiles/jitise_jit.dir/specializer.cpp.o"
+  "CMakeFiles/jitise_jit.dir/specializer.cpp.o.d"
+  "libjitise_jit.a"
+  "libjitise_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

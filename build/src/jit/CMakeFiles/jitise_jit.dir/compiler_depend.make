@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jitise_jit.
+# This may be replaced when dependencies are built.

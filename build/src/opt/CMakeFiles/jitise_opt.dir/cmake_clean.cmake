@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_opt.dir/passes.cpp.o"
+  "CMakeFiles/jitise_opt.dir/passes.cpp.o.d"
+  "libjitise_opt.a"
+  "libjitise_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_support.dir/duration.cpp.o"
+  "CMakeFiles/jitise_support.dir/duration.cpp.o.d"
+  "CMakeFiles/jitise_support.dir/table.cpp.o"
+  "CMakeFiles/jitise_support.dir/table.cpp.o.d"
+  "libjitise_support.a"
+  "libjitise_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

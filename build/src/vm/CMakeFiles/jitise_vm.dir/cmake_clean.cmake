@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_vm.dir/coverage.cpp.o"
+  "CMakeFiles/jitise_vm.dir/coverage.cpp.o.d"
+  "CMakeFiles/jitise_vm.dir/eval.cpp.o"
+  "CMakeFiles/jitise_vm.dir/eval.cpp.o.d"
+  "CMakeFiles/jitise_vm.dir/interpreter.cpp.o"
+  "CMakeFiles/jitise_vm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/jitise_vm.dir/time_model.cpp.o"
+  "CMakeFiles/jitise_vm.dir/time_model.cpp.o.d"
+  "libjitise_vm.a"
+  "libjitise_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

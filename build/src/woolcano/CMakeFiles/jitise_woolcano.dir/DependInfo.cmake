@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/woolcano/asip.cpp" "src/woolcano/CMakeFiles/jitise_woolcano.dir/asip.cpp.o" "gcc" "src/woolcano/CMakeFiles/jitise_woolcano.dir/asip.cpp.o.d"
+  "/root/repo/src/woolcano/custom_instruction.cpp" "src/woolcano/CMakeFiles/jitise_woolcano.dir/custom_instruction.cpp.o" "gcc" "src/woolcano/CMakeFiles/jitise_woolcano.dir/custom_instruction.cpp.o.d"
+  "/root/repo/src/woolcano/rewriter.cpp" "src/woolcano/CMakeFiles/jitise_woolcano.dir/rewriter.cpp.o" "gcc" "src/woolcano/CMakeFiles/jitise_woolcano.dir/rewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/jitise_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/ise/CMakeFiles/jitise_ise.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jitise_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwlib/CMakeFiles/jitise_hwlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/jitise_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jitise_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jitise_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitise_woolcano.dir/asip.cpp.o"
+  "CMakeFiles/jitise_woolcano.dir/asip.cpp.o.d"
+  "CMakeFiles/jitise_woolcano.dir/custom_instruction.cpp.o"
+  "CMakeFiles/jitise_woolcano.dir/custom_instruction.cpp.o.d"
+  "CMakeFiles/jitise_woolcano.dir/rewriter.cpp.o"
+  "CMakeFiles/jitise_woolcano.dir/rewriter.cpp.o.d"
+  "libjitise_woolcano.a"
+  "libjitise_woolcano.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitise_woolcano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwlib_test.dir/hwlib_test.cpp.o"
+  "CMakeFiles/hwlib_test.dir/hwlib_test.cpp.o.d"
+  "hwlib_test"
+  "hwlib_test.pdb"
+  "hwlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

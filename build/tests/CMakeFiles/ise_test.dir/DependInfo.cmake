@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ise_test.cpp" "tests/CMakeFiles/ise_test.dir/ise_test.cpp.o" "gcc" "tests/CMakeFiles/ise_test.dir/ise_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ise/CMakeFiles/jitise_ise.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/jitise_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jitise_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jitise_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jitise_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

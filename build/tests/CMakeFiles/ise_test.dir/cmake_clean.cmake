@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ise_test.dir/ise_test.cpp.o"
+  "CMakeFiles/ise_test.dir/ise_test.cpp.o.d"
+  "ise_test"
+  "ise_test.pdb"
+  "ise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
