@@ -1,8 +1,47 @@
 #include "common.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 #include "woolcano/asip.hpp"
 
 namespace jitise::bench {
+
+namespace {
+
+unsigned parse_jobs_value(const char* text, const char* prog) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: invalid --jobs value '%s'\n", prog, text);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+SuiteOptions parse_suite_options(int argc, char** argv) {
+  SuiteOptions options;
+  if (const char* env = std::getenv("JITISE_JOBS"))
+    options.jobs = parse_jobs_value(env, argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      options.trace_stages = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = parse_jobs_value(argv[++i], argv[0]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = parse_jobs_value(arg.c_str() + 7, argv[0]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N] [--trace]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
 
 std::map<std::pair<ir::FuncId, ir::BlockId>, double> block_speedups(
     const ir::Module& module, const woolcano::CiRegistry& registry,
@@ -68,6 +107,8 @@ AppRun run_app(const std::string& name, const SuiteOptions& options) {
 
   jit::SpecializerConfig config;
   config.implement_hardware = options.implement_hardware;
+  config.jobs = options.jobs;
+  config.trace_stages = options.trace_stages;
   run.spec =
       jit::specialize(run.app.module, run.profiles[0], config, options.cache);
 

@@ -31,11 +31,18 @@ struct AppRun {
 struct SuiteOptions {
   bool implement_hardware = true;  // run the real CAD flow per candidate
   jit::BitstreamCache* cache = nullptr;
+  unsigned jobs = 0;         // CAD worker threads; 0 = hardware_concurrency
+  bool trace_stages = false; // per-candidate stage timing lines on stderr
 };
 
 /// Runs the complete pipeline for one application.
 [[nodiscard]] AppRun run_app(const std::string& name,
                              const SuiteOptions& options = {});
+
+/// Parses the shared bench command line: `--jobs N` (or `--jobs=N`) and
+/// `--trace`; the JITISE_JOBS environment variable is the fallback for
+/// `jobs`. Unrecognized arguments abort with a usage message.
+[[nodiscard]] SuiteOptions parse_suite_options(int argc, char** argv);
 
 /// Per-block speedup map (function,block) -> speedup from the implemented
 /// custom instructions, used by the break-even solver.

@@ -12,12 +12,17 @@
 #include "common.hpp"
 #include "support/duration.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace jitise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::SuiteOptions options = bench::parse_suite_options(argc, argv);
   std::printf("=== Table II: ASIP-SP runtime overheads (measured vs. paper) "
               "===\n\n");
+  std::fprintf(stderr, "  [table2] CAD jobs: %u\n",
+               options.jobs ? options.jobs
+                            : support::ThreadPool::default_jobs());
 
   support::TextTable table({"App", "real[ms] m/p", "blk m/p", "ins m/p",
                             "can m/p", "ratio m/p", "const m/p", "map m/p",
@@ -31,7 +36,7 @@ int main() {
 
   std::size_t index = 0;
   for (const std::string& name : apps::app_names()) {
-    const bench::AppRun run = bench::run_app(name);
+    const bench::AppRun run = bench::run_app(name, options);
     const apps::PaperStats& p = run.app.paper;
     const auto& spec = run.spec;
 

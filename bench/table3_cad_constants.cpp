@@ -8,17 +8,22 @@
 #include "common.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace jitise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::SuiteOptions options = bench::parse_suite_options(argc, argv);
   std::printf("=== Table III: constant ASIP-SP overheads "
               "(measured vs. paper) ===\n\n");
+  std::fprintf(stderr, "  [table3] CAD jobs: %u\n",
+               options.jobs ? options.jobs
+                            : support::ThreadPool::default_jobs());
 
   support::RunningStats c2v, syn, xst, tra, bitgen, map_s, par_s, total;
 
   for (const std::string& name : apps::app_names()) {
-    const bench::AppRun run = bench::run_app(name);
+    const bench::AppRun run = bench::run_app(name, options);
     for (const jit::ImplementedCandidate& impl : run.spec.implemented) {
       if (impl.cache_hit) continue;
       c2v.add(impl.c2v_s);

@@ -213,14 +213,20 @@ ComponentNetlist build_component_netlist(const ComponentRecord& rec,
   return cn;
 }
 
-const ComponentRecord& CircuitDb::record(ir::Opcode op, ir::Type type) {
+const ComponentRecord& CircuitDb::record_locked(ir::Opcode op, ir::Type type) {
   const std::uint32_t k = key(op, type);
   const auto it = records_.find(k);
   if (it != records_.end()) return it->second;
   return records_.emplace(k, characterize_component(op, type)).first->second;
 }
 
+const ComponentRecord& CircuitDb::record(ir::Opcode op, ir::Type type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_locked(op, type);
+}
+
 const ComponentNetlist& CircuitDb::netlist(ir::Opcode op, ir::Type type) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::uint32_t k = key(op, type);
   const auto it = netlists_.find(k);
   if (it != netlists_.end()) {
@@ -228,7 +234,7 @@ const ComponentNetlist& CircuitDb::netlist(ir::Opcode op, ir::Type type) {
     return it->second;
   }
   ++misses_;
-  const ComponentRecord& rec = record(op, type);
+  const ComponentRecord& rec = record_locked(op, type);
   return netlists_
       .emplace(k, build_component_netlist(rec, hw_operand_count(op)))
       .first->second;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +53,10 @@ struct ComponentNetlist {
 /// extraction is memoized per (op, type) exactly like PivPav's database of
 /// pre-synthesized cores — repeated extraction is a cache hit and skips
 /// "synthesis" of the component.
+///
+/// Thread-safe: record()/netlist() may be called concurrently (the parallel
+/// specializer shares one database across CAD worker tasks). The node-based
+/// maps guarantee returned references stay valid after the lock is released.
 class CircuitDb {
  public:
   /// Metric record for an operation at a type. Computed deterministically
@@ -62,14 +67,26 @@ class CircuitDb {
   /// Cached structural netlist of the core.
   [[nodiscard]] const ComponentNetlist& netlist(ir::Opcode op, ir::Type type);
 
-  [[nodiscard]] std::uint64_t netlist_cache_hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t netlist_cache_misses() const noexcept { return misses_; }
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::uint64_t netlist_cache_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t netlist_cache_misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
 
  private:
   static std::uint32_t key(ir::Opcode op, ir::Type type) noexcept {
     return (static_cast<std::uint32_t>(op) << 8) | static_cast<std::uint32_t>(type);
   }
+  const ComponentRecord& record_locked(ir::Opcode op, ir::Type type);
+
+  mutable std::mutex mu_;
   // node-based maps: returned references stay valid across later queries
   std::map<std::uint32_t, ComponentRecord> records_;
   std::map<std::uint32_t, ComponentNetlist> netlists_;

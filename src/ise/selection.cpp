@@ -55,18 +55,23 @@ Selection select_knapsack(std::span<const ScoredCandidate> scored,
   for (std::size_t i = 0; i < scored.size(); ++i)
     if (eligible(scored[i], config)) items.push_back(i);
 
-  std::vector<double> best(capacity + 1, 0.0);
-  std::vector<std::vector<std::uint8_t>> take(items.size(),
-                                              std::vector<std::uint8_t>(capacity + 1, 0));
+  // Stage-indexed DP table: dp[k][c] is the best saving using the first k
+  // items within discretized capacity c. The previous rolling array with
+  // per-item take flags depended on a subtle invariant (stale flags are
+  // harmless only because the backtrack scans stages strictly downward from
+  // the last improver); the explicit table makes reconstruction correctness
+  // a local property, asserted against a brute-force optimum in ise_test.
+  std::vector<std::vector<double>> dp(
+      items.size() + 1, std::vector<double>(capacity + 1, 0.0));
   for (std::size_t k = 0; k < items.size(); ++k) {
     const ScoredCandidate& sc = scored[items[k]];
     const auto w = static_cast<std::size_t>(
         std::ceil(sc.area_slices / area_granularity));
-    for (std::size_t c = capacity + 1; c-- > w;) {
-      const double with = best[c - w] + sc.cycles_saved_total;
-      if (with > best[c]) {
-        best[c] = with;
-        take[k][c] = 1;
+    for (std::size_t c = 0; c <= capacity; ++c) {
+      dp[k + 1][c] = dp[k][c];
+      if (c >= w) {
+        const double with = dp[k][c - w] + sc.cycles_saved_total;
+        if (with > dp[k + 1][c]) dp[k + 1][c] = with;
       }
     }
   }
@@ -74,7 +79,9 @@ Selection select_knapsack(std::span<const ScoredCandidate> scored,
   Selection sel;
   std::size_t c = capacity;
   for (std::size_t k = items.size(); k-- > 0;) {
-    if (!take[k][c]) continue;
+    // Item k was taken at capacity c exactly when the take branch strictly
+    // won above (skipped items copy dp[k][c] bit-for-bit).
+    if (dp[k + 1][c] <= dp[k][c]) continue;
     const ScoredCandidate& sc = scored[items[k]];
     sel.chosen.push_back(items[k]);
     sel.total_saving += sc.cycles_saved_total;

@@ -1,6 +1,14 @@
 #include "jit/breakeven.hpp"
 
+#include <cmath>
+
 namespace jitise::jit {
+
+std::uint64_t executions_to_break_even(double overhead_seconds,
+                                       double saved_per_exec) {
+  return static_cast<std::uint64_t>(
+      std::ceil(overhead_seconds / saved_per_exec));
+}
 
 double break_even_seconds(std::span<const BlockTerm> blocks,
                           double overhead_seconds) {

@@ -18,6 +18,7 @@
 // of the application at that point:  sum_const t_i + x* . sum_live t_i.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <span>
 
@@ -37,6 +38,13 @@ inline constexpr double kNeverBreaksEven = std::numeric_limits<double>::infinity
 /// compensated; kNeverBreaksEven if savings can never cover the overhead.
 [[nodiscard]] double break_even_seconds(std::span<const BlockTerm> blocks,
                                         double overhead_seconds);
+
+/// Smallest number of accelerated executions whose cumulative saving repays
+/// `overhead_seconds`: ceil(overhead / saved_per_exec). An exact multiple
+/// needs exactly overhead/saved executions — not one more.
+/// `saved_per_exec` must be > 0.
+[[nodiscard]] std::uint64_t executions_to_break_even(double overhead_seconds,
+                                                     double saved_per_exec);
 
 /// Convenience: builds the BlockTerm list from a module profile + coverage
 /// report, applying `block_speedup(f, b)` per block.

@@ -4,6 +4,7 @@ namespace jitise::jit {
 
 std::optional<CachedImplementation> BitstreamCache::lookup(
     std::uint64_t signature) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(signature);
   if (it == map_.end()) {
     ++misses_;
@@ -16,6 +17,7 @@ std::optional<CachedImplementation> BitstreamCache::lookup(
 
 void BitstreamCache::insert(std::uint64_t signature,
                             CachedImplementation entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::size_t size = entry.bitstream.size_bytes();
   if (const auto it = map_.find(signature); it != map_.end()) {
     bytes_ -= it->second->entry.bitstream.size_bytes();
@@ -38,6 +40,7 @@ void BitstreamCache::insert(std::uint64_t signature,
 }
 
 void BitstreamCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
   bytes_ = 0;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -28,6 +29,10 @@ struct CachedImplementation {
   double generation_seconds = 0.0;
 };
 
+/// Thread-safe: all operations are mutex-guarded, so concurrent specializer
+/// tasks (or concurrent specialize() calls sharing one cache) may look up
+/// and insert freely. `snapshot()` copies entries under the lock so the
+/// returned view is consistent even while other threads keep mutating.
 class BitstreamCache {
  public:
   /// `capacity_bytes` bounds the sum of cached bitstream sizes (LRU
@@ -40,24 +45,41 @@ class BitstreamCache {
 
   void insert(std::uint64_t signature, CachedImplementation entry);
 
-  [[nodiscard]] std::size_t entries() const noexcept { return map_.size(); }
-  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
-  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
   [[nodiscard]] bool contains(std::uint64_t signature) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return map_.count(signature) != 0;
   }
 
   void clear();
 
-  /// Stable snapshot of all entries (most recently used first) for
+  /// Consistent snapshot of all entries (most recently used first) for
   /// serialization and inspection.
-  [[nodiscard]] std::vector<std::pair<std::uint64_t, const CachedImplementation*>>
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, CachedImplementation>>
   snapshot() const {
-    std::vector<std::pair<std::uint64_t, const CachedImplementation*>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::uint64_t, CachedImplementation>> out;
     out.reserve(lru_.size());
-    for (const Node& node : lru_) out.emplace_back(node.signature, &node.entry);
+    for (const Node& node : lru_) out.emplace_back(node.signature, node.entry);
     return out;
   }
 
@@ -66,6 +88,7 @@ class BitstreamCache {
     std::uint64_t signature;
     CachedImplementation entry;
   };
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::list<Node> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<Node>::iterator> map_;

@@ -64,12 +64,12 @@ void save_cache(const BitstreamCache& cache, const std::string& path) {
   write_pod<std::uint64_t>(f.get(), entries.size());
   for (const auto& [signature, entry] : entries) {
     write_pod(f.get(), signature);
-    write_pod(f.get(), entry->hw_cycles);
-    write_pod(f.get(), entry->critical_path_ns);
-    write_pod(f.get(), entry->area_slices);
-    write_pod<std::uint64_t>(f.get(), entry->cells);
-    write_pod(f.get(), entry->generation_seconds);
-    const fpga::Bitstream& bs = entry->bitstream;
+    write_pod(f.get(), entry.hw_cycles);
+    write_pod(f.get(), entry.critical_path_ns);
+    write_pod(f.get(), entry.area_slices);
+    write_pod<std::uint64_t>(f.get(), entry.cells);
+    write_pod(f.get(), entry.generation_seconds);
+    const fpga::Bitstream& bs = entry.bitstream;
     write_string(f.get(), bs.part);
     write_pod(f.get(), bs.region_width);
     write_pod(f.get(), bs.region_height);

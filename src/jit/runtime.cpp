@@ -25,7 +25,8 @@ AdaptiveRunReport simulate_adaptive_run(const ir::Module& module,
   mark("profiling execution complete");
 
   // ASIP-SP runs on the host, concurrent with further VM executions.
-  const auto spec = specialize(module, machine.profile(), config.specializer);
+  const auto spec =
+      specialize(module, machine.profile(), config.specializer, config.cache);
   mark(support::strf("candidate search done: %zu found, %zu selected "
                      "(%.2f ms real)",
                      spec.candidates_found, spec.candidates_selected,
@@ -66,7 +67,7 @@ AdaptiveRunReport simulate_adaptive_run(const ir::Module& module,
   } else {
     const double overhead = spec.sum_total_s;
     report.executions_to_break_even =
-        static_cast<std::uint64_t>(overhead / saved_per_exec) + 1;
+        executions_to_break_even(overhead, saved_per_exec);
     report.break_even_at =
         report.specialization_ready_at +
         static_cast<double>(report.executions_to_break_even) *

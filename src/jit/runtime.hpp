@@ -45,6 +45,10 @@ struct AdaptiveRunConfig {
   woolcano::WoolcanoConfig woolcano;
   /// How many times the profiled input executes in the simulated workload.
   std::uint64_t workload_executions = 100000;
+  /// Optional bitstream cache shared across simulated runs: with a warm
+  /// cache the ASIP-SP skips generation entirely (Table IV's scenario) and
+  /// the timeline reflects near-zero implementation overhead.
+  BitstreamCache* cache = nullptr;
 };
 
 /// Simulates the adaptive run of `module(entry, args)`. The first execution

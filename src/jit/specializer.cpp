@@ -1,24 +1,50 @@
 #include "jit/specializer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <memory>
 #include <optional>
+#include <thread>
+#include <unordered_set>
 
 #include "datapath/project.hpp"
 #include "ise/identify.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 #include "woolcano/rewriter.hpp"
 
 namespace jitise::jit {
 
+std::uint32_t fcm_hw_cycles(double latency_ns, const SpecializerConfig& cfg) {
+  const double period_ns = 1e9 / cfg.woolcano.cpu_clock_hz;
+  // A latency of e.g. 10.1 ns at a 5 ns period needs 3 full cycles; the
+  // former integer-ceil-on-doubles idiom truncated this to 2.
+  const auto transfer = static_cast<std::uint32_t>(
+      latency_ns > 0 ? std::ceil(latency_ns / period_ns) : 1.0);
+  return cfg.woolcano.fcm_overhead_cycles + std::max(1u, transfer);
+}
+
 namespace {
 
-/// Hardware cycles of one FCM execution given its combinational latency.
-std::uint32_t hw_cycles_from_ns(double latency_ns, const SpecializerConfig& cfg) {
-  const double period_ns = 1e9 / cfg.woolcano.cpu_clock_hz;
-  const auto transfer = static_cast<std::uint32_t>(
-      latency_ns > 0 ? (latency_ns + period_ns - 1.0) / period_ns : 1);
-  return cfg.woolcano.fcm_overhead_cycles + std::max(1u, transfer);
+/// Outcome of one candidate's CAD run on a pool worker. Slots are pre-sized
+/// and indexed by the candidate's position in the selection, so the serial
+/// tail consumes them in exactly the jobs=1 order.
+struct PreGenerated {
+  bool dispatched = false;  // a worker ran the CAD flow for this position
+  bool failed = false;      // ...and the tool flow rejected it (fit/route)
+  cad::ImplementationResult hw;
+};
+
+void trace_stage_line(const std::string& name,
+                      const cad::ImplementationResult& hw) {
+  std::fprintf(stderr,
+               "[asip-sp] %s: syn %.3f xst %.3f tra %.3f map %.3f par %.3f "
+               "bitgen %.3f real-ms (modeled %.1f s) thread %zu\n",
+               name.c_str(), hw.syn.real_ms, hw.xst.real_ms, hw.tra.real_ms,
+               hw.map.real_ms, hw.par.real_ms, hw.bitgen.real_ms,
+               hw.total_modeled_seconds(),
+               std::hash<std::thread::id>{}(std::this_thread::get_id()));
 }
 
 }  // namespace
@@ -74,15 +100,59 @@ SpecializationResult specialize(const ir::Module& module,
   result.search_real_ms = search_timer.elapsed_ms();
 
   // ---- Phases 2+3: Netlist Generation + Instruction Implementation -------
+  //
+  // Each selected candidate's datapath -> syn -> map -> PAR -> bitgen chain
+  // is independent, so the expensive CAD work fans out over a thread pool;
+  // everything order-sensitive (cache population, cycle accounting, registry
+  // insertion, `implemented` order) stays in the serial tail below, which
+  // makes jobs=N output bit-identical to jobs=1.
+  std::vector<std::string> names(selection.chosen.size());
+  for (std::size_t k = 0; k < selection.chosen.size(); ++k) {
+    const ise::Candidate& cand = found[selection.chosen[k]].scored.candidate;
+    names[k] = "ci_" + module.name + "_f" + std::to_string(cand.function) +
+               "_b" + std::to_string(cand.block) + "_" + std::to_string(k);
+  }
+
+  const unsigned jobs =
+      config.jobs != 0 ? config.jobs : support::ThreadPool::default_jobs();
+  std::vector<PreGenerated> pregen(selection.chosen.size());
+  if (config.implement_hardware && jobs > 1 && selection.chosen.size() > 1) {
+    support::ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs, selection.chosen.size())));
+    // With a cache, a signature already present — or generated by an earlier
+    // position of this batch — resolves as a cache hit in the tail, exactly
+    // as in the serial run; only first occurrences are dispatched.
+    std::unordered_set<std::uint64_t> scheduled;
+    for (std::size_t k = 0; k < selection.chosen.size(); ++k) {
+      const std::uint64_t sig = found[selection.chosen[k]].scored.signature;
+      if (cache && (cache->contains(sig) || scheduled.count(sig) != 0))
+        continue;
+      if (cache) scheduled.insert(sig);
+      pregen[k].dispatched = true;
+      pool.submit([&, k] {
+        const std::size_t idx = selection.chosen[k];
+        const Found& f = found[idx];
+        const auto project = datapath::create_project(
+            *graphs[graph_of[idx]], f.scored.candidate, db, names[k]);
+        try {
+          pregen[k].hw = cad::implement_candidate(project, config.flow);
+        } catch (const fpga::CadError&) {
+          pregen[k].failed = true;
+          return;
+        }
+        if (config.trace_stages) trace_stage_line(names[k], pregen[k].hw);
+      });
+    }
+    pool.wait_all();
+  }
+
   double saved_cycles_total = 0.0;
-  for (std::size_t idx : selection.chosen) {
+  for (std::size_t k = 0; k < selection.chosen.size(); ++k) {
+    const std::size_t idx = selection.chosen[k];
     const Found& f = found[idx];
     const dfg::BlockDfg& graph = *graphs[graph_of[idx]];
     ImplementedCandidate impl;
-    impl.name = "ci_" + module.name + "_f" +
-                std::to_string(f.scored.candidate.function) + "_b" +
-                std::to_string(f.scored.candidate.block) + "_" +
-                std::to_string(result.registry.size());
+    impl.name = names[k];
     impl.signature = f.scored.signature;
     impl.instructions = f.scored.candidate.size();
     impl.area_slices = f.scored.area_slices;
@@ -110,16 +180,27 @@ SpecializationResult specialize(const ir::Module& module,
         ci.bitstream_bytes = hit->bitstream.size_bytes();
         // All generation stages are skipped: zero modeled seconds.
       } else {
-        const auto project =
-            datapath::create_project(graph, f.scored.candidate, db, impl.name);
         cad::ImplementationResult hw;
-        try {
-          hw = cad::implement_candidate(project, config.flow);
-        } catch (const fpga::CadError&) {
-          // Oversized or unroutable candidate: the tool flow rejects it and
-          // the specializer simply drops it (it stays in software).
-          ++result.candidates_failed;
-          continue;
+        if (pregen[k].dispatched) {
+          if (pregen[k].failed) {
+            // Oversized or unroutable candidate: the tool flow rejects it
+            // and the specializer simply drops it (it stays in software).
+            ++result.candidates_failed;
+            continue;
+          }
+          hw = std::move(pregen[k].hw);
+        } else {
+          // Serial path: jobs=1, or the dispatch-time cache entry this
+          // position relied on was evicted before the tail reached it.
+          const auto project = datapath::create_project(
+              graph, f.scored.candidate, db, impl.name);
+          try {
+            hw = cad::implement_candidate(project, config.flow);
+          } catch (const fpga::CadError&) {
+            ++result.candidates_failed;
+            continue;
+          }
+          if (config.trace_stages) trace_stage_line(impl.name, hw);
         }
         impl.cells = hw.cells;
         impl.bitstream_bytes = hw.bitstream.size_bytes();
@@ -135,7 +216,7 @@ SpecializationResult specialize(const ir::Module& module,
         // The effective FCM latency is bounded below by both.
         ci.critical_path_ns =
             std::max(hw.timing.critical_path_ns, f.estimate.hw_latency_ns);
-        ci.hw_cycles = std::max(hw_cycles_from_ns(ci.critical_path_ns, config),
+        ci.hw_cycles = std::max(fcm_hw_cycles(ci.critical_path_ns, config),
                                 f.estimate.hw_cycles);
         ci.bitstream_bytes = hw.bitstream.size_bytes();
         impl.hw_cycles = ci.hw_cycles;

@@ -31,6 +31,15 @@ struct SpecializerConfig {
   /// Skip the CAD flow and use estimation-based hardware cycles (used by
   /// upper-bound experiments; no bitstreams are produced).
   bool implement_hardware = true;
+  /// Worker threads for the per-candidate CAD loop (Phases 2+3). 0 means
+  /// hardware_concurrency, 1 runs strictly serially. Any value produces a
+  /// bit-identical SpecializationResult: CAD jitter is seeded per candidate
+  /// signature and all bookkeeping (cycle accounting, registry insertion,
+  /// `implemented` order, cache population) stays in a serial tail.
+  unsigned jobs = 0;
+  /// Emit a one-line per-candidate CAD timing trace to stderr (real ms per
+  /// stage plus the worker thread id) so the parallel speedup is observable.
+  bool trace_stages = false;
 };
 
 /// Per-candidate implementation record (modeled seconds are zero on a
@@ -79,6 +88,12 @@ struct SpecializationResult {
   /// lives in woolcano::run_adapted.
   double predicted_speedup = 1.0;
 };
+
+/// Hardware cycles of one FCM execution given its combinational latency:
+/// the fixed FCM interface overhead plus the latency rounded *up* to whole
+/// clock periods (a partially used period still occupies a full cycle).
+[[nodiscard]] std::uint32_t fcm_hw_cycles(double latency_ns,
+                                          const SpecializerConfig& config);
 
 /// Runs the complete ASIP-SP against a profiled module. If `cache` is given,
 /// implementations are looked up/inserted by candidate signature.

@@ -1,0 +1,83 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace jitise::support {
+
+unsigned ThreadPool::default_jobs() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? default_jobs() : threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::submit(std::function<void()> fn) {
+  std::size_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = submitted_++;
+    errors_.emplace_back(nullptr);
+    queue_.push_back(Task{id, std::move(fn)});
+  }
+  work_ready_.notify_one();
+  return id;
+}
+
+void ThreadPool::wait_all() {
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [this] { return completed_ == submitted_; });
+    for (std::exception_ptr& e : errors_) {
+      if (e) {
+        first = std::move(e);
+        break;
+      }
+    }
+    submitted_ = 0;
+    completed_ = 0;
+    errors_.clear();
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error) errors_[task.id] = std::move(error);
+      ++completed_;
+      if (completed_ == submitted_) batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace jitise::support

@@ -1,0 +1,67 @@
+// Fixed-size thread pool for embarrassingly parallel batches (per-candidate
+// CAD implementation in the specializer, bench fan-out).
+//
+// Deliberately minimal — no work stealing, no futures: tasks are submitted
+// with a dense 0-based id per batch, workers drain a FIFO queue, and
+// `wait_all()` blocks until the batch completes. Callers own their result
+// slots (pre-sized vectors indexed by task id), which keeps result order
+// deterministic regardless of execution interleaving. The first exception
+// (in task-id order, not completion order) is rethrown from `wait_all()`,
+// so error behavior is deterministic too.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jitise::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 means `default_jobs()`).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task and returns its id — dense, 0-based, in submission
+  /// order within the current batch (reset by `wait_all`).
+  std::size_t submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished, then resets the batch.
+  /// If any task threw, rethrows the exception of the lowest task id.
+  void wait_all();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Default worker count: hardware_concurrency, at least 1.
+  [[nodiscard]] static unsigned default_jobs() noexcept;
+
+ private:
+  struct Task {
+    std::size_t id;
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::vector<std::exception_ptr> errors_;  // slot per task id in the batch
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace jitise::support

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "dfg/graph.hpp"
@@ -431,6 +433,51 @@ TEST(Selection, KnapsackBeatsOrMatchesGreedy) {
   EXPECT_GE(exact.total_saving, greedy.total_saving);
   EXPECT_DOUBLE_EQ(exact.total_saving, 119.0);
   EXPECT_LE(exact.total_area, 100.0);
+}
+
+TEST(Selection, KnapsackBacktrackMatchesDpOptimum) {
+  // The reconstructed set must match a brute-force optimum over the same
+  // discretized weights on every instance: equal total saving, a chosen list
+  // whose savings sum to total_saving, and total area within budget. (The
+  // former rolling-array backtrack relied on stale-flag ordering subtleties;
+  // the stage-indexed table is checked here instance-by-instance.)
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 3 + next() % 10;
+    std::vector<ise::ScoredCandidate> cands;
+    for (std::size_t i = 0; i < n; ++i)
+      cands.push_back(scored(static_cast<double>(1 + next() % 40),
+                             static_cast<double>(1 + next() % 12)));
+    ise::SelectConfig cfg;
+    cfg.area_budget_slices = static_cast<double>(4 + next() % 30);
+    const auto sel = ise::select_knapsack(cands, cfg, 1.0);
+
+    // Brute force with identical weights (integer areas, granularity 1).
+    double best = 0.0;
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+      double saving = 0.0, area = 0.0;
+      bool ok = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!(mask & (std::size_t{1} << i))) continue;
+        if (cands[i].area_slices > cfg.area_budget_slices) ok = false;
+        saving += cands[i].cycles_saved_total;
+        area += cands[i].area_slices;
+      }
+      if (ok && area <= cfg.area_budget_slices) best = std::max(best, saving);
+    }
+
+    EXPECT_DOUBLE_EQ(sel.total_saving, best) << "trial " << trial;
+    EXPECT_LE(sel.total_area, cfg.area_budget_slices) << "trial " << trial;
+    double chosen_saving = 0.0;
+    for (std::size_t i : sel.chosen) chosen_saving += cands[i].cycles_saved_total;
+    EXPECT_DOUBLE_EQ(chosen_saving, sel.total_saving) << "trial " << trial;
+  }
 }
 
 TEST(Selection, DropsMultiOutputCandidates) {

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
+#include "apps/app.hpp"
 #include "ir/builder.hpp"
 #include "ir/verifier.hpp"
 #include "ise/identify.hpp"
@@ -78,6 +82,136 @@ TEST(Specializer, EndToEndPipeline) {
   EXPECT_GT(diff.speedup(), 1.0);
 }
 
+
+TEST(Specializer, FcmHwCyclesRoundsUpFractionalLatency) {
+  // Regression: the integer-ceil idiom (lat + period - 1) / period on
+  // doubles under-counted whenever the latency was not an integral multiple
+  // of the clock period. At 300 MHz the period is 10/3 ns.
+  jit::SpecializerConfig config;
+  config.woolcano.cpu_clock_hz = 200e6;  // period = 5 ns exactly
+  const std::uint32_t overhead = config.woolcano.fcm_overhead_cycles;
+  // 10.1 ns at a 5 ns period needs 3 cycles (the old idiom produced 2).
+  EXPECT_EQ(jit::fcm_hw_cycles(10.1, config), overhead + 3);
+  // Exact multiples stay exact.
+  EXPECT_EQ(jit::fcm_hw_cycles(10.0, config), overhead + 2);
+  EXPECT_EQ(jit::fcm_hw_cycles(15.0, config), overhead + 3);
+  // Sub-period latencies occupy one full cycle; zero clamps to one.
+  EXPECT_EQ(jit::fcm_hw_cycles(0.3, config), overhead + 1);
+  EXPECT_EQ(jit::fcm_hw_cycles(0.0, config), overhead + 1);
+  // Barely past a boundary rounds up.
+  EXPECT_EQ(jit::fcm_hw_cycles(5.0001, config), overhead + 2);
+}
+
+TEST(Specializer, ParallelMatchesSerialOnEmbeddedApps) {
+  // The acceptance bar for the parallel Phase 2+3 loop: jobs=4 must produce
+  // a bit-identical SpecializationResult to jobs=1 — implemented list and
+  // order, registry contents, cache population, and predicted speedup.
+  for (const char* name : {"adpcm", "fft", "sor", "whetstone"}) {
+    SCOPED_TRACE(name);
+    const apps::App app = apps::build_app(name);
+    vm::Machine machine(app.module);
+    machine.run(app.entry, app.datasets[0].args, 1ull << 30);
+
+    jit::BitstreamCache serial_cache, parallel_cache;
+    jit::SpecializerConfig serial_cfg;
+    serial_cfg.jobs = 1;
+    jit::SpecializerConfig parallel_cfg;
+    parallel_cfg.jobs = 4;
+
+    const auto serial =
+        jit::specialize(app.module, machine.profile(), serial_cfg,
+                        &serial_cache);
+    const auto parallel =
+        jit::specialize(app.module, machine.profile(), parallel_cfg,
+                        &parallel_cache);
+
+    EXPECT_EQ(serial.candidates_found, parallel.candidates_found);
+    EXPECT_EQ(serial.candidates_selected, parallel.candidates_selected);
+    EXPECT_EQ(serial.candidates_failed, parallel.candidates_failed);
+    EXPECT_DOUBLE_EQ(serial.predicted_speedup, parallel.predicted_speedup);
+    EXPECT_DOUBLE_EQ(serial.sum_const_s, parallel.sum_const_s);
+    EXPECT_DOUBLE_EQ(serial.sum_map_s, parallel.sum_map_s);
+    EXPECT_DOUBLE_EQ(serial.sum_par_s, parallel.sum_par_s);
+    EXPECT_DOUBLE_EQ(serial.sum_total_s, parallel.sum_total_s);
+
+    ASSERT_EQ(serial.implemented.size(), parallel.implemented.size());
+    for (std::size_t i = 0; i < serial.implemented.size(); ++i) {
+      const auto& a = serial.implemented[i];
+      const auto& b = parallel.implemented[i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.signature, b.signature);
+      EXPECT_EQ(a.cache_hit, b.cache_hit);
+      EXPECT_EQ(a.cells, b.cells);
+      EXPECT_EQ(a.bitstream_bytes, b.bitstream_bytes);
+      EXPECT_EQ(a.hw_cycles, b.hw_cycles);
+      EXPECT_DOUBLE_EQ(a.area_slices, b.area_slices);
+      EXPECT_DOUBLE_EQ(a.total_seconds(), b.total_seconds());
+    }
+
+    const auto& serial_cis = serial.registry.all();
+    const auto& parallel_cis = parallel.registry.all();
+    ASSERT_EQ(serial_cis.size(), parallel_cis.size());
+    for (std::size_t i = 0; i < serial_cis.size(); ++i) {
+      EXPECT_EQ(serial_cis[i].signature, parallel_cis[i].signature);
+      EXPECT_EQ(serial_cis[i].hw_cycles, parallel_cis[i].hw_cycles);
+      EXPECT_DOUBLE_EQ(serial_cis[i].critical_path_ns,
+                       parallel_cis[i].critical_path_ns);
+      EXPECT_EQ(serial_cis[i].bitstream_bytes, parallel_cis[i].bitstream_bytes);
+    }
+
+    // Cache population (entries, order, and counters) must match too.
+    EXPECT_EQ(serial_cache.hits(), parallel_cache.hits());
+    EXPECT_EQ(serial_cache.misses(), parallel_cache.misses());
+    const auto serial_snap = serial_cache.snapshot();
+    const auto parallel_snap = parallel_cache.snapshot();
+    ASSERT_EQ(serial_snap.size(), parallel_snap.size());
+    for (std::size_t i = 0; i < serial_snap.size(); ++i) {
+      EXPECT_EQ(serial_snap[i].first, parallel_snap[i].first);
+      EXPECT_EQ(serial_snap[i].second.hw_cycles,
+                parallel_snap[i].second.hw_cycles);
+      EXPECT_EQ(serial_snap[i].second.bitstream.bytes,
+                parallel_snap[i].second.bitstream.bytes);
+    }
+  }
+}
+
+TEST(Cache, ConcurrentInsertLookupStress) {
+  jit::BitstreamCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t sig = static_cast<std::uint64_t>(i % 64);
+        if ((i + t) % 3 == 0) {
+          jit::CachedImplementation entry;
+          entry.hw_cycles = static_cast<std::uint32_t>(sig + 1);
+          entry.bitstream.bytes.assign(16 + sig, 0xCD);
+          cache.insert(sig, std::move(entry));
+        } else if (const auto hit = cache.lookup(sig)) {
+          // An entry observed for signature `sig` must be one some thread
+          // actually inserted for it — never a torn or mixed record.
+          EXPECT_EQ(hit->hw_cycles, sig + 1);
+          EXPECT_EQ(hit->bitstream.bytes.size(), 16 + sig);
+        }
+        (void)cache.entries();
+        if (i % 50 == 0) (void)cache.snapshot();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_LE(cache.entries(), 64u);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            [&] {
+              std::uint64_t lookups = 0;
+              for (int t = 0; t < kThreads; ++t)
+                for (int i = 0; i < kOpsPerThread; ++i)
+                  if ((i + t) % 3 != 0) ++lookups;
+              return lookups;
+            }());
+}
 
 TEST(Specializer, UnionMisoFindsLargerOrEqualCandidates) {
   const Module m = make_app();

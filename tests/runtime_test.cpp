@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "ir/builder.hpp"
+#include "jit/breakeven.hpp"
 #include "jit/cache_io.hpp"
 #include "jit/runtime.hpp"
 
@@ -67,6 +68,42 @@ TEST(AdaptiveRuntime, SmallWorkloadNeverWins) {
   config.workload_executions = 3;  // done long before bitstreams are ready
   const auto report = jit::simulate_adaptive_run(m, "main", args, config);
   EXPECT_DOUBLE_EQ(report.adaptive_total_s, report.vm_only_total_s);
+}
+
+TEST(AdaptiveRuntime, BreakEvenExactMultipleDoesNotOvercount) {
+  // Regression: uint64(overhead / saved) + 1 overcounted by one execution
+  // whenever the overhead was an exact multiple of the per-execution saving.
+  EXPECT_EQ(jit::executions_to_break_even(100.0, 25.0), 4u);
+  EXPECT_EQ(jit::executions_to_break_even(100.0, 50.0), 2u);
+  EXPECT_EQ(jit::executions_to_break_even(100.0, 100.0), 1u);
+  // Non-multiples still round up.
+  EXPECT_EQ(jit::executions_to_break_even(100.0, 30.0), 4u);
+  EXPECT_EQ(jit::executions_to_break_even(100.0, 99.0), 2u);
+  // Zero overhead is repaid before the first accelerated execution.
+  EXPECT_EQ(jit::executions_to_break_even(0.0, 5.0), 0u);
+}
+
+TEST(AdaptiveRuntime, WarmCacheSkipsGeneration) {
+  // Regression: simulate_adaptive_run never passed a BitstreamCache to
+  // specialize(), so the adaptive timeline could not model warm-cache runs.
+  const Module m = make_app();
+  const vm::Slot args[] = {vm::Slot::of_int(3000)};
+  jit::BitstreamCache cache;
+  jit::AdaptiveRunConfig config;
+  config.cache = &cache;
+
+  const auto cold = jit::simulate_adaptive_run(m, "main", args, config);
+  EXPECT_GT(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const auto warm = jit::simulate_adaptive_run(m, "main", args, config);
+  EXPECT_GT(cache.hits(), 0u);
+  // All bitstreams come from the cache: no generation overhead in the
+  // timeline, so the hardware is ready far earlier and the same speedup
+  // breaks even sooner.
+  EXPECT_LT(warm.specialization_ready_at, cold.specialization_ready_at);
+  EXPECT_LE(warm.break_even_at, cold.break_even_at);
+  EXPECT_DOUBLE_EQ(warm.speedup, cold.speedup);
 }
 
 TEST(CacheIo, SaveLoadRoundTrip) {

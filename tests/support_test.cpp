@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "support/duration.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -117,6 +123,51 @@ TEST(Table, Renders) {
 TEST(Table, Strf) {
   EXPECT_EQ(strf("%5.2f", 3.14159), " 3.14");
   EXPECT_EQ(strf("%d/%d", 3, 4), "3/4");
+}
+
+TEST(ThreadPool, ResultSlotsAreDeterministic) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kTasks = 200;
+  std::vector<int> results(kTasks, -1);
+  for (std::size_t k = 0; k < kTasks; ++k) {
+    const std::size_t id = pool.submit(
+        [&results, k] { results[k] = static_cast<int>(k * k); });
+    EXPECT_EQ(id, k);  // dense 0-based ids in submission order
+  }
+  pool.wait_all();
+  for (std::size_t k = 0; k < kTasks; ++k)
+    EXPECT_EQ(results[k], static_cast<int>(k * k));
+}
+
+TEST(ThreadPool, RethrowsLowestTaskIdException) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {  // reusable across batches
+    std::atomic<int> ran{0};
+    for (int k = 0; k < 20; ++k) {
+      pool.submit([&ran, k] {
+        ++ran;
+        if (k == 7 || k == 13)
+          throw std::runtime_error("task " + std::to_string(k));
+      });
+    }
+    try {
+      pool.wait_all();
+      FAIL() << "wait_all must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 7");  // lowest id, not completion order
+    }
+    EXPECT_EQ(ran.load(), 20);  // the batch still ran to completion
+  }
+}
+
+TEST(ThreadPool, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+  ThreadPool pool;  // default-sized pool works
+  std::atomic<int> sum{0};
+  for (int k = 1; k <= 10; ++k) pool.submit([&sum, k] { sum += k; });
+  pool.wait_all();
+  EXPECT_EQ(sum.load(), 55);
 }
 
 }  // namespace
