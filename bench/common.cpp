@@ -1,46 +1,105 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 
+#include "support/thread_pool.hpp"
 #include "woolcano/asip.hpp"
 
 namespace jitise::bench {
 
 namespace {
 
-unsigned parse_jobs_value(const char* text, const char* prog) {
+std::string usage_text(const char* prog) {
+  std::string text;
+  text += "usage: ";
+  text += prog;
+  text += " [--jobs N] [--trace] [--help]\n";
+  text +=
+      "  --jobs N   worker threads shared by app fan-out and per-candidate\n"
+      "             CAD (0 = hardware concurrency; JITISE_JOBS is the\n"
+      "             fallback when the flag is absent)\n"
+      "  --trace    per-candidate CAD stage timing lines on stderr\n"
+      "  --help     show this help\n";
+  return text;
+}
+
+/// Parses a --jobs value; returns false (with `error` set) on junk.
+bool parse_jobs_value(const char* text, unsigned& jobs, std::string& error) {
   char* end = nullptr;
   const unsigned long value = std::strtoul(text, &end, 10);
   if (end == text || *end != '\0') {
-    std::fprintf(stderr, "%s: invalid --jobs value '%s'\n", prog, text);
-    std::exit(2);
+    error = std::string("invalid --jobs value '") + text + "'";
+    return false;
   }
-  return static_cast<unsigned>(value);
+  jobs = static_cast<unsigned>(value);
+  return true;
 }
 
 }  // namespace
 
-SuiteOptions parse_suite_options(int argc, char** argv) {
-  SuiteOptions options;
-  if (const char* env = std::getenv("JITISE_JOBS"))
-    options.jobs = parse_jobs_value(env, argv[0]);
+ParsedSuiteOptions parse_suite_options_ex(int argc, const char* const* argv,
+                                          const char* jobs_env) {
+  ParsedSuiteOptions parsed;
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  std::string error;
+  if (jobs_env != nullptr &&
+      !parse_jobs_value(jobs_env, parsed.options.jobs, error)) {
+    parsed.status = ParsedSuiteOptions::Status::Error;
+    parsed.message = std::string(prog) + ": JITISE_JOBS: " + error + "\n" +
+                     usage_text(prog);
+    return parsed;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      parsed.status = ParsedSuiteOptions::Status::Help;
+      parsed.message = usage_text(prog);
+      return parsed;
+    }
+    const char* jobs_text = nullptr;
     if (arg == "--trace") {
-      options.trace_stages = true;
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      options.jobs = parse_jobs_value(argv[++i], argv[0]);
+      parsed.options.trace_stages = true;
+      continue;
+    }
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs_text = argv[++i];
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      options.jobs = parse_jobs_value(arg.c_str() + 7, argv[0]);
+      jobs_text = arg.c_str() + 7;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N] [--trace]\n", argv[0]);
-      std::exit(2);
+      parsed.status = ParsedSuiteOptions::Status::Error;
+      parsed.message = std::string(prog) + ": unrecognized argument '" + arg +
+                       "'\n" + usage_text(prog);
+      return parsed;
+    }
+    if (!parse_jobs_value(jobs_text, parsed.options.jobs, error)) {
+      parsed.status = ParsedSuiteOptions::Status::Error;
+      parsed.message = std::string(prog) + ": " + error + "\n" +
+                       usage_text(prog);
+      return parsed;
     }
   }
-  return options;
+  return parsed;
+}
+
+SuiteOptions parse_suite_options(int argc, char** argv) {
+  const ParsedSuiteOptions parsed =
+      parse_suite_options_ex(argc, argv, std::getenv("JITISE_JOBS"));
+  switch (parsed.status) {
+    case ParsedSuiteOptions::Status::Run:
+      return parsed.options;
+    case ParsedSuiteOptions::Status::Help:
+      std::fputs(parsed.message.c_str(), stdout);
+      std::exit(0);
+    case ParsedSuiteOptions::Status::Error:
+      std::fputs(parsed.message.c_str(), stderr);
+      std::exit(2);
+  }
+  return parsed.options;  // unreachable
 }
 
 std::map<std::pair<ir::FuncId, ir::BlockId>, double> block_speedups(
@@ -121,6 +180,46 @@ AppRun run_app(const std::string& name, const SuiteOptions& options) {
 
   run.break_even_s = break_even_for(run, run.spec.sum_total_s);
   return run;
+}
+
+std::vector<AppRun> run_apps(const std::vector<std::string>& names,
+                             const SuiteOptions& options,
+                             const AppDoneFn& on_done) {
+  const unsigned total = options.jobs != 0
+                             ? options.jobs
+                             : support::ThreadPool::default_jobs();
+  const unsigned app_jobs = static_cast<unsigned>(
+      std::min<std::size_t>(names.size(), total));
+
+  std::vector<AppRun> runs(names.size());
+  if (app_jobs <= 1) {
+    SuiteOptions per = options;
+    per.jobs = total;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      runs[i] = run_app(names[i], per);
+      if (on_done) on_done(runs[i]);
+    }
+    return runs;
+  }
+
+  // Split the one jobs budget across nesting levels: `app_jobs` workers run
+  // whole apps, each specializing with its share of CAD workers.
+  SuiteOptions per = options;
+  per.jobs = std::max(1u, total / app_jobs);
+
+  std::mutex done_mu;
+  support::ThreadPool pool(app_jobs);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    pool.submit([&, i] {
+      runs[i] = run_app(names[i], per);
+      if (on_done) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        on_done(runs[i]);
+      }
+    });
+  }
+  pool.wait_all();
+  return runs;
 }
 
 }  // namespace jitise::bench

@@ -5,6 +5,7 @@
 // analysis).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -39,9 +40,40 @@ struct SuiteOptions {
 [[nodiscard]] AppRun run_app(const std::string& name,
                              const SuiteOptions& options = {});
 
-/// Parses the shared bench command line: `--jobs N` (or `--jobs=N`) and
-/// `--trace`; the JITISE_JOBS environment variable is the fallback for
-/// `jobs`. Unrecognized arguments abort with a usage message.
+/// Serialized progress callback for `run_apps`: invoked once per finished
+/// application (in completion order, never concurrently).
+using AppDoneFn = std::function<void(const AppRun& run)>;
+
+/// Runs the complete pipeline for every named application, fanning the apps
+/// out over a thread pool. The one global jobs budget (`options.jobs`, 0 =
+/// hardware_concurrency) is split between app-level workers and each app's
+/// per-candidate CAD workers: `app_jobs = min(napps, jobs)` threads each run
+/// whole apps with `max(1, jobs / app_jobs)` CAD jobs. Results come back
+/// indexed like `names` regardless of completion order, and every app's
+/// output is identical to a solo `run_app` (the specializer is bit-identical
+/// across jobs counts), so table rows stay deterministic.
+[[nodiscard]] std::vector<AppRun> run_apps(
+    const std::vector<std::string>& names, const SuiteOptions& options = {},
+    const AppDoneFn& on_done = {});
+
+/// Outcome of parsing a bench command line, side-effect free for testing.
+struct ParsedSuiteOptions {
+  enum class Status { Run, Help, Error };
+  SuiteOptions options;
+  Status status = Status::Run;
+  std::string message;  // usage/help text (Help) or error + usage (Error)
+};
+
+/// Parses the shared bench command line: `--jobs N` (or `--jobs=N`),
+/// `--trace` and `--help`; `jobs_env` (the JITISE_JOBS environment variable,
+/// may be null) is the fallback for `jobs`. Never exits or prints — the
+/// outcome is returned for the caller (or a unit test) to act on.
+[[nodiscard]] ParsedSuiteOptions parse_suite_options_ex(
+    int argc, const char* const* argv, const char* jobs_env);
+
+/// Convenience wrapper over `parse_suite_options_ex` reading JITISE_JOBS
+/// from the environment: prints the help text and exits 0 on `--help`,
+/// prints the error and exits 2 on a bad command line.
 [[nodiscard]] SuiteOptions parse_suite_options(int argc, char** argv);
 
 /// Per-block speedup map (function,block) -> speedup from the implemented

@@ -59,10 +59,15 @@ int main() {
   bench::SuiteOptions options;
   options.implement_hardware = false;  // Table I needs no CAD runs
 
-  for (const std::string& name : apps::app_names()) {
-    const bench::AppRun run = bench::run_app(name, options);
+  const std::vector<std::string> names = apps::app_names();
+  const std::vector<bench::AppRun> runs =
+      bench::run_apps(names, options, [](const bench::AppRun& run) {
+        std::fprintf(stderr, "  [table1] %s done\n", run.app.name.c_str());
+      });
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const bench::AppRun& run = runs[i];
     Row r;
-    r.name = name;
+    r.name = names[i];
     r.blk = static_cast<double>(run.app.module.total_blocks());
     r.ins = static_cast<double>(run.app.module.total_instructions());
     r.vm = run.times.vm_seconds;
@@ -76,7 +81,6 @@ int main() {
     r.kfreq = run.kernel.freq_pct;
     rows.push_back(r);
     papers.push_back(run.app.paper);
-    std::fprintf(stderr, "  [table1] %s done\n", name.c_str());
   }
   add_avg(rows, "AVG-S", 0, 10);
   add_avg(rows, "AVG-E", 10, 14);

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const bench::SuiteOptions options = bench::parse_suite_options(argc, argv);
   std::printf("=== Table II: ASIP-SP runtime overheads (measured vs. paper) "
               "===\n\n");
-  std::fprintf(stderr, "  [table2] CAD jobs: %u\n",
+  std::fprintf(stderr, "  [table2] jobs: %u\n",
                options.jobs ? options.jobs
                             : support::ThreadPool::default_jobs());
 
@@ -34,9 +34,19 @@ int main(int argc, char** argv) {
     int n = 0;
   } sci, emb;
 
-  std::size_t index = 0;
-  for (const std::string& name : apps::app_names()) {
-    const bench::AppRun run = bench::run_app(name, options);
+  // Apps fan out over the pool; rows render afterwards in app order, so the
+  // table is identical regardless of completion order.
+  const std::vector<std::string> names = apps::app_names();
+  const std::vector<bench::AppRun> runs =
+      bench::run_apps(names, options, [](const bench::AppRun& run) {
+        std::fprintf(stderr,
+                     "  [table2] %s done (%zu candidates implemented)\n",
+                     run.app.name.c_str(), run.spec.implemented.size());
+      });
+
+  for (std::size_t index = 0; index < runs.size(); ++index) {
+    const bench::AppRun& run = runs[index];
+    const std::string& name = names[index];
     const apps::PaperStats& p = run.app.paper;
     const auto& spec = run.spec;
 
@@ -71,9 +81,6 @@ int main(int argc, char** argv) {
     if (run.break_even_s != jit::kNeverBreaksEven) acc.be += run.break_even_s;
     ++acc.n;
     if (index == 9 || index == 13) table.add_separator();
-    ++index;
-    std::fprintf(stderr, "  [table2] %s done (%zu candidates implemented)\n",
-                 name.c_str(), run.spec.implemented.size());
   }
 
   auto avg_row = [&](const char* label, const Acc& a, const char* p_real,

@@ -16,14 +16,19 @@ int main(int argc, char** argv) {
   const bench::SuiteOptions options = bench::parse_suite_options(argc, argv);
   std::printf("=== Table III: constant ASIP-SP overheads "
               "(measured vs. paper) ===\n\n");
-  std::fprintf(stderr, "  [table3] CAD jobs: %u\n",
+  std::fprintf(stderr, "  [table3] jobs: %u\n",
                options.jobs ? options.jobs
                             : support::ThreadPool::default_jobs());
 
   support::RunningStats c2v, syn, xst, tra, bitgen, map_s, par_s, total;
 
-  for (const std::string& name : apps::app_names()) {
-    const bench::AppRun run = bench::run_app(name, options);
+  // Apps fan out over the pool; stats accumulate afterwards in app order so
+  // the running means/stdevs see the same sequence as a serial run.
+  const std::vector<bench::AppRun> runs = bench::run_apps(
+      apps::app_names(), options, [](const bench::AppRun& run) {
+        std::fprintf(stderr, "  [table3] %s done\n", run.app.name.c_str());
+      });
+  for (const bench::AppRun& run : runs) {
     for (const jit::ImplementedCandidate& impl : run.spec.implemented) {
       if (impl.cache_hit) continue;
       c2v.add(impl.c2v_s);
@@ -35,7 +40,6 @@ int main(int argc, char** argv) {
       par_s.add(impl.par_s);
       total.add(impl.const_seconds());
     }
-    std::fprintf(stderr, "  [table3] %s done\n", name.c_str());
   }
 
   support::TextTable table(

@@ -19,17 +19,18 @@
 
 using namespace jitise;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::SuiteOptions options = bench::parse_suite_options(argc, argv);
   std::printf("=== Table IV: embedded break-even vs. cache hit rate and CAD "
               "speedup ===\n\n");
 
-  // Run the four embedded applications once; reuse their candidate costs.
-  std::vector<bench::AppRun> runs;
-  for (const std::string& name : {std::string("adpcm"), std::string("fft"),
-                                  std::string("sor"), std::string("whetstone")}) {
-    runs.push_back(bench::run_app(name));
-    std::fprintf(stderr, "  [table4] %s done\n", name.c_str());
-  }
+  // Run the four embedded applications once (fanned out over the pool);
+  // reuse their candidate costs.
+  const std::vector<bench::AppRun> runs = bench::run_apps(
+      {"adpcm", "fft", "sor", "whetstone"}, options,
+      [](const bench::AppRun& run) {
+        std::fprintf(stderr, "  [table4] %s done\n", run.app.name.c_str());
+      });
 
   const double speedups[] = {0.0, 0.30, 0.60, 0.90};
   const int hit_rates[] = {0, 10, 20, 30, 40, 50, 60, 70, 80, 90};

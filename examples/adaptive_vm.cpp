@@ -10,7 +10,7 @@
 
 #include "apps/app.hpp"
 #include "jit/breakeven.hpp"
-#include "jit/specializer.hpp"
+#include "jit/pipeline.hpp"
 #include "support/duration.hpp"
 #include "vm/coverage.hpp"
 #include "woolcano/asip.hpp"
@@ -42,10 +42,20 @@ int main(int argc, char** argv) {
   std::printf("coverage: %.1f%% live / %.1f%% const / %.1f%% dead code\n",
               coverage.live_pct, coverage.const_pct, coverage.dead_pct);
 
-  // Phase 2: ASIP-SP runs concurrently with execution.
+  // Phase 2: ASIP-SP runs concurrently with execution. The staged pipeline
+  // reports each phase window through an observer as it closes.
+  struct PhasePrinter final : jit::PipelineObserver {
+    void on_phase_exit(jit::PipelinePhase phase, double real_ms) override {
+      std::printf("  [asip-sp] %-16s %9.3f real-ms\n", jit::phase_name(phase),
+                  real_ms);
+    }
+  } phases;
   jit::SpecializerConfig config;
-  const auto spec = jit::specialize(app.module, profiles[0], config);
-  std::printf("\nASIP-SP: %zu candidates implemented, total tool-flow time "
+  jit::SpecializationPipeline pipeline(config);
+  pipeline.add_observer(&phases);
+  std::printf("\nASIP-SP phases:\n");
+  const auto spec = pipeline.run(app.module, profiles[0]);
+  std::printf("ASIP-SP: %zu candidates implemented, total tool-flow time "
               "%s (modeled Xilinx ISE 12.2 EAPR)\n",
               spec.implemented.size(),
               support::format_min_sec(spec.sum_total_s).c_str());

@@ -9,6 +9,7 @@
 //                                        print the placed floorplan
 //   jitise_cli timeline <app>            adaptive-run timeline simulation
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -25,8 +26,8 @@
 #include "ise/pruning.hpp"
 #include "jit/breakeven.hpp"
 #include "jit/cache_io.hpp"
+#include "jit/pipeline.hpp"
 #include "jit/runtime.hpp"
-#include "jit/specializer.hpp"
 #include "support/duration.hpp"
 #include "vm/interpreter.hpp"
 #include "woolcano/asip.hpp"
@@ -39,7 +40,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: jitise_cli "
                "{list|run|dump-ir|dot|specialize|floorplan|timeline} [app] "
-               "[cache-file]\n");
+               "[cache-file] [--jobs=N] [--trace]\n");
   return 2;
 }
 
@@ -91,7 +92,8 @@ int cmd_dot(const apps::App& app) {
   return 0;
 }
 
-int cmd_specialize(const apps::App& app, const char* cache_path) {
+int cmd_specialize(const apps::App& app, const char* cache_path,
+                   unsigned jobs, bool trace) {
   jit::BitstreamCache cache;
   if (cache_path) {
     try {
@@ -102,8 +104,13 @@ int cmd_specialize(const apps::App& app, const char* cache_path) {
     }
   }
   const auto profile = profile_app(app);
-  const auto spec = jit::specialize(app.module, profile, {},
-                                    cache_path ? &cache : nullptr);
+  jit::SpecializerConfig config;
+  config.jobs = jobs;
+  jit::SpecializationPipeline pipeline(config,
+                                       cache_path ? &cache : nullptr);
+  jit::TraceObserver tracer;
+  if (trace) pipeline.add_observer(&tracer);
+  const auto spec = pipeline.run(app.module, profile);
   std::printf("search: %.2f ms, %zu candidates, %zu selected, %zu cache "
               "hit(s)\n",
               spec.search_real_ms, spec.candidates_found,
@@ -198,8 +205,27 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "dot") return cmd_dot(app);
-  if (cmd == "specialize")
-    return cmd_specialize(app, argc > 3 ? argv[3] : nullptr);
+  if (cmd == "specialize") {
+    const char* cache_path = nullptr;
+    unsigned jobs = 0;
+    bool trace = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace") {
+        trace = true;
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        char* end = nullptr;
+        const unsigned long value = std::strtoul(arg.c_str() + 7, &end, 10);
+        if (end == arg.c_str() + 7 || *end != '\0') return usage();
+        jobs = static_cast<unsigned>(value);
+      } else if (!cache_path && arg.rfind("--", 0) != 0) {
+        cache_path = argv[i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_specialize(app, cache_path, jobs, trace);
+  }
   if (cmd == "floorplan") return cmd_floorplan(app);
   if (cmd == "timeline") return cmd_timeline(app);
   return usage();

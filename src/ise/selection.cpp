@@ -14,21 +14,16 @@ bool eligible(const ScoredCandidate& sc, const SelectConfig& config) {
   return sc.area_slices <= config.area_budget_slices;
 }
 
-}  // namespace
+double density(const ScoredCandidate& sc) {
+  return sc.cycles_saved_total / std::max(1.0, sc.area_slices);
+}
 
-Selection select_greedy(std::span<const ScoredCandidate> scored,
-                        const SelectConfig& config) {
-  std::vector<std::size_t> order(scored.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double da = scored[a].cycles_saved_total /
-                      std::max(1.0, scored[a].area_slices);
-    const double db = scored[b].cycles_saved_total /
-                      std::max(1.0, scored[b].area_slices);
-    if (da != db) return da > db;
-    return a < b;  // deterministic tie-break
-  });
-
+/// Shared by select_greedy and IncrementalSelector so the incremental path
+/// is equal-by-construction: walk a density-sorted index order, take every
+/// eligible candidate that still fits the area budget and the slot cap.
+Selection greedy_sweep(std::span<const ScoredCandidate> scored,
+                       std::span<const std::size_t> order,
+                       const SelectConfig& config) {
   Selection sel;
   for (std::size_t i : order) {
     if (sel.chosen.size() >= config.max_instructions) break;
@@ -41,6 +36,44 @@ Selection select_greedy(std::span<const ScoredCandidate> scored,
   }
   std::sort(sel.chosen.begin(), sel.chosen.end());
   return sel;
+}
+
+}  // namespace
+
+Selection select_greedy(std::span<const ScoredCandidate> scored,
+                        const SelectConfig& config) {
+  std::vector<std::size_t> order(scored.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = density(scored[a]);
+    const double db = density(scored[b]);
+    if (da != db) return da > db;
+    return a < b;  // deterministic tie-break
+  });
+  return greedy_sweep(scored, order, config);
+}
+
+void IncrementalSelector::extend(std::span<const ScoredCandidate> scored) {
+  if (scored.size() <= absorbed_) return;
+  const auto by_density = [&](std::size_t a, std::size_t b) {
+    const double da = density(scored[a]);
+    const double db = density(scored[b]);
+    if (da != db) return da > db;
+    return a < b;
+  };
+  const std::size_t old = order_.size();
+  for (std::size_t i = absorbed_; i < scored.size(); ++i) order_.push_back(i);
+  std::sort(order_.begin() + static_cast<std::ptrdiff_t>(old), order_.end(),
+            by_density);
+  std::inplace_merge(order_.begin(),
+                     order_.begin() + static_cast<std::ptrdiff_t>(old),
+                     order_.end(), by_density);
+  absorbed_ = scored.size();
+}
+
+Selection IncrementalSelector::current(
+    std::span<const ScoredCandidate> scored) const {
+  return greedy_sweep(scored.first(absorbed_), order_, config_);
 }
 
 Selection select_knapsack(std::span<const ScoredCandidate> scored,

@@ -8,11 +8,13 @@
 // LRU policy models the on-disk database.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "fpga/bitgen.hpp"
 
@@ -29,73 +31,89 @@ struct CachedImplementation {
   double generation_seconds = 0.0;
 };
 
-/// Thread-safe: all operations are mutex-guarded, so concurrent specializer
-/// tasks (or concurrent specialize() calls sharing one cache) may look up
-/// and insert freely. `snapshot()` copies entries under the lock so the
-/// returned view is consistent even while other threads keep mutating.
+/// Thread-safe and lock-striped: signatures hash onto independent stripes,
+/// each with its own mutex, so concurrent specializer tasks (app-parallel
+/// bench drivers times per-candidate CAD workers) rarely contend on the hot
+/// lookup/insert path. Recency is tracked by a global atomic stamp clock, so
+/// eviction order and `snapshot()` order remain *global* LRU — identical to
+/// the former single-mutex implementation for any serial history. Eviction
+/// and `snapshot()` take all stripe locks (in index order) for a consistent
+/// view.
 class BitstreamCache {
  public:
   /// `capacity_bytes` bounds the sum of cached bitstream sizes (LRU
-  /// eviction); 0 means unbounded.
-  explicit BitstreamCache(std::size_t capacity_bytes = 0)
-      : capacity_(capacity_bytes) {}
+  /// eviction); 0 means unbounded. `stripes` is the lock-shard count; 1
+  /// degenerates to the classic single-mutex cache.
+  explicit BitstreamCache(std::size_t capacity_bytes = 0,
+                          std::size_t stripes = 16)
+      : capacity_(capacity_bytes), stripes_(stripes == 0 ? 1 : stripes) {}
 
-  /// Returns the entry and refreshes its LRU position.
+  /// Returns the entry and refreshes its (global) LRU position.
   std::optional<CachedImplementation> lookup(std::uint64_t signature);
 
   void insert(std::uint64_t signature, CachedImplementation entry);
 
   [[nodiscard]] std::size_t entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return map_.size();
+    return entries_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return bytes_;
+    return bytes_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return hits_;
+    return hits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return misses_;
+    return misses_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return evictions_;
+    return evictions_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] bool contains(std::uint64_t signature) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return map_.count(signature) != 0;
-  }
+  /// Pure membership probe: touches neither the hit/miss counters nor the
+  /// LRU order (the pipeline uses it to skip dispatching cached work).
+  [[nodiscard]] bool contains(std::uint64_t signature) const;
 
   void clear();
 
-  /// Consistent snapshot of all entries (most recently used first) for
-  /// serialization and inspection.
+  /// Consistent snapshot of all entries (most recently used first,
+  /// globally) for serialization and inspection.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, CachedImplementation>>
-  snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<std::pair<std::uint64_t, CachedImplementation>> out;
-    out.reserve(lru_.size());
-    for (const Node& node : lru_) out.emplace_back(node.signature, node.entry);
-    return out;
-  }
+  snapshot() const;
 
  private:
   struct Node {
     std::uint64_t signature;
     CachedImplementation entry;
+    std::uint64_t stamp;  // global recency; larger = more recent
   };
-  mutable std::mutex mu_;
+  /// One lock shard. Within a stripe the list is ordered by stamp
+  /// descending (front = stripe's most recent), so `lru.back()` is the
+  /// stripe's global-LRU representative.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<Node> lru;
+    std::unordered_map<std::uint64_t, std::list<Node>::iterator> map;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] Stripe& stripe_of(std::uint64_t signature) {
+    return stripes_[(signature ^ (signature >> 32)) % stripes_.size()];
+  }
+  [[nodiscard]] const Stripe& stripe_of(std::uint64_t signature) const {
+    return stripes_[(signature ^ (signature >> 32)) % stripes_.size()];
+  }
+
+  /// Evicts globally-least-recent entries until within capacity. Takes all
+  /// stripe locks (index order); callers must hold none of them.
+  void evict_to_capacity();
+
   std::size_t capacity_;
-  std::list<Node> lru_;  // front = most recent
-  std::unordered_map<std::uint64_t, std::list<Node>::iterator> map_;
-  std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::vector<Stripe> stripes_;  // sized at construction, never reallocated
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace jitise::jit

@@ -1,0 +1,121 @@
+// Observer hook layer for the SpecializationPipeline.
+//
+// The pipeline emits typed events — phase windows with measured timings,
+// per-candidate CAD progress, cache hits — instead of ad-hoc stderr prints.
+// Observers may be invoked from thread-pool workers (the per-candidate
+// events), so implementations must be internally synchronized; TraceObserver
+// below is the mutex-guarded stderr sink that `--trace` installs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cad/flow.hpp"
+
+namespace jitise::jit {
+
+/// Pipeline-global phase windows. Netlist Generation is a per-candidate
+/// stage fused with Instruction Implementation on the worker that owns the
+/// candidate, so it has no global window of its own: `on_candidate_netlist`
+/// events fire inside the Implementation window instead.
+enum class PipelinePhase { CandidateSearch, Implementation, Adaptation };
+
+[[nodiscard]] const char* phase_name(PipelinePhase phase) noexcept;
+
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+
+  // -- Phase windows (emitted from the pipeline thread). With phase overlap
+  //    enabled, Implementation may enter before CandidateSearch exits.
+  virtual void on_phase_enter(PipelinePhase /*phase*/) {}
+  virtual void on_phase_exit(PipelinePhase /*phase*/, double /*real_ms*/) {}
+
+  // -- Candidate search progress (pipeline thread, pruned-block order).
+  virtual void on_block_scored(std::size_t /*block_index*/,
+                               std::size_t /*candidates_so_far*/,
+                               std::size_t /*provisionally_selected*/) {}
+
+  // -- Per-candidate CAD events. Dispatch fires on the pipeline thread;
+  //    netlist/implemented/failed fire on whichever worker runs the CAD
+  //    chain (or the pipeline thread at jobs=1). `speculative` marks work
+  //    started from a provisional selection before search finished.
+  virtual void on_candidate_dispatched(std::uint64_t /*signature*/,
+                                       bool /*speculative*/) {}
+  virtual void on_candidate_netlist(const std::string& /*name*/,
+                                    std::uint64_t /*signature*/) {}
+  virtual void on_candidate_implemented(const std::string& /*name*/,
+                                        std::uint64_t /*signature*/,
+                                        const cad::ImplementationResult&) {}
+  virtual void on_candidate_failed(const std::string& /*name*/,
+                                   std::uint64_t /*signature*/) {}
+
+  // -- Adaptation tail (pipeline thread, selection order).
+  virtual void on_cache_hit(const std::string& /*name*/,
+                            std::uint64_t /*signature*/) {}
+};
+
+/// Fans events out to a list of observers (none owned). The pipeline uses
+/// one internally; it is also handy for composing observers in tests.
+class ObserverList final : public PipelineObserver {
+ public:
+  void add(PipelineObserver* observer) {
+    if (observer) observers_.push_back(observer);
+  }
+  [[nodiscard]] bool empty() const noexcept { return observers_.empty(); }
+
+  void on_phase_enter(PipelinePhase phase) override {
+    for (auto* o : observers_) o->on_phase_enter(phase);
+  }
+  void on_phase_exit(PipelinePhase phase, double real_ms) override {
+    for (auto* o : observers_) o->on_phase_exit(phase, real_ms);
+  }
+  void on_block_scored(std::size_t block, std::size_t found,
+                       std::size_t selected) override {
+    for (auto* o : observers_) o->on_block_scored(block, found, selected);
+  }
+  void on_candidate_dispatched(std::uint64_t sig, bool speculative) override {
+    for (auto* o : observers_) o->on_candidate_dispatched(sig, speculative);
+  }
+  void on_candidate_netlist(const std::string& name,
+                            std::uint64_t sig) override {
+    for (auto* o : observers_) o->on_candidate_netlist(name, sig);
+  }
+  void on_candidate_implemented(const std::string& name, std::uint64_t sig,
+                                const cad::ImplementationResult& hw) override {
+    for (auto* o : observers_) o->on_candidate_implemented(name, sig, hw);
+  }
+  void on_candidate_failed(const std::string& name,
+                           std::uint64_t sig) override {
+    for (auto* o : observers_) o->on_candidate_failed(name, sig);
+  }
+  void on_cache_hit(const std::string& name, std::uint64_t sig) override {
+    for (auto* o : observers_) o->on_cache_hit(name, sig);
+  }
+
+ private:
+  std::vector<PipelineObserver*> observers_;
+};
+
+/// The default `--trace` sink: one line per event of interest, written to a
+/// FILE* under an internal mutex so lines from concurrent CAD workers never
+/// interleave mid-line.
+class TraceObserver final : public PipelineObserver {
+ public:
+  explicit TraceObserver(std::FILE* sink = stderr) : sink_(sink) {}
+
+  void on_phase_exit(PipelinePhase phase, double real_ms) override;
+  void on_candidate_implemented(const std::string& name, std::uint64_t sig,
+                                const cad::ImplementationResult& hw) override;
+  void on_candidate_failed(const std::string& name,
+                           std::uint64_t sig) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* sink_;
+};
+
+}  // namespace jitise::jit

@@ -1,0 +1,142 @@
+// SpecializationPipeline — composes the four ASIP-SP stages and owns the
+// per-candidate CAD fan-out.
+//
+// Concurrency model: every CAD result is keyed by candidate *signature* and
+// written into a pre-created slot with a stable address. Dispatch (slot
+// creation, dedup, cache probing) happens only on the pipeline thread;
+// workers write only into their own slot. With `overlap_phases`, the search
+// stage's per-block callback streams the provisional selection into the pool
+// while search keeps running — safe because CAD results are numerically
+// name-independent (all jitter is signature-seeded), so speculative runs use
+// placeholder names and the serial tail attaches the canonical
+// position-dependent name afterwards.
+#include "jit/pipeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace jitise::jit {
+
+namespace {
+
+std::string hex_signature(std::uint64_t sig) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(sig));
+  return buf;
+}
+
+/// The pre-refactor naming scheme for selected candidates, kept verbatim so
+/// registry contents and reports stay byte-identical across the refactor.
+std::string candidate_name(const ir::Module& module,
+                           const ise::Candidate& cand, std::size_t k) {
+  return "ci_" + module.name + "_f" + std::to_string(cand.function) + "_b" +
+         std::to_string(cand.block) + "_" + std::to_string(k);
+}
+
+}  // namespace
+
+SpecializationResult SpecializationPipeline::run(const ir::Module& module,
+                                                 const vm::Profile& profile) {
+  hwlib::CircuitDb db;
+  PipelineObserver& obs = observers_;
+
+  const unsigned jobs =
+      config_.jobs != 0 ? config_.jobs : support::ThreadPool::default_jobs();
+  const bool hardware = config_.implement_hardware;
+  const bool overlap = hardware && config_.overlap_phases && jobs > 1;
+
+  // Declared before the pool: workers reference the artifact's graphs, so it
+  // must outlive the pool even when an exception unwinds this frame.
+  SearchArtifact art;
+  // Deque: stable element addresses while the pipeline thread keeps growing
+  // it; workers only ever touch their own pre-created slot.
+  std::deque<ImplementationArtifact> slots;
+  std::unordered_map<std::uint64_t, ImplementationArtifact*> by_sig;
+  std::optional<support::ThreadPool> pool;
+  std::optional<support::Stopwatch> impl_timer;
+
+  auto enter_implementation = [&] {
+    if (impl_timer) return;
+    impl_timer.emplace();
+    obs.on_phase_enter(PipelinePhase::Implementation);
+  };
+
+  // Dispatches the Phase 2+3 chain for `art.scored[idx]` unless its
+  // signature is already covered (cache-resident, or dispatched earlier —
+  // speculatively or not). Runs inline when no pool exists (jobs=1).
+  auto dispatch = [&](std::size_t idx, std::string name, bool speculative) {
+    const std::uint64_t sig = art.scored[idx].signature;
+    if (by_sig.count(sig) != 0) return;
+    if (cache_ != nullptr && cache_->contains(sig)) return;
+    enter_implementation();
+    slots.emplace_back();
+    ImplementationArtifact* slot = &slots.back();
+    by_sig.emplace(sig, slot);
+    obs.on_candidate_dispatched(sig, speculative);
+    // `art.scored`/`art.graphs` keep growing during overlap: capture the
+    // candidate by value and the graph by stable pointee address.
+    const dfg::BlockDfg* graph = art.graphs[art.graph_of[idx]].get();
+    auto task = [this, graph, cand = art.scored[idx].candidate,
+                 name = std::move(name), slot, &db, &obs] {
+      *slot = implement_.run(netlist_.run(*graph, cand, db, name, obs), obs);
+    };
+    if (pool)
+      pool->submit(std::move(task));
+    else
+      task();
+  };
+
+  CandidateSearchStage::BlockScoredFn on_block;
+  if (overlap) {
+    pool.emplace(jobs);
+    on_block = [&](const SearchArtifact& partial,
+                   const ise::Selection& provisional) {
+      for (std::size_t idx : provisional.chosen)
+        dispatch(idx,
+                 "ci_" + module.name + "_spec_" +
+                     hex_signature(partial.scored[idx].signature),
+                 /*speculative=*/true);
+    };
+  }
+
+  search_.run(module, profile, db, obs, art, on_block);
+
+  std::vector<std::string> names(art.selection.chosen.size());
+  for (std::size_t k = 0; k < names.size(); ++k)
+    names[k] = candidate_name(
+        module, art.scored[art.selection.chosen[k]].candidate, k);
+
+  if (hardware) {
+    if (!pool && jobs > 1 && art.selection.chosen.size() > 1)
+      pool.emplace(static_cast<unsigned>(
+          std::min<std::size_t>(jobs, art.selection.chosen.size())));
+    enter_implementation();
+    for (std::size_t k = 0; k < art.selection.chosen.size(); ++k)
+      dispatch(art.selection.chosen[k], names[k], /*speculative=*/false);
+    if (pool) pool->wait_all();
+    obs.on_phase_exit(PipelinePhase::Implementation, impl_timer->elapsed_ms());
+  }
+
+  const AdaptationStage::ImplLookupFn lookup =
+      [&](std::uint64_t sig) -> const ImplementationArtifact* {
+    const auto it = by_sig.find(sig);
+    return it == by_sig.end() ? nullptr : it->second;
+  };
+  const AdaptationStage::SerialCadFn serial_cad = [&](std::size_t k) {
+    const std::size_t idx = art.selection.chosen[k];
+    return implement_.run(
+        netlist_.run(*art.graphs[art.graph_of[idx]], art.scored[idx].candidate,
+                     db, names[k], obs),
+        obs);
+  };
+  return adapt_.run(module, profile, art, names, lookup, serial_cad, obs);
+}
+
+}  // namespace jitise::jit

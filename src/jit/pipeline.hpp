@@ -1,0 +1,163 @@
+// The ASIP Specialization Process as an explicit staged pipeline.
+//
+// The paper's three phases (Fig. 1/2) plus the adaptation phase map onto
+// four composable stages behind narrow interfaces, each producing a typed
+// artifact:
+//
+//   CandidateSearchStage  prune -> identify -> estimate -> select
+//                         -> SearchArtifact
+//   NetlistGenStage       datapath project creation (per candidate)
+//                         -> NetlistArtifact
+//   ImplementationStage   CAD flow syn..bitgen (per candidate)
+//                         -> ImplementationArtifact
+//   AdaptationStage       cache/registry/accounting serial tail + rewrite
+//                         -> SpecializationResult
+//
+// SpecializationPipeline composes them, fans per-candidate CAD out over a
+// thread pool, and — with `SpecializerConfig::overlap_phases` — overlaps
+// Phase 1 with Phases 2+3: after each pruned block is scored, candidates in
+// the provisional (incremental) selection already stream into the CAD pool.
+// Results stay bit-identical to the staged serial run because CAD results
+// are keyed by candidate signature (all jitter is signature-seeded and
+// numerically name-independent) and everything order-sensitive runs in the
+// AdaptationStage tail in final selection order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datapath/project.hpp"
+#include "jit/observer.hpp"
+#include "jit/specializer.hpp"
+
+namespace jitise::jit {
+
+/// Phase-1 output: everything candidate search learned, plus the graphs the
+/// later stages need (graphs are owned here so candidate node ids stay
+/// valid for netlist generation and program snapshotting).
+struct SearchArtifact {
+  ise::PruneResult prune;
+  std::vector<std::unique_ptr<dfg::BlockDfg>> graphs;  // one per pruned block
+  std::vector<ise::ScoredCandidate> scored;            // all found candidates
+  std::vector<estimation::CandidateEstimate> estimates;  // parallel to scored
+  std::vector<std::size_t> graph_of;  // scored index -> graphs index
+  ise::Selection selection;           // indices into `scored`
+  double search_real_ms = 0.0;
+};
+
+class CandidateSearchStage {
+ public:
+  /// Invoked on the pipeline thread after each pruned block's candidates
+  /// are scored: `partial` is the artifact so far (graphs/scored grow as
+  /// blocks complete), `provisional` the incremental selection over it.
+  using BlockScoredFn = std::function<void(const SearchArtifact& partial,
+                                           const ise::Selection& provisional)>;
+
+  explicit CandidateSearchStage(const SpecializerConfig& config)
+      : config_(config) {}
+
+  /// Fills `out` in place (rather than returning it) so the caller can give
+  /// the artifact a lifetime enclosing any thread pool that holds
+  /// speculative tasks referencing its graphs — even on exception unwind.
+  void run(const ir::Module& module, const vm::Profile& profile,
+           hwlib::CircuitDb& db, PipelineObserver& observer,
+           SearchArtifact& out, const BlockScoredFn& on_block = {}) const;
+
+ private:
+  const SpecializerConfig& config_;
+};
+
+/// Phase-2 output for one candidate.
+struct NetlistArtifact {
+  datapath::CadProject project;
+};
+
+class NetlistGenStage {
+ public:
+  [[nodiscard]] NetlistArtifact run(const dfg::BlockDfg& graph,
+                                    const ise::Candidate& candidate,
+                                    hwlib::CircuitDb& db,
+                                    const std::string& name,
+                                    PipelineObserver& observer) const;
+};
+
+/// Phase-3 output for one candidate.
+struct ImplementationArtifact {
+  bool dispatched = false;  // a CAD run produced (or rejected) this artifact
+  bool failed = false;      // the tool flow rejected the candidate (fit/route)
+  cad::ImplementationResult hw;
+};
+
+class ImplementationStage {
+ public:
+  explicit ImplementationStage(const SpecializerConfig& config)
+      : config_(config) {}
+
+  [[nodiscard]] ImplementationArtifact run(const NetlistArtifact& netlist,
+                                           PipelineObserver& observer) const;
+
+ private:
+  const SpecializerConfig& config_;
+};
+
+class AdaptationStage {
+ public:
+  /// Resolves a pre-generated implementation for a candidate signature
+  /// (nullptr when nothing was dispatched for it).
+  using ImplLookupFn =
+      std::function<const ImplementationArtifact*(std::uint64_t signature)>;
+  /// Runs the per-candidate CAD chain serially for selection position `k`
+  /// (fallback when a dispatch-time cache entry was evicted).
+  using SerialCadFn =
+      std::function<ImplementationArtifact(std::size_t k)>;
+
+  AdaptationStage(const SpecializerConfig& config, BitstreamCache* cache)
+      : config_(config), cache_(cache) {}
+
+  /// The order-sensitive serial tail: cache population, cycle accounting,
+  /// registry insertion and the binary rewrite, in final selection order.
+  /// `search` stays borrowed (only `prune` is moved out of it) because the
+  /// serial-CAD fallback still reads its graphs mid-run.
+  [[nodiscard]] SpecializationResult run(const ir::Module& module,
+                                         const vm::Profile& profile,
+                                         SearchArtifact& search,
+                                         std::span<const std::string> names,
+                                         const ImplLookupFn& lookup,
+                                         const SerialCadFn& serial_cad,
+                                         PipelineObserver& observer) const;
+
+ private:
+  const SpecializerConfig& config_;
+  BitstreamCache* cache_;
+};
+
+class SpecializationPipeline {
+ public:
+  explicit SpecializationPipeline(const SpecializerConfig& config,
+                                  BitstreamCache* cache = nullptr)
+      : config_(config),
+        cache_(cache),
+        search_(config_),
+        implement_(config_),
+        adapt_(config_, cache_) {}
+
+  /// Registers an observer (not owned; must outlive run()).
+  void add_observer(PipelineObserver* observer) { observers_.add(observer); }
+
+  [[nodiscard]] SpecializationResult run(const ir::Module& module,
+                                         const vm::Profile& profile);
+
+ private:
+  SpecializerConfig config_;
+  BitstreamCache* cache_;
+  CandidateSearchStage search_;
+  NetlistGenStage netlist_;
+  ImplementationStage implement_;
+  AdaptationStage adapt_;
+  ObserverList observers_;
+};
+
+}  // namespace jitise::jit

@@ -1,0 +1,61 @@
+// Phase 1 — Candidate Search: prune -> identify -> estimate -> select.
+//
+// Candidates are scored block by block and absorbed into an incremental
+// selector, so streaming consumers (the overlapped pipeline) can read a
+// provisional selection after every block; the final selection is identical
+// to a one-shot select_greedy over the full candidate pool.
+#include "jit/pipeline.hpp"
+
+#include "ise/identify.hpp"
+#include "support/stopwatch.hpp"
+
+namespace jitise::jit {
+
+void CandidateSearchStage::run(const ir::Module& module,
+                               const vm::Profile& profile, hwlib::CircuitDb& db,
+                               PipelineObserver& observer, SearchArtifact& out,
+                               const BlockScoredFn& on_block) const {
+  observer.on_phase_enter(PipelinePhase::CandidateSearch);
+  support::Stopwatch timer;
+
+  SearchArtifact& art = out;
+  art.prune = ise::prune_blocks(module, profile, config_.cpu, config_.prune);
+  ise::IncrementalSelector selector(config_.select);
+
+  for (std::size_t b = 0; b < art.prune.blocks.size(); ++b) {
+    const ise::PrunedBlock& blk = art.prune.blocks[b];
+    auto graph = std::make_unique<dfg::BlockDfg>(
+        module.functions[blk.function], blk.block);
+    const std::size_t graph_index = art.graphs.size();
+    auto identified = config_.identify == SpecializerConfig::Identify::UnionMiso
+                          ? ise::find_union_misos(*graph)
+                          : ise::find_max_misos(*graph);
+    for (ise::Candidate& cand : identified) {
+      cand.function = blk.function;
+      const auto est = estimation::estimate_candidate(*graph, cand, db,
+                                                      config_.cpu, config_.fcm);
+      ise::ScoredCandidate scored;
+      scored.signature = ise::candidate_signature(*graph, cand);
+      scored.candidate = std::move(cand);
+      scored.cycles_saved_total =
+          est.saved_per_exec * static_cast<double>(blk.exec_count);
+      scored.area_slices = est.area_slices;
+      art.scored.push_back(std::move(scored));
+      art.estimates.push_back(est);
+      art.graph_of.push_back(graph_index);
+    }
+    art.graphs.push_back(std::move(graph));
+
+    selector.extend(art.scored);
+    const ise::Selection provisional = selector.current(art.scored);
+    observer.on_block_scored(b, art.scored.size(), provisional.chosen.size());
+    if (on_block) on_block(art, provisional);
+  }
+
+  selector.extend(art.scored);  // no-op unless the loop never ran
+  art.selection = selector.current(art.scored);
+  art.search_real_ms = timer.elapsed_ms();
+  observer.on_phase_exit(PipelinePhase::CandidateSearch, art.search_real_ms);
+}
+
+}  // namespace jitise::jit

@@ -1,18 +1,14 @@
+// Entry points of the ASIP Specialization Process. The staged machinery
+// lives in jit/pipeline.* — `specialize()` is a thin wrapper that builds a
+// SpecializationPipeline, attaches the stderr TraceObserver when
+// `trace_stages` is set, and runs it.
 #include "jit/specializer.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <memory>
-#include <optional>
-#include <thread>
-#include <unordered_set>
 
-#include "datapath/project.hpp"
 #include "ise/identify.hpp"
-#include "support/stopwatch.hpp"
-#include "support/thread_pool.hpp"
-#include "woolcano/rewriter.hpp"
+#include "jit/pipeline.hpp"
 
 namespace jitise::jit {
 
@@ -25,242 +21,14 @@ std::uint32_t fcm_hw_cycles(double latency_ns, const SpecializerConfig& cfg) {
   return cfg.woolcano.fcm_overhead_cycles + std::max(1u, transfer);
 }
 
-namespace {
-
-/// Outcome of one candidate's CAD run on a pool worker. Slots are pre-sized
-/// and indexed by the candidate's position in the selection, so the serial
-/// tail consumes them in exactly the jobs=1 order.
-struct PreGenerated {
-  bool dispatched = false;  // a worker ran the CAD flow for this position
-  bool failed = false;      // ...and the tool flow rejected it (fit/route)
-  cad::ImplementationResult hw;
-};
-
-void trace_stage_line(const std::string& name,
-                      const cad::ImplementationResult& hw) {
-  std::fprintf(stderr,
-               "[asip-sp] %s: syn %.3f xst %.3f tra %.3f map %.3f par %.3f "
-               "bitgen %.3f real-ms (modeled %.1f s) thread %zu\n",
-               name.c_str(), hw.syn.real_ms, hw.xst.real_ms, hw.tra.real_ms,
-               hw.map.real_ms, hw.par.real_ms, hw.bitgen.real_ms,
-               hw.total_modeled_seconds(),
-               std::hash<std::thread::id>{}(std::this_thread::get_id()));
-}
-
-}  // namespace
-
 SpecializationResult specialize(const ir::Module& module,
                                 const vm::Profile& profile,
                                 const SpecializerConfig& config,
                                 BitstreamCache* cache) {
-  SpecializationResult result;
-  hwlib::CircuitDb db;
-  support::Stopwatch search_timer;
-
-  // ---- Phase 1: Candidate Search -----------------------------------------
-  result.prune = ise::prune_blocks(module, profile, config.cpu, config.prune);
-
-  struct Found {
-    ise::ScoredCandidate scored;
-    estimation::CandidateEstimate estimate;
-  };
-  std::vector<Found> found;
-  std::vector<std::unique_ptr<dfg::BlockDfg>> graphs;
-  std::vector<std::size_t> graph_of;  // found index -> graphs index
-
-  for (const ise::PrunedBlock& blk : result.prune.blocks) {
-    auto graph = std::make_unique<dfg::BlockDfg>(
-        module.functions[blk.function], blk.block);
-    const std::size_t graph_index = graphs.size();
-    auto identified = config.identify == SpecializerConfig::Identify::UnionMiso
-                          ? ise::find_union_misos(*graph)
-                          : ise::find_max_misos(*graph);
-    for (ise::Candidate& cand : identified) {
-      cand.function = blk.function;
-      const auto est = estimation::estimate_candidate(*graph, cand, db,
-                                                      config.cpu, config.fcm);
-      ise::ScoredCandidate scored;
-      scored.signature = ise::candidate_signature(*graph, cand);
-      scored.candidate = std::move(cand);
-      scored.cycles_saved_total =
-          est.saved_per_exec * static_cast<double>(blk.exec_count);
-      scored.area_slices = est.area_slices;
-      found.push_back(Found{std::move(scored), est});
-      graph_of.push_back(graph_index);
-    }
-    graphs.push_back(std::move(graph));
-  }
-  result.candidates_found = found.size();
-
-  std::vector<ise::ScoredCandidate> scored;
-  scored.reserve(found.size());
-  for (const Found& f : found) scored.push_back(f.scored);
-  const ise::Selection selection = ise::select_greedy(scored, config.select);
-  result.candidates_selected = selection.chosen.size();
-  result.search_real_ms = search_timer.elapsed_ms();
-
-  // ---- Phases 2+3: Netlist Generation + Instruction Implementation -------
-  //
-  // Each selected candidate's datapath -> syn -> map -> PAR -> bitgen chain
-  // is independent, so the expensive CAD work fans out over a thread pool;
-  // everything order-sensitive (cache population, cycle accounting, registry
-  // insertion, `implemented` order) stays in the serial tail below, which
-  // makes jobs=N output bit-identical to jobs=1.
-  std::vector<std::string> names(selection.chosen.size());
-  for (std::size_t k = 0; k < selection.chosen.size(); ++k) {
-    const ise::Candidate& cand = found[selection.chosen[k]].scored.candidate;
-    names[k] = "ci_" + module.name + "_f" + std::to_string(cand.function) +
-               "_b" + std::to_string(cand.block) + "_" + std::to_string(k);
-  }
-
-  const unsigned jobs =
-      config.jobs != 0 ? config.jobs : support::ThreadPool::default_jobs();
-  std::vector<PreGenerated> pregen(selection.chosen.size());
-  if (config.implement_hardware && jobs > 1 && selection.chosen.size() > 1) {
-    support::ThreadPool pool(static_cast<unsigned>(
-        std::min<std::size_t>(jobs, selection.chosen.size())));
-    // With a cache, a signature already present — or generated by an earlier
-    // position of this batch — resolves as a cache hit in the tail, exactly
-    // as in the serial run; only first occurrences are dispatched.
-    std::unordered_set<std::uint64_t> scheduled;
-    for (std::size_t k = 0; k < selection.chosen.size(); ++k) {
-      const std::uint64_t sig = found[selection.chosen[k]].scored.signature;
-      if (cache && (cache->contains(sig) || scheduled.count(sig) != 0))
-        continue;
-      if (cache) scheduled.insert(sig);
-      pregen[k].dispatched = true;
-      pool.submit([&, k] {
-        const std::size_t idx = selection.chosen[k];
-        const Found& f = found[idx];
-        const auto project = datapath::create_project(
-            *graphs[graph_of[idx]], f.scored.candidate, db, names[k]);
-        try {
-          pregen[k].hw = cad::implement_candidate(project, config.flow);
-        } catch (const fpga::CadError&) {
-          pregen[k].failed = true;
-          return;
-        }
-        if (config.trace_stages) trace_stage_line(names[k], pregen[k].hw);
-      });
-    }
-    pool.wait_all();
-  }
-
-  double saved_cycles_total = 0.0;
-  for (std::size_t k = 0; k < selection.chosen.size(); ++k) {
-    const std::size_t idx = selection.chosen[k];
-    const Found& f = found[idx];
-    const dfg::BlockDfg& graph = *graphs[graph_of[idx]];
-    ImplementedCandidate impl;
-    impl.name = names[k];
-    impl.signature = f.scored.signature;
-    impl.instructions = f.scored.candidate.size();
-    impl.area_slices = f.scored.area_slices;
-
-    woolcano::CustomInstruction ci;
-    ci.candidate = f.scored.candidate;
-    ci.signature = f.scored.signature;
-    ci.program = woolcano::snapshot_program(graph, f.scored.candidate);
-    ci.area_slices = f.scored.area_slices;
-
-    if (!config.implement_hardware) {
-      ci.hw_cycles = f.estimate.hw_cycles;
-      ci.critical_path_ns = f.estimate.hw_latency_ns;
-      impl.hw_cycles = ci.hw_cycles;
-    } else {
-      std::optional<CachedImplementation> hit;
-      if (cache) hit = cache->lookup(impl.signature);
-      if (hit) {
-        impl.cache_hit = true;
-        impl.cells = hit->cells;
-        impl.bitstream_bytes = hit->bitstream.size_bytes();
-        impl.hw_cycles = hit->hw_cycles;
-        ci.hw_cycles = hit->hw_cycles;
-        ci.critical_path_ns = hit->critical_path_ns;
-        ci.bitstream_bytes = hit->bitstream.size_bytes();
-        // All generation stages are skipped: zero modeled seconds.
-      } else {
-        cad::ImplementationResult hw;
-        if (pregen[k].dispatched) {
-          if (pregen[k].failed) {
-            // Oversized or unroutable candidate: the tool flow rejects it
-            // and the specializer simply drops it (it stays in software).
-            ++result.candidates_failed;
-            continue;
-          }
-          hw = std::move(pregen[k].hw);
-        } else {
-          // Serial path: jobs=1, or the dispatch-time cache entry this
-          // position relied on was evicted before the tail reached it.
-          const auto project = datapath::create_project(
-              graph, f.scored.candidate, db, impl.name);
-          try {
-            hw = cad::implement_candidate(project, config.flow);
-          } catch (const fpga::CadError&) {
-            ++result.candidates_failed;
-            continue;
-          }
-          if (config.trace_stages) trace_stage_line(impl.name, hw);
-        }
-        impl.cells = hw.cells;
-        impl.bitstream_bytes = hw.bitstream.size_bytes();
-        impl.c2v_s = hw.c2v.modeled_seconds;
-        impl.syn_s = hw.syn.modeled_seconds;
-        impl.xst_s = hw.xst.modeled_seconds;
-        impl.tra_s = hw.tra.modeled_seconds;
-        impl.map_s = hw.map.modeled_seconds;
-        impl.par_s = hw.par.modeled_seconds;
-        impl.bitgen_s = hw.bitgen.modeled_seconds;
-        // STA measures interconnect over the coarse cluster netlist; the
-        // component database carries each core's true combinational latency.
-        // The effective FCM latency is bounded below by both.
-        ci.critical_path_ns =
-            std::max(hw.timing.critical_path_ns, f.estimate.hw_latency_ns);
-        ci.hw_cycles = std::max(fcm_hw_cycles(ci.critical_path_ns, config),
-                                f.estimate.hw_cycles);
-        ci.bitstream_bytes = hw.bitstream.size_bytes();
-        impl.hw_cycles = ci.hw_cycles;
-        if (cache)
-          cache->insert(impl.signature,
-                        CachedImplementation{hw.bitstream, ci.hw_cycles,
-                                             ci.critical_path_ns,
-                                             impl.area_slices, hw.cells,
-                                             impl.total_seconds()});
-      }
-    }
-
-    // Cycle bookkeeping for the predicted speedup: actual hardware cycles
-    // replace the estimate in the saving. A candidate whose implemented
-    // latency turned out no better than software is *not activated* (the VM
-    // keeps the software path), but its generation cost was already paid —
-    // exactly the paper's accounting, where every implemented candidate
-    // contributes to the overhead regardless of its eventual benefit.
-    const double saved_per_exec =
-        static_cast<double>(f.estimate.sw_cycles) -
-        static_cast<double>(ci.hw_cycles);
-    const bool activated = saved_per_exec > 0.0;
-    if (activated) {
-      for (const auto& b : result.prune.blocks)
-        if (b.function == f.scored.candidate.function &&
-            b.block == f.scored.candidate.block)
-          saved_cycles_total +=
-              saved_per_exec * static_cast<double>(b.exec_count);
-    }
-
-    result.sum_const_s += impl.const_seconds();
-    result.sum_map_s += impl.map_s;
-    result.sum_par_s += impl.par_s;
-    result.sum_total_s += impl.total_seconds();
-    if (activated) result.registry.add(std::move(ci));
-    result.implemented.push_back(std::move(impl));
-  }
-
-  // ---- Adaptation phase ---------------------------------------------------
-  result.rewritten = woolcano::rewrite_module(module, result.registry);
-  const double base = static_cast<double>(profile.cpu_cycles);
-  const double accel = base - saved_cycles_total;
-  result.predicted_speedup = accel > 0.0 && base > 0.0 ? base / accel : 1.0;
-  return result;
+  SpecializationPipeline pipeline(config, cache);
+  TraceObserver trace;
+  if (config.trace_stages) pipeline.add_observer(&trace);
+  return pipeline.run(module, profile);
 }
 
 UpperBound asip_upper_bound(const ir::Module& module,

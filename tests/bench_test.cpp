@@ -1,0 +1,129 @@
+// Tests for the shared bench driver layer: the side-effect-free command-line
+// parser and the app-parallel run_apps fan-out.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace jitise;
+using bench::ParsedSuiteOptions;
+
+ParsedSuiteOptions parse(std::vector<const char*> argv,
+                         const char* jobs_env = nullptr) {
+  argv.insert(argv.begin(), "table_test");
+  return bench::parse_suite_options_ex(static_cast<int>(argv.size()),
+                                       argv.data(), jobs_env);
+}
+
+TEST(SuiteOptions, DefaultsWithEmptyCommandLine) {
+  const auto parsed = parse({});
+  EXPECT_EQ(parsed.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(parsed.options.jobs, 0u);
+  EXPECT_FALSE(parsed.options.trace_stages);
+  EXPECT_TRUE(parsed.options.implement_hardware);
+}
+
+TEST(SuiteOptions, ParsesJobsAndTrace) {
+  const auto parsed = parse({"--jobs", "4", "--trace"});
+  ASSERT_EQ(parsed.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(parsed.options.jobs, 4u);
+  EXPECT_TRUE(parsed.options.trace_stages);
+
+  const auto equals_form = parse({"--jobs=8"});
+  ASSERT_EQ(equals_form.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(equals_form.options.jobs, 8u);
+}
+
+TEST(SuiteOptions, JobsZeroMeansHardwareConcurrency) {
+  const auto parsed = parse({"--jobs=0"});
+  ASSERT_EQ(parsed.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(parsed.options.jobs, 0u);
+}
+
+TEST(SuiteOptions, JobsEnvironmentFallbackAndOverride) {
+  const auto from_env = parse({}, "7");
+  ASSERT_EQ(from_env.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(from_env.options.jobs, 7u);
+
+  // An explicit flag wins over the environment.
+  const auto overridden = parse({"--jobs=3"}, "7");
+  ASSERT_EQ(overridden.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(overridden.options.jobs, 3u);
+
+  const auto bad_env = parse({}, "lots");
+  EXPECT_EQ(bad_env.status, ParsedSuiteOptions::Status::Error);
+  EXPECT_NE(bad_env.message.find("JITISE_JOBS"), std::string::npos);
+  EXPECT_NE(bad_env.message.find("usage:"), std::string::npos);
+}
+
+TEST(SuiteOptions, RejectsJunkArguments) {
+  const auto junk = parse({"--frobnicate"});
+  EXPECT_EQ(junk.status, ParsedSuiteOptions::Status::Error);
+  EXPECT_NE(junk.message.find("--frobnicate"), std::string::npos);
+  EXPECT_NE(junk.message.find("usage:"), std::string::npos);
+
+  const auto bad_jobs = parse({"--jobs=abc"});
+  EXPECT_EQ(bad_jobs.status, ParsedSuiteOptions::Status::Error);
+  EXPECT_NE(bad_jobs.message.find("abc"), std::string::npos);
+
+  // --jobs at the end of the line has no value to consume.
+  const auto dangling = parse({"--jobs"});
+  EXPECT_EQ(dangling.status, ParsedSuiteOptions::Status::Error);
+}
+
+TEST(SuiteOptions, HelpShortCircuits) {
+  for (const char* flag : {"--help", "-h"}) {
+    const auto parsed = parse({flag, "--frobnicate"});  // junk after --help
+    EXPECT_EQ(parsed.status, ParsedSuiteOptions::Status::Help) << flag;
+    EXPECT_NE(parsed.message.find("usage:"), std::string::npos);
+    EXPECT_NE(parsed.message.find("--jobs"), std::string::npos);
+  }
+}
+
+TEST(RunApps, ParallelFanOutMatchesSerialAndKeepsOrder) {
+  // Estimation-only (no CAD) keeps this fast; the point is the fan-out
+  // plumbing: result order follows `names`, every app's numbers equal the
+  // solo run_app, and on_done fires exactly once per app.
+  const std::vector<std::string> names = {"sor", "fft"};
+  bench::SuiteOptions serial;
+  serial.implement_hardware = false;
+  serial.jobs = 1;
+  bench::SuiteOptions parallel = serial;
+  parallel.jobs = 4;
+
+  std::mutex done_mu;
+  std::multiset<std::string> done;
+  const auto runs_serial = bench::run_apps(names, serial);
+  const auto runs_parallel =
+      bench::run_apps(names, parallel, [&](const bench::AppRun& run) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done.insert(run.app.name);
+      });
+
+  ASSERT_EQ(runs_serial.size(), names.size());
+  ASSERT_EQ(runs_parallel.size(), names.size());
+  EXPECT_EQ(done, (std::multiset<std::string>{"fft", "sor"}));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    SCOPED_TRACE(names[i]);
+    EXPECT_EQ(runs_serial[i].app.name, names[i]);
+    EXPECT_EQ(runs_parallel[i].app.name, names[i]);
+    EXPECT_EQ(runs_serial[i].spec.candidates_found,
+              runs_parallel[i].spec.candidates_found);
+    EXPECT_EQ(runs_serial[i].spec.candidates_selected,
+              runs_parallel[i].spec.candidates_selected);
+    EXPECT_DOUBLE_EQ(runs_serial[i].spec.predicted_speedup,
+                     runs_parallel[i].spec.predicted_speedup);
+    EXPECT_DOUBLE_EQ(runs_serial[i].adapted_speedup,
+                     runs_parallel[i].adapted_speedup);
+    EXPECT_DOUBLE_EQ(runs_serial[i].break_even_s,
+                     runs_parallel[i].break_even_s);
+  }
+}
+
+}  // namespace

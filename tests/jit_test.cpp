@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "support/rng.hpp"
 #include "jit/breakeven.hpp"
 #include "jit/cache.hpp"
+#include "jit/pipeline.hpp"
 #include "jit/specializer.hpp"
 #include "woolcano/asip.hpp"
 #include "woolcano/rewriter.hpp"
@@ -102,75 +104,98 @@ TEST(Specializer, FcmHwCyclesRoundsUpFractionalLatency) {
   EXPECT_EQ(jit::fcm_hw_cycles(5.0001, config), overhead + 2);
 }
 
-TEST(Specializer, ParallelMatchesSerialOnEmbeddedApps) {
-  // The acceptance bar for the parallel Phase 2+3 loop: jobs=4 must produce
-  // a bit-identical SpecializationResult to jobs=1 — implemented list and
-  // order, registry contents, cache population, and predicted speedup.
+/// Full structural comparison of two SpecializationResults (everything the
+/// bit-identical-parallelism guarantee covers; search_real_ms is measured
+/// wall-clock and deliberately excluded).
+void expect_spec_equal(const jit::SpecializationResult& a,
+                       const jit::SpecializationResult& b) {
+  EXPECT_EQ(a.candidates_found, b.candidates_found);
+  EXPECT_EQ(a.candidates_selected, b.candidates_selected);
+  EXPECT_EQ(a.candidates_failed, b.candidates_failed);
+  EXPECT_DOUBLE_EQ(a.predicted_speedup, b.predicted_speedup);
+  EXPECT_DOUBLE_EQ(a.sum_const_s, b.sum_const_s);
+  EXPECT_DOUBLE_EQ(a.sum_map_s, b.sum_map_s);
+  EXPECT_DOUBLE_EQ(a.sum_par_s, b.sum_par_s);
+  EXPECT_DOUBLE_EQ(a.sum_total_s, b.sum_total_s);
+
+  ASSERT_EQ(a.implemented.size(), b.implemented.size());
+  for (std::size_t i = 0; i < a.implemented.size(); ++i) {
+    const auto& x = a.implemented[i];
+    const auto& y = b.implemented[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.signature, y.signature);
+    EXPECT_EQ(x.cache_hit, y.cache_hit);
+    EXPECT_EQ(x.cells, y.cells);
+    EXPECT_EQ(x.bitstream_bytes, y.bitstream_bytes);
+    EXPECT_EQ(x.hw_cycles, y.hw_cycles);
+    EXPECT_DOUBLE_EQ(x.area_slices, y.area_slices);
+    EXPECT_DOUBLE_EQ(x.total_seconds(), y.total_seconds());
+  }
+
+  const auto& a_cis = a.registry.all();
+  const auto& b_cis = b.registry.all();
+  ASSERT_EQ(a_cis.size(), b_cis.size());
+  for (std::size_t i = 0; i < a_cis.size(); ++i) {
+    EXPECT_EQ(a_cis[i].signature, b_cis[i].signature);
+    EXPECT_EQ(a_cis[i].hw_cycles, b_cis[i].hw_cycles);
+    EXPECT_DOUBLE_EQ(a_cis[i].critical_path_ns, b_cis[i].critical_path_ns);
+    EXPECT_EQ(a_cis[i].bitstream_bytes, b_cis[i].bitstream_bytes);
+  }
+}
+
+/// Cache population (entries, global-LRU order, and counters) comparison.
+void expect_cache_equal(const jit::BitstreamCache& a,
+                        const jit::BitstreamCache& b) {
+  EXPECT_EQ(a.hits(), b.hits());
+  EXPECT_EQ(a.misses(), b.misses());
+  const auto a_snap = a.snapshot();
+  const auto b_snap = b.snapshot();
+  ASSERT_EQ(a_snap.size(), b_snap.size());
+  for (std::size_t i = 0; i < a_snap.size(); ++i) {
+    EXPECT_EQ(a_snap[i].first, b_snap[i].first);
+    EXPECT_EQ(a_snap[i].second.hw_cycles, b_snap[i].second.hw_cycles);
+    EXPECT_EQ(a_snap[i].second.bitstream.bytes,
+              b_snap[i].second.bitstream.bytes);
+  }
+}
+
+TEST(Specializer, ParallelAndOverlapMatchSerialOnEmbeddedApps) {
+  // The acceptance bar for the parallel Phase 2+3 loop AND the phase-overlap
+  // mode: jobs=4 staged and jobs=4 overlapped must both produce bit-identical
+  // SpecializationResults to jobs=1 — implemented list and order, registry
+  // contents, cache population, and predicted speedup.
   for (const char* name : {"adpcm", "fft", "sor", "whetstone"}) {
     SCOPED_TRACE(name);
     const apps::App app = apps::build_app(name);
     vm::Machine machine(app.module);
     machine.run(app.entry, app.datasets[0].args, 1ull << 30);
 
-    jit::BitstreamCache serial_cache, parallel_cache;
+    jit::BitstreamCache serial_cache, staged_cache, overlap_cache;
     jit::SpecializerConfig serial_cfg;
     serial_cfg.jobs = 1;
-    jit::SpecializerConfig parallel_cfg;
-    parallel_cfg.jobs = 4;
+    jit::SpecializerConfig staged_cfg;
+    staged_cfg.jobs = 4;
+    staged_cfg.overlap_phases = false;
+    jit::SpecializerConfig overlap_cfg;
+    overlap_cfg.jobs = 4;
+    overlap_cfg.overlap_phases = true;
 
-    const auto serial =
-        jit::specialize(app.module, machine.profile(), serial_cfg,
-                        &serial_cache);
-    const auto parallel =
-        jit::specialize(app.module, machine.profile(), parallel_cfg,
-                        &parallel_cache);
+    const auto serial = jit::specialize(app.module, machine.profile(),
+                                        serial_cfg, &serial_cache);
+    const auto staged = jit::specialize(app.module, machine.profile(),
+                                        staged_cfg, &staged_cache);
+    const auto overlapped = jit::specialize(app.module, machine.profile(),
+                                            overlap_cfg, &overlap_cache);
 
-    EXPECT_EQ(serial.candidates_found, parallel.candidates_found);
-    EXPECT_EQ(serial.candidates_selected, parallel.candidates_selected);
-    EXPECT_EQ(serial.candidates_failed, parallel.candidates_failed);
-    EXPECT_DOUBLE_EQ(serial.predicted_speedup, parallel.predicted_speedup);
-    EXPECT_DOUBLE_EQ(serial.sum_const_s, parallel.sum_const_s);
-    EXPECT_DOUBLE_EQ(serial.sum_map_s, parallel.sum_map_s);
-    EXPECT_DOUBLE_EQ(serial.sum_par_s, parallel.sum_par_s);
-    EXPECT_DOUBLE_EQ(serial.sum_total_s, parallel.sum_total_s);
-
-    ASSERT_EQ(serial.implemented.size(), parallel.implemented.size());
-    for (std::size_t i = 0; i < serial.implemented.size(); ++i) {
-      const auto& a = serial.implemented[i];
-      const auto& b = parallel.implemented[i];
-      EXPECT_EQ(a.name, b.name);
-      EXPECT_EQ(a.signature, b.signature);
-      EXPECT_EQ(a.cache_hit, b.cache_hit);
-      EXPECT_EQ(a.cells, b.cells);
-      EXPECT_EQ(a.bitstream_bytes, b.bitstream_bytes);
-      EXPECT_EQ(a.hw_cycles, b.hw_cycles);
-      EXPECT_DOUBLE_EQ(a.area_slices, b.area_slices);
-      EXPECT_DOUBLE_EQ(a.total_seconds(), b.total_seconds());
+    {
+      SCOPED_TRACE("staged vs serial");
+      expect_spec_equal(serial, staged);
+      expect_cache_equal(serial_cache, staged_cache);
     }
-
-    const auto& serial_cis = serial.registry.all();
-    const auto& parallel_cis = parallel.registry.all();
-    ASSERT_EQ(serial_cis.size(), parallel_cis.size());
-    for (std::size_t i = 0; i < serial_cis.size(); ++i) {
-      EXPECT_EQ(serial_cis[i].signature, parallel_cis[i].signature);
-      EXPECT_EQ(serial_cis[i].hw_cycles, parallel_cis[i].hw_cycles);
-      EXPECT_DOUBLE_EQ(serial_cis[i].critical_path_ns,
-                       parallel_cis[i].critical_path_ns);
-      EXPECT_EQ(serial_cis[i].bitstream_bytes, parallel_cis[i].bitstream_bytes);
-    }
-
-    // Cache population (entries, order, and counters) must match too.
-    EXPECT_EQ(serial_cache.hits(), parallel_cache.hits());
-    EXPECT_EQ(serial_cache.misses(), parallel_cache.misses());
-    const auto serial_snap = serial_cache.snapshot();
-    const auto parallel_snap = parallel_cache.snapshot();
-    ASSERT_EQ(serial_snap.size(), parallel_snap.size());
-    for (std::size_t i = 0; i < serial_snap.size(); ++i) {
-      EXPECT_EQ(serial_snap[i].first, parallel_snap[i].first);
-      EXPECT_EQ(serial_snap[i].second.hw_cycles,
-                parallel_snap[i].second.hw_cycles);
-      EXPECT_EQ(serial_snap[i].second.bitstream.bytes,
-                parallel_snap[i].second.bitstream.bytes);
+    {
+      SCOPED_TRACE("overlapped vs serial");
+      expect_spec_equal(serial, overlapped);
+      expect_cache_equal(serial_cache, overlap_cache);
     }
   }
 }
@@ -211,6 +236,208 @@ TEST(Cache, ConcurrentInsertLookupStress) {
                   if ((i + t) % 3 != 0) ++lookups;
               return lookups;
             }());
+}
+
+TEST(Cache, StripedMatchesSingleStripeSerially) {
+  // For any serial history, the lock-striped cache must be indistinguishable
+  // from the classic single-mutex cache: same counters, same entries, same
+  // global-LRU snapshot order, same eviction victims.
+  jit::BitstreamCache single(4000, 1);
+  jit::BitstreamCache striped(4000, 16);
+  support::Xoshiro256 rng(42);
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t sig = rng.below(48) * 0x9E3779B97F4A7C15ull;
+    if (rng.below(3) == 0) {
+      jit::CachedImplementation entry;
+      entry.hw_cycles = static_cast<std::uint32_t>(1 + (sig & 0xFF));
+      entry.bitstream.bytes.assign(64 + (sig & 0x1FF), 0xEE);
+      single.insert(sig, entry);
+      striped.insert(sig, std::move(entry));
+    } else {
+      const auto a = single.lookup(sig);
+      const auto b = striped.lookup(sig);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a) EXPECT_EQ(a->hw_cycles, b->hw_cycles);
+    }
+  }
+  EXPECT_EQ(single.entries(), striped.entries());
+  EXPECT_EQ(single.bytes(), striped.bytes());
+  EXPECT_EQ(single.hits(), striped.hits());
+  EXPECT_EQ(single.misses(), striped.misses());
+  EXPECT_EQ(single.evictions(), striped.evictions());
+  const auto a_snap = single.snapshot();
+  const auto b_snap = striped.snapshot();
+  ASSERT_EQ(a_snap.size(), b_snap.size());
+  for (std::size_t i = 0; i < a_snap.size(); ++i)
+    EXPECT_EQ(a_snap[i].first, b_snap[i].first) << "snapshot position " << i;
+}
+
+TEST(Cache, ConcurrentBoundedCapacityStress) {
+  // Hammer a capacity-bounded striped cache from many threads: eviction
+  // takes all stripe locks while lookups/inserts hold single stripes, so
+  // this exercises the cross-stripe path. Afterwards the global byte/entry
+  // accounting must be consistent and within capacity.
+  constexpr std::size_t kCapacity = 8 * 1024;
+  jit::BitstreamCache cache(kCapacity, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      support::Xoshiro256 rng(0xBEEF + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t sig = rng.below(96) * 0x9E3779B97F4A7C15ull;
+        if (rng.below(2) == 0) {
+          jit::CachedImplementation entry;
+          entry.hw_cycles = static_cast<std::uint32_t>(1 + (sig & 0xFF));
+          entry.bitstream.bytes.assign(128 + (sig & 0xFF), 0xAB);
+          cache.insert(sig, std::move(entry));
+        } else if (const auto hit = cache.lookup(sig)) {
+          EXPECT_EQ(hit->hw_cycles, 1 + (sig & 0xFF));
+        }
+        if (i % 100 == 0) (void)cache.snapshot();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_LE(cache.bytes(), kCapacity);
+  const auto snap = cache.snapshot();
+  EXPECT_EQ(snap.size(), cache.entries());
+  std::size_t bytes = 0;
+  for (const auto& [sig, entry] : snap) {
+    EXPECT_EQ(entry.hw_cycles, 1 + (sig & 0xFF));
+    bytes += entry.bitstream.size_bytes();
+  }
+  EXPECT_EQ(bytes, cache.bytes());
+}
+
+/// Thread-safe observer that records a flat event log for order assertions.
+struct RecordingObserver final : jit::PipelineObserver {
+  std::mutex mu;
+  std::vector<std::string> events;
+
+  void log(std::string event) {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(std::move(event));
+  }
+  void on_phase_enter(jit::PipelinePhase phase) override {
+    log(std::string("enter:") + jit::phase_name(phase));
+  }
+  void on_phase_exit(jit::PipelinePhase phase, double real_ms) override {
+    EXPECT_GE(real_ms, 0.0);
+    log(std::string("exit:") + jit::phase_name(phase));
+  }
+  void on_block_scored(std::size_t, std::size_t, std::size_t) override {
+    log("block");
+  }
+  void on_candidate_dispatched(std::uint64_t, bool speculative) override {
+    log(speculative ? "dispatch:spec" : "dispatch");
+  }
+  void on_candidate_netlist(const std::string&, std::uint64_t) override {
+    log("netlist");
+  }
+  void on_candidate_implemented(const std::string&, std::uint64_t,
+                                const cad::ImplementationResult&) override {
+    log("implemented");
+  }
+  void on_candidate_failed(const std::string&, std::uint64_t) override {
+    log("failed");
+  }
+  void on_cache_hit(const std::string&, std::uint64_t) override {
+    log("cache-hit");
+  }
+
+  [[nodiscard]] std::ptrdiff_t index_of(const std::string& event) const {
+    for (std::size_t i = 0; i < events.size(); ++i)
+      if (events[i] == event) return static_cast<std::ptrdiff_t>(i);
+    return -1;
+  }
+  [[nodiscard]] std::size_t count_of(const std::string& event) const {
+    std::size_t n = 0;
+    for (const auto& e : events)
+      if (e == event) ++n;
+    return n;
+  }
+};
+
+TEST(Pipeline, ObserverEventsAreOrderedInStagedRun) {
+  const Module m = make_app();
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(500)};
+  machine.run("main", args);
+
+  jit::SpecializerConfig config;
+  config.jobs = 1;  // strictly serial: a total order over all events
+  RecordingObserver rec;
+  jit::SpecializationPipeline pipeline(config);
+  pipeline.add_observer(&rec);
+  const auto result = pipeline.run(m, machine.profile());
+  ASSERT_GE(result.candidates_selected, 1u);
+
+  // Phase windows are ordered and the last event closes Adaptation.
+  const auto enter_search = rec.index_of("enter:candidate-search");
+  const auto exit_search = rec.index_of("exit:candidate-search");
+  const auto enter_impl = rec.index_of("enter:implementation");
+  const auto exit_impl = rec.index_of("exit:implementation");
+  const auto enter_adapt = rec.index_of("enter:adaptation");
+  const auto exit_adapt = rec.index_of("exit:adaptation");
+  EXPECT_EQ(enter_search, 0);
+  ASSERT_NE(exit_search, -1);
+  ASSERT_NE(enter_impl, -1);
+  ASSERT_NE(exit_impl, -1);
+  EXPECT_LT(exit_search, enter_impl);  // staged: no overlap at jobs=1
+  EXPECT_LT(enter_impl, exit_impl);
+  EXPECT_LT(exit_impl, enter_adapt);
+  EXPECT_LT(enter_adapt, exit_adapt);
+  EXPECT_EQ(exit_adapt, static_cast<std::ptrdiff_t>(rec.events.size()) - 1);
+
+  // Per-candidate CAD events all land inside the Implementation window, in
+  // dispatch -> netlist -> implemented order per candidate (serial run).
+  EXPECT_EQ(rec.count_of("dispatch:spec"), 0u);
+  EXPECT_GE(rec.count_of("dispatch"), 1u);
+  EXPECT_EQ(rec.count_of("netlist"), rec.count_of("dispatch"));
+  EXPECT_EQ(rec.count_of("implemented") + rec.count_of("failed"),
+            rec.count_of("dispatch"));
+  for (std::size_t i = 0; i < rec.events.size(); ++i) {
+    const auto& e = rec.events[i];
+    if (e == "dispatch" || e == "netlist" || e == "implemented" ||
+        e == "failed") {
+      EXPECT_GT(static_cast<std::ptrdiff_t>(i), enter_impl) << e;
+      EXPECT_LT(static_cast<std::ptrdiff_t>(i), exit_impl) << e;
+    }
+    if (e == "block") {
+      EXPECT_GT(static_cast<std::ptrdiff_t>(i), enter_search);
+      EXPECT_LT(static_cast<std::ptrdiff_t>(i), exit_search);
+    }
+  }
+}
+
+TEST(Pipeline, OverlapStartsImplementationBeforeSearchExits) {
+  const Module m = make_app();
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(500)};
+  machine.run("main", args);
+
+  jit::SpecializerConfig config;
+  config.jobs = 2;
+  config.overlap_phases = true;
+  RecordingObserver rec;
+  jit::SpecializationPipeline pipeline(config);
+  pipeline.add_observer(&rec);
+  const auto result = pipeline.run(m, machine.profile());
+  ASSERT_GE(result.candidates_selected, 1u);
+
+  // The provisional selection streams into the CAD pool while search still
+  // runs: the Implementation window opens before CandidateSearch closes and
+  // at least one dispatch is marked speculative.
+  const auto exit_search = rec.index_of("exit:candidate-search");
+  const auto enter_impl = rec.index_of("enter:implementation");
+  ASSERT_NE(exit_search, -1);
+  ASSERT_NE(enter_impl, -1);
+  EXPECT_LT(enter_impl, exit_search);
+  EXPECT_GE(rec.count_of("dispatch:spec"), 1u);
 }
 
 TEST(Specializer, UnionMisoFindsLargerOrEqualCandidates) {
