@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "support/thread_pool.hpp"
@@ -18,13 +19,15 @@ std::string usage_text(const char* prog) {
   std::string text;
   text += "usage: ";
   text += prog;
-  text += " [--jobs N] [--trace] [--help]\n";
+  text += " [--jobs N] [--suite-cache] [--trace] [--help]\n";
   text +=
-      "  --jobs N   worker threads shared by app fan-out and per-candidate\n"
-      "             CAD (0 = hardware concurrency; JITISE_JOBS is the\n"
-      "             fallback when the flag is absent)\n"
-      "  --trace    per-candidate CAD stage timing lines on stderr\n"
-      "  --help     show this help\n";
+      "  --jobs N       worker threads shared by app fan-out and\n"
+      "                 per-candidate CAD (0 = hardware concurrency;\n"
+      "                 JITISE_JOBS is the fallback when the flag is absent)\n"
+      "  --suite-cache  share one bitstream cache across all apps in the\n"
+      "                 suite (cross-application hits, paper Sec. VI-A)\n"
+      "  --trace        per-candidate CAD stage timing lines on stderr\n"
+      "  --help         show this help\n";
   return text;
 }
 
@@ -64,6 +67,10 @@ ParsedSuiteOptions parse_suite_options_ex(int argc, const char* const* argv,
     const char* jobs_text = nullptr;
     if (arg == "--trace") {
       parsed.options.trace_stages = true;
+      continue;
+    }
+    if (arg == "--suite-cache") {
+      parsed.options.share_suite_cache = true;
       continue;
     }
     if (arg == "--jobs" && i + 1 < argc) {
@@ -184,27 +191,49 @@ AppRun run_app(const std::string& name, const SuiteOptions& options) {
 
 std::vector<AppRun> run_apps(const std::vector<std::string>& names,
                              const SuiteOptions& options,
-                             const AppDoneFn& on_done) {
+                             const AppDoneFn& on_done,
+                             SuiteCacheReport* cache_report) {
   const unsigned total = options.jobs != 0
                              ? options.jobs
                              : support::ThreadPool::default_jobs();
   const unsigned app_jobs = static_cast<unsigned>(
       std::min<std::size_t>(names.size(), total));
 
+  // Suite-shared cache: one BitstreamCache for the whole sweep, created here
+  // when requested and not supplied by the caller. BitstreamCache is
+  // thread-safe (lock-striped), so app workers share it directly. Per-app
+  // numeric results stay deterministic either way (hit or generate, the
+  // implementation metrics are identical); only *timing* attribution — which
+  // app paid generation seconds — depends on completion order.
+  SuiteOptions per = options;
+  std::optional<jit::BitstreamCache> suite_cache;
+  if (options.share_suite_cache && per.cache == nullptr) {
+    suite_cache.emplace();
+    per.cache = &*suite_cache;
+  }
+  const auto fill_report = [&] {
+    if (cache_report == nullptr) return;
+    *cache_report = SuiteCacheReport{};
+    if (per.cache == nullptr) return;
+    cache_report->enabled = true;
+    cache_report->hits = per.cache->hits();
+    cache_report->misses = per.cache->misses();
+    cache_report->entries = per.cache->entries();
+  };
+
   std::vector<AppRun> runs(names.size());
   if (app_jobs <= 1) {
-    SuiteOptions per = options;
     per.jobs = total;
     for (std::size_t i = 0; i < names.size(); ++i) {
       runs[i] = run_app(names[i], per);
       if (on_done) on_done(runs[i]);
     }
+    fill_report();
     return runs;
   }
 
   // Split the one jobs budget across nesting levels: `app_jobs` workers run
   // whole apps, each specializing with its share of CAD workers.
-  SuiteOptions per = options;
   per.jobs = std::max(1u, total / app_jobs);
 
   std::mutex done_mu;
@@ -219,6 +248,7 @@ std::vector<AppRun> run_apps(const std::vector<std::string>& names,
     });
   }
   pool.wait_all();
+  fill_report();
   return runs;
 }
 

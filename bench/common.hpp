@@ -34,6 +34,26 @@ struct SuiteOptions {
   jit::BitstreamCache* cache = nullptr;
   unsigned jobs = 0;         // CAD worker threads; 0 = hardware_concurrency
   bool trace_stages = false; // per-candidate stage timing lines on stderr
+  /// When no external `cache` is supplied, share one BitstreamCache across
+  /// every app in a `run_apps` suite, so structurally identical candidates
+  /// from different applications hit each other's bitstreams (paper §VI-A's
+  /// cross-application database). An explicit `cache` is always shared.
+  bool share_suite_cache = false;
+};
+
+/// What the suite-shared bitstream cache did across one `run_apps` sweep.
+/// Note: with app-level parallelism, *which* app pays for a bitstream's
+/// generation (and which ones hit) depends on completion order — only the
+/// aggregate counts and every app's numeric results are deterministic.
+struct SuiteCacheReport {
+  bool enabled = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+  [[nodiscard]] double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
 };
 
 /// Runs the complete pipeline for one application.
@@ -52,9 +72,11 @@ using AppDoneFn = std::function<void(const AppRun& run)>;
 /// indexed like `names` regardless of completion order, and every app's
 /// output is identical to a solo `run_app` (the specializer is bit-identical
 /// across jobs counts), so table rows stay deterministic.
+/// `cache_report` (optional) receives the suite-shared cache's aggregate
+/// counters when `share_suite_cache` is set or an external cache is passed.
 [[nodiscard]] std::vector<AppRun> run_apps(
     const std::vector<std::string>& names, const SuiteOptions& options = {},
-    const AppDoneFn& on_done = {});
+    const AppDoneFn& on_done = {}, SuiteCacheReport* cache_report = nullptr);
 
 /// Outcome of parsing a bench command line, side-effect free for testing.
 struct ParsedSuiteOptions {

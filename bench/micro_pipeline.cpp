@@ -1,0 +1,88 @@
+// Micro-benchmark: pipeline-parallelism wins (ablation for DESIGN.md).
+//
+// BM_CandidateSearch isolates Phase 1 — per-block DFG construction, MAXMISO
+// identification and estimation fanned out over the thread pool with the
+// serial in-order reducer — and sweeps candidate volume (blocks per
+// function) against the worker count. BM_SpecializeOverlap runs the full
+// specializer (CAD flow included) on the fft app across jobs x overlap, the
+// end-to-end view of the same budget split.
+#include <benchmark/benchmark.h>
+
+#include "apps/app.hpp"
+#include "ir/random_program.hpp"
+#include "jit/pipeline.hpp"
+#include "vm/interpreter.hpp"
+
+using namespace jitise;
+
+namespace {
+
+struct ProfiledProgram {
+  ir::Module module;
+  vm::Profile profile;
+};
+
+/// A random program sized by `blocks` with its training profile; every
+/// profiled block passes pruning so candidate volume tracks program size.
+ProfiledProgram make_program(std::uint32_t blocks) {
+  ir::RandomProgramConfig config;
+  config.seed = 0x5EA4C4u + blocks;
+  config.num_functions = 3;
+  config.blocks_per_function = blocks;
+  config.ops_per_block = 16;
+  ProfiledProgram prog{ir::generate_random_program(config), {}};
+  vm::Machine machine(prog.module);
+  const vm::Slot args[] = {vm::Slot::of_int(7)};
+  machine.run("main", args, 1ull << 28);
+  prog.profile = machine.profile();
+  return prog;
+}
+
+void BM_CandidateSearch(benchmark::State& state) {
+  const auto prog = make_program(static_cast<std::uint32_t>(state.range(0)));
+  const auto workers = static_cast<unsigned>(state.range(1));
+
+  jit::SpecializerConfig config;
+  config.prune = ise::PruneConfig::none();
+  config.implement_hardware = false;
+  const jit::CandidateSearchStage search(config);
+  jit::PipelineObserver quiet;  // no-op sink
+  hwlib::CircuitDb db;  // shared and warm across iterations, as in the JIT
+
+  std::size_t candidates = 0;
+  for (auto _ : state) {
+    jit::SearchArtifact art;
+    search.run(prog.module, prog.profile, db, quiet, art, {}, workers);
+    candidates = art.scored.size();
+    benchmark::DoNotOptimize(art);
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+BENCHMARK(BM_CandidateSearch)
+    ->ArgsProduct({{4, 8, 16}, {1, 2, 4}})
+    ->ArgNames({"blocks", "jobs"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpecializeOverlap(benchmark::State& state) {
+  const apps::App app = apps::build_app("fft");
+  vm::Machine machine(app.module);
+  machine.run(app.entry, app.datasets[0].args, 1ull << 30);
+  const vm::Profile profile = machine.profile();
+
+  jit::SpecializerConfig config;
+  config.jobs = static_cast<unsigned>(state.range(0));
+  config.overlap_phases = state.range(1) != 0;
+
+  for (auto _ : state) {
+    auto result = jit::specialize(app.module, profile, config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SpecializeOverlap)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->ArgNames({"jobs", "overlap"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

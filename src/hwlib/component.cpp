@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 namespace jitise::hwlib {
@@ -213,7 +214,9 @@ ComponentNetlist build_component_netlist(const ComponentRecord& rec,
   return cn;
 }
 
-const ComponentRecord& CircuitDb::record_locked(ir::Opcode op, ir::Type type) {
+// Pre-condition: caller holds `mu_` exclusively.
+const ComponentRecord& CircuitDb::record_exclusive(ir::Opcode op,
+                                                   ir::Type type) {
   const std::uint32_t k = key(op, type);
   const auto it = records_.find(k);
   if (it != records_.end()) return it->second;
@@ -221,20 +224,34 @@ const ComponentRecord& CircuitDb::record_locked(ir::Opcode op, ir::Type type) {
 }
 
 const ComponentRecord& CircuitDb::record(ir::Opcode op, ir::Type type) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return record_locked(op, type);
+  const std::uint32_t k = key(op, type);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = records_.find(k);
+    if (it != records_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return record_exclusive(op, type);
 }
 
 const ComponentNetlist& CircuitDb::netlist(ir::Opcode op, ir::Type type) {
-  std::lock_guard<std::mutex> lock(mu_);
   const std::uint32_t k = key(op, type);
-  const auto it = netlists_.find(k);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = netlists_.find(k);
+    if (it != netlists_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = netlists_.find(k);  // double-check: lost the insert race?
   if (it != netlists_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  ++misses_;
-  const ComponentRecord& rec = record_locked(op, type);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const ComponentRecord& rec = record_exclusive(op, type);
   return netlists_
       .emplace(k, build_component_netlist(rec, hw_operand_count(op)))
       .first->second;

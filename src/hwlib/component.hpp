@@ -8,9 +8,10 @@
 // candidates and (b) the synthetic netlists that feed the CAD flow.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,8 +56,13 @@ struct ComponentNetlist {
 /// "synthesis" of the component.
 ///
 /// Thread-safe: record()/netlist() may be called concurrently (the parallel
-/// specializer shares one database across CAD worker tasks). The node-based
-/// maps guarantee returned references stay valid after the lock is released.
+/// specializer shares one database across search and CAD worker tasks). The
+/// hot path — a lookup that hits — takes only a shared (reader) lock, so the
+/// parallel candidate search's estimation traffic does not serialize on the
+/// database once it is warm; a miss upgrades to an exclusive lock and
+/// re-checks before inserting. The node-based maps guarantee returned
+/// references stay valid after the lock is released, and hit/miss counters
+/// are atomics so reader-path accounting stays contention-free.
 class CircuitDb {
  public:
   /// Metric record for an operation at a type. Computed deterministically
@@ -68,15 +74,13 @@ class CircuitDb {
   [[nodiscard]] const ComponentNetlist& netlist(ir::Opcode op, ir::Type type);
 
   [[nodiscard]] std::uint64_t netlist_cache_hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return hits_;
+    return hits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t netlist_cache_misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return misses_;
+    return misses_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return records_.size();
   }
 
@@ -84,14 +88,14 @@ class CircuitDb {
   static std::uint32_t key(ir::Opcode op, ir::Type type) noexcept {
     return (static_cast<std::uint32_t>(op) << 8) | static_cast<std::uint32_t>(type);
   }
-  const ComponentRecord& record_locked(ir::Opcode op, ir::Type type);
+  const ComponentRecord& record_exclusive(ir::Opcode op, ir::Type type);
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   // node-based maps: returned references stay valid across later queries
   std::map<std::uint32_t, ComponentRecord> records_;
   std::map<std::uint32_t, ComponentNetlist> netlists_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 /// Characterization formulas (exposed for tests/benches).

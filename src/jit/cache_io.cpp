@@ -1,8 +1,11 @@
 #include "jit/cache_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "fpga/bitgen.hpp"
 
@@ -84,41 +87,56 @@ void load_cache(BitstreamCache& cache, const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) throw std::runtime_error("cannot open cache file: " + path);
 
-  if (read_pod<std::uint32_t>(f.get()) != kMagic)
-    throw std::runtime_error("cache file: bad magic");
-  if (read_pod<std::uint32_t>(f.get()) != kVersion)
-    throw std::runtime_error("cache file: unsupported version");
-  const auto count = read_pod<std::uint64_t>(f.get());
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto signature = read_pod<std::uint64_t>(f.get());
-    CachedImplementation entry;
-    entry.hw_cycles = read_pod<std::uint32_t>(f.get());
-    entry.critical_path_ns = read_pod<double>(f.get());
-    entry.area_slices = read_pod<double>(f.get());
-    entry.cells = static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
-    entry.generation_seconds = read_pod<double>(f.get());
-    entry.bitstream.part = read_string(f.get());
-    entry.bitstream.region_width = read_pod<std::uint16_t>(f.get());
-    entry.bitstream.region_height = read_pod<std::uint16_t>(f.get());
-    entry.bitstream.frame_count = read_pod<std::uint32_t>(f.get());
-    entry.bitstream.crc32 = read_pod<std::uint32_t>(f.get());
-    const auto nbytes = read_pod<std::uint64_t>(f.get());
-    if (nbytes > (1ull << 30)) throw std::runtime_error("cache file: bad size");
-    entry.bitstream.bytes.resize(static_cast<std::size_t>(nbytes));
-    read_bytes(f.get(), entry.bitstream.bytes.data(),
-               entry.bitstream.bytes.size());
-    // Integrity: the stored CRC must match the payload (excluding the
-    // trailing CRC word appended by bitgen).
-    if (!entry.bitstream.bytes.empty()) {
-      const std::size_t body = entry.bitstream.bytes.size() >= 4
-                                   ? entry.bitstream.bytes.size() - 4
-                                   : 0;
-      if (fpga::crc32(entry.bitstream.bytes.data(), body) !=
-          entry.bitstream.crc32)
-        throw std::runtime_error("cache file: CRC mismatch (corrupt entry)");
+  // Two-stage load: parse the whole file into a local buffer first, then
+  // commit. A truncated or corrupt file must never leave the cache holding a
+  // silently partial entry set — on any parse failure the cache is cleared
+  // (not left half-populated) and the error reports why.
+  std::vector<std::pair<std::uint64_t, CachedImplementation>> parsed;
+  try {
+    if (read_pod<std::uint32_t>(f.get()) != kMagic)
+      throw std::runtime_error("bad magic");
+    if (read_pod<std::uint32_t>(f.get()) != kVersion)
+      throw std::runtime_error("unsupported version");
+    const auto count = read_pod<std::uint64_t>(f.get());
+    parsed.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 1ull << 20)));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto signature = read_pod<std::uint64_t>(f.get());
+      CachedImplementation entry;
+      entry.hw_cycles = read_pod<std::uint32_t>(f.get());
+      entry.critical_path_ns = read_pod<double>(f.get());
+      entry.area_slices = read_pod<double>(f.get());
+      entry.cells = static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
+      entry.generation_seconds = read_pod<double>(f.get());
+      entry.bitstream.part = read_string(f.get());
+      entry.bitstream.region_width = read_pod<std::uint16_t>(f.get());
+      entry.bitstream.region_height = read_pod<std::uint16_t>(f.get());
+      entry.bitstream.frame_count = read_pod<std::uint32_t>(f.get());
+      entry.bitstream.crc32 = read_pod<std::uint32_t>(f.get());
+      const auto nbytes = read_pod<std::uint64_t>(f.get());
+      if (nbytes > (1ull << 30)) throw std::runtime_error("bad size");
+      entry.bitstream.bytes.resize(static_cast<std::size_t>(nbytes));
+      read_bytes(f.get(), entry.bitstream.bytes.data(),
+                 entry.bitstream.bytes.size());
+      // Integrity: the stored CRC must match the payload (excluding the
+      // trailing CRC word appended by bitgen).
+      if (!entry.bitstream.bytes.empty()) {
+        const std::size_t body = entry.bitstream.bytes.size() >= 4
+                                     ? entry.bitstream.bytes.size() - 4
+                                     : 0;
+        if (fpga::crc32(entry.bitstream.bytes.data(), body) !=
+            entry.bitstream.crc32)
+          throw std::runtime_error("CRC mismatch (corrupt entry)");
+      }
+      parsed.emplace_back(signature, std::move(entry));
     }
-    cache.insert(signature, std::move(entry));
+  } catch (const std::exception& e) {
+    cache.clear();
+    throw std::runtime_error("cache file '" + path + "': load failed (" +
+                             e.what() + "); cache cleared");
   }
+  for (auto& [signature, entry] : parsed)
+    cache.insert(signature, std::move(entry));
 }
 
 }  // namespace jitise::jit

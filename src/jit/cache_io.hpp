@@ -16,6 +16,10 @@ void save_cache(const BitstreamCache& cache, const std::string& path);
 
 /// Reads a cache file; entries merge into `cache` (existing signatures are
 /// overwritten). Throws std::runtime_error on I/O failure or a corrupt file.
+/// Failure is all-or-nothing: the file is parsed fully before any entry is
+/// committed, and if parsing fails mid-file the cache is *cleared* — callers
+/// never observe a silently partial load. A file that cannot be opened at
+/// all throws without touching the cache.
 void load_cache(BitstreamCache& cache, const std::string& path);
 
 }  // namespace jitise::jit

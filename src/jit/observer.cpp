@@ -19,6 +19,13 @@ void TraceObserver::on_phase_exit(PipelinePhase phase, double real_ms) {
                real_ms);
 }
 
+void TraceObserver::on_block_searched(std::size_t block,
+                                      std::size_t candidates, double real_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[asip-sp] block %zu: %zu candidates in %.3f real-ms\n",
+               block, candidates, real_ms);
+}
+
 void TraceObserver::on_candidate_implemented(
     const std::string& name, std::uint64_t /*sig*/,
     const cad::ImplementationResult& hw) {

@@ -34,7 +34,14 @@ class PipelineObserver {
   virtual void on_phase_enter(PipelinePhase /*phase*/) {}
   virtual void on_phase_exit(PipelinePhase /*phase*/, double /*real_ms*/) {}
 
-  // -- Candidate search progress (pipeline thread, pruned-block order).
+  // -- Candidate search progress (pipeline thread, pruned-block order —
+  //    the parallel search's serial reducer releases blocks in sequence, so
+  //    these stay deterministic at any worker count).
+  //    `on_block_searched` reports one block's DFG + identify + estimate
+  //    wall time as measured on whichever worker searched it.
+  virtual void on_block_searched(std::size_t /*block_index*/,
+                                 std::size_t /*candidates*/,
+                                 double /*real_ms*/) {}
   virtual void on_block_scored(std::size_t /*block_index*/,
                                std::size_t /*candidates_so_far*/,
                                std::size_t /*provisionally_selected*/) {}
@@ -73,6 +80,10 @@ class ObserverList final : public PipelineObserver {
   void on_phase_exit(PipelinePhase phase, double real_ms) override {
     for (auto* o : observers_) o->on_phase_exit(phase, real_ms);
   }
+  void on_block_searched(std::size_t block, std::size_t candidates,
+                         double real_ms) override {
+    for (auto* o : observers_) o->on_block_searched(block, candidates, real_ms);
+  }
   void on_block_scored(std::size_t block, std::size_t found,
                        std::size_t selected) override {
     for (auto* o : observers_) o->on_block_scored(block, found, selected);
@@ -108,6 +119,8 @@ class TraceObserver final : public PipelineObserver {
   explicit TraceObserver(std::FILE* sink = stderr) : sink_(sink) {}
 
   void on_phase_exit(PipelinePhase phase, double real_ms) override;
+  void on_block_searched(std::size_t block, std::size_t candidates,
+                         double real_ms) override;
   void on_candidate_implemented(const std::string& name, std::uint64_t sig,
                                 const cad::ImplementationResult& hw) override;
   void on_candidate_failed(const std::string& name,

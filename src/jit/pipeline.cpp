@@ -51,6 +51,13 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
       config_.jobs != 0 ? config_.jobs : support::ThreadPool::default_jobs();
   const bool hardware = config_.implement_hardware;
   const bool overlap = hardware && config_.overlap_phases && jobs > 1;
+  // One jobs budget, split across the phases that actually run
+  // concurrently: with overlap, search workers and CAD workers coexist and
+  // split `jobs`; staged (or estimation-only) runs give search the whole
+  // budget because the CAD pool only spins up after search finishes.
+  const unsigned search_workers = config_.resolve_search_jobs(jobs, overlap);
+  const unsigned cad_workers =
+      overlap ? std::max(1u, jobs - std::min(jobs - 1, search_workers)) : jobs;
 
   // Declared before the pool: workers reference the artifact's graphs, so it
   // must outlive the pool even when an exception unwinds this frame.
@@ -95,7 +102,7 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
 
   CandidateSearchStage::BlockScoredFn on_block;
   if (overlap) {
-    pool.emplace(jobs);
+    pool.emplace(cad_workers);
     on_block = [&](const SearchArtifact& partial,
                    const ise::Selection& provisional) {
       for (std::size_t idx : provisional.chosen)
@@ -106,7 +113,7 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
     };
   }
 
-  search_.run(module, profile, db, obs, art, on_block);
+  search_.run(module, profile, db, obs, art, on_block, search_workers);
 
   std::vector<std::string> names(art.selection.chosen.size());
   for (std::size_t k = 0; k < names.size(); ++k)
@@ -116,7 +123,7 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
   if (hardware) {
     if (!pool && jobs > 1 && art.selection.chosen.size() > 1)
       pool.emplace(static_cast<unsigned>(
-          std::min<std::size_t>(jobs, art.selection.chosen.size())));
+          std::min<std::size_t>(cad_workers, art.selection.chosen.size())));
     enter_implementation();
     for (std::size_t k = 0; k < art.selection.chosen.size(); ++k)
       dispatch(art.selection.chosen[k], names[k], /*speculative=*/false);

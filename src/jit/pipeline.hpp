@@ -62,9 +62,17 @@ class CandidateSearchStage {
   /// Fills `out` in place (rather than returning it) so the caller can give
   /// the artifact a lifetime enclosing any thread pool that holds
   /// speculative tasks referencing its graphs — even on exception unwind.
+  ///
+  /// With `workers > 1` the per-block work (DFG construction, MAXMISO /
+  /// UnionMISO identification, per-candidate estimation) fans out over a
+  /// thread pool; a serial reducer on the calling thread absorbs block
+  /// results strictly in block order, so the artifact, every observer
+  /// event asserted by tests, and the `on_block` stream are bit-identical
+  /// to the `workers == 1` serial loop.
   void run(const ir::Module& module, const vm::Profile& profile,
            hwlib::CircuitDb& db, PipelineObserver& observer,
-           SearchArtifact& out, const BlockScoredFn& on_block = {}) const;
+           SearchArtifact& out, const BlockScoredFn& on_block = {},
+           unsigned workers = 1) const;
 
  private:
   const SpecializerConfig& config_;

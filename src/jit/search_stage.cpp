@@ -4,17 +4,48 @@
 // selector, so streaming consumers (the overlapped pipeline) can read a
 // provisional selection after every block; the final selection is identical
 // to a one-shot select_greedy over the full candidate pool.
+//
+// Concurrency model: every pruned block is an independent unit of work (its
+// own DFG, its own candidates, its own estimates), so with `workers > 1`
+// blocks are dispatched as tasks on a thread pool, each producing a
+// self-contained BlockSearchResult. A serial reducer on the pipeline thread
+// absorbs results strictly in block order (out-of-order completions wait in
+// their OrderedReducer slot), so selector state, observer events and the
+// on_block stream are bit-identical to the serial loop. Shared state touched
+// by workers is limited to the CircuitDb memo caches, which are internally
+// synchronized and value-deterministic regardless of insertion order.
 #include "jit/pipeline.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <utility>
+
 #include "ise/identify.hpp"
+#include "support/ordered_reducer.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace jitise::jit {
+
+namespace {
+
+/// Everything searching one pruned block produces, self-contained so it can
+/// be computed on any thread and absorbed later.
+struct BlockSearchResult {
+  std::unique_ptr<dfg::BlockDfg> graph;
+  std::vector<ise::ScoredCandidate> scored;
+  std::vector<estimation::CandidateEstimate> estimates;
+  double real_ms = 0.0;
+  std::exception_ptr error;  // set instead of the payload on failure
+};
+
+}  // namespace
 
 void CandidateSearchStage::run(const ir::Module& module,
                                const vm::Profile& profile, hwlib::CircuitDb& db,
                                PipelineObserver& observer, SearchArtifact& out,
-                               const BlockScoredFn& on_block) const {
+                               const BlockScoredFn& on_block,
+                               unsigned workers) const {
   observer.on_phase_enter(PipelinePhase::CandidateSearch);
   support::Stopwatch timer;
 
@@ -22,34 +53,88 @@ void CandidateSearchStage::run(const ir::Module& module,
   art.prune = ise::prune_blocks(module, profile, config_.cpu, config_.prune);
   ise::IncrementalSelector selector(config_.select);
 
-  for (std::size_t b = 0; b < art.prune.blocks.size(); ++b) {
+  // The per-block body: DFG construction, identification and per-candidate
+  // estimation. Deterministic per block and independent across blocks, so it
+  // may run on any thread in any order.
+  const auto search_block = [&](std::size_t b) {
+    BlockSearchResult res;
+    support::Stopwatch block_timer;
     const ise::PrunedBlock& blk = art.prune.blocks[b];
-    auto graph = std::make_unique<dfg::BlockDfg>(
+    res.graph = std::make_unique<dfg::BlockDfg>(
         module.functions[blk.function], blk.block);
-    const std::size_t graph_index = art.graphs.size();
     auto identified = config_.identify == SpecializerConfig::Identify::UnionMiso
-                          ? ise::find_union_misos(*graph)
-                          : ise::find_max_misos(*graph);
+                          ? ise::find_union_misos(*res.graph)
+                          : ise::find_max_misos(*res.graph);
     for (ise::Candidate& cand : identified) {
       cand.function = blk.function;
-      const auto est = estimation::estimate_candidate(*graph, cand, db,
+      const auto est = estimation::estimate_candidate(*res.graph, cand, db,
                                                       config_.cpu, config_.fcm);
       ise::ScoredCandidate scored;
-      scored.signature = ise::candidate_signature(*graph, cand);
+      scored.signature = ise::candidate_signature(*res.graph, cand);
       scored.candidate = std::move(cand);
       scored.cycles_saved_total =
           est.saved_per_exec * static_cast<double>(blk.exec_count);
       scored.area_slices = est.area_slices;
-      art.scored.push_back(std::move(scored));
-      art.estimates.push_back(est);
+      res.scored.push_back(std::move(scored));
+      res.estimates.push_back(est);
+    }
+    res.real_ms = block_timer.elapsed_ms();
+    return res;
+  };
+
+  // The serial reducer body: everything order-sensitive. Always runs on the
+  // pipeline thread, strictly in block order — this is what keeps
+  // `workers=N` bit-identical to the serial loop.
+  const auto absorb = [&](std::size_t b, BlockSearchResult&& res) {
+    observer.on_block_searched(b, res.scored.size(), res.real_ms);
+    const std::size_t graph_index = art.graphs.size();
+    for (std::size_t i = 0; i < res.scored.size(); ++i) {
+      art.scored.push_back(std::move(res.scored[i]));
+      art.estimates.push_back(res.estimates[i]);
       art.graph_of.push_back(graph_index);
     }
-    art.graphs.push_back(std::move(graph));
+    art.graphs.push_back(std::move(res.graph));
 
     selector.extend(art.scored);
     const ise::Selection provisional = selector.current(art.scored);
     observer.on_block_scored(b, art.scored.size(), provisional.chosen.size());
     if (on_block) on_block(art, provisional);
+  };
+
+  const std::size_t nblocks = art.prune.blocks.size();
+  const auto pool_size =
+      static_cast<unsigned>(std::min<std::size_t>(workers, nblocks));
+  if (pool_size <= 1) {
+    for (std::size_t b = 0; b < nblocks; ++b) absorb(b, search_block(b));
+  } else {
+    support::OrderedReducer<BlockSearchResult> reducer(nblocks);
+    // Declared after the reducer/artifact so its destructor (which joins
+    // workers) runs first even when the reducer loop below throws.
+    support::ThreadPool pool(pool_size);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      pool.submit([&search_block, &reducer, b] {
+        BlockSearchResult res;
+        try {
+          res = search_block(b);
+        } catch (...) {
+          res.error = std::current_exception();
+        }
+        reducer.put(b, std::move(res));
+      });
+    }
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      BlockSearchResult res = reducer.take(b);
+      if (res.error) {
+        // Match serial error semantics: the first failing block (in block
+        // order, not completion order) propagates; later blocks' results
+        // are discarded. Drain the pool first so no task still references
+        // this frame.
+        pool.wait_all();
+        std::rethrow_exception(res.error);
+      }
+      absorb(b, std::move(res));
+    }
+    pool.wait_all();
   }
 
   selector.extend(art.scored);  // no-op unless the loop never ran

@@ -37,6 +37,13 @@ struct SpecializerConfig {
   /// signature and all bookkeeping (cycle accounting, registry insertion,
   /// `implemented` order, cache population) stays in a serial tail.
   unsigned jobs = 0;
+  /// Worker threads for the parallel candidate search (Phase 1): per-block
+  /// DFG construction, MAXMISO/UnionMISO identification and estimation fan
+  /// out over a pool while a serial reducer absorbs block results *in block
+  /// order*, so any value produces a bit-identical SpecializationResult.
+  /// 0 derives the count from the shared `jobs` budget (see
+  /// `resolve_search_jobs`); 1 runs the classic serial per-block loop.
+  unsigned search_jobs = 0;
   /// Overlap Phase 1 with Phases 2+3 (jobs > 1 only): as candidate search
   /// finishes scoring a block, candidates in the provisional incremental
   /// selection already stream into the CAD pool instead of waiting for the
@@ -50,6 +57,15 @@ struct SpecializerConfig {
   /// Installed as the default TraceObserver on the pipeline; the sink is
   /// mutex-guarded so worker lines never interleave mid-line.
   bool trace_stages = false;
+
+  /// Resolves the Phase-1 worker count from the one shared jobs budget.
+  /// `total_jobs` is the resolved pool budget (>= 1). When `overlapping`,
+  /// search workers and CAD workers run concurrently and split the budget
+  /// (search takes the ceiling half); otherwise the phases run back to back
+  /// and search may use the whole budget. An explicit `search_jobs` wins
+  /// unconditionally.
+  [[nodiscard]] unsigned resolve_search_jobs(unsigned total_jobs,
+                                             bool overlapping) const noexcept;
 };
 
 /// Per-candidate implementation record (modeled seconds are zero on a

@@ -40,6 +40,17 @@ TEST(SuiteOptions, ParsesJobsAndTrace) {
   EXPECT_EQ(equals_form.options.jobs, 8u);
 }
 
+TEST(SuiteOptions, ParsesSuiteCache) {
+  EXPECT_FALSE(parse({}).options.share_suite_cache);
+  const auto parsed = parse({"--suite-cache", "--jobs=2"});
+  ASSERT_EQ(parsed.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_TRUE(parsed.options.share_suite_cache);
+  EXPECT_EQ(parsed.options.jobs, 2u);
+  // The flag shows up in the help text.
+  EXPECT_NE(parse({"--help"}).message.find("--suite-cache"),
+            std::string::npos);
+}
+
 TEST(SuiteOptions, JobsZeroMeansHardwareConcurrency) {
   const auto parsed = parse({"--jobs=0"});
   ASSERT_EQ(parsed.status, ParsedSuiteOptions::Status::Run);
@@ -124,6 +135,39 @@ TEST(RunApps, ParallelFanOutMatchesSerialAndKeepsOrder) {
     EXPECT_DOUBLE_EQ(runs_serial[i].break_even_s,
                      runs_parallel[i].break_even_s);
   }
+}
+
+TEST(RunApps, SuiteCacheSharesAcrossApps) {
+  // Two passes over the same app with `share_suite_cache`: jobs=1 makes the
+  // sweep serial, so the second pass must hit the suite cache for every
+  // candidate — zero generation seconds — and the report must say so.
+  bench::SuiteOptions options;
+  options.jobs = 1;
+  options.share_suite_cache = true;
+  bench::SuiteCacheReport report;
+  const auto runs =
+      bench::run_apps({"sor", "sor"}, options, /*on_done=*/{}, &report);
+
+  ASSERT_EQ(runs.size(), 2u);
+  ASSERT_FALSE(runs[1].spec.implemented.empty());
+  for (const jit::ImplementedCandidate& impl : runs[1].spec.implemented)
+    EXPECT_TRUE(impl.cache_hit) << impl.name;
+  EXPECT_DOUBLE_EQ(runs[1].spec.sum_total_s, 0.0);
+  EXPECT_GT(runs[0].spec.sum_total_s, 0.0);  // first pass paid generation
+
+  EXPECT_TRUE(report.enabled);
+  EXPECT_GE(report.hits, runs[1].spec.implemented.size());
+  EXPECT_GT(report.entries, 0u);
+  EXPECT_GT(report.hit_rate(), 0.0);
+
+  // Without the flag (and no external cache) the report stays disabled.
+  bench::SuiteOptions no_cache;
+  no_cache.jobs = 1;
+  no_cache.implement_hardware = false;
+  bench::SuiteCacheReport off_report;
+  (void)bench::run_apps({"sor"}, no_cache, /*on_done=*/{}, &off_report);
+  EXPECT_FALSE(off_report.enabled);
+  EXPECT_EQ(off_report.hits + off_report.misses, 0u);
 }
 
 }  // namespace

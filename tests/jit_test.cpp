@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "apps/app.hpp"
 #include "ir/builder.hpp"
+#include "ir/random_program.hpp"
 #include "ir/verifier.hpp"
 #include "ise/identify.hpp"
 #include "support/rng.hpp"
@@ -170,7 +172,7 @@ TEST(Specializer, ParallelAndOverlapMatchSerialOnEmbeddedApps) {
     vm::Machine machine(app.module);
     machine.run(app.entry, app.datasets[0].args, 1ull << 30);
 
-    jit::BitstreamCache serial_cache, staged_cache, overlap_cache;
+    jit::BitstreamCache serial_cache, staged_cache, overlap_cache, asym_cache;
     jit::SpecializerConfig serial_cfg;
     serial_cfg.jobs = 1;
     jit::SpecializerConfig staged_cfg;
@@ -179,6 +181,13 @@ TEST(Specializer, ParallelAndOverlapMatchSerialOnEmbeddedApps) {
     jit::SpecializerConfig overlap_cfg;
     overlap_cfg.jobs = 4;
     overlap_cfg.overlap_phases = true;
+    // Asymmetric budget split: parallel search (3 workers) feeding the
+    // overlapped CAD pool — exercises the search fan-out and the reducer
+    // under a worker count that differs from the derived default.
+    jit::SpecializerConfig asym_cfg;
+    asym_cfg.jobs = 4;
+    asym_cfg.overlap_phases = true;
+    asym_cfg.search_jobs = 3;
 
     const auto serial = jit::specialize(app.module, machine.profile(),
                                         serial_cfg, &serial_cache);
@@ -186,6 +195,8 @@ TEST(Specializer, ParallelAndOverlapMatchSerialOnEmbeddedApps) {
                                         staged_cfg, &staged_cache);
     const auto overlapped = jit::specialize(app.module, machine.profile(),
                                             overlap_cfg, &overlap_cache);
+    const auto asym = jit::specialize(app.module, machine.profile(), asym_cfg,
+                                      &asym_cache);
 
     {
       SCOPED_TRACE("staged vs serial");
@@ -197,6 +208,40 @@ TEST(Specializer, ParallelAndOverlapMatchSerialOnEmbeddedApps) {
       expect_spec_equal(serial, overlapped);
       expect_cache_equal(serial_cache, overlap_cache);
     }
+    {
+      SCOPED_TRACE("overlapped + explicit search_jobs vs serial");
+      expect_spec_equal(serial, asym);
+      expect_cache_equal(serial_cache, asym_cache);
+    }
+  }
+}
+
+TEST(Specializer, ParallelSearchMatchesSerialOnRandomPrograms) {
+  // Differential check for the parallel candidate search alone: estimation-
+  // only specialization (no CAD, so any divergence is the search stage's
+  // fault) over generated programs with many pruned blocks must be
+  // bit-identical between search_jobs=1 and a wide search pool.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ir::RandomProgramConfig prog_cfg;
+    prog_cfg.seed = seed;
+    prog_cfg.blocks_per_function = 8;
+    const Module m = ir::generate_random_program(prog_cfg);
+    vm::Machine machine(m);
+    const vm::Slot args[] = {vm::Slot::of_int(static_cast<std::int64_t>(seed))};
+    machine.run("main", args, 1ull << 28);
+
+    jit::SpecializerConfig serial_cfg;
+    serial_cfg.implement_hardware = false;
+    serial_cfg.prune = ise::PruneConfig::none();  // every block fans out
+    serial_cfg.jobs = 1;
+    jit::SpecializerConfig parallel_cfg = serial_cfg;
+    parallel_cfg.search_jobs = 8;
+
+    const auto serial = jit::specialize(m, machine.profile(), serial_cfg);
+    const auto parallel = jit::specialize(m, machine.profile(), parallel_cfg);
+    EXPECT_GT(serial.prune.blocks.size(), 1u);  // the fan-out actually fans
+    expect_spec_equal(serial, parallel);
   }
 }
 
@@ -329,8 +374,12 @@ struct RecordingObserver final : jit::PipelineObserver {
     EXPECT_GE(real_ms, 0.0);
     log(std::string("exit:") + jit::phase_name(phase));
   }
-  void on_block_scored(std::size_t, std::size_t, std::size_t) override {
-    log("block");
+  void on_block_searched(std::size_t block, std::size_t, double real_ms) override {
+    EXPECT_GE(real_ms, 0.0);
+    log("searched:" + std::to_string(block));
+  }
+  void on_block_scored(std::size_t block, std::size_t, std::size_t) override {
+    log("block:" + std::to_string(block));
   }
   void on_candidate_dispatched(std::uint64_t, bool speculative) override {
     log(speculative ? "dispatch:spec" : "dispatch");
@@ -407,10 +456,49 @@ TEST(Pipeline, ObserverEventsAreOrderedInStagedRun) {
       EXPECT_GT(static_cast<std::ptrdiff_t>(i), enter_impl) << e;
       EXPECT_LT(static_cast<std::ptrdiff_t>(i), exit_impl) << e;
     }
-    if (e == "block") {
+    if (e.rfind("block:", 0) == 0 || e.rfind("searched:", 0) == 0) {
       EXPECT_GT(static_cast<std::ptrdiff_t>(i), enter_search);
       EXPECT_LT(static_cast<std::ptrdiff_t>(i), exit_search);
     }
+  }
+}
+
+TEST(Pipeline, BlockEventsStayOrderedWithParallelSearch) {
+  // Out-of-order completion stress for the search reducer: a program with
+  // many pruned blocks, searched by a wide pool, must still deliver the
+  // per-block observer events in strict block order (searched:k immediately
+  // orderable before block:k, k ascending) — the reducer buffers whatever
+  // finishes early.
+  ir::RandomProgramConfig prog_cfg;
+  prog_cfg.seed = 7;
+  prog_cfg.blocks_per_function = 10;
+  const Module m = ir::generate_random_program(prog_cfg);
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(3)};
+  machine.run("main", args, 1ull << 28);
+
+  jit::SpecializerConfig config;
+  config.implement_hardware = false;
+  config.prune = ise::PruneConfig::none();  // every block fans out
+  config.search_jobs = 8;
+  RecordingObserver rec;
+  jit::SpecializationPipeline pipeline(config);
+  pipeline.add_observer(&rec);
+  const auto result = pipeline.run(m, machine.profile());
+  ASSERT_GT(result.prune.blocks.size(), 1u);  // the fan-out actually fans
+
+  std::vector<std::size_t> searched, scored;
+  for (const auto& e : rec.events) {
+    if (e.rfind("searched:", 0) == 0)
+      searched.push_back(std::stoul(e.substr(9)));
+    else if (e.rfind("block:", 0) == 0)
+      scored.push_back(std::stoul(e.substr(6)));
+  }
+  ASSERT_EQ(searched.size(), result.prune.blocks.size());
+  ASSERT_EQ(scored.size(), result.prune.blocks.size());
+  for (std::size_t k = 0; k < searched.size(); ++k) {
+    EXPECT_EQ(searched[k], k);  // strict block order despite 8 workers
+    EXPECT_EQ(scored[k], k);
   }
 }
 

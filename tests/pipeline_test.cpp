@@ -3,6 +3,8 @@
 // semantics-preserving on every data set.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "apps/app.hpp"
 #include "ir/verifier.hpp"
 #include "ise/selection.hpp"
@@ -87,6 +89,43 @@ TEST_P(Pipeline, CacheRoundTripMatchesFreshImplementation) {
                                         app.datasets[1].args);
   EXPECT_EQ(d1.adapted_result.i, d2.adapted_result.i);
   EXPECT_EQ(d1.adapted_cycles, d2.adapted_cycles);
+}
+
+TEST_P(Pipeline, ParallelSearchMatchesSerialSearch) {
+  // Differential check per app: estimation-only specialization (the CAD flow
+  // stays out of the picture, so any divergence pins the search stage) must
+  // be bit-identical between a serial and a parallel candidate search. The
+  // worker count follows JITISE_JOBS so the CI matrix can sweep it.
+  const apps::App app = apps::build_app(GetParam());
+  const auto profile = profile_of(app);
+
+  unsigned workers = 4;
+  if (const char* env = std::getenv("JITISE_JOBS")) {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed > 0) workers = static_cast<unsigned>(parsed);
+  }
+
+  jit::SpecializerConfig serial_cfg;
+  serial_cfg.implement_hardware = false;
+  serial_cfg.jobs = 1;
+  jit::SpecializerConfig parallel_cfg = serial_cfg;
+  parallel_cfg.search_jobs = workers;
+
+  const auto serial = jit::specialize(app.module, profile, serial_cfg);
+  const auto parallel = jit::specialize(app.module, profile, parallel_cfg);
+  EXPECT_EQ(serial.candidates_found, parallel.candidates_found);
+  EXPECT_EQ(serial.candidates_selected, parallel.candidates_selected);
+  EXPECT_DOUBLE_EQ(serial.predicted_speedup, parallel.predicted_speedup);
+  ASSERT_EQ(serial.implemented.size(), parallel.implemented.size());
+  for (std::size_t i = 0; i < serial.implemented.size(); ++i) {
+    EXPECT_EQ(serial.implemented[i].name, parallel.implemented[i].name);
+    EXPECT_EQ(serial.implemented[i].signature,
+              parallel.implemented[i].signature);
+    EXPECT_EQ(serial.implemented[i].hw_cycles,
+              parallel.implemented[i].hw_cycles);
+    EXPECT_DOUBLE_EQ(serial.implemented[i].area_slices,
+                     parallel.implemented[i].area_slices);
+  }
 }
 
 // --- selection solver cross-check on random knapsack instances ------------

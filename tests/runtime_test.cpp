@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "ir/builder.hpp"
 #include "jit/breakeven.hpp"
@@ -167,6 +171,59 @@ TEST(CacheIo, MissingFileThrows) {
   jit::BitstreamCache cache;
   EXPECT_THROW(jit::load_cache(cache, "/nonexistent/dir/cache.bin"),
                std::runtime_error);
+}
+
+TEST(CacheIo, TruncatedFileFailsWithoutPartialState) {
+  // Regression: load_cache used to insert entries while still parsing, so a
+  // file truncated mid-entry left the cache holding a silently partial
+  // snapshot. The load must be all-or-nothing: on failure the cache is
+  // cleared (pre-existing entries included — they may have been shadowed by
+  // entries from the earlier part of the bad file) and the error says so.
+  jit::BitstreamCache cache;
+  jit::CachedImplementation entry;
+  entry.hw_cycles = 5;
+  entry.bitstream.bytes = {9, 9, 9, 9, 1, 2, 3, 4};
+  entry.bitstream.crc32 =
+      fpga::crc32(entry.bitstream.bytes.data(), entry.bitstream.bytes.size() - 4);
+  cache.insert(100, entry);
+  cache.insert(200, entry);
+  const std::string path = "/tmp/jitise_cache_truncated.bin";
+  jit::save_cache(cache, path);
+
+  // Chop the file mid-way through the second entry.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_GT(size, 16);
+    ASSERT_EQ(truncate(path.c_str(), size - 10), 0);
+  }
+
+  jit::BitstreamCache loaded;
+  jit::CachedImplementation unrelated;
+  unrelated.hw_cycles = 77;
+  loaded.insert(999, unrelated);  // pre-existing state must not survive
+  try {
+    jit::load_cache(loaded, path);
+    FAIL() << "truncated file must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("cache cleared"), std::string::npos);
+  }
+  EXPECT_EQ(loaded.entries(), 0u);
+  EXPECT_FALSE(loaded.lookup(100).has_value());
+  EXPECT_FALSE(loaded.lookup(999).has_value());
+
+  // An unopenable path, by contrast, leaves the cache untouched.
+  jit::BitstreamCache untouched;
+  untouched.insert(42, entry);
+  EXPECT_THROW(jit::load_cache(untouched, "/nonexistent/dir/cache.bin"),
+               std::runtime_error);
+  EXPECT_EQ(untouched.entries(), 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
