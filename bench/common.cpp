@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "jit/cache_io.hpp"
 #include "support/thread_pool.hpp"
 #include "woolcano/asip.hpp"
 
@@ -19,13 +20,18 @@ std::string usage_text(const char* prog) {
   std::string text;
   text += "usage: ";
   text += prog;
-  text += " [--jobs N] [--suite-cache] [--trace] [--help]\n";
+  text += " [--jobs N] [--suite-cache] [--suite-cache-file PATH]"
+          " [--trace] [--help]\n";
   text +=
       "  --jobs N       worker threads shared by app fan-out and\n"
       "                 per-candidate CAD (0 = hardware concurrency;\n"
       "                 JITISE_JOBS is the fallback when the flag is absent)\n"
       "  --suite-cache  share one bitstream cache across all apps in the\n"
       "                 suite (cross-application hits, paper Sec. VI-A)\n"
+      "  --suite-cache-file PATH\n"
+      "                 persist the suite cache in an append-only journal at\n"
+      "                 PATH, warm-starting later invocations (implies\n"
+      "                 --suite-cache)\n"
       "  --trace        per-candidate CAD stage timing lines on stderr\n"
       "  --help         show this help\n";
   return text;
@@ -72,6 +78,31 @@ ParsedSuiteOptions parse_suite_options_ex(int argc, const char* const* argv,
     if (arg == "--suite-cache") {
       parsed.options.share_suite_cache = true;
       continue;
+    }
+    const char* cache_file = nullptr;
+    if (arg == "--suite-cache-file" && i + 1 < argc) {
+      cache_file = argv[++i];
+    } else if (arg.rfind("--suite-cache-file=", 0) == 0) {
+      cache_file = arg.c_str() + 19;
+    }
+    if (cache_file != nullptr) {
+      if (*cache_file == '\0') {
+        parsed.status = ParsedSuiteOptions::Status::Error;
+        parsed.message = std::string(prog) +
+                         ": --suite-cache-file needs a path\n" +
+                         usage_text(prog);
+        return parsed;
+      }
+      parsed.options.suite_cache_file = cache_file;
+      parsed.options.share_suite_cache = true;
+      continue;
+    }
+    if (arg == "--suite-cache-file") {
+      parsed.status = ParsedSuiteOptions::Status::Error;
+      parsed.message = std::string(prog) +
+                       ": --suite-cache-file needs a path\n" +
+                       usage_text(prog);
+      return parsed;
     }
     if (arg == "--jobs" && i + 1 < argc) {
       jobs_text = argv[++i];
@@ -207,11 +238,39 @@ std::vector<AppRun> run_apps(const std::vector<std::string>& names,
   // app paid generation seconds — depends on completion order.
   SuiteOptions per = options;
   std::optional<jit::BitstreamCache> suite_cache;
-  if (options.share_suite_cache && per.cache == nullptr) {
+  if ((options.share_suite_cache || !options.suite_cache_file.empty()) &&
+      per.cache == nullptr) {
     suite_cache.emplace();
     per.cache = &*suite_cache;
   }
+
+  // Suite-cache persistence: replay the journal into the suite cache (warm
+  // start) and mirror every insert back into it. The journal must outlive
+  // the runs below — the specializer's persistence tail syncs it per app,
+  // and the final sync/compaction happens before it is destroyed here.
+  std::optional<jit::CacheJournal> journal;
+  std::size_t warm_entries = 0;
+  if (!options.suite_cache_file.empty() && per.cache != nullptr) {
+    try {
+      journal.emplace(options.suite_cache_file);
+      const jit::CacheLoadReport replay = journal->attach(*per.cache);
+      warm_entries = replay.entries;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "warning: suite cache file unusable, running cold (%s)\n",
+                   e.what());
+      journal.reset();
+    }
+  }
+
   const auto fill_report = [&] {
+    if (journal) {
+      journal->sync();
+      journal->maybe_compact(*per.cache);
+      // Detach before the journal dies — an externally supplied cache
+      // outlives this call and must not keep a dangling sink.
+      per.cache->set_journal(nullptr);
+    }
     if (cache_report == nullptr) return;
     *cache_report = SuiteCacheReport{};
     if (per.cache == nullptr) return;
@@ -219,6 +278,8 @@ std::vector<AppRun> run_apps(const std::vector<std::string>& names,
     cache_report->hits = per.cache->hits();
     cache_report->misses = per.cache->misses();
     cache_report->entries = per.cache->entries();
+    cache_report->persisted = journal.has_value();
+    cache_report->warm_entries = warm_entries;
   };
 
   std::vector<AppRun> runs(names.size());

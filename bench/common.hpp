@@ -39,6 +39,14 @@ struct SuiteOptions {
   /// from different applications hit each other's bitstreams (paper §VI-A's
   /// cross-application database). An explicit `cache` is always shared.
   bool share_suite_cache = false;
+  /// Persist the suite cache across invocations: the path of an append-only
+  /// cache journal (jit::CacheJournal). Before the sweep the journal is
+  /// replayed into the suite cache (warm start — a second run of the same
+  /// sweep hits on every bitstream the first one generated), and every
+  /// insert is journaled and flushed when the sweep ends. Implies
+  /// `share_suite_cache`. An unreadable journal degrades to a cold run with
+  /// a warning on stderr.
+  std::string suite_cache_file;
 };
 
 /// What the suite-shared bitstream cache did across one `run_apps` sweep.
@@ -50,6 +58,10 @@ struct SuiteCacheReport {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::size_t entries = 0;
+  /// Journal persistence (`--suite-cache-file`): whether a journal was
+  /// attached, and how many entries its replay pre-loaded (warm start).
+  bool persisted = false;
+  std::size_t warm_entries = 0;
   [[nodiscard]] double hit_rate() const {
     const double total = static_cast<double>(hits + misses);
     return total > 0 ? static_cast<double>(hits) / total : 0.0;

@@ -36,12 +36,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "  [table4] %s done\n", run.app.name.c_str());
       },
       &cache_report);
-  if (cache_report.enabled)
+  if (cache_report.enabled) {
     std::printf("suite bitstream cache: %llu hits / %llu misses "
-                "(%.1f%% hit rate, %zu entries)\n\n",
+                "(%.1f%% hit rate, %zu entries)\n",
                 static_cast<unsigned long long>(cache_report.hits),
                 static_cast<unsigned long long>(cache_report.misses),
                 100.0 * cache_report.hit_rate(), cache_report.entries);
+    if (cache_report.persisted)
+      std::printf("  persisted via --suite-cache-file "
+                  "(%zu entries warm-started this run)\n",
+                  cache_report.warm_entries);
+    std::printf("\n");
+  }
 
   const double speedups[] = {0.0, 0.30, 0.60, 0.90};
   const int hit_rates[] = {0, 10, 20, 30, 40, 50, 60, 70, 80, 90};

@@ -37,6 +37,7 @@ void BitstreamCache::insert(std::uint64_t signature,
       bytes_.fetch_add(size, std::memory_order_relaxed);
       bytes_.fetch_sub(old, std::memory_order_relaxed);
       s.lru.splice(s.lru.begin(), s.lru, it->second);
+      if (journal_) journal_->record_insert(signature, it->second->entry);
       return;
     }
     s.lru.push_front(Node{signature, std::move(entry), stamp});
@@ -44,6 +45,7 @@ void BitstreamCache::insert(std::uint64_t signature,
     s.bytes += size;
     bytes_.fetch_add(size, std::memory_order_relaxed);
     entries_.fetch_add(1, std::memory_order_relaxed);
+    if (journal_) journal_->record_insert(signature, s.lru.front().entry);
   }
   if (capacity_ != 0 && bytes_.load(std::memory_order_relaxed) > capacity_)
     evict_to_capacity();
@@ -72,6 +74,7 @@ void BitstreamCache::evict_to_capacity() {
     }
     if (victim_stripe == nullptr) break;
     const Node& victim = victim_stripe->lru.back();
+    if (journal_) journal_->record_evict(victim.signature);
     const std::size_t size = victim.entry.bitstream.size_bytes();
     victim_stripe->bytes -= size;
     bytes_.fetch_sub(size, std::memory_order_relaxed);
@@ -86,6 +89,20 @@ bool BitstreamCache::contains(std::uint64_t signature) const {
   const Stripe& s = stripe_of(signature);
   std::lock_guard<std::mutex> lock(s.mu);
   return s.map.count(signature) != 0;
+}
+
+bool BitstreamCache::erase(std::uint64_t signature) {
+  Stripe& s = stripe_of(signature);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(signature);
+  if (it == s.map.end()) return false;
+  const std::size_t size = it->second->entry.bitstream.size_bytes();
+  s.bytes -= size;
+  bytes_.fetch_sub(size, std::memory_order_relaxed);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  s.lru.erase(it->second);
+  s.map.erase(it);
+  return true;
 }
 
 void BitstreamCache::clear() {

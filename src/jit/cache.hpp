@@ -31,6 +31,33 @@ struct CachedImplementation {
   double generation_seconds = 0.0;
 };
 
+class BitstreamCache;
+
+/// Persistence hook: mirrors every cache mutation into a durable store (the
+/// append-only journal in jit/cache_io.*). The cache invokes the sink *while
+/// holding the mutated stripe's lock* (`record_insert`) or all stripe locks
+/// (`record_evict`), so per-signature journal order always matches cache
+/// order; implementations must therefore only buffer (never call back into
+/// the cache) from the record hooks. `sync()`/`maybe_compact()` are called
+/// with no cache locks held.
+class CacheJournalSink {
+ public:
+  virtual ~CacheJournalSink() = default;
+
+  /// An entry was inserted or replaced (stripe lock of `signature` held).
+  virtual void record_insert(std::uint64_t signature,
+                             const CachedImplementation& entry) = 0;
+  /// An entry was evicted to capacity (all stripe locks held).
+  virtual void record_evict(std::uint64_t signature) = 0;
+  /// Flushes buffered records to durable storage; returns how many records
+  /// were flushed. Never called under cache locks.
+  virtual std::size_t sync() = 0;
+  /// Optionally rewrites the backing store from `cache`'s live state when a
+  /// size/garbage trigger fires; returns true when a compaction ran. Never
+  /// called under cache locks.
+  virtual bool maybe_compact(const BitstreamCache& /*cache*/) { return false; }
+};
+
 /// Thread-safe and lock-striped: signatures hash onto independent stripes,
 /// each with its own mutex, so concurrent specializer tasks (app-parallel
 /// bench drivers times per-candidate CAD workers) rarely contend on the hot
@@ -72,6 +99,20 @@ class BitstreamCache {
   /// LRU order (the pipeline uses it to skip dispatching cached work).
   [[nodiscard]] bool contains(std::uint64_t signature) const;
 
+  /// Removes one entry (journal-replay helper for evict tombstones). Unlike
+  /// capacity eviction this is *not* forwarded to the journal sink — replay
+  /// must not re-journal the records it is applying. Returns whether the
+  /// signature was present.
+  bool erase(std::uint64_t signature);
+
+  /// Attaches (or detaches, with nullptr) the persistence sink. Not owned;
+  /// must outlive the cache or be detached first. Attach before the cache is
+  /// shared across threads — the pointer itself is unsynchronized. `clear()`
+  /// and `erase()` are never journaled; a sink is expected to be attached to
+  /// a cache whose journal it has itself just replayed (CacheJournal::attach).
+  void set_journal(CacheJournalSink* sink) noexcept { journal_ = sink; }
+  [[nodiscard]] CacheJournalSink* journal() const noexcept { return journal_; }
+
   void clear();
 
   /// Consistent snapshot of all entries (most recently used first,
@@ -107,6 +148,7 @@ class BitstreamCache {
   void evict_to_capacity();
 
   std::size_t capacity_;
+  CacheJournalSink* journal_ = nullptr;
   std::vector<Stripe> stripes_;  // sized at construction, never reallocated
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::size_t> bytes_{0};

@@ -1,11 +1,12 @@
 #include "jit/cache_io.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
-#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "fpga/bitgen.hpp"
 
@@ -13,8 +14,18 @@ namespace jitise::jit {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4A495443;  // "JITC"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMagic = 0x4A495443;        // "JITC" (file header)
+constexpr std::uint32_t kRecordMagic = 0x4A524E4C;  // "JRNL" (record frame)
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;
+constexpr std::uint32_t kKindInsert = 1;
+constexpr std::uint32_t kKindEvict = 2;
+// A record body is a fixed preamble plus one entry (bitstream bounded at
+// 1 GiB, part string at 1 MiB) — anything larger is frame damage.
+constexpr std::uint64_t kMaxRecordBytes = (1ull << 30) + (1ull << 21);
+constexpr std::size_t kAppendChunk = 32;  // journal append granularity
+
+testing_hooks::CacheIoWriteHook g_write_hook;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -23,18 +34,142 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
-void write_bytes(std::FILE* f, const void* data, std::size_t n) {
+/// All physical cache-file writes funnel through here so the fault-injection
+/// hook can model a process killed after M writes: the hook throws *before*
+/// the write happens, leaving a prefix of the intended bytes on disk.
+void checked_write(std::FILE* f, std::uint64_t& offset, const void* data,
+                   std::size_t n) {
+  if (g_write_hook) g_write_hook(offset, n);
   if (std::fwrite(data, 1, n, f) != n)
     throw std::runtime_error("cache file: write failed");
+  offset += n;
+}
+
+/// FILE-backed field writer (tracks the offset for the fault hook).
+struct Writer {
+  std::FILE* f;
+  std::uint64_t offset = 0;
+  void bytes(const void* data, std::size_t n) {
+    checked_write(f, offset, data, n);
+  }
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(v));
+  }
+  void str(const std::string& s) {
+    pod<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+};
+
+// -- In-memory encoding (journal record bodies).
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data,
+                  std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + n);
 }
 template <typename T>
-void write_pod(std::FILE* f, const T& v) {
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
-  write_bytes(f, &v, sizeof(v));
+  append_bytes(out, &v, sizeof(v));
 }
-void write_string(std::FILE* f, const std::string& s) {
-  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()));
-  write_bytes(f, s.data(), s.size());
+void append_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  append_bytes(out, s.data(), s.size());
+}
+
+/// Entry serialization shared by the v1 body and v2 record bodies (identical
+/// field order, so the formats differ only in framing).
+void encode_entry(std::vector<std::uint8_t>& out,
+                  const CachedImplementation& entry) {
+  append_pod(out, entry.hw_cycles);
+  append_pod(out, entry.critical_path_ns);
+  append_pod(out, entry.area_slices);
+  append_pod<std::uint64_t>(out, entry.cells);
+  append_pod(out, entry.generation_seconds);
+  const fpga::Bitstream& bs = entry.bitstream;
+  append_string(out, bs.part);
+  append_pod(out, bs.region_width);
+  append_pod(out, bs.region_height);
+  append_pod(out, bs.frame_count);
+  append_pod(out, bs.crc32);
+  append_pod<std::uint64_t>(out, bs.bytes.size());
+  append_bytes(out, bs.bytes.data(), bs.bytes.size());
+}
+
+/// One framed journal record: JRNL magic, body length, CRC-32 over the
+/// body, body = (kind, stamp, signature[, entry]).
+std::vector<std::uint8_t> make_record(std::uint32_t kind, std::uint64_t stamp,
+                                      std::uint64_t signature,
+                                      const CachedImplementation* entry) {
+  std::vector<std::uint8_t> body;
+  append_pod(body, kind);
+  append_pod(body, stamp);
+  append_pod(body, signature);
+  if (entry != nullptr) encode_entry(body, *entry);
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(body.size() + 12);
+  append_pod(frame, kRecordMagic);
+  append_pod<std::uint32_t>(frame, static_cast<std::uint32_t>(body.size()));
+  append_pod(frame, fpga::crc32(body.data(), body.size()));
+  append_bytes(frame, body.data(), body.size());
+  return frame;
+}
+
+// -- Decoding.
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t at = 0;
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size - at; }
+  bool read(void* out, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data + at, n);
+    at += n;
+    return true;
+  }
+  template <typename T>
+  bool pod(T& out) {
+    return read(&out, sizeof(out));
+  }
+};
+
+/// Decodes one entry; false on any structural damage. Also verifies the
+/// bitstream's own CRC word (defense in depth under the record CRC).
+bool decode_entry(Cursor& c, CachedImplementation& entry) {
+  std::uint64_t cells = 0, nbytes = 0;
+  std::uint32_t part_len = 0;
+  if (!c.pod(entry.hw_cycles) || !c.pod(entry.critical_path_ns) ||
+      !c.pod(entry.area_slices) || !c.pod(cells) ||
+      !c.pod(entry.generation_seconds) || !c.pod(part_len))
+    return false;
+  entry.cells = static_cast<std::size_t>(cells);
+  if (part_len > (1u << 20) || c.remaining() < part_len) return false;
+  entry.bitstream.part.assign(
+      reinterpret_cast<const char*>(c.data + c.at), part_len);
+  c.at += part_len;
+  if (!c.pod(entry.bitstream.region_width) ||
+      !c.pod(entry.bitstream.region_height) ||
+      !c.pod(entry.bitstream.frame_count) || !c.pod(entry.bitstream.crc32) ||
+      !c.pod(nbytes))
+    return false;
+  if (nbytes > (1ull << 30) || c.remaining() < nbytes) return false;
+  entry.bitstream.bytes.resize(static_cast<std::size_t>(nbytes));
+  c.read(entry.bitstream.bytes.data(), entry.bitstream.bytes.size());
+  if (!entry.bitstream.bytes.empty()) {
+    const std::size_t body = entry.bitstream.bytes.size() >= 4
+                                 ? entry.bitstream.bytes.size() - 4
+                                 : 0;
+    if (fpga::crc32(entry.bitstream.bytes.data(), body) !=
+        entry.bitstream.crc32)
+      return false;
+  }
+  return true;
 }
 
 void read_bytes(std::FILE* f, void* data, std::size_t n) {
@@ -55,68 +190,130 @@ std::string read_string(std::FILE* f) {
   return s;
 }
 
-}  // namespace
-
-void save_cache(const BitstreamCache& cache, const std::string& path) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("cannot open cache file for writing: " + path);
-
-  const auto entries = cache.snapshot();
-  write_pod(f.get(), kMagic);
-  write_pod(f.get(), kVersion);
-  write_pod<std::uint64_t>(f.get(), entries.size());
-  for (const auto& [signature, entry] : entries) {
-    write_pod(f.get(), signature);
-    write_pod(f.get(), entry.hw_cycles);
-    write_pod(f.get(), entry.critical_path_ns);
-    write_pod(f.get(), entry.area_slices);
-    write_pod<std::uint64_t>(f.get(), entry.cells);
-    write_pod(f.get(), entry.generation_seconds);
-    const fpga::Bitstream& bs = entry.bitstream;
-    write_string(f.get(), bs.part);
-    write_pod(f.get(), bs.region_width);
-    write_pod(f.get(), bs.region_height);
-    write_pod(f.get(), bs.frame_count);
-    write_pod(f.get(), bs.crc32);
-    write_pod<std::uint64_t>(f.get(), bs.bytes.size());
-    write_bytes(f.get(), bs.bytes.data(), bs.bytes.size());
+/// Opens `<path>.tmp`, lets `fill` write into it, and renames over `path` —
+/// so an interrupted save (exception, injected crash) can never destroy the
+/// previous good file. On failure the temp file is removed.
+template <typename Fill>
+void atomic_rewrite(const std::string& path, const Fill& fill) {
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    if (!f)
+      throw std::runtime_error("cannot open cache file for writing: " + tmp);
+    try {
+      Writer w{f.get()};
+      fill(w);
+      if (std::fflush(f.get()) != 0)
+        throw std::runtime_error("cache file: flush failed");
+    } catch (...) {
+      f.reset();
+      std::remove(tmp.c_str());
+      throw;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " over " + path);
   }
 }
 
-void load_cache(BitstreamCache& cache, const std::string& path) {
-  File f(std::fopen(path.c_str(), "rb"));
-  if (!f) throw std::runtime_error("cannot open cache file: " + path);
+/// Writes a complete v2 journal for `entries` (most-recent-first, as
+/// `snapshot()` returns them): records go oldest first with stamps 1..N, so
+/// a replay reproduces the LRU order — and a save→load→save round trip is
+/// byte-identical.
+void write_v2_file(
+    const std::string& path,
+    const std::vector<std::pair<std::uint64_t, CachedImplementation>>&
+        entries) {
+  atomic_rewrite(path, [&](Writer& w) {
+    w.pod(kMagic);
+    w.pod(kVersionV2);
+    std::uint64_t stamp = 0;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      const auto frame = make_record(kKindInsert, ++stamp, it->first,
+                                     &it->second);
+      w.bytes(frame.data(), frame.size());
+    }
+  });
+}
 
-  // Two-stage load: parse the whole file into a local buffer first, then
-  // commit. A truncated or corrupt file must never leave the cache holding a
-  // silently partial entry set — on any parse failure the cache is cleared
-  // (not left half-populated) and the error reports why.
+/// v2 replay: applies wholly intact records in file order; stops at the
+/// first torn or corrupt one, keeping everything before it.
+CacheLoadReport load_v2(BitstreamCache& cache, std::FILE* f) {
+  CacheLoadReport report;
+  report.version = kVersionV2;
+  report.valid_bytes = 8;  // header
+  for (;;) {
+    std::uint32_t magic = 0, len = 0, crc = 0;
+    const std::size_t got = std::fread(&magic, 1, sizeof(magic), f);
+    if (got == 0) break;  // clean EOF on a record boundary
+    bool intact = got == sizeof(magic) && magic == kRecordMagic &&
+                  std::fread(&len, 1, sizeof(len), f) == sizeof(len) &&
+                  std::fread(&crc, 1, sizeof(crc), f) == sizeof(crc) &&
+                  len <= kMaxRecordBytes;
+    std::vector<std::uint8_t> body;
+    if (intact) {
+      body.resize(len);
+      intact = std::fread(body.data(), 1, len, f) == len &&
+               fpga::crc32(body.data(), body.size()) == crc;
+    }
+    std::uint32_t kind = 0;
+    std::uint64_t stamp = 0, signature = 0;
+    CachedImplementation entry;
+    if (intact) {
+      Cursor c{body.data(), body.size()};
+      intact = c.pod(kind) && c.pod(stamp) && c.pod(signature) &&
+               (kind == kKindInsert ? decode_entry(c, entry)
+                                    : kind == kKindEvict) &&
+               c.remaining() == 0;
+    }
+    if (!intact) {
+      report.recovered_truncation = true;
+      break;
+    }
+    if (kind == kKindInsert) {
+      cache.insert(signature, std::move(entry));
+    } else {
+      cache.erase(signature);
+      ++report.tombstones;
+    }
+    ++report.records;
+    report.valid_bytes += 12 + static_cast<std::uint64_t>(len);
+  }
+  report.entries = cache.entries();
+  return report;
+}
+
+/// Legacy v1 body: all-or-nothing, exactly the pre-journal semantics — the
+/// file parses fully before any entry commits, and a failure clears the
+/// cache. Entries are committed oldest-first so the reloaded LRU order
+/// matches the saved one (a v1 save→load→save round trip is byte-identical).
+CacheLoadReport load_v1(BitstreamCache& cache, std::FILE* f,
+                        const std::string& path) {
+  CacheLoadReport report;
+  report.version = kVersionV1;
   std::vector<std::pair<std::uint64_t, CachedImplementation>> parsed;
   try {
-    if (read_pod<std::uint32_t>(f.get()) != kMagic)
-      throw std::runtime_error("bad magic");
-    if (read_pod<std::uint32_t>(f.get()) != kVersion)
-      throw std::runtime_error("unsupported version");
-    const auto count = read_pod<std::uint64_t>(f.get());
+    const auto count = read_pod<std::uint64_t>(f);
     parsed.reserve(static_cast<std::size_t>(
         std::min<std::uint64_t>(count, 1ull << 20)));
     for (std::uint64_t i = 0; i < count; ++i) {
-      const auto signature = read_pod<std::uint64_t>(f.get());
+      const auto signature = read_pod<std::uint64_t>(f);
       CachedImplementation entry;
-      entry.hw_cycles = read_pod<std::uint32_t>(f.get());
-      entry.critical_path_ns = read_pod<double>(f.get());
-      entry.area_slices = read_pod<double>(f.get());
-      entry.cells = static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
-      entry.generation_seconds = read_pod<double>(f.get());
-      entry.bitstream.part = read_string(f.get());
-      entry.bitstream.region_width = read_pod<std::uint16_t>(f.get());
-      entry.bitstream.region_height = read_pod<std::uint16_t>(f.get());
-      entry.bitstream.frame_count = read_pod<std::uint32_t>(f.get());
-      entry.bitstream.crc32 = read_pod<std::uint32_t>(f.get());
-      const auto nbytes = read_pod<std::uint64_t>(f.get());
+      entry.hw_cycles = read_pod<std::uint32_t>(f);
+      entry.critical_path_ns = read_pod<double>(f);
+      entry.area_slices = read_pod<double>(f);
+      entry.cells = static_cast<std::size_t>(read_pod<std::uint64_t>(f));
+      entry.generation_seconds = read_pod<double>(f);
+      entry.bitstream.part = read_string(f);
+      entry.bitstream.region_width = read_pod<std::uint16_t>(f);
+      entry.bitstream.region_height = read_pod<std::uint16_t>(f);
+      entry.bitstream.frame_count = read_pod<std::uint32_t>(f);
+      entry.bitstream.crc32 = read_pod<std::uint32_t>(f);
+      const auto nbytes = read_pod<std::uint64_t>(f);
       if (nbytes > (1ull << 30)) throw std::runtime_error("bad size");
       entry.bitstream.bytes.resize(static_cast<std::size_t>(nbytes));
-      read_bytes(f.get(), entry.bitstream.bytes.data(),
+      read_bytes(f, entry.bitstream.bytes.data(),
                  entry.bitstream.bytes.size());
       // Integrity: the stored CRC must match the payload (excluding the
       // trailing CRC word appended by bitgen).
@@ -135,8 +332,237 @@ void load_cache(BitstreamCache& cache, const std::string& path) {
     throw std::runtime_error("cache file '" + path + "': load failed (" +
                              e.what() + "); cache cleared");
   }
-  for (auto& [signature, entry] : parsed)
-    cache.insert(signature, std::move(entry));
+  // The file is written most-recent-first; insert in reverse so the most
+  // recent entry receives the newest stamp and the LRU order survives.
+  for (auto it = parsed.rbegin(); it != parsed.rend(); ++it)
+    cache.insert(it->first, std::move(it->second));
+  report.entries = cache.entries();
+  return report;
+}
+
+}  // namespace
+
+namespace testing_hooks {
+void set_cache_io_write_hook(CacheIoWriteHook hook) {
+  g_write_hook = std::move(hook);
+}
+}  // namespace testing_hooks
+
+void save_cache(const BitstreamCache& cache, const std::string& path) {
+  write_v2_file(path, cache.snapshot());
+}
+
+void save_cache_v1(const BitstreamCache& cache, const std::string& path) {
+  const auto entries = cache.snapshot();
+  atomic_rewrite(path, [&](Writer& w) {
+    w.pod(kMagic);
+    w.pod(kVersionV1);
+    w.pod<std::uint64_t>(entries.size());
+    for (const auto& [signature, entry] : entries) {
+      w.pod(signature);
+      w.pod(entry.hw_cycles);
+      w.pod(entry.critical_path_ns);
+      w.pod(entry.area_slices);
+      w.pod<std::uint64_t>(entry.cells);
+      w.pod(entry.generation_seconds);
+      const fpga::Bitstream& bs = entry.bitstream;
+      w.str(bs.part);
+      w.pod(bs.region_width);
+      w.pod(bs.region_height);
+      w.pod(bs.frame_count);
+      w.pod(bs.crc32);
+      w.pod<std::uint64_t>(bs.bytes.size());
+      w.bytes(bs.bytes.data(), bs.bytes.size());
+    }
+  });
+}
+
+CacheLoadReport load_cache(BitstreamCache& cache, const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open cache file: " + path);
+
+  // Header damage throws without touching the cache: there is no entry data
+  // to salvage before it, and clearing would punish an unrelated mixup
+  // (pointing the loader at a non-cache file).
+  std::uint32_t magic = 0, version = 0;
+  if (std::fread(&magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      magic != kMagic)
+    throw std::runtime_error("cache file '" + path + "': bad magic");
+  if (std::fread(&version, 1, sizeof(version), f.get()) != sizeof(version))
+    throw std::runtime_error("cache file '" + path + "': truncated header");
+  if (version == kVersionV1) return load_v1(cache, f.get(), path);
+  if (version == kVersionV2) return load_v2(cache, f.get());
+  throw std::runtime_error("cache file '" + path + "': unsupported version");
+}
+
+// -- CacheJournal ----------------------------------------------------------
+
+CacheJournal::CacheJournal(std::string path, CompactionPolicy policy)
+    : path_(std::move(path)), policy_(policy), shards_(16) {}
+
+CacheJournal::~CacheJournal() {
+  try {
+    sync();
+  } catch (...) {
+    // Destructor durability is best-effort; the journal recovers a torn
+    // tail on the next load anyway.
+  }
+  std::lock_guard<std::mutex> lock(file_mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+CacheLoadReport CacheJournal::attach(BitstreamCache& cache) {
+  {
+    std::lock_guard<std::mutex> lock(file_mu_);
+    if (file_ != nullptr)
+      throw std::runtime_error("cache journal '" + path_ +
+                               "': already attached");
+  }
+
+  CacheLoadReport report;
+  report.version = kVersionV2;
+  bool fresh = true;
+  if (File probe{std::fopen(path_.c_str(), "rb")}) {
+    // An empty file (e.g. external truncation to zero) counts as fresh.
+    std::fseek(probe.get(), 0, SEEK_END);
+    fresh = std::ftell(probe.get()) == 0;
+  }
+  if (!fresh) {
+    report = load_cache(cache, path_);
+    if (report.version == kVersionV1) {
+      // One-shot migration: rewrite the legacy snapshot as a v2 journal
+      // (atomic, so a crash mid-migration leaves the v1 file intact).
+      save_cache(cache, path_);
+      report.records = report.entries;
+    } else if (report.recovered_truncation) {
+      // Drop the torn tail in place so appends land after the valid prefix
+      // instead of extending garbage.
+      if (::truncate(path_.c_str(),
+                     static_cast<off_t>(report.valid_bytes)) != 0)
+        throw std::runtime_error("cache journal '" + path_ +
+                                 "': cannot truncate torn tail");
+    }
+  } else {
+    write_v2_file(path_, {});  // header-only journal, atomically
+  }
+
+  std::lock_guard<std::mutex> lock(file_mu_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr)
+    throw std::runtime_error("cannot open cache journal for append: " +
+                             path_);
+  file_records_.store(report.records, std::memory_order_relaxed);
+  stamp_.store(report.records, std::memory_order_relaxed);
+  cache.set_journal(this);
+  return report;
+}
+
+void CacheJournal::buffer_record(std::uint64_t signature,
+                                 const std::vector<std::uint8_t>& frame) {
+  Shard& shard = shard_of(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pending.insert(shard.pending.end(), frame.begin(), frame.end());
+  ++shard.records;
+}
+
+void CacheJournal::record_insert(std::uint64_t signature,
+                                 const CachedImplementation& entry) {
+  const std::uint64_t stamp =
+      stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  buffer_record(signature, make_record(kKindInsert, stamp, signature, &entry));
+}
+
+void CacheJournal::record_evict(std::uint64_t signature) {
+  const std::uint64_t stamp =
+      stamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  buffer_record(signature,
+                make_record(kKindEvict, stamp, signature, nullptr));
+}
+
+std::size_t CacheJournal::drain_pending(std::vector<std::uint8_t>& out) {
+  std::size_t records = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.pending.begin(), shard.pending.end());
+    records += shard.records;
+    shard.pending.clear();
+    shard.records = 0;
+  }
+  return records;
+}
+
+std::size_t CacheJournal::sync() {
+  std::vector<std::uint8_t> bytes;
+  const std::size_t records = drain_pending(bytes);
+  if (records == 0) return 0;
+
+  std::lock_guard<std::mutex> lock(file_mu_);
+  if (file_ == nullptr)
+    throw std::runtime_error("cache journal '" + path_ + "': not attached");
+  std::fseek(file_, 0, SEEK_END);
+  std::uint64_t offset = static_cast<std::uint64_t>(std::ftell(file_));
+  // Chunked so an injected crash (or a real short write) tears mid-record;
+  // replay recovery keeps everything before the torn record.
+  for (std::size_t at = 0; at < bytes.size(); at += kAppendChunk)
+    checked_write(file_, offset, bytes.data() + at,
+                  std::min(kAppendChunk, bytes.size() - at));
+  if (std::fflush(file_) != 0)
+    throw std::runtime_error("cache journal '" + path_ + "': flush failed");
+  file_records_.fetch_add(records, std::memory_order_relaxed);
+  return records;
+}
+
+void CacheJournal::compact(const BitstreamCache& cache) {
+  // Buffered records were recorded under the cache's stripe locks *after*
+  // the state change, so the snapshot below supersedes them: discard. (A
+  // record buffered between the drain and the snapshot duplicates snapshot
+  // state; replay is idempotent, so a later append of it is harmless.)
+  {
+    std::vector<std::uint8_t> discard;
+    drain_pending(discard);
+  }
+  const auto entries = cache.snapshot();
+
+  std::lock_guard<std::mutex> lock(file_mu_);
+  // Write the replacement fully before touching the live file: if this
+  // throws (I/O failure or injected crash), the old journal and the open
+  // append handle both survive.
+  write_v2_file(path_, entries);
+  // write_v2_file's rename already atomically replaced the path; the old
+  // handle now points at the unlinked inode — reopen on the new file.
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr)
+    throw std::runtime_error("cannot reopen cache journal: " + path_);
+  file_records_.store(entries.size(), std::memory_order_relaxed);
+  stamp_.store(entries.size(), std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CacheJournal::maybe_compact(const BitstreamCache& cache) {
+  sync();
+  const std::uint64_t records =
+      file_records_.load(std::memory_order_relaxed);
+  if (records == 0) return false;
+
+  std::uint64_t file_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(file_mu_);
+    if (file_ == nullptr) return false;
+    std::fseek(file_, 0, SEEK_END);
+    file_bytes = static_cast<std::uint64_t>(std::ftell(file_));
+  }
+  if (file_bytes < policy_.min_file_bytes) return false;
+  const std::uint64_t live = cache.entries();
+  const std::uint64_t garbage = records > live ? records - live : 0;
+  if (static_cast<double>(garbage) <=
+      policy_.max_garbage_ratio * static_cast<double>(records))
+    return false;
+  compact(cache);
+  return true;
 }
 
 }  // namespace jitise::jit

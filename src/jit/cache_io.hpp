@@ -1,25 +1,167 @@
-// Binary serialization of the bitstream cache — the paper's §VI-A suggests
-// storing generated partial bitstreams "in an on-disk database" so later
-// runs (even of other applications with structurally identical candidates)
-// skip hardware generation entirely.
+// Crash-safe persistence of the bitstream cache — the paper's §VI-A on-disk
+// database. The cache is what collapses the ~50 min CAD overhead on warm
+// runs (Table IV), so it is the one artifact that must survive process
+// restarts intact.
+//
+// Format v2 is an **append-only journal**: an 8-byte header (the v1 magic
+// with version 2) followed by CRC-framed records. Each record frames a body
+// (`JRNL` record magic, body length, CRC-32 over the body) holding a
+// monotonically stamped insert (signature + full entry) or evict tombstone.
+// Recovery is prefix-preserving: `load_cache` replays records in file order
+// and, on the first torn or corrupt record, stops and keeps every wholly
+// intact record before it — a crash mid-append loses at most the record
+// being written, never the accumulated cache. Compaction and full saves go
+// through `<path>.tmp` + `std::rename`, so a crash at any instant leaves
+// either the old file or the new one, never a hybrid.
+//
+// The legacy whole-file v1 format stays loadable (all-or-nothing, as
+// before); `CacheJournal::attach` migrates a v1 file to v2 in one shot.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "jit/cache.hpp"
 
 namespace jitise::jit {
 
-/// Writes all cache entries to `path` (binary, versioned, CRC-protected).
-/// Throws std::runtime_error on I/O failure.
+/// What a `load_cache` (or `CacheJournal::attach`) replay found.
+struct CacheLoadReport {
+  std::uint32_t version = 0;   // file format that was parsed (1 or 2)
+  std::size_t entries = 0;     // cache entry count after the load committed
+  std::size_t records = 0;     // v2: journal records replayed (incl. evicts)
+  std::size_t tombstones = 0;  // v2: evict records among `records`
+  /// v2: a torn/corrupt tail was dropped; everything before it was kept.
+  bool recovered_truncation = false;
+  /// v2: byte length of the valid journal prefix (== file size when clean).
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Writes all cache entries to `path` in the v2 journal format (one insert
+/// record per entry, oldest first, stamps 1..N so a reload reproduces the
+/// LRU order exactly). Atomic: the bytes go to `<path>.tmp` and are
+/// `std::rename`d over `path` only once complete. Throws std::runtime_error
+/// on I/O failure — with the previous file untouched.
 void save_cache(const BitstreamCache& cache, const std::string& path);
 
+/// Legacy v1 whole-file writer (kept for migration tests and old tooling).
+/// Also atomic via `<path>.tmp` + rename.
+void save_cache_v1(const BitstreamCache& cache, const std::string& path);
+
 /// Reads a cache file; entries merge into `cache` (existing signatures are
-/// overwritten). Throws std::runtime_error on I/O failure or a corrupt file.
-/// Failure is all-or-nothing: the file is parsed fully before any entry is
-/// committed, and if parsing fails mid-file the cache is *cleared* — callers
-/// never observe a silently partial load. A file that cannot be opened at
-/// all throws without touching the cache.
-void load_cache(BitstreamCache& cache, const std::string& path);
+/// overwritten; evict tombstones erase). Both formats load:
+///  - v2 journal: prefix-preserving — replay stops at the first torn or
+///    corrupt record (frame damage or CRC mismatch) and every wholly intact
+///    record before it stays committed; `recovered_truncation`/`valid_bytes`
+///    report what was dropped. Never throws for tail damage.
+///  - v1: all-or-nothing as before — the file is parsed fully before any
+///    entry is committed, and a parse failure clears the cache and throws.
+/// A file that cannot be opened, or whose 8-byte header is damaged, throws
+/// without touching the cache.
+CacheLoadReport load_cache(BitstreamCache& cache, const std::string& path);
+
+/// When to rewrite the journal from live state (dropping superseded and
+/// tombstoned records).
+struct CompactionPolicy {
+  /// Never compact a journal smaller than this (rewrite churn guard).
+  std::uint64_t min_file_bytes = 64 * 1024;
+  /// Compact once (records - live entries) / records exceeds this.
+  double max_garbage_ratio = 0.5;
+};
+
+/// The live persistence sink: attach one to a `BitstreamCache` and every
+/// insert/evict is buffered (sharded by signature, same stripe mapping as
+/// the cache, so the under-lock record hooks stay stripe-local) and appended
+/// to the journal file on `sync()`. `maybe_compact` rewrites the file from a
+/// cache snapshot via tmp + rename when the CompactionPolicy triggers.
+///
+/// Threading: `record_insert`/`record_evict` are called by the cache under
+/// its own locks and only touch shard buffers. `sync`, `compact` and
+/// `maybe_compact` may be called from any thread not holding cache locks
+/// (they serialize on an internal file mutex and may take cache locks via
+/// `snapshot()`).
+class CacheJournal final : public CacheJournalSink {
+ public:
+  explicit CacheJournal(std::string path, CompactionPolicy policy = {});
+  /// Best-effort final sync (errors swallowed), then closes the file.
+  ~CacheJournal() override;
+
+  CacheJournal(const CacheJournal&) = delete;
+  CacheJournal& operator=(const CacheJournal&) = delete;
+
+  /// Warm-start entry point: replays an existing journal into `cache`
+  /// (truncating a torn tail in place so appends land after the valid
+  /// prefix), migrates a v1 file to v2 on the spot, or creates a fresh
+  /// journal when `path` does not exist — then opens the append handle and
+  /// installs itself as the cache's sink. Throws on an unopenable directory
+  /// or an unreadable v1 file (v2 tail damage never throws).
+  CacheLoadReport attach(BitstreamCache& cache);
+
+  void record_insert(std::uint64_t signature,
+                     const CachedImplementation& entry) override;
+  void record_evict(std::uint64_t signature) override;
+  /// Appends all buffered records to the journal and flushes; returns how
+  /// many records were written.
+  std::size_t sync() override;
+  /// `sync()` + compaction when `policy` triggers against `cache`'s live
+  /// entry count; returns true when the file was rewritten.
+  bool maybe_compact(const BitstreamCache& cache) override;
+  /// Unconditional rewrite from `cache`'s live state (tmp + rename;
+  /// exception-safe: on failure the old journal and append handle survive).
+  void compact(const BitstreamCache& cache);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Records currently in the on-disk file (replayed + flushed).
+  [[nodiscard]] std::uint64_t file_records() const noexcept {
+    return file_records_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::uint8_t> pending;  // framed records, ready to append
+    std::size_t records = 0;
+  };
+
+  Shard& shard_of(std::uint64_t signature) {
+    return shards_[(signature ^ (signature >> 32)) % shards_.size()];
+  }
+  void buffer_record(std::uint64_t signature,
+                     const std::vector<std::uint8_t>& frame);
+  /// Drains every shard (in index order) into one byte run; returns the
+  /// record count drained.
+  std::size_t drain_pending(std::vector<std::uint8_t>& out);
+
+  const std::string path_;
+  const CompactionPolicy policy_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> stamp_{0};
+  std::atomic<std::uint64_t> file_records_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  std::mutex file_mu_;        // guards file_ and the append/compact sequence
+  std::FILE* file_ = nullptr; // append handle; null until attach()
+};
+
+namespace testing_hooks {
+
+/// Fault injection for the persistence tests: when set, the hook runs before
+/// every physical cache-file write with the byte offset about to be written
+/// and the write size. A hook that throws models a process killed mid-save —
+/// the write (and everything after it) never happens. Pass nullptr to
+/// restore normal writes. Not thread-safe; tests install it around
+/// single-threaded save/sync calls.
+using CacheIoWriteHook = std::function<void(std::uint64_t offset,
+                                            std::size_t n)>;
+void set_cache_io_write_hook(CacheIoWriteHook hook);
+
+}  // namespace testing_hooks
 
 }  // namespace jitise::jit

@@ -46,4 +46,11 @@ void TraceObserver::on_candidate_failed(const std::string& name,
                name.c_str());
 }
 
+void TraceObserver::on_cache_journal_sync(std::size_t flushed,
+                                          bool compacted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[asip-sp] cache journal: %zu records flushed%s\n",
+               flushed, compacted ? ", journal compacted" : "");
+}
+
 }  // namespace jitise::jit

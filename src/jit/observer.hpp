@@ -63,6 +63,13 @@ class PipelineObserver {
   // -- Adaptation tail (pipeline thread, selection order).
   virtual void on_cache_hit(const std::string& /*name*/,
                             std::uint64_t /*signature*/) {}
+
+  // -- Cache persistence (pipeline thread, after the adaptation tail): the
+  //    journal attached to the bitstream cache flushed `flushed_records`
+  //    buffered records to disk; `compacted` reports whether the
+  //    size/garbage-ratio trigger also rewrote the journal from live state.
+  virtual void on_cache_journal_sync(std::size_t /*flushed_records*/,
+                                     bool /*compacted*/) {}
 };
 
 /// Fans events out to a list of observers (none owned). The pipeline uses
@@ -106,6 +113,9 @@ class ObserverList final : public PipelineObserver {
   void on_cache_hit(const std::string& name, std::uint64_t sig) override {
     for (auto* o : observers_) o->on_cache_hit(name, sig);
   }
+  void on_cache_journal_sync(std::size_t flushed, bool compacted) override {
+    for (auto* o : observers_) o->on_cache_journal_sync(flushed, compacted);
+  }
 
  private:
   std::vector<PipelineObserver*> observers_;
@@ -125,6 +135,7 @@ class TraceObserver final : public PipelineObserver {
                                 const cad::ImplementationResult& hw) override;
   void on_candidate_failed(const std::string& name,
                            std::uint64_t sig) override;
+  void on_cache_journal_sync(std::size_t flushed, bool compacted) override;
 
  private:
   std::mutex mu_;

@@ -143,7 +143,21 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
                      db, names[k], obs),
         obs);
   };
-  return adapt_.run(module, profile, art, names, lookup, serial_cad, obs);
+  SpecializationResult result =
+      adapt_.run(module, profile, art, names, lookup, serial_cad, obs);
+
+  // Persistence tail: the adaptation stage just populated the cache, so any
+  // attached journal has buffered records — flush them (and compact when
+  // the size/garbage trigger fires) so a crash between specializer runs
+  // never loses the bitstreams this run paid for.
+  if (cache_ != nullptr && config_.sync_cache_journal) {
+    if (CacheJournalSink* journal = cache_->journal()) {
+      const std::size_t flushed = journal->sync();
+      const bool compacted = journal->maybe_compact(*cache_);
+      obs.on_cache_journal_sync(flushed, compacted);
+    }
+  }
+  return result;
 }
 
 }  // namespace jitise::jit

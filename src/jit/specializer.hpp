@@ -57,6 +57,12 @@ struct SpecializerConfig {
   /// Installed as the default TraceObserver on the pipeline; the sink is
   /// mutex-guarded so worker lines never interleave mid-line.
   bool trace_stages = false;
+  /// When a CacheJournal (jit/cache_io.hpp) is attached to the bitstream
+  /// cache, flush its buffered insert/evict records — and run the
+  /// size/garbage-triggered compaction — at the end of the run, emitting
+  /// `on_cache_journal_sync`. Off leaves durability entirely to the
+  /// caller's explicit `sync()`.
+  bool sync_cache_journal = true;
 
   /// Resolves the Phase-1 worker count from the one shared jobs budget.
   /// `total_jobs` is the resolved pool budget (>= 1). When `overlapping`,

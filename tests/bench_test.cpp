@@ -2,6 +2,7 @@
 // parser and the app-parallel run_apps fan-out.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <mutex>
 #include <set>
 #include <string>
@@ -48,6 +49,33 @@ TEST(SuiteOptions, ParsesSuiteCache) {
   EXPECT_EQ(parsed.options.jobs, 2u);
   // The flag shows up in the help text.
   EXPECT_NE(parse({"--help"}).message.find("--suite-cache"),
+            std::string::npos);
+}
+
+TEST(SuiteOptions, ParsesSuiteCacheFile) {
+  EXPECT_TRUE(parse({}).options.suite_cache_file.empty());
+
+  // Both spellings; the flag implies --suite-cache.
+  const auto split = parse({"--suite-cache-file", "/tmp/suite.jrnl"});
+  ASSERT_EQ(split.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(split.options.suite_cache_file, "/tmp/suite.jrnl");
+  EXPECT_TRUE(split.options.share_suite_cache);
+
+  const auto equals_form = parse({"--suite-cache-file=/tmp/suite.jrnl"});
+  ASSERT_EQ(equals_form.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_EQ(equals_form.options.suite_cache_file, "/tmp/suite.jrnl");
+  EXPECT_TRUE(equals_form.options.share_suite_cache);
+
+  // A path is mandatory: dangling flag and empty value are both errors.
+  for (const auto& args : std::vector<std::vector<const char*>>{
+           {"--suite-cache-file"}, {"--suite-cache-file="}}) {
+    const auto bad = parse(args);
+    EXPECT_EQ(bad.status, ParsedSuiteOptions::Status::Error);
+    EXPECT_NE(bad.message.find("--suite-cache-file"), std::string::npos);
+    EXPECT_NE(bad.message.find("usage:"), std::string::npos);
+  }
+
+  EXPECT_NE(parse({"--help"}).message.find("--suite-cache-file"),
             std::string::npos);
 }
 
@@ -168,6 +196,59 @@ TEST(RunApps, SuiteCacheSharesAcrossApps) {
   (void)bench::run_apps({"sor"}, no_cache, /*on_done=*/{}, &off_report);
   EXPECT_FALSE(off_report.enabled);
   EXPECT_EQ(off_report.hits + off_report.misses, 0u);
+}
+
+TEST(RunApps, SuiteCacheFileWarmStartsAcrossInvocations) {
+  // Two separate run_apps invocations sharing a journal file: the second
+  // must warm-start from what the first persisted and hit for every
+  // candidate — the acceptance scenario behind table4 --suite-cache-file.
+  const std::string path = "/tmp/jitise_bench_suite_cache.jrnl";
+  std::remove(path.c_str());
+  bench::SuiteOptions options;
+  options.jobs = 1;
+  options.suite_cache_file = path;
+  options.share_suite_cache = true;
+
+  bench::SuiteCacheReport first;
+  (void)bench::run_apps({"sor"}, options, /*on_done=*/{}, &first);
+  EXPECT_TRUE(first.enabled);
+  EXPECT_TRUE(first.persisted);
+  EXPECT_EQ(first.warm_entries, 0u);  // nothing on disk yet
+  EXPECT_GT(first.entries, 0u);
+
+  bench::SuiteCacheReport second;
+  const auto runs =
+      bench::run_apps({"sor"}, options, /*on_done=*/{}, &second);
+  EXPECT_TRUE(second.persisted);
+  EXPECT_EQ(second.warm_entries, first.entries);
+  ASSERT_FALSE(runs[0].spec.implemented.empty());
+  for (const jit::ImplementedCandidate& impl : runs[0].spec.implemented)
+    EXPECT_TRUE(impl.cache_hit) << impl.name;
+  EXPECT_GE(second.hits, runs[0].spec.implemented.size());
+  std::remove(path.c_str());
+}
+
+TEST(RunApps, UnusableSuiteCacheFileDegradesToColdRun) {
+  // Not-a-journal on disk: run_apps must warn and run cold, not fail.
+  const std::string path = "/tmp/jitise_bench_bad_cache.jrnl";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a cache journal", f);
+    std::fclose(f);
+  }
+  bench::SuiteOptions options;
+  options.jobs = 1;
+  options.suite_cache_file = path;
+  options.share_suite_cache = true;
+  bench::SuiteCacheReport report;
+  const auto runs =
+      bench::run_apps({"sor"}, options, /*on_done=*/{}, &report);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(report.enabled);      // the in-memory suite cache still ran
+  EXPECT_FALSE(report.persisted);   // but nothing was journaled
+  EXPECT_EQ(report.warm_entries, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

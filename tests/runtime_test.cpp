@@ -133,7 +133,10 @@ TEST(CacheIo, SaveLoadRoundTrip) {
   jit::save_cache(cache, path);
 
   jit::BitstreamCache loaded;
-  jit::load_cache(loaded, path);
+  const jit::CacheLoadReport report = jit::load_cache(loaded, path);
+  EXPECT_EQ(report.version, 2u);
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_FALSE(report.recovered_truncation);
   EXPECT_EQ(loaded.entries(), 2u);
   const auto hit = loaded.lookup(0xDEADBEEFCAFEull);
   ASSERT_TRUE(hit.has_value());
@@ -162,8 +165,29 @@ TEST(CacheIo, DetectsCorruption) {
     std::fputc(0xFF, f);
     std::fclose(f);
   }
+  // v2 journal: the record CRC catches the flip, and recovery keeps the
+  // valid prefix (here: nothing) instead of throwing — the corrupt entry
+  // must never surface.
   jit::BitstreamCache loaded;
-  EXPECT_THROW(jit::load_cache(loaded, path), std::runtime_error);
+  const jit::CacheLoadReport report = jit::load_cache(loaded, path);
+  EXPECT_TRUE(report.recovered_truncation);
+  EXPECT_EQ(loaded.entries(), 0u);
+  EXPECT_FALSE(loaded.lookup(7).has_value());
+  std::remove(path.c_str());
+
+  // Legacy v1 keeps its all-or-nothing contract: same corruption, but the
+  // load throws and the cache is cleared.
+  jit::save_cache_v1(cache, path);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -7, SEEK_END);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+  }
+  jit::BitstreamCache v1_loaded;
+  EXPECT_THROW(jit::load_cache(v1_loaded, path), std::runtime_error);
+  EXPECT_EQ(v1_loaded.entries(), 0u);
   std::remove(path.c_str());
 }
 
@@ -173,12 +197,12 @@ TEST(CacheIo, MissingFileThrows) {
                std::runtime_error);
 }
 
-TEST(CacheIo, TruncatedFileFailsWithoutPartialState) {
-  // Regression: load_cache used to insert entries while still parsing, so a
-  // file truncated mid-entry left the cache holding a silently partial
-  // snapshot. The load must be all-or-nothing: on failure the cache is
-  // cleared (pre-existing entries included — they may have been shadowed by
-  // entries from the earlier part of the bad file) and the error says so.
+TEST(CacheIo, TruncatedV1FileFailsWithoutPartialState) {
+  // Legacy v1 contract (v2's prefix-preserving recovery is exercised in
+  // persistence_test): a v1 load must be all-or-nothing — on failure the
+  // cache is cleared (pre-existing entries included — they may have been
+  // shadowed by entries from the earlier part of the bad file) and the
+  // error says so.
   jit::BitstreamCache cache;
   jit::CachedImplementation entry;
   entry.hw_cycles = 5;
@@ -188,7 +212,7 @@ TEST(CacheIo, TruncatedFileFailsWithoutPartialState) {
   cache.insert(100, entry);
   cache.insert(200, entry);
   const std::string path = "/tmp/jitise_cache_truncated.bin";
-  jit::save_cache(cache, path);
+  jit::save_cache_v1(cache, path);
 
   // Chop the file mid-way through the second entry.
   {
