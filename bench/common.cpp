@@ -21,7 +21,7 @@ std::string usage_text(const char* prog) {
   text += "usage: ";
   text += prog;
   text += " [--jobs N] [--suite-cache] [--suite-cache-file PATH]"
-          " [--trace] [--help]\n";
+          " [--suite-cache-fsync] [--trace] [--help]\n";
   text +=
       "  --jobs N       worker threads shared by app fan-out and\n"
       "                 per-candidate CAD (0 = hardware concurrency;\n"
@@ -32,6 +32,9 @@ std::string usage_text(const char* prog) {
       "                 persist the suite cache in an append-only journal at\n"
       "                 PATH, warm-starting later invocations (implies\n"
       "                 --suite-cache)\n"
+      "  --suite-cache-fsync\n"
+      "                 fdatasync every journal sync and fsync compactions\n"
+      "                 (power-loss durability; implies --suite-cache)\n"
       "  --trace        per-candidate CAD stage timing lines on stderr\n"
       "  --help         show this help\n";
   return text;
@@ -76,6 +79,11 @@ ParsedSuiteOptions parse_suite_options_ex(int argc, const char* const* argv,
       continue;
     }
     if (arg == "--suite-cache") {
+      parsed.options.share_suite_cache = true;
+      continue;
+    }
+    if (arg == "--suite-cache-fsync") {
+      parsed.options.suite_cache_fsync = true;
       parsed.options.share_suite_cache = true;
       continue;
     }
@@ -206,6 +214,7 @@ AppRun run_app(const std::string& name, const SuiteOptions& options) {
   config.implement_hardware = options.implement_hardware;
   config.jobs = options.jobs;
   config.trace_stages = options.trace_stages;
+  config.journal_fsync = options.suite_cache_fsync;
   run.spec =
       jit::specialize(run.app.module, run.profiles[0], config, options.cache);
 
@@ -253,6 +262,7 @@ std::vector<AppRun> run_apps(const std::vector<std::string>& names,
   if (!options.suite_cache_file.empty() && per.cache != nullptr) {
     try {
       journal.emplace(options.suite_cache_file);
+      journal->set_fsync(options.suite_cache_fsync);
       const jit::CacheLoadReport replay = journal->attach(*per.cache);
       warm_entries = replay.entries;
     } catch (const std::exception& e) {

@@ -47,6 +47,11 @@ struct SuiteOptions {
   /// `share_suite_cache`. An unreadable journal degrades to a cold run with
   /// a warning on stderr.
   std::string suite_cache_file;
+  /// Power-loss durability for the suite cache journal: every sync is
+  /// `fdatasync`ed and compaction fsyncs the rewritten file and its
+  /// directory (jit::CacheJournal fsync mode). Meaningful only with
+  /// `suite_cache_file`; off keeps the process-death crash model.
+  bool suite_cache_fsync = false;
 };
 
 /// What the suite-shared bitstream cache did across one `run_apps` sweep.

@@ -1,0 +1,210 @@
+// Multi-tenant load harness for the SpecializationServer: replays a
+// synthetic workload — N tenants, each submitting a stream of requests over
+// the embedded-application suite with seeded arrival jitter and mixed
+// priorities — against one server instance, then prints a per-tenant
+// throughput/latency table (p50/p95/p99 of submission-to-terminal latency)
+// plus the server-level counters (queue high-water, rejections, lent slots,
+// shared cache/estimate hit rates).
+//
+// The workload is fully deterministic from --seed in *content* (which tenant
+// submits which app at which priority); completion order and latency numbers
+// naturally vary with machine load.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "server/server.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "vm/interpreter.hpp"
+
+using namespace jitise;
+
+namespace {
+
+struct LoadOptions {
+  unsigned tenants = 4;
+  unsigned requests = 6;     // per tenant
+  unsigned workers = 2;      // server sessions
+  unsigned jobs = 4;         // pipeline workers per session
+  std::size_t queue_cap = 16;
+  unsigned arrival_us = 200;  // mean inter-submit gap per tenant
+  double deadline_ms = 0.0;   // per-request service deadline (0 = none)
+  std::uint64_t seed = 42;
+  std::string journal_file;   // persist the shared cache when set
+  bool fsync = false;
+  bool trace = false;
+};
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [--tenants N] [--requests N] [--workers N] [--jobs N]\n"
+      "          [--queue-cap N] [--arrival-us N] [--deadline-ms D]\n"
+      "          [--seed S] [--journal PATH] [--fsync] [--trace] [--help]\n"
+      "  --tenants N     concurrent tenants (default 4)\n"
+      "  --requests N    requests per tenant (default 6)\n"
+      "  --workers N     server worker sessions (default 2)\n"
+      "  --jobs N        pipeline worker threads per session (default 4)\n"
+      "  --queue-cap N   admission queue capacity (default 16)\n"
+      "  --arrival-us N  mean per-tenant inter-submit gap (default 200)\n"
+      "  --deadline-ms D service deadline per request (default none)\n"
+      "  --seed S        workload seed (default 42)\n"
+      "  --journal PATH  persist the shared bitstream cache at PATH\n"
+      "  --fsync         power-loss durability for the journal\n"
+      "  --trace         per-event server trace on stderr\n",
+      prog);
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+/// Prebuilt (module, profile) pair shared by every request that uses it.
+struct Workload {
+  std::string name;
+  std::shared_ptr<const ir::Module> module;
+  std::shared_ptr<const vm::Profile> profile;
+};
+
+Workload build_workload(const std::string& name) {
+  auto app = std::make_shared<apps::App>(apps::build_app(name));
+  vm::Machine machine(app->module);
+  machine.run(app->entry, app->datasets[0].args, 1ull << 30);
+  Workload w;
+  w.name = name;
+  // Aliasing shared_ptrs keep the whole App alive for as long as any queued
+  // request references its module.
+  w.module = std::shared_ptr<const ir::Module>(app, &app->module);
+  w.profile = std::make_shared<const vm::Profile>(machine.profile());
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::uint64_t& out) {
+      if (i + 1 >= argc || !parse_u64(argv[++i], out)) {
+        std::fprintf(stderr, "%s: %s needs a numeric value\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+    };
+    std::uint64_t v = 0;
+    if (arg == "--help" || arg == "-h") { usage(argv[0]); return 0; }
+    else if (arg == "--tenants") { value(v); opt.tenants = unsigned(v); }
+    else if (arg == "--requests") { value(v); opt.requests = unsigned(v); }
+    else if (arg == "--workers") { value(v); opt.workers = unsigned(v); }
+    else if (arg == "--jobs") { value(v); opt.jobs = unsigned(v); }
+    else if (arg == "--queue-cap") { value(v); opt.queue_cap = v; }
+    else if (arg == "--arrival-us") { value(v); opt.arrival_us = unsigned(v); }
+    else if (arg == "--deadline-ms") { value(v); opt.deadline_ms = double(v); }
+    else if (arg == "--seed") { value(v); opt.seed = v; }
+    else if (arg == "--journal" && i + 1 < argc) { opt.journal_file = argv[++i]; }
+    else if (arg == "--fsync") { opt.fsync = true; }
+    else if (arg == "--trace") { opt.trace = true; }
+    else {
+      std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0],
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.tenants == 0 || opt.requests == 0) return 0;
+
+  std::printf("=== load_server: %u tenants x %u requests, %u workers, "
+              "jobs=%u, queue=%zu ===\n\n",
+              opt.tenants, opt.requests, opt.workers, opt.jobs,
+              opt.queue_cap);
+
+  // The embedded suite is the request mix: small enough that a full CAD run
+  // per request finishes in milliseconds, varied enough that the shared
+  // caches see both hits and misses.
+  std::vector<Workload> workloads;
+  for (const char* name : {"adpcm", "fft", "sor", "whetstone"}) {
+    workloads.push_back(build_workload(name));
+  }
+
+  server::ServerConfig config;
+  config.workers = opt.workers;
+  config.queue_capacity = opt.queue_cap;
+  config.specializer.jobs = opt.jobs;
+  config.cache_journal_file = opt.journal_file;
+  config.journal_fsync = opt.fsync;
+  server::SpecializationServer srv(config);
+  server::ServerTraceObserver tracer(stderr);
+  if (opt.trace) srv.add_observer(&tracer);
+
+  // Per-tenant submission threads: each draws its own rng stream from the
+  // workload seed, picks an app, a priority in 0..2, and sleeps a jittered
+  // arrival gap before the next submit.
+  std::vector<std::vector<server::Ticket>> tickets(opt.tenants);
+  std::vector<std::thread> submitters;
+  submitters.reserve(opt.tenants);
+  for (unsigned t = 0; t < opt.tenants; ++t) {
+    submitters.emplace_back([&, t] {
+      support::Xoshiro256 rng(support::SplitMix64(opt.seed + t).next());
+      for (unsigned r = 0; r < opt.requests; ++r) {
+        const Workload& w = workloads[(t + rng() % workloads.size()) %
+                                      workloads.size()];
+        server::SpecializationRequest req;
+        req.tenant = "tenant-" + std::to_string(t);
+        req.module = w.module;
+        req.profile = w.profile;
+        req.priority = int(rng() % 3);
+        req.deadline_ms = opt.deadline_ms;
+        tickets[t].push_back(srv.submit(std::move(req)));
+        const auto gap =
+            std::chrono::microseconds(rng() % (2ull * opt.arrival_us + 1));
+        std::this_thread::sleep_for(gap);
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (auto& per_tenant : tickets) {
+    for (auto& ticket : per_tenant) (void)ticket.wait();
+  }
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  support::TextTable table({"tenant", "subm", "done", "rej", "exp", "canc",
+                            "fail", "p50 ms", "p95 ms", "p99 ms", "req/s"});
+  for (const auto& [tenant, ts] : stats.tenants) {
+    table.add_row({tenant, support::strf("%llu", (unsigned long long)ts.submitted),
+                   support::strf("%llu", (unsigned long long)ts.completed),
+                   support::strf("%llu", (unsigned long long)ts.rejected),
+                   support::strf("%llu", (unsigned long long)ts.expired),
+                   support::strf("%llu", (unsigned long long)ts.cancelled),
+                   support::strf("%llu", (unsigned long long)ts.failed),
+                   support::strf("%.2f", ts.p50_ms),
+                   support::strf("%.2f", ts.p95_ms),
+                   support::strf("%.2f", ts.p99_ms),
+                   support::strf("%.2f", ts.throughput_rps)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nserver: uptime %.2fs, queue high-water %zu, rejections %llu, "
+      "expiries %llu, cancellations %llu, lent sessions %llu\n",
+      stats.uptime_s, stats.queue_high_water,
+      (unsigned long long)stats.admission_rejections,
+      (unsigned long long)stats.expiries,
+      (unsigned long long)stats.cancellations,
+      (unsigned long long)stats.lent_sessions);
+  std::printf(
+      "shared caches: bitstream %llu hits / %llu misses (%zu entries), "
+      "estimates %llu hits / %llu misses\n",
+      (unsigned long long)stats.cache_hits,
+      (unsigned long long)stats.cache_misses, stats.cache_entries,
+      (unsigned long long)stats.estimate_hits,
+      (unsigned long long)stats.estimate_misses);
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
 
 namespace jitise::estimation {
@@ -49,6 +50,40 @@ CandidateEstimate estimate_candidate(const dfg::BlockDfg& graph,
                       std::ceil(est.hw_latency_ns / cpu_period_ns));
   est.saved_per_exec =
       std::max(0.0, static_cast<double>(est.sw_cycles) - est.hw_cycles);
+  return est;
+}
+
+std::optional<CandidateEstimate> EstimateCache::lookup(
+    std::uint64_t signature) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = map_.find(signature);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void EstimateCache::insert(std::uint64_t signature,
+                           const CandidateEstimate& est) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.emplace(signature, est);
+}
+
+std::size_t EstimateCache::entries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+CandidateEstimate estimate_candidate_cached(
+    const dfg::BlockDfg& graph, const ise::Candidate& cand,
+    hwlib::CircuitDb& db, const vm::CostModel& cpu, const FcmTiming& fcm,
+    std::uint64_t signature, EstimateCache* cache) {
+  if (cache == nullptr) return estimate_candidate(graph, cand, db, cpu, fcm);
+  if (auto hit = cache->lookup(signature)) return *hit;
+  const CandidateEstimate est = estimate_candidate(graph, cand, db, cpu, fcm);
+  cache->insert(signature, est);
   return est;
 }
 

@@ -9,7 +9,11 @@
 //   saving   = (SW - HW) x block execution frequency
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "hwlib/component.hpp"
 #include "ise/candidate.hpp"
@@ -49,5 +53,50 @@ struct CandidateEstimate {
                                                    hwlib::CircuitDb& db,
                                                    const vm::CostModel& cpu,
                                                    const FcmTiming& fcm = {});
+
+/// Whole-candidate estimate memo keyed by the candidate's structural
+/// signature (ise::candidate_signature). An estimate depends only on the
+/// candidate's structure and the cost/timing models, so two structurally
+/// identical candidates — in different blocks, different applications, or
+/// different tenants of the specialization server — share one computation.
+/// CircuitDb memoizes per *component*; this sits one level up, deduplicating
+/// at candidate granularity before the selector ever sees the score.
+///
+/// Thread-safe with the same shared-lock double-checked idiom as CircuitDb:
+/// reads take a shared lock, a miss upgrades to exclusive to publish. A
+/// caller mixing cost/timing models across one cache would get stale values —
+/// callers (pipeline, server) key one cache per SpecializerConfig.
+class EstimateCache {
+ public:
+  [[nodiscard]] std::optional<CandidateEstimate> lookup(
+      std::uint64_t signature) const;
+
+  /// Publishes `est` for `signature` (first writer wins; a concurrent
+  /// duplicate insert of the — deterministic — same value is a no-op).
+  void insert(std::uint64_t signature, const CandidateEstimate& est);
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, CandidateEstimate> map_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+/// `estimate_candidate` through an optional EstimateCache: a hit skips the
+/// walk entirely, a miss computes and publishes. `cache == nullptr` degrades
+/// to the plain call. `signature` must be ise::candidate_signature(graph,
+/// cand) — the caller usually has it already for CAD-result keying.
+[[nodiscard]] CandidateEstimate estimate_candidate_cached(
+    const dfg::BlockDfg& graph, const ise::Candidate& cand,
+    hwlib::CircuitDb& db, const vm::CostModel& cpu, const FcmTiming& fcm,
+    std::uint64_t signature, EstimateCache* cache);
 
 }  // namespace jitise::estimation

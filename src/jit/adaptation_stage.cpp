@@ -35,6 +35,10 @@ SpecializationResult AdaptationStage::run(
 
   double saved_cycles_total = 0.0;
   for (std::size_t k = 0; k < search.selection.chosen.size(); ++k) {
+    // Cancellation point: between candidates, before any of this
+    // candidate's bookkeeping — never between a cache insert and its
+    // journal record, so cancellation can't tear the shared cache state.
+    config_.cancel.check();
     const std::size_t idx = search.selection.chosen[k];
     const ise::ScoredCandidate& sc = search.scored[idx];
     const estimation::CandidateEstimate& est = search.estimates[idx];

@@ -52,6 +52,11 @@ class CacheJournalSink {
   /// Flushes buffered records to durable storage; returns how many records
   /// were flushed. Never called under cache locks.
   virtual std::size_t sync() = 0;
+  /// Opts the sink into power-loss durability: subsequent `sync()`s must
+  /// reach stable storage (fdatasync), and compactions must fsync the
+  /// renamed file and its directory. Default ignores the request (a sink
+  /// whose crash model is process death only). Sticky once enabled.
+  virtual void set_fsync(bool /*enabled*/) {}
   /// Optionally rewrites the backing store from `cache`'s live state when a
   /// size/garbage trigger fires; returns true when a compaction ran. Never
   /// called under cache locks.

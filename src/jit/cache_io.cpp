@@ -1,5 +1,6 @@
 #include "jit/cache_io.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -190,11 +191,36 @@ std::string read_string(std::FILE* f) {
   return s;
 }
 
+/// Pushes stdio-flushed bytes of `f` down to stable storage.
+void fdatasync_file(std::FILE* f, const std::string& what) {
+  if (::fdatasync(::fileno(f)) != 0)
+    throw std::runtime_error(what + ": fdatasync failed");
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed entry
+/// durable (a rename is only on stable storage once its directory is).
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0)
+    throw std::runtime_error("cannot open directory for fsync: " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw std::runtime_error("directory fsync failed: " + dir);
+}
+
 /// Opens `<path>.tmp`, lets `fill` write into it, and renames over `path` —
 /// so an interrupted save (exception, injected crash) can never destroy the
-/// previous good file. On failure the temp file is removed.
+/// previous good file. On failure the temp file is removed. With `durable`,
+/// the temp file is fdatasynced before the rename and the directory is
+/// fsynced after it, so the replacement survives power loss, not just
+/// process death.
 template <typename Fill>
-void atomic_rewrite(const std::string& path, const Fill& fill) {
+void atomic_rewrite(const std::string& path, const Fill& fill,
+                    bool durable = false) {
   const std::string tmp = path + ".tmp";
   {
     File f(std::fopen(tmp.c_str(), "wb"));
@@ -205,6 +231,7 @@ void atomic_rewrite(const std::string& path, const Fill& fill) {
       fill(w);
       if (std::fflush(f.get()) != 0)
         throw std::runtime_error("cache file: flush failed");
+      if (durable) fdatasync_file(f.get(), "cache file '" + tmp + "'");
     } catch (...) {
       f.reset();
       std::remove(tmp.c_str());
@@ -215,6 +242,7 @@ void atomic_rewrite(const std::string& path, const Fill& fill) {
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot rename " + tmp + " over " + path);
   }
+  if (durable) fsync_parent_dir(path);
 }
 
 /// Writes a complete v2 journal for `entries` (most-recent-first, as
@@ -224,17 +252,21 @@ void atomic_rewrite(const std::string& path, const Fill& fill) {
 void write_v2_file(
     const std::string& path,
     const std::vector<std::pair<std::uint64_t, CachedImplementation>>&
-        entries) {
-  atomic_rewrite(path, [&](Writer& w) {
-    w.pod(kMagic);
-    w.pod(kVersionV2);
-    std::uint64_t stamp = 0;
-    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-      const auto frame = make_record(kKindInsert, ++stamp, it->first,
-                                     &it->second);
-      w.bytes(frame.data(), frame.size());
-    }
-  });
+        entries,
+    bool durable = false) {
+  atomic_rewrite(
+      path,
+      [&](Writer& w) {
+        w.pod(kMagic);
+        w.pod(kVersionV2);
+        std::uint64_t stamp = 0;
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+          const auto frame = make_record(kKindInsert, ++stamp, it->first,
+                                         &it->second);
+          w.bytes(frame.data(), frame.size());
+        }
+      },
+      durable);
 }
 
 /// v2 replay: applies wholly intact records in file order; stops at the
@@ -511,6 +543,8 @@ std::size_t CacheJournal::sync() {
                   std::min(kAppendChunk, bytes.size() - at));
   if (std::fflush(file_) != 0)
     throw std::runtime_error("cache journal '" + path_ + "': flush failed");
+  if (fsync_.load(std::memory_order_relaxed))
+    fdatasync_file(file_, "cache journal '" + path_ + "'");
   file_records_.fetch_add(records, std::memory_order_relaxed);
   return records;
 }
@@ -529,8 +563,10 @@ void CacheJournal::compact(const BitstreamCache& cache) {
   std::lock_guard<std::mutex> lock(file_mu_);
   // Write the replacement fully before touching the live file: if this
   // throws (I/O failure or injected crash), the old journal and the open
-  // append handle both survive.
-  write_v2_file(path_, entries);
+  // append handle both survive. In fsync mode the rewrite is durable end to
+  // end: the tmp file is fdatasynced before the rename, the directory
+  // fsynced after it.
+  write_v2_file(path_, entries, fsync_.load(std::memory_order_relaxed));
   // write_v2_file's rename already atomically replaced the path; the old
   // handle now points at the unlinked inode — reopen on the new file.
   if (file_ != nullptr) std::fclose(file_);

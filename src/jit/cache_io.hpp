@@ -106,8 +106,21 @@ class CacheJournal final : public CacheJournalSink {
                      const CachedImplementation& entry) override;
   void record_evict(std::uint64_t signature) override;
   /// Appends all buffered records to the journal and flushes; returns how
-  /// many records were written.
+  /// many records were written. In fsync mode the append is also
+  /// `fdatasync`ed, extending the crash model from process death to power
+  /// loss.
   std::size_t sync() override;
+  /// Durability mode (see CacheJournalSink::set_fsync): when enabled,
+  /// `sync()` fdatasyncs the journal fd and `compact()` fsyncs the rewritten
+  /// file and its directory around the rename. Plumbed from
+  /// `SpecializerConfig::journal_fsync` by the pipeline's persistence tail
+  /// and from `--suite-cache-fsync` by the bench drivers.
+  void set_fsync(bool enabled) override {
+    fsync_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool fsync_enabled() const noexcept {
+    return fsync_.load(std::memory_order_relaxed);
+  }
   /// `sync()` + compaction when `policy` triggers against `cache`'s live
   /// entry count; returns true when the file was rewritten.
   bool maybe_compact(const BitstreamCache& cache) override;
@@ -143,6 +156,7 @@ class CacheJournal final : public CacheJournalSink {
   const std::string path_;
   const CompactionPolicy policy_;
   std::vector<Shard> shards_;
+  std::atomic<bool> fsync_{false};
   std::atomic<std::uint64_t> stamp_{0};
   std::atomic<std::uint64_t> file_records_{0};
   std::atomic<std::uint64_t> compactions_{0};

@@ -20,6 +20,10 @@ NetlistArtifact NetlistGenStage::run(const dfg::BlockDfg& graph,
 
 ImplementationArtifact ImplementationStage::run(
     const NetlistArtifact& netlist, PipelineObserver& observer) const {
+  // Stage-boundary cancellation point (runs on whichever worker owns the
+  // candidate): a cancelled request skips the CAD flow before it starts, so
+  // no partial implementation ever reaches the shared cache.
+  config_.cancel.check();
   ImplementationArtifact art;
   art.dispatched = true;
   try {

@@ -113,7 +113,8 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
     };
   }
 
-  search_.run(module, profile, db, obs, art, on_block, search_workers);
+  search_.run(module, profile, db, obs, art, on_block, search_workers,
+              estimates_);
 
   std::vector<std::string> names(art.selection.chosen.size());
   for (std::size_t k = 0; k < names.size(); ++k)
@@ -121,6 +122,9 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
         module, art.scored[art.selection.chosen[k]].candidate, k);
 
   if (hardware) {
+    // Stage boundary: a request cancelled during (or right after) search
+    // stops before committing to the final dispatch sweep.
+    config_.cancel.check();
     if (!pool && jobs > 1 && art.selection.chosen.size() > 1)
       pool.emplace(static_cast<unsigned>(
           std::min<std::size_t>(cad_workers, art.selection.chosen.size())));
@@ -130,6 +134,10 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
     if (pool) pool->wait_all();
     obs.on_phase_exit(PipelinePhase::Implementation, impl_timer->elapsed_ms());
   }
+
+  // Stage boundary: last check before the order-sensitive serial tail (the
+  // tail re-checks between candidates, never mid-mutation).
+  config_.cancel.check();
 
   const AdaptationStage::ImplLookupFn lookup =
       [&](std::uint64_t sig) -> const ImplementationArtifact* {
@@ -152,6 +160,7 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
   // never loses the bitstreams this run paid for.
   if (cache_ != nullptr && config_.sync_cache_journal) {
     if (CacheJournalSink* journal = cache_->journal()) {
+      if (config_.journal_fsync) journal->set_fsync(true);
       const std::size_t flushed = journal->sync();
       const bool compacted = journal->maybe_compact(*cache_);
       obs.on_cache_journal_sync(flushed, compacted);

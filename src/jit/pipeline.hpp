@@ -69,10 +69,15 @@ class CandidateSearchStage {
   /// results strictly in block order, so the artifact, every observer
   /// event asserted by tests, and the `on_block` stream are bit-identical
   /// to the `workers == 1` serial loop.
+  ///
+  /// `estimates` (optional) memoizes whole-candidate estimation by
+  /// signature; estimates are pure functions of candidate structure, so the
+  /// artifact is bit-identical with or without it.
   void run(const ir::Module& module, const vm::Profile& profile,
            hwlib::CircuitDb& db, PipelineObserver& observer,
            SearchArtifact& out, const BlockScoredFn& on_block = {},
-           unsigned workers = 1) const;
+           unsigned workers = 1,
+           estimation::EstimateCache* estimates = nullptr) const;
 
  private:
   const SpecializerConfig& config_;
@@ -144,10 +149,14 @@ class AdaptationStage {
 
 class SpecializationPipeline {
  public:
+  /// `cache` and `estimates` are borrowed, may be shared across concurrent
+  /// pipelines (both are internally synchronized), and may be null.
   explicit SpecializationPipeline(const SpecializerConfig& config,
-                                  BitstreamCache* cache = nullptr)
+                                  BitstreamCache* cache = nullptr,
+                                  estimation::EstimateCache* estimates = nullptr)
       : config_(config),
         cache_(cache),
+        estimates_(estimates),
         search_(config_),
         implement_(config_),
         adapt_(config_, cache_) {}
@@ -161,6 +170,7 @@ class SpecializationPipeline {
  private:
   SpecializerConfig config_;
   BitstreamCache* cache_;
+  estimation::EstimateCache* estimates_ = nullptr;
   CandidateSearchStage search_;
   NetlistGenStage netlist_;
   ImplementationStage implement_;

@@ -44,8 +44,9 @@ struct BlockSearchResult {
 void CandidateSearchStage::run(const ir::Module& module,
                                const vm::Profile& profile, hwlib::CircuitDb& db,
                                PipelineObserver& observer, SearchArtifact& out,
-                               const BlockScoredFn& on_block,
-                               unsigned workers) const {
+                               const BlockScoredFn& on_block, unsigned workers,
+                               estimation::EstimateCache* estimates) const {
+  config_.cancel.check();
   observer.on_phase_enter(PipelinePhase::CandidateSearch);
   support::Stopwatch timer;
 
@@ -57,6 +58,9 @@ void CandidateSearchStage::run(const ir::Module& module,
   // estimation. Deterministic per block and independent across blocks, so it
   // may run on any thread in any order.
   const auto search_block = [&](std::size_t b) {
+    // Worker-side cancellation point: lets a cancelled run's not-yet-started
+    // block tasks exit immediately instead of searching to be discarded.
+    config_.cancel.check();
     BlockSearchResult res;
     support::Stopwatch block_timer;
     const ise::PrunedBlock& blk = art.prune.blocks[b];
@@ -67,10 +71,16 @@ void CandidateSearchStage::run(const ir::Module& module,
                           : ise::find_max_misos(*res.graph);
     for (ise::Candidate& cand : identified) {
       cand.function = blk.function;
-      const auto est = estimation::estimate_candidate(*res.graph, cand, db,
-                                                      config_.cpu, config_.fcm);
+      // Signature first: it keys the whole-candidate estimate memo (and,
+      // later, the CAD-result slots), deduplicating structurally identical
+      // candidates across blocks, apps and tenants.
+      const std::uint64_t signature =
+          ise::candidate_signature(*res.graph, cand);
+      const auto est = estimation::estimate_candidate_cached(
+          *res.graph, cand, db, config_.cpu, config_.fcm, signature,
+          estimates);
       ise::ScoredCandidate scored;
-      scored.signature = ise::candidate_signature(*res.graph, cand);
+      scored.signature = signature;
       scored.candidate = std::move(cand);
       scored.cycles_saved_total =
           est.saved_per_exec * static_cast<double>(blk.exec_count);
@@ -86,6 +96,10 @@ void CandidateSearchStage::run(const ir::Module& module,
   // pipeline thread, strictly in block order — this is what keeps
   // `workers=N` bit-identical to the serial loop.
   const auto absorb = [&](std::size_t b, BlockSearchResult&& res) {
+    // Cancellation point: between blocks, on the pipeline thread, before
+    // the block's results touch the artifact — a cancelled search leaves a
+    // consistent prefix of absorbed blocks.
+    config_.cancel.check();
     observer.on_block_searched(b, res.scored.size(), res.real_ms);
     const std::size_t graph_index = art.graphs.size();
     for (std::size_t i = 0; i < res.scored.size(); ++i) {

@@ -32,8 +32,9 @@ std::uint32_t fcm_hw_cycles(double latency_ns, const SpecializerConfig& cfg) {
 SpecializationResult specialize(const ir::Module& module,
                                 const vm::Profile& profile,
                                 const SpecializerConfig& config,
-                                BitstreamCache* cache) {
-  SpecializationPipeline pipeline(config, cache);
+                                BitstreamCache* cache,
+                                estimation::EstimateCache* estimates) {
+  SpecializationPipeline pipeline(config, cache, estimates);
   TraceObserver trace;
   if (config.trace_stages) pipeline.add_observer(&trace);
   return pipeline.run(module, profile);

@@ -13,6 +13,7 @@
 #include "ise/pruning.hpp"
 #include "ise/selection.hpp"
 #include "jit/cache.hpp"
+#include "support/cancellation.hpp"
 #include "woolcano/asip.hpp"
 
 namespace jitise::jit {
@@ -63,6 +64,20 @@ struct SpecializerConfig {
   /// `on_cache_journal_sync`. Off leaves durability entirely to the
   /// caller's explicit `sync()`.
   bool sync_cache_journal = true;
+  /// Power-loss durability for the persistence tail: before syncing an
+  /// attached journal, switch it to fsync mode (`CacheJournalSink::
+  /// set_fsync`), so the flushed records are `fdatasync`ed to stable storage
+  /// (and compaction fsyncs the renamed file and its directory). Off keeps
+  /// the process-death crash model only (stdio flush).
+  bool journal_fsync = false;
+  /// Cooperative cancellation (jit/pipeline checks it at stage boundaries:
+  /// between search blocks, before each CAD dispatch/run, and between
+  /// serial-tail candidates — never inside a cache or journal mutation, so a
+  /// cancelled run can never tear shared state). A default-constructed token
+  /// never cancels. When it fires, the pipeline throws
+  /// support::CancelledError; the caller (the specialization server) reports
+  /// partial progress via its observers.
+  support::CancellationToken cancel;
 
   /// Resolves the Phase-1 worker count from the one shared jobs budget.
   /// `total_jobs` is the resolved pool budget (>= 1). When `overlapping`,
@@ -128,11 +143,14 @@ struct SpecializationResult {
                                           const SpecializerConfig& config);
 
 /// Runs the complete ASIP-SP against a profiled module. If `cache` is given,
-/// implementations are looked up/inserted by candidate signature.
-[[nodiscard]] SpecializationResult specialize(const ir::Module& module,
-                                              const vm::Profile& profile,
-                                              const SpecializerConfig& config,
-                                              BitstreamCache* cache = nullptr);
+/// implementations are looked up/inserted by candidate signature. If
+/// `estimates` is given, per-candidate estimation memoizes into it by
+/// candidate signature (share one across runs/tenants to dedup identical
+/// candidates; results are bit-identical with or without it).
+[[nodiscard]] SpecializationResult specialize(
+    const ir::Module& module, const vm::Profile& profile,
+    const SpecializerConfig& config, BitstreamCache* cache = nullptr,
+    estimation::EstimateCache* estimates = nullptr);
 
 /// The paper's Table-I "ASIP ratio" upper bound: every MAXMISO candidate in
 /// every executed block is assumed implemented (no pruning, no budgets, no

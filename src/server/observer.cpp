@@ -1,0 +1,45 @@
+#include "server/observer.hpp"
+
+namespace jitise::server {
+
+void ServerTraceObserver::on_admitted(std::uint64_t id,
+                                      const std::string& tenant,
+                                      std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[server] admit   #%llu tenant=%s depth=%zu\n",
+               static_cast<unsigned long long>(id), tenant.c_str(), depth);
+}
+
+void ServerTraceObserver::on_rejected(std::uint64_t id,
+                                      const std::string& tenant,
+                                      const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[server] reject  #%llu tenant=%s (%s)\n",
+               static_cast<unsigned long long>(id), tenant.c_str(),
+               reason.c_str());
+}
+
+void ServerTraceObserver::on_started(std::uint64_t id,
+                                     const std::string& tenant, bool lent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[server] start   #%llu tenant=%s%s\n",
+               static_cast<unsigned long long>(id), tenant.c_str(),
+               lent ? " (lent slot)" : "");
+}
+
+void ServerTraceObserver::on_finished(const RequestOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[server] %-7s #%llu tenant=%s total=%.2fms%s%s\n",
+               state_name(outcome.state),
+               static_cast<unsigned long long>(outcome.id),
+               outcome.tenant.c_str(), outcome.total_ms,
+               outcome.reason.empty() ? "" : " — ", outcome.reason.c_str());
+}
+
+void ServerTraceObserver::on_drained(std::size_t synced, bool compacted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[server] drained (journal records synced=%zu%s)\n",
+               synced, compacted ? ", compacted" : "");
+}
+
+}  // namespace jitise::server

@@ -1,0 +1,107 @@
+// Observer hook layer for the SpecializationServer — the service-level
+// sibling of jit::PipelineObserver. The server emits typed lifecycle events
+// (admission, rejection, session start, terminal outcome, drain) instead of
+// ad-hoc prints; the latency/throughput bookkeeping behind `stats()` is
+// itself implemented as one of these observers.
+//
+// Events fire from the submitting thread (`on_admitted`/`on_rejected`) and
+// from worker sessions (everything else), so implementations must be
+// internally synchronized, and must not call back into the server (they run
+// outside the server's scheduler lock, but a re-entrant submit() from an
+// observer would deadlock a drain).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/request.hpp"
+
+namespace jitise::server {
+
+class ServerObserver {
+ public:
+  virtual ~ServerObserver() = default;
+
+  /// A request passed admission; `queue_depth` is the pending count right
+  /// after it was enqueued (the high-water stat watches this).
+  virtual void on_admitted(std::uint64_t /*id*/, const std::string& /*tenant*/,
+                           std::size_t /*queue_depth*/) {}
+  /// Backpressure: the request was turned away (`reason` says why — queue
+  /// full, server draining). Its ticket is already terminal.
+  virtual void on_rejected(std::uint64_t /*id*/, const std::string& /*tenant*/,
+                           const std::string& /*reason*/) {}
+  /// A worker session picked the request up. `lent_slot` marks a session
+  /// admitted on capacity lent by a running request whose search phase has
+  /// finished (the overlap_phases idle-half policy).
+  virtual void on_started(std::uint64_t /*id*/, const std::string& /*tenant*/,
+                          bool /*lent_slot*/) {}
+  /// A running request's candidate search completed (fired from the session
+  /// thread); the scheduler may now lend one session slot against it.
+  virtual void on_search_complete(std::uint64_t /*id*/) {}
+  /// Terminal outcome (Done/Failed/Cancelled/Expired). The reference is
+  /// only guaranteed during the call.
+  virtual void on_finished(const RequestOutcome& /*outcome*/) {}
+  /// drain() finished: every admitted request is terminal and the shared
+  /// journal (if any) flushed `synced_records` and possibly compacted.
+  virtual void on_drained(std::size_t /*synced_records*/,
+                          bool /*compacted*/) {}
+};
+
+/// Fans events out to a list of observers (none owned).
+class ServerObserverList final : public ServerObserver {
+ public:
+  void add(ServerObserver* observer) {
+    if (observer) observers_.push_back(observer);
+  }
+
+  void on_admitted(std::uint64_t id, const std::string& tenant,
+                   std::size_t depth) override {
+    for (auto* o : observers_) o->on_admitted(id, tenant, depth);
+  }
+  void on_rejected(std::uint64_t id, const std::string& tenant,
+                   const std::string& reason) override {
+    for (auto* o : observers_) o->on_rejected(id, tenant, reason);
+  }
+  void on_started(std::uint64_t id, const std::string& tenant,
+                  bool lent) override {
+    for (auto* o : observers_) o->on_started(id, tenant, lent);
+  }
+  void on_search_complete(std::uint64_t id) override {
+    for (auto* o : observers_) o->on_search_complete(id);
+  }
+  void on_finished(const RequestOutcome& outcome) override {
+    for (auto* o : observers_) o->on_finished(outcome);
+  }
+  void on_drained(std::size_t synced, bool compacted) override {
+    for (auto* o : observers_) o->on_drained(synced, compacted);
+  }
+
+ private:
+  std::vector<ServerObserver*> observers_;
+};
+
+/// Mutex-guarded one-line-per-event stderr sink (the server's `--trace`
+/// analogue of jit::TraceObserver).
+class ServerTraceObserver final : public ServerObserver {
+ public:
+  explicit ServerTraceObserver(std::FILE* sink = stderr) : sink_(sink) {}
+
+  void on_admitted(std::uint64_t id, const std::string& tenant,
+                   std::size_t depth) override;
+  void on_rejected(std::uint64_t id, const std::string& tenant,
+                   const std::string& reason) override;
+  void on_started(std::uint64_t id, const std::string& tenant,
+                  bool lent) override;
+  void on_finished(const RequestOutcome& outcome) override;
+  void on_drained(std::size_t synced, bool compacted) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* sink_;
+};
+
+}  // namespace jitise::server

@@ -1,0 +1,128 @@
+// Client-facing request/ticket types of the specialization service.
+//
+// A client submits a SpecializationRequest (module + profile + tenant id +
+// priority + optional deadline) and receives a Ticket — a future-like handle
+// it can wait on, poll, or cancel. The server resolves every admitted ticket
+// exactly once with a terminal RequestOutcome; rejected submissions come
+// back already terminal (state Rejected, with the admission reason).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "ir/module.hpp"
+#include "jit/specializer.hpp"
+#include "support/cancellation.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jitise::server {
+
+/// One unit of service work. Module and profile are shared-ownership so the
+/// queue can outlive the submitting scope (many requests typically alias one
+/// prebuilt module/profile pair).
+struct SpecializationRequest {
+  std::string tenant;  // fairness / accounting key; "" folds into "default"
+  std::shared_ptr<const ir::Module> module;
+  std::shared_ptr<const vm::Profile> profile;
+  /// Higher runs first *within* the tenant's queue; fairness across tenants
+  /// is round-robin regardless of priority (one tenant's high priorities
+  /// never starve another tenant).
+  int priority = 0;
+  /// Service deadline in milliseconds from submission (covers queue wait and
+  /// execution); 0 = none. An expired request stops at the pipeline's next
+  /// cancellation point and resolves as Expired with partial progress.
+  double deadline_ms = 0.0;
+};
+
+enum class RequestState : std::uint8_t {
+  Queued,     // admitted, waiting for a session slot
+  Running,    // a worker session is executing the pipeline
+  Done,       // finished; outcome.result holds the SpecializationResult
+  Failed,     // the pipeline threw (outcome.reason has the error)
+  Cancelled,  // cooperatively cancelled via Ticket::cancel()
+  Expired,    // the request's deadline passed before it finished
+  Rejected,   // never admitted (queue full / server draining)
+};
+
+[[nodiscard]] const char* state_name(RequestState state) noexcept;
+[[nodiscard]] constexpr bool is_terminal(RequestState state) noexcept {
+  return state != RequestState::Queued && state != RequestState::Running;
+}
+
+/// Pipeline progress counters, filled from observer events. For a Done
+/// request they describe the whole run; for a cancelled/expired one they are
+/// the partial stats of how far it got.
+struct RequestProgress {
+  std::size_t blocks_searched = 0;
+  std::size_t candidates_found = 0;
+  std::size_t dispatched = 0;     // CAD chains started (incl. speculative)
+  std::size_t implemented = 0;    // CAD chains that produced a bitstream
+  std::size_t cad_failures = 0;   // candidates the tool flow rejected
+  bool search_complete = false;   // the search phase ran to the end
+};
+
+struct RequestOutcome {
+  std::uint64_t id = 0;
+  std::string tenant;
+  RequestState state = RequestState::Queued;
+  std::string reason;  // rejection / cancellation / failure detail
+  std::optional<jit::SpecializationResult> result;  // Done only
+  RequestProgress progress;
+  double queue_ms = 0.0;  // admission -> session start (0 if never started)
+  double run_ms = 0.0;    // session start -> terminal
+  double total_ms = 0.0;  // admission -> terminal (the latency the
+                          // percentile table reports)
+};
+
+namespace detail {
+
+/// Shared state behind a Ticket; the server resolves it, clients wait on it.
+struct TicketState {
+  std::mutex mu;
+  std::condition_variable cv;
+  RequestOutcome outcome;  // guarded by mu until terminal, immutable after
+  bool terminal = false;   // guarded by mu
+  support::CancellationSource cancel;
+  std::chrono::steady_clock::time_point submitted_at{};
+  std::chrono::steady_clock::time_point started_at{};
+};
+
+}  // namespace detail
+
+/// Future-like handle on a submitted request. Copyable; all copies share the
+/// same underlying state.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const;
+  [[nodiscard]] RequestState state() const;
+
+  /// Blocks until the request reaches a terminal state; the returned
+  /// reference stays valid for the ticket's lifetime (terminal outcomes are
+  /// immutable).
+  const RequestOutcome& wait() const;
+
+  /// Non-blocking: a copy of the outcome once terminal, nullopt before.
+  [[nodiscard]] std::optional<RequestOutcome> poll() const;
+
+  /// Requests cooperative cancellation. Queued requests resolve Cancelled
+  /// when the scheduler reaches them; a running one stops at the pipeline's
+  /// next stage boundary with partial progress. No-op once terminal.
+  void cancel() const;
+
+ private:
+  friend class SpecializationServer;
+  explicit Ticket(std::shared_ptr<detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+};
+
+}  // namespace jitise::server

@@ -1,0 +1,394 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "jit/pipeline.hpp"
+
+namespace jitise::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+/// Per-session progress tap: counts pipeline events into atomics (CAD events
+/// fire from pool workers) and tells the server when the session's search
+/// phase ends so the scheduler can lend a slot against it.
+class SpecializationServer::SessionPipelineObserver final
+    : public jit::PipelineObserver {
+ public:
+  SessionPipelineObserver(SpecializationServer& server, std::uint64_t id)
+      : server_(server), id_(id) {}
+
+  void on_phase_exit(jit::PipelinePhase phase, double) override {
+    if (phase != jit::PipelinePhase::CandidateSearch) return;
+    search_complete_.store(true, std::memory_order_relaxed);
+    if (!noted_.exchange(true, std::memory_order_relaxed)) {
+      server_.note_search_complete(id_);
+    }
+  }
+  void on_block_scored(std::size_t, std::size_t found, std::size_t) override {
+    blocks_.fetch_add(1, std::memory_order_relaxed);
+    found_.store(found, std::memory_order_relaxed);
+  }
+  void on_candidate_dispatched(std::uint64_t, bool) override {
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_candidate_implemented(const std::string&, std::uint64_t,
+                                const cad::ImplementationResult&) override {
+    implemented_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_candidate_failed(const std::string&, std::uint64_t) override {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Whether the server was told to lend against this session (the worker
+  /// must return that slot when the session ends).
+  [[nodiscard]] bool lending_noted() const noexcept {
+    return noted_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] RequestProgress progress() const {
+    RequestProgress p;
+    p.blocks_searched = blocks_.load(std::memory_order_relaxed);
+    p.candidates_found = found_.load(std::memory_order_relaxed);
+    p.dispatched = dispatched_.load(std::memory_order_relaxed);
+    p.implemented = implemented_.load(std::memory_order_relaxed);
+    p.cad_failures = failed_.load(std::memory_order_relaxed);
+    p.search_complete = search_complete_.load(std::memory_order_relaxed);
+    return p;
+  }
+
+ private:
+  SpecializationServer& server_;
+  const std::uint64_t id_;
+  std::atomic<std::size_t> blocks_{0};
+  std::atomic<std::size_t> found_{0};
+  std::atomic<std::size_t> dispatched_{0};
+  std::atomic<std::size_t> implemented_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::atomic<bool> search_complete_{false};
+  std::atomic<bool> noted_{false};
+};
+
+SpecializationServer::SpecializationServer(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity_bytes),
+      started_at_(Clock::now()) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (!config_.cache_journal_file.empty()) {
+    journal_.emplace(config_.cache_journal_file);
+    journal_->set_fsync(config_.journal_fsync);
+    journal_->attach(cache_);
+  }
+  // Lent slots can double concurrency, so the thread pool is sized for the
+  // worst case up front; surplus threads just park on work_cv_.
+  const unsigned threads =
+      config_.workers + (config_.lend_idle_search_slots ? config_.workers : 0);
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SpecializationServer::~SpecializationServer() {
+  try {
+    drain();
+  } catch (...) {
+    // Best effort: journal I/O failure must not escape a destructor; the
+    // queue itself is always drained before drain() can throw.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Detach the sink before members destruct so the cache never touches a
+  // dead journal (members die in reverse order: journal_ before cache_).
+  cache_.set_journal(nullptr);
+}
+
+unsigned SpecializationServer::capacity_locked() const noexcept {
+  const unsigned lendable =
+      config_.lend_idle_search_slots
+          ? std::min(post_search_running_, config_.workers)
+          : 0;
+  return config_.workers + lendable;
+}
+
+Ticket SpecializationServer::submit(SpecializationRequest request) {
+  if (request.tenant.empty()) request.tenant = "default";
+  auto state = std::make_shared<detail::TicketState>();
+  state->submitted_at = Clock::now();
+
+  std::string reject_reason;
+  std::size_t depth = 0;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ++next_id_;
+    state->outcome.id = id;
+    state->outcome.tenant = request.tenant;
+    if (draining_ || stopping_) {
+      reject_reason = "server draining";
+    } else if (pending_count_ >= config_.queue_capacity) {
+      reject_reason = "admission queue full (capacity " +
+                      std::to_string(config_.queue_capacity) + ")";
+    } else {
+      if (request.deadline_ms > 0.0) {
+        state->cancel.set_deadline_in_ms(request.deadline_ms);
+      }
+      auto& queue = pending_[request.tenant];
+      // Priority orders within the tenant only: insert before the first
+      // strictly-lower-priority request, keeping FIFO among equals.
+      const int priority = request.priority;
+      auto pos = std::find_if(queue.begin(), queue.end(),
+                              [priority](const Session& s) {
+                                return s.request.priority < priority;
+                              });
+      queue.insert(pos, Session{id, std::move(request), state});
+      depth = ++pending_count_;
+    }
+  }
+
+  const std::string& tenant = state->outcome.tenant;
+  if (!reject_reason.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->outcome.state = RequestState::Rejected;
+      state->outcome.reason = reject_reason;
+      state->terminal = true;
+    }
+    state->cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++rejections_;
+      auto& ts = tenant_stats_[tenant];
+      ++ts.submitted;
+      ++ts.rejected;
+    }
+    observers_.on_rejected(id, tenant, reject_reason);
+    return Ticket(std::move(state));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++tenant_stats_[tenant].submitted;
+    queue_high_water_ = std::max(queue_high_water_, depth);
+  }
+  observers_.on_admitted(id, tenant, depth);
+  work_cv_.notify_one();
+  return Ticket(std::move(state));
+}
+
+SpecializationServer::Session SpecializationServer::pop_next_locked() {
+  // Round-robin across tenants with pending work: resume strictly after the
+  // last-served tenant, wrapping. Empty per-tenant queues are erased on pop,
+  // so every map entry is live.
+  auto it = pending_.upper_bound(rr_cursor_);
+  if (it == pending_.end()) it = pending_.begin();
+  rr_cursor_ = it->first;
+  Session session = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) pending_.erase(it);
+  --pending_count_;
+  return session;
+}
+
+void SpecializationServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || (pending_count_ > 0 && running_ < capacity_locked());
+    });
+    if (stopping_) return;
+    Session session = pop_next_locked();
+    const bool lent_slot = running_ >= config_.workers;
+    ++running_;
+    lock.unlock();
+
+    bool search_noted = false;
+    run_session(session, lent_slot, search_noted);
+
+    lock.lock();
+    --running_;
+    if (search_noted) --post_search_running_;
+    if (pending_count_ == 0 && running_ == 0) idle_cv_.notify_all();
+    // A freed (or reclaimed-lent) slot may unblock a parked worker.
+    work_cv_.notify_all();
+  }
+}
+
+void SpecializationServer::note_search_complete(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++post_search_running_;
+  }
+  observers_.on_search_complete(id);
+  work_cv_.notify_all();
+}
+
+void SpecializationServer::run_session(Session& session, bool lent_slot,
+                                       bool& search_noted) {
+  const auto& ticket = session.ticket;
+  const auto start = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    ticket->started_at = start;
+    ticket->outcome.state = RequestState::Running;
+    ticket->outcome.queue_ms = ms_between(ticket->submitted_at, start);
+  }
+  if (lent_slot) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++lent_sessions_;
+  }
+  observers_.on_started(session.id, session.request.tenant, lent_slot);
+
+  const support::CancellationToken token = ticket->cancel.token();
+  SessionPipelineObserver progress(*this, session.id);
+
+  // A request cancelled or expired while still queued resolves without ever
+  // entering the pipeline.
+  const support::CancelReason queued_reason = token.reason();
+  if (queued_reason != support::CancelReason::None) {
+    search_noted = progress.lending_noted();
+    resolve(ticket,
+            queued_reason == support::CancelReason::DeadlineExpired
+                ? RequestState::Expired
+                : RequestState::Cancelled,
+            queued_reason == support::CancelReason::DeadlineExpired
+                ? "deadline expired while queued"
+                : "cancelled while queued",
+            std::nullopt, progress.progress());
+    return;
+  }
+
+  jit::SpecializerConfig cfg = config_.specializer;
+  cfg.cancel = token;
+  cfg.journal_fsync = cfg.journal_fsync || config_.journal_fsync;
+
+  RequestState state = RequestState::Done;
+  std::string reason;
+  std::optional<jit::SpecializationResult> result;
+  try {
+    jit::SpecializationPipeline pipeline(
+        cfg, &cache_, config_.share_estimates ? &estimates_ : nullptr);
+    pipeline.add_observer(&progress);
+    if (config_.pipeline_observer) {
+      pipeline.add_observer(config_.pipeline_observer);
+    }
+    result = pipeline.run(*session.request.module, *session.request.profile);
+  } catch (const support::CancelledError& e) {
+    state = e.reason() == support::CancelReason::DeadlineExpired
+                ? RequestState::Expired
+                : RequestState::Cancelled;
+    reason = e.what();
+  } catch (const std::exception& e) {
+    state = RequestState::Failed;
+    reason = e.what();
+  }
+
+  search_noted = progress.lending_noted();
+  resolve(ticket, state, std::move(reason), std::move(result),
+          progress.progress());
+}
+
+void SpecializationServer::resolve(
+    const std::shared_ptr<detail::TicketState>& ticket, RequestState state,
+    std::string reason, std::optional<jit::SpecializationResult> result,
+    const RequestProgress& progress) {
+  const auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    auto& out = ticket->outcome;
+    out.state = state;
+    out.reason = std::move(reason);
+    out.result = std::move(result);
+    out.progress = progress;
+    out.run_ms = ms_between(ticket->started_at, now);
+    out.total_ms = ms_between(ticket->submitted_at, now);
+    ticket->terminal = true;
+  }
+  ticket->cv.notify_all();
+
+  const RequestOutcome& out = ticket->outcome;  // immutable once terminal
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    auto& ts = tenant_stats_[out.tenant];
+    switch (state) {
+      case RequestState::Done: ++ts.completed; break;
+      case RequestState::Failed: ++ts.failed; break;
+      case RequestState::Cancelled:
+        ++ts.cancelled;
+        ++cancellations_;
+        break;
+      case RequestState::Expired:
+        ++ts.expired;
+        ++expiries_;
+        break;
+      default: break;
+    }
+    tenant_latency_[out.tenant].add(out.total_ms);
+  }
+  observers_.on_finished(out);
+}
+
+void SpecializationServer::drain() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    work_cv_.notify_all();
+    idle_cv_.wait(lock, [&] { return pending_count_ == 0 && running_ == 0; });
+  }
+  std::size_t synced = 0;
+  bool compacted = false;
+  if (journal_) {
+    synced = journal_->sync();
+    compacted = journal_->maybe_compact(cache_);
+  }
+  observers_.on_drained(synced, compacted);
+}
+
+ServerStats SpecializationServer::stats() const {
+  ServerStats s;
+  const double uptime_s =
+      std::chrono::duration<double>(Clock::now() - started_at_).count();
+  s.uptime_s = uptime_s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.tenants = tenant_stats_;
+    for (auto& [tenant, ts] : s.tenants) {
+      const auto it = tenant_latency_.find(tenant);
+      if (it != tenant_latency_.end() && it->second.count() > 0) {
+        ts.p50_ms = it->second.percentile(50.0);
+        ts.p95_ms = it->second.percentile(95.0);
+        ts.p99_ms = it->second.percentile(99.0);
+        ts.mean_ms = support::mean_of(it->second.samples());
+      }
+      ts.throughput_rps =
+          uptime_s > 0.0 ? static_cast<double>(ts.completed) / uptime_s : 0.0;
+    }
+    s.queue_high_water = queue_high_water_;
+    s.admission_rejections = rejections_;
+    s.cancellations = cancellations_;
+    s.expiries = expiries_;
+    s.lent_sessions = lent_sessions_;
+  }
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_entries = cache_.entries();
+  s.estimate_hits = estimates_.hits();
+  s.estimate_misses = estimates_.misses();
+  return s;
+}
+
+}  // namespace jitise::server

@@ -1,0 +1,203 @@
+// SpecializationServer — the paper's deployment model (§V-D, Fig. 1) as a
+// long-running, multi-tenant service: applications execute on the VM while
+// the ASIP-SP runs concurrently and delivers bitstreams when ready. Many
+// concurrent applications compete for one specializer, one CAD budget and
+// one shared bitstream cache; the server arbitrates:
+//
+//   submit() ──▶ bounded admission queue ──▶ per-tenant round-robin
+//                (reject-with-reason           scheduler (priority FIFO
+//                 when full)                    within a tenant)
+//                                                   │
+//                       worker sessions (base `workers` slots, plus slots
+//                       lent against running sessions whose search phase
+//                       has finished) run SpecializationPipeline against
+//                       the ONE shared BitstreamCache + EstimateCache
+//
+// Fairness: the scheduler dequeues round-robin across tenants that have
+// pending work, so a tenant flooding the queue cannot starve another —
+// between any two dequeues of the flooding tenant, every other pending
+// tenant gets one. Priorities order requests within a tenant only.
+//
+// Slot lending (the `overlap_phases` idle-half policy, server edition):
+// under phase overlap a session's search workers — the ceiling half of its
+// jobs budget — go idle once the last block is absorbed. Instead of letting
+// that capacity idle, the scheduler lends ONE extra session slot per running
+// session that has completed its search phase (bounded by `workers`, so
+// concurrency never exceeds 2x base): the lent session's search half runs
+// on the lender's idle half. The lent slot is reclaimed when the lending
+// session finishes. Full work-stealing between the pools stays a follow-up.
+//
+// Cancellation/deadlines are cooperative: the pipeline polls the request's
+// token at stage boundaries only — never inside a cache or journal mutation
+// — so a cancelled or deadline-expired request resolves with partial
+// progress and can never tear the shared cache or leave the journal
+// unreplayable. drain() stops admission, runs every admitted request to a
+// terminal state, then syncs (and maybe compacts) the journal.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "estimation/estimator.hpp"
+#include "jit/cache.hpp"
+#include "jit/cache_io.hpp"
+#include "jit/observer.hpp"
+#include "jit/specializer.hpp"
+#include "server/observer.hpp"
+#include "server/request.hpp"
+#include "support/statistics.hpp"
+
+namespace jitise::server {
+
+struct ServerConfig {
+  /// Base concurrent worker sessions (0 clamps to 1). Each session runs one
+  /// SpecializationPipeline with `specializer.jobs` internal workers.
+  unsigned workers = 2;
+  /// Bound on admitted-but-not-started requests; a submit beyond it is
+  /// rejected with reason (backpressure, never silent queueing).
+  std::size_t queue_capacity = 64;
+  /// Lend one extra session slot per running session whose candidate search
+  /// has completed (see the policy note above). Off = fixed `workers` slots.
+  bool lend_idle_search_slots = true;
+  /// Per-session pipeline configuration (jobs, overlap, flow, ...). The
+  /// server overrides its `cancel` token per request and its
+  /// `journal_fsync` from the server-level flag.
+  jit::SpecializerConfig specializer;
+  /// Shared bitstream cache capacity in bytes (0 = unbounded).
+  std::size_t cache_capacity_bytes = 0;
+  /// When non-empty, the shared cache persists through a CacheJournal at
+  /// this path (replayed on startup, synced on drain and per session).
+  std::string cache_journal_file;
+  /// Power-loss durability for the journal (satellite of
+  /// SpecializerConfig::journal_fsync).
+  bool journal_fsync = false;
+  /// Share one per-signature EstimateCache across all sessions, so
+  /// identical candidates from different tenants are estimated once.
+  bool share_estimates = true;
+  /// Extra PipelineObserver installed on every session's pipeline (not
+  /// owned; must be internally synchronized and outlive the server). Used
+  /// by tests and tracing; null = none.
+  jit::PipelineObserver* pipeline_observer = nullptr;
+};
+
+/// Aggregate counters for one tenant, with request-latency percentiles over
+/// every terminal (admitted) request.
+struct TenantStats {
+  std::uint64_t submitted = 0;  // admitted + rejected
+  std::uint64_t completed = 0;  // Done
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t rejected = 0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double mean_ms = 0.0;
+  /// Completed requests per second of server uptime (snapshot-relative).
+  double throughput_rps = 0.0;
+};
+
+struct ServerStats {
+  std::map<std::string, TenantStats> tenants;
+  std::size_t queue_high_water = 0;
+  std::uint64_t admission_rejections = 0;
+  std::uint64_t cancellations = 0;  // terminal Cancelled
+  std::uint64_t expiries = 0;       // terminal Expired
+  std::uint64_t lent_sessions = 0;  // sessions started on a lent slot
+  double uptime_s = 0.0;
+  // Shared-resource counters.
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  std::size_t cache_entries = 0;
+  std::uint64_t estimate_hits = 0, estimate_misses = 0;
+};
+
+class SpecializationServer {
+ public:
+  explicit SpecializationServer(ServerConfig config);
+  /// Drains (best effort — exceptions swallowed) and joins all workers.
+  ~SpecializationServer();
+
+  SpecializationServer(const SpecializationServer&) = delete;
+  SpecializationServer& operator=(const SpecializationServer&) = delete;
+
+  /// Admission: returns a live ticket, or — when the queue is at capacity
+  /// or the server is draining — one already terminal in state Rejected
+  /// with the reason filled in. Never blocks on queue space.
+  Ticket submit(SpecializationRequest request);
+
+  /// Registers a server observer (not owned; must outlive the server).
+  /// Register before the first submit — the list is not synchronized.
+  void add_observer(ServerObserver* observer) { observers_.add(observer); }
+
+  /// Stops admission, runs every already-admitted request to a terminal
+  /// state (cancelled requests resolve fast at their next check point),
+  /// then syncs — and maybe compacts — the shared journal. Idempotent;
+  /// throws on journal I/O failure (the queue is still fully drained).
+  void drain();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] jit::BitstreamCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const estimation::EstimateCache& estimates() const noexcept {
+    return estimates_;
+  }
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    SpecializationRequest request;
+    std::shared_ptr<detail::TicketState> ticket;
+  };
+
+  class SessionPipelineObserver;
+
+  void worker_loop();
+  /// Round-robin pop across tenants with pending work; priority FIFO within
+  /// the tenant. Caller holds mu_.
+  Session pop_next_locked();
+  [[nodiscard]] std::size_t pending_locked() const noexcept {
+    return pending_count_;
+  }
+  [[nodiscard]] unsigned capacity_locked() const noexcept;
+  void run_session(Session& session, bool lent_slot, bool& search_noted);
+  void resolve(const std::shared_ptr<detail::TicketState>& ticket,
+               RequestState state, std::string reason,
+               std::optional<jit::SpecializationResult> result,
+               const RequestProgress& progress);
+  void note_search_complete(std::uint64_t id);
+
+  ServerConfig config_;
+  jit::BitstreamCache cache_;
+  estimation::EstimateCache estimates_;
+  std::optional<jit::CacheJournal> journal_;
+  ServerObserverList observers_;
+
+  mutable std::mutex mu_;  // scheduler state below
+  std::condition_variable work_cv_;   // workers wait for runnable work
+  std::condition_variable idle_cv_;   // drain waits for quiescence
+  std::map<std::string, std::deque<Session>> pending_;  // keyed by tenant
+  std::size_t pending_count_ = 0;
+  std::string rr_cursor_;  // last tenant dequeued (round-robin position)
+  unsigned running_ = 0;
+  unsigned post_search_running_ = 0;  // running sessions past their search
+  bool draining_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 0;
+
+  mutable std::mutex stats_mu_;  // accounting below
+  std::map<std::string, TenantStats> tenant_stats_;
+  std::map<std::string, support::LatencySamples> tenant_latency_;
+  std::size_t queue_high_water_ = 0;
+  std::uint64_t rejections_ = 0;
+  std::uint64_t cancellations_ = 0;
+  std::uint64_t expiries_ = 0;
+  std::uint64_t lent_sessions_ = 0;
+  std::chrono::steady_clock::time_point started_at_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace jitise::server

@@ -61,4 +61,49 @@ class RunningStats {
   return std::exp(logsum / static_cast<double>(xs.size()));
 }
 
+/// Percentile (linear interpolation between closest ranks) of a *sorted*
+/// ascending sample; `p` in [0, 100]. 0 for empty input.
+[[nodiscard]] inline double percentile_of_sorted(std::span<const double> sorted,
+                                                 double p) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Percentile of an unsorted sample (copies and sorts; for hot paths sort
+/// once and use percentile_of_sorted).
+[[nodiscard]] inline double percentile_of(std::span<const double> xs,
+                                          double p) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_of_sorted(sorted, p);
+}
+
+/// Latency-sample accumulator for the request-latency percentiles the server
+/// reports (p50/p95/p99). Plain accumulation — callers provide their own
+/// synchronization (the server records under its stats mutex).
+class LatencySamples {
+ public:
+  void add(double ms) { samples_.push_back(ms); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::span<const double> samples() const noexcept {
+    return samples_;
+  }
+
+  /// p50/p95/p99 (and any other percentile) over everything added so far.
+  [[nodiscard]] double percentile(double p) const {
+    return percentile_of(samples_, p);
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
 }  // namespace jitise::support

@@ -79,6 +79,25 @@ TEST(SuiteOptions, ParsesSuiteCacheFile) {
             std::string::npos);
 }
 
+TEST(SuiteOptions, ParsesSuiteCacheFsync) {
+  EXPECT_FALSE(parse({}).options.suite_cache_fsync);
+
+  // The flag implies --suite-cache and composes with a journal path.
+  const auto parsed = parse({"--suite-cache-fsync"});
+  ASSERT_EQ(parsed.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_TRUE(parsed.options.suite_cache_fsync);
+  EXPECT_TRUE(parsed.options.share_suite_cache);
+
+  const auto with_file =
+      parse({"--suite-cache-file=/tmp/suite.jrnl", "--suite-cache-fsync"});
+  ASSERT_EQ(with_file.status, ParsedSuiteOptions::Status::Run);
+  EXPECT_TRUE(with_file.options.suite_cache_fsync);
+  EXPECT_EQ(with_file.options.suite_cache_file, "/tmp/suite.jrnl");
+
+  EXPECT_NE(parse({"--help"}).message.find("--suite-cache-fsync"),
+            std::string::npos);
+}
+
 TEST(SuiteOptions, JobsZeroMeansHardwareConcurrency) {
   const auto parsed = parse({"--jobs=0"});
   ASSERT_EQ(parsed.status, ParsedSuiteOptions::Status::Run);

@@ -613,4 +613,76 @@ TEST(SpecializerConfig, ResolveSearchJobsEdgeCases) {
   EXPECT_EQ(config.resolve_search_jobs(0, /*overlapping=*/true), 5u);
 }
 
+// -- Satellite: opt-in fsync durability mode --------------------------------
+
+TEST(Journal, FsyncModeRoundTripsAndSurvivesCompaction) {
+  TempPath file("/tmp/jitise_fsync_mode.jrnl");
+  support::Xoshiro256 rng(fault_seed() ^ 0xF5F5u);
+  jit::BitstreamCache cache;
+  jit::CacheJournal journal(file.path);
+  EXPECT_FALSE(journal.fsync_enabled());
+  journal.set_fsync(true);
+  EXPECT_TRUE(journal.fsync_enabled());
+  journal.attach(cache);
+
+  std::map<std::uint64_t, jit::CachedImplementation> entries;
+  for (std::uint64_t sig = 1; sig <= 5; ++sig) {
+    entries[sig * 31] = make_entry(rng, 200 + static_cast<std::size_t>(sig));
+    cache.insert(sig * 31, entries[sig * 31]);
+  }
+  // fdatasync'd appends produce the same bytes as buffered ones: the mode
+  // changes durability, never content.
+  EXPECT_EQ(journal.sync(), 5u);
+  {
+    jit::BitstreamCache loaded;
+    const auto report = jit::load_cache(loaded, file.path);
+    EXPECT_FALSE(report.recovered_truncation);
+    EXPECT_EQ(report.entries, 5u);
+    for (const auto& [sig, entry] : entries) {
+      const auto hit = loaded.lookup(sig);
+      ASSERT_TRUE(hit.has_value());
+      expect_entry_eq(*hit, entry);
+    }
+  }
+
+  // The durable compaction path (fdatasync tmp, rename, fsync directory)
+  // rewrites an equivalent journal.
+  journal.compact(cache);
+  EXPECT_TRUE(journal.fsync_enabled());  // sticky across compaction
+  jit::BitstreamCache compacted;
+  const auto report = jit::load_cache(compacted, file.path);
+  EXPECT_EQ(report.entries, 5u);
+  EXPECT_EQ(report.tombstones, 0u);
+  for (const auto& [sig, entry] : entries) {
+    const auto hit = compacted.lookup(sig);
+    ASSERT_TRUE(hit.has_value());
+    expect_entry_eq(*hit, entry);
+  }
+}
+
+TEST(PipelinePersistence, JournalFsyncConfigSwitchesSinkMode) {
+  TempPath file("/tmp/jitise_fsync_config.jrnl");
+  const ir::Module m = make_app();
+  vm::Machine machine(m);
+  const vm::Slot args[] = {vm::Slot::of_int(3000)};
+  machine.run("main", args, 1ull << 30);
+
+  jit::BitstreamCache cache;
+  jit::CacheJournal journal(file.path);
+  journal.attach(cache);
+
+  // Default config leaves the sink in buffered (process-death) mode.
+  jit::SpecializerConfig config;
+  jit::SpecializationPipeline pipeline(config, &cache);
+  (void)pipeline.run(m, machine.profile());
+  EXPECT_FALSE(journal.fsync_enabled());
+
+  // journal_fsync flips the attached sink before the persistence tail syncs.
+  config.journal_fsync = true;
+  jit::SpecializationPipeline durable(config, &cache);
+  (void)durable.run(m, machine.profile());
+  EXPECT_TRUE(journal.fsync_enabled());
+  EXPECT_EQ(journal.file_records(), cache.entries());
+}
+
 }  // namespace

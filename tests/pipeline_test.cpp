@@ -128,6 +128,48 @@ TEST_P(Pipeline, ParallelSearchMatchesSerialSearch) {
   }
 }
 
+TEST_P(Pipeline, EstimateCacheIsBitIdenticalAndHitsOnReuse) {
+  // Differential check per app: whole-candidate estimation memoized by
+  // candidate signature must be invisible in the output — estimates are pure
+  // functions of candidate structure, so the memo can only change *when*
+  // they are computed, never their values.
+  const apps::App app = apps::build_app(GetParam());
+  const auto profile = profile_of(app);
+  jit::SpecializerConfig config;
+
+  const auto plain = jit::specialize(app.module, profile, config);
+  estimation::EstimateCache estimates;
+  const auto memoized = jit::specialize(app.module, profile, config,
+                                        /*cache=*/nullptr, &estimates);
+
+  EXPECT_EQ(plain.candidates_found, memoized.candidates_found);
+  EXPECT_EQ(plain.candidates_selected, memoized.candidates_selected);
+  EXPECT_DOUBLE_EQ(plain.predicted_speedup, memoized.predicted_speedup);
+  ASSERT_EQ(plain.implemented.size(), memoized.implemented.size());
+  for (std::size_t i = 0; i < plain.implemented.size(); ++i) {
+    EXPECT_EQ(plain.implemented[i].name, memoized.implemented[i].name);
+    EXPECT_EQ(plain.implemented[i].signature, memoized.implemented[i].signature);
+    EXPECT_EQ(plain.implemented[i].hw_cycles, memoized.implemented[i].hw_cycles);
+    EXPECT_DOUBLE_EQ(plain.implemented[i].area_slices,
+                     memoized.implemented[i].area_slices);
+  }
+  EXPECT_DOUBLE_EQ(plain.sum_total_s, memoized.sum_total_s);
+
+  // First run populated the memo (one entry per distinct signature); a
+  // second run over the same module hits for every candidate and still
+  // produces the identical result.
+  EXPECT_GT(estimates.entries(), 0u);
+  const std::uint64_t misses_before = estimates.misses();
+  const auto warm = jit::specialize(app.module, profile, config,
+                                    /*cache=*/nullptr, &estimates);
+  EXPECT_EQ(estimates.misses(), misses_before);
+  EXPECT_GT(estimates.hits(), 0u);
+  ASSERT_EQ(warm.implemented.size(), plain.implemented.size());
+  for (std::size_t i = 0; i < plain.implemented.size(); ++i)
+    EXPECT_EQ(warm.implemented[i].signature, plain.implemented[i].signature);
+  EXPECT_DOUBLE_EQ(warm.predicted_speedup, plain.predicted_speedup);
+}
+
 // --- selection solver cross-check on random knapsack instances ------------
 
 class SelectionProperty : public ::testing::TestWithParam<std::uint64_t> {};

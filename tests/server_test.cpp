@@ -1,0 +1,493 @@
+// SpecializationServer tests: admission backpressure, per-tenant fairness,
+// priority ordering, deadline expiry and cooperative cancellation (queued and
+// mid-CAD), drain semantics, journal integrity across cancelled sessions,
+// and single-tenant equivalence with the direct specialize() path. The
+// stress case runs the full multi-tenant machinery and is part of the CI
+// TSan job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "fault_injection.hpp"
+#include "jit/cache_io.hpp"
+#include "server/server.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+using namespace jitise;
+using jitise::testing::KillAfterWrites;
+
+/// Prebuilt (module, profile) pair; built once per app and shared by every
+/// request (the aliasing shared_ptr keeps the App alive).
+struct TestApp {
+  std::shared_ptr<const ir::Module> module;
+  std::shared_ptr<const vm::Profile> profile;
+};
+
+const TestApp& test_app(const std::string& name) {
+  static std::mutex mu;
+  static std::map<std::string, TestApp> built;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = built.find(name);
+  if (it != built.end()) return it->second;
+  auto app = std::make_shared<apps::App>(apps::build_app(name));
+  vm::Machine machine(app->module);
+  machine.run(app->entry, app->datasets[0].args, 1ull << 30);
+  TestApp t;
+  t.module = std::shared_ptr<const ir::Module>(app, &app->module);
+  t.profile = std::make_shared<const vm::Profile>(machine.profile());
+  return built.emplace(name, std::move(t)).first->second;
+}
+
+server::SpecializationRequest make_request(const std::string& tenant,
+                                           const std::string& app = "adpcm") {
+  server::SpecializationRequest req;
+  req.tenant = tenant;
+  req.module = test_app(app).module;
+  req.profile = test_app(app).profile;
+  return req;
+}
+
+/// Server observer that blocks the FIRST session inside on_started until
+/// released, pinning the single worker so later submissions pile up in the
+/// queue deterministically. Also records the start order (tenant + id).
+class GateObserver final : public server::ServerObserver {
+ public:
+  void on_started(std::uint64_t id, const std::string& tenant,
+                  bool) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    order_.emplace_back(tenant, id);
+    ++started_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+  void wait_for_started(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return started_ >= n; });
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> order() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  std::size_t started_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> order_;
+};
+
+TEST(Server, BackpressureRejectsWhenQueueFull) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.queue_capacity = 2;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket running = srv.submit(make_request("t"));
+  gate.wait_for_started(1);  // worker pinned; queue is now empty
+  server::Ticket q1 = srv.submit(make_request("t"));
+  server::Ticket q2 = srv.submit(make_request("t"));
+  server::Ticket over = srv.submit(make_request("t"));
+
+  // The overflow submission is already terminal, with the reason attached.
+  EXPECT_EQ(over.state(), server::RequestState::Rejected);
+  const auto outcome = over.poll();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NE(outcome->reason.find("queue full"), std::string::npos);
+  EXPECT_FALSE(outcome->result.has_value());
+
+  gate.release();
+  EXPECT_EQ(running.wait().state, server::RequestState::Done);
+  EXPECT_EQ(q1.wait().state, server::RequestState::Done);
+  EXPECT_EQ(q2.wait().state, server::RequestState::Done);
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.admission_rejections, 1u);
+  EXPECT_EQ(stats.queue_high_water, 2u);
+  EXPECT_EQ(stats.tenants.at("t").rejected, 1u);
+  EXPECT_EQ(stats.tenants.at("t").completed, 3u);
+}
+
+TEST(Server, RoundRobinFairnessUnderTenantFlood) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.queue_capacity = 16;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  // Tenant A floods the queue while the single worker is pinned on A's
+  // first request; tenant B arrives last. Round-robin must interleave B
+  // between A's queued requests instead of letting the flood starve it.
+  std::vector<server::Ticket> tickets;
+  tickets.push_back(srv.submit(make_request("tenant-a")));
+  gate.wait_for_started(1);
+  for (int i = 0; i < 3; ++i)
+    tickets.push_back(srv.submit(make_request("tenant-a")));
+  for (int i = 0; i < 2; ++i)
+    tickets.push_back(srv.submit(make_request("tenant-b")));
+
+  gate.release();
+  for (auto& t : tickets)
+    EXPECT_EQ(t.wait().state, server::RequestState::Done);
+  srv.drain();
+
+  std::vector<std::string> started;
+  for (const auto& [tenant, id] : gate.order()) started.push_back(tenant);
+  const std::vector<std::string> expected = {"tenant-a", "tenant-b",
+                                             "tenant-a", "tenant-b",
+                                             "tenant-a", "tenant-a"};
+  EXPECT_EQ(started, expected);
+}
+
+TEST(Server, PriorityOrdersWithinOneTenant) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket first = srv.submit(make_request("t"));
+  gate.wait_for_started(1);
+  server::SpecializationRequest low1 = make_request("t");
+  server::SpecializationRequest low2 = make_request("t");
+  server::SpecializationRequest high = make_request("t");
+  high.priority = 5;
+  const std::uint64_t low1_id = srv.submit(std::move(low1)).id();
+  const std::uint64_t low2_id = srv.submit(std::move(low2)).id();
+  const std::uint64_t high_id = srv.submit(std::move(high)).id();
+
+  gate.release();
+  srv.drain();
+
+  std::vector<std::uint64_t> started;
+  for (const auto& [tenant, id] : gate.order()) started.push_back(id);
+  ASSERT_EQ(started.size(), 4u);
+  EXPECT_EQ(started[0], first.id());
+  // The high-priority request overtakes the earlier low-priority ones,
+  // which keep FIFO order among themselves.
+  EXPECT_EQ(started[1], high_id);
+  EXPECT_EQ(started[2], low1_id);
+  EXPECT_EQ(started[3], low2_id);
+}
+
+TEST(Server, DeadlineExpiresWhileQueued) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket running = srv.submit(make_request("t"));
+  gate.wait_for_started(1);
+  server::SpecializationRequest doomed = make_request("t");
+  doomed.deadline_ms = 1.0;
+  server::Ticket expired = srv.submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  gate.release();
+  const server::RequestOutcome& out = expired.wait();
+  EXPECT_EQ(out.state, server::RequestState::Expired);
+  EXPECT_NE(out.reason.find("while queued"), std::string::npos);
+  EXPECT_FALSE(out.result.has_value());
+  EXPECT_FALSE(out.progress.search_complete);
+  EXPECT_EQ(running.wait().state, server::RequestState::Done);
+  srv.drain();
+  EXPECT_EQ(srv.stats().expiries, 1u);
+}
+
+/// Pipeline observer that parks the session at its first CAD dispatch until
+/// the test hands it the ticket to cancel — a deterministic mid-CAD
+/// cancellation/expiry point regardless of machine speed.
+class CancelAtFirstDispatch final : public jit::PipelineObserver {
+ public:
+  void arm(server::Ticket ticket) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ticket_ = std::move(ticket);
+      armed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void on_candidate_dispatched(std::uint64_t, bool) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return armed_; });
+    ticket_.cancel();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_ = false;
+  server::Ticket ticket_;
+};
+
+TEST(Server, CancelMidCadReportsPartialProgress) {
+  CancelAtFirstDispatch canceller;
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  // jobs=1 keeps the pipeline serial: search runs to completion, the first
+  // dispatch parks in the observer, and the cancellation surfaces at the
+  // ImplementationStage boundary check.
+  config.specializer.jobs = 1;
+  config.pipeline_observer = &canceller;
+  server::SpecializationServer srv(config);
+
+  server::Ticket ticket = srv.submit(make_request("t"));
+  canceller.arm(ticket);
+  const server::RequestOutcome& out = ticket.wait();
+  EXPECT_EQ(out.state, server::RequestState::Cancelled);
+  EXPECT_FALSE(out.result.has_value());
+  // Partial progress: the search phase finished, at least one candidate was
+  // dispatched, none completed implementation.
+  EXPECT_TRUE(out.progress.search_complete);
+  EXPECT_GE(out.progress.blocks_searched, 1u);
+  EXPECT_GE(out.progress.dispatched, 1u);
+  EXPECT_EQ(out.progress.implemented, 0u);
+  srv.drain();
+  EXPECT_EQ(srv.stats().cancellations, 1u);
+}
+
+/// Sleeps past the request's deadline at the first dispatch, so the expiry
+/// fires mid-CAD at the next stage-boundary check.
+class StallPastDeadline final : public jit::PipelineObserver {
+ public:
+  void on_candidate_dispatched(std::uint64_t, bool) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
+};
+
+TEST(Server, DeadlineExpiresMidCad) {
+  StallPastDeadline stall;
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 1;
+  config.pipeline_observer = &stall;
+  server::SpecializationServer srv(config);
+
+  server::SpecializationRequest req = make_request("t");
+  req.deadline_ms = 200.0;  // outlives queueing + search, not the stall
+  server::Ticket ticket = srv.submit(std::move(req));
+  const server::RequestOutcome& out = ticket.wait();
+  EXPECT_EQ(out.state, server::RequestState::Expired);
+  EXPECT_FALSE(out.result.has_value());
+  EXPECT_TRUE(out.progress.search_complete);
+  EXPECT_GE(out.progress.dispatched, 1u);
+  EXPECT_EQ(out.progress.implemented, 0u);
+  srv.drain();
+  EXPECT_EQ(srv.stats().expiries, 1u);
+}
+
+TEST(Server, CancelledSessionNeverTearsTheJournal) {
+  const std::string path = "/tmp/jitise_server_cancel.jrnl";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  std::size_t live_entries = 0;
+  {
+    CancelAtFirstDispatch canceller;
+    server::ServerConfig config;
+    config.workers = 1;
+    config.lend_idle_search_slots = false;
+    config.specializer.jobs = 1;
+    config.cache_journal_file = path;
+    config.pipeline_observer = &canceller;
+    server::SpecializationServer srv(config);
+
+    // First request is cancelled mid-CAD; later dispatches re-cancel the
+    // same (already terminal) ticket, which is a no-op, so the second
+    // request runs to completion and populates the shared cache + journal.
+    server::Ticket doomed = srv.submit(make_request("t", "adpcm"));
+    canceller.arm(doomed);
+    EXPECT_EQ(doomed.wait().state, server::RequestState::Cancelled);
+    server::Ticket ok = srv.submit(make_request("t", "fft"));
+    EXPECT_EQ(ok.wait().state, server::RequestState::Done);
+    srv.drain();
+    live_entries = srv.cache().entries();
+    EXPECT_GT(live_entries, 0u);
+  }
+
+  // The journal a drained server leaves behind replays cleanly and in full.
+  jit::BitstreamCache replayed;
+  const jit::CacheLoadReport report = jit::load_cache(replayed, path);
+  EXPECT_FALSE(report.recovered_truncation);
+  EXPECT_EQ(report.entries, live_entries);
+  std::remove(path.c_str());
+}
+
+TEST(Server, CrashDuringDrainLeavesReplayableJournalPrefix) {
+  const std::string path = "/tmp/jitise_server_crash.jrnl";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  std::set<std::uint64_t> full_signatures;
+  {
+    server::ServerConfig config;
+    config.workers = 1;
+    config.lend_idle_search_slots = false;
+    config.specializer.jobs = 1;
+    // Buffer every record until drain so the injected crash hits a sync
+    // with real work pending.
+    config.specializer.sync_cache_journal = false;
+    config.cache_journal_file = path;
+    std::optional<server::SpecializationServer> srv(std::in_place, config);
+
+    EXPECT_EQ(srv->submit(make_request("t", "adpcm")).wait().state,
+              server::RequestState::Done);
+    EXPECT_EQ(srv->submit(make_request("t", "fft")).wait().state,
+              server::RequestState::Done);
+    for (const auto& [sig, entry] : srv->cache().snapshot())
+      full_signatures.insert(sig);
+    ASSERT_FALSE(full_signatures.empty());
+
+    // Kill the drain's journal append after a few physical writes; the
+    // destructor's best-effort retries die on the same hook.
+    KillAfterWrites kill(3);
+    EXPECT_THROW(srv->drain(), KillAfterWrites::InjectedCrash);
+    srv.reset();
+  }
+
+  // Whatever prefix made it to disk replays without error, and every
+  // replayed entry is one the server actually inserted.
+  jit::BitstreamCache replayed;
+  jit::CacheLoadReport report;
+  EXPECT_NO_THROW(report = jit::load_cache(replayed, path));
+  EXPECT_LE(report.entries, full_signatures.size());
+  for (const auto& [sig, entry] : replayed.snapshot())
+    EXPECT_TRUE(full_signatures.count(sig)) << sig;
+  std::remove(path.c_str());
+}
+
+TEST(Server, SingleTenantMatchesDirectSpecialize) {
+  const std::vector<std::string> apps = {"adpcm", "fft"};
+
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 2;
+  server::SpecializationServer srv(config);
+  std::vector<server::RequestOutcome> served;
+  for (const auto& name : apps)
+    served.push_back(srv.submit(make_request("t", name)).wait());
+  srv.drain();
+
+  // Direct path: same configs, same shared-cache discipline, same order.
+  jit::BitstreamCache cache;
+  estimation::EstimateCache estimates;
+  std::vector<jit::SpecializationResult> direct;
+  for (const auto& name : apps) {
+    const TestApp& app = test_app(name);
+    direct.push_back(jit::specialize(*app.module, *app.profile,
+                                     config.specializer, &cache, &estimates));
+  }
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    ASSERT_EQ(served[i].state, server::RequestState::Done) << apps[i];
+    ASSERT_TRUE(served[i].result.has_value());
+    const jit::SpecializationResult& s = *served[i].result;
+    const jit::SpecializationResult& d = direct[i];
+    ASSERT_EQ(s.implemented.size(), d.implemented.size()) << apps[i];
+    for (std::size_t k = 0; k < s.implemented.size(); ++k) {
+      EXPECT_EQ(s.implemented[k].signature, d.implemented[k].signature);
+      EXPECT_EQ(s.implemented[k].bitstream_bytes,
+                d.implemented[k].bitstream_bytes);
+      EXPECT_EQ(s.implemented[k].hw_cycles, d.implemented[k].hw_cycles);
+      EXPECT_EQ(s.implemented[k].cache_hit, d.implemented[k].cache_hit);
+    }
+    EXPECT_DOUBLE_EQ(s.sum_total_s, d.sum_total_s) << apps[i];
+    EXPECT_DOUBLE_EQ(s.predicted_speedup, d.predicted_speedup) << apps[i];
+  }
+}
+
+TEST(Server, SubmitAfterDrainIsRejected) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  srv.drain();
+  const server::Ticket ticket = srv.submit(make_request("t"));
+  EXPECT_EQ(ticket.state(), server::RequestState::Rejected);
+  const auto outcome = ticket.poll();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NE(outcome->reason.find("draining"), std::string::npos);
+}
+
+TEST(Server, ConcurrentTenantsStress) {
+  server::ServerConfig config;
+  config.workers = 3;
+  config.lend_idle_search_slots = true;
+  config.queue_capacity = 64;
+  config.specializer.jobs = 2;
+  server::SpecializationServer srv(config);
+
+  constexpr unsigned kTenants = 3;
+  constexpr unsigned kPerTenant = 3;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<server::Ticket>> tickets(kTenants);
+  for (unsigned t = 0; t < kTenants; ++t) {
+    submitters.emplace_back([&, t] {
+      for (unsigned r = 0; r < kPerTenant; ++r) {
+        const char* app = (t + r) % 2 == 0 ? "adpcm" : "fft";
+        server::Ticket ticket =
+            srv.submit(make_request("tenant-" + std::to_string(t), app));
+        // Every third request is cancelled right away, exercising both the
+        // cancelled-while-queued and cancelled-mid-run paths under load.
+        if (r % 3 == 2) ticket.cancel();
+        tickets[t].push_back(std::move(ticket));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (auto& per_tenant : tickets)
+    for (auto& ticket : per_tenant)
+      EXPECT_TRUE(server::is_terminal(ticket.wait().state));
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  std::uint64_t terminal = 0;
+  for (const auto& [tenant, ts] : stats.tenants) {
+    EXPECT_EQ(ts.submitted, kPerTenant);
+    EXPECT_EQ(ts.rejected, 0u);
+    terminal += ts.completed + ts.failed + ts.cancelled + ts.expired;
+  }
+  EXPECT_EQ(terminal, kTenants * kPerTenant);
+  // Drain is idempotent once quiescent.
+  EXPECT_NO_THROW(srv.drain());
+}
+
+}  // namespace
