@@ -9,6 +9,15 @@
 // The workload is fully deterministic from --seed in *content* (which tenant
 // submits which app at which priority); completion order and latency numbers
 // naturally vary with machine load.
+//
+// --dup-rate P makes the request stream duplicate-heavy: each scheduled
+// request is, with probability P, a repeat of an earlier request's exact
+// (module, profile) payload — picked Zipf-style so a few signatures dominate,
+// like a popular module specialized by many tenants at once — and otherwise a
+// fresh unique variant. Overlapping duplicates exercise the server's
+// in-flight coalescing tier; the final report prints how many submissions
+// coalesced versus ran the pipeline. --no-coalesce disables the tier for a
+// differential run against the same schedule.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +44,8 @@ struct LoadOptions {
   std::size_t queue_cap = 16;
   unsigned arrival_us = 200;  // mean inter-submit gap per tenant
   double deadline_ms = 0.0;   // per-request service deadline (0 = none)
+  double dup_rate = 0.0;      // probability a request repeats a prior payload
+  bool coalesce = true;       // server-side in-flight coalescing tier
   std::uint64_t seed = 42;
   std::string journal_file;   // persist the shared cache when set
   bool fsync = false;
@@ -45,7 +56,8 @@ void usage(const char* prog) {
   std::printf(
       "usage: %s [--tenants N] [--requests N] [--workers N] [--jobs N]\n"
       "          [--queue-cap N] [--arrival-us N] [--deadline-ms D]\n"
-      "          [--seed S] [--journal PATH] [--fsync] [--trace] [--help]\n"
+      "          [--dup-rate P] [--no-coalesce] [--seed S] [--journal PATH]\n"
+      "          [--fsync] [--trace] [--help]\n"
       "  --tenants N     concurrent tenants (default 4)\n"
       "  --requests N    requests per tenant (default 6)\n"
       "  --workers N     server worker sessions (default 2)\n"
@@ -53,6 +65,9 @@ void usage(const char* prog) {
       "  --queue-cap N   admission queue capacity (default 16)\n"
       "  --arrival-us N  mean per-tenant inter-submit gap (default 200)\n"
       "  --deadline-ms D service deadline per request (default none)\n"
+      "  --dup-rate P    fraction of requests repeating a prior payload,\n"
+      "                  Zipf-skewed toward popular signatures (default 0)\n"
+      "  --no-coalesce   disable the in-flight request-coalescing tier\n"
       "  --seed S        workload seed (default 42)\n"
       "  --journal PATH  persist the shared bitstream cache at PATH\n"
       "  --fsync         power-loss durability for the journal\n"
@@ -63,6 +78,12 @@ void usage(const char* prog) {
 bool parse_u64(const char* text, std::uint64_t& out) {
   char* end = nullptr;
   out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool parse_f64(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
   return end != text && *end == '\0';
 }
 
@@ -86,6 +107,13 @@ Workload build_workload(const std::string& name) {
   return w;
 }
 
+/// One pre-generated schedule slot: the exact payload a tenant will submit.
+struct ScheduledRequest {
+  std::shared_ptr<const ir::Module> module;
+  std::shared_ptr<const vm::Profile> profile;
+  int priority = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +136,15 @@ int main(int argc, char** argv) {
     else if (arg == "--queue-cap") { value(v); opt.queue_cap = v; }
     else if (arg == "--arrival-us") { value(v); opt.arrival_us = unsigned(v); }
     else if (arg == "--deadline-ms") { value(v); opt.deadline_ms = double(v); }
+    else if (arg == "--dup-rate") {
+      if (i + 1 >= argc || !parse_f64(argv[++i], opt.dup_rate) ||
+          opt.dup_rate < 0.0 || opt.dup_rate > 1.0) {
+        std::fprintf(stderr, "%s: --dup-rate needs a value in [0, 1]\n",
+                     argv[0]);
+        return 2;
+      }
+    }
+    else if (arg == "--no-coalesce") { opt.coalesce = false; }
     else if (arg == "--seed") { value(v); opt.seed = v; }
     else if (arg == "--journal" && i + 1 < argc) { opt.journal_file = argv[++i]; }
     else if (arg == "--fsync") { opt.fsync = true; }
@@ -138,29 +175,65 @@ int main(int argc, char** argv) {
   config.workers = opt.workers;
   config.queue_capacity = opt.queue_cap;
   config.specializer.jobs = opt.jobs;
+  config.coalesce_requests = opt.coalesce;
   config.cache_journal_file = opt.journal_file;
   config.journal_fsync = opt.fsync;
   server::SpecializationServer srv(config);
   server::ServerTraceObserver tracer(stderr);
   if (opt.trace) srv.add_observer(&tracer);
 
-  // Per-tenant submission threads: each draws its own rng stream from the
-  // workload seed, picks an app, a priority in 0..2, and sleeps a jittered
-  // arrival gap before the next submit.
+  // Pre-generate the full schedule so it is deterministic from --seed alone.
+  // A fresh slot clones a base app under a unique module name — a new
+  // request signature, but the same pipeline work, and candidate signatures
+  // are structural so the bitstream/estimate cache tiers behave as before.
+  // A duplicate slot (probability --dup-rate) repeats an already-scheduled
+  // payload, Zipf-weighted (1/(rank+1)) so early signatures stay popular the
+  // way a hot module specialized by many tenants would.
+  std::vector<std::vector<ScheduledRequest>> schedule(opt.tenants);
+  std::vector<ScheduledRequest> unique_payloads;
+  support::Xoshiro256 sched_rng(support::SplitMix64(opt.seed).next());
+  const auto u01 = [&] { return double(sched_rng() >> 11) * 0x1.0p-53; };
+  for (unsigned r = 0; r < opt.requests; ++r) {
+    for (unsigned t = 0; t < opt.tenants; ++t) {
+      ScheduledRequest slot;
+      if (!unique_payloads.empty() && u01() < opt.dup_rate) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < unique_payloads.size(); ++i)
+          total += 1.0 / double(i + 1);
+        double x = u01() * total;
+        std::size_t pick = unique_payloads.size() - 1;
+        for (std::size_t i = 0; i < unique_payloads.size(); ++i) {
+          x -= 1.0 / double(i + 1);
+          if (x <= 0.0) { pick = i; break; }
+        }
+        slot = unique_payloads[pick];
+      } else {
+        const Workload& base = workloads[sched_rng() % workloads.size()];
+        auto variant = std::make_shared<ir::Module>(*base.module);
+        variant->name += "#" + std::to_string(unique_payloads.size());
+        slot.module = std::move(variant);
+        slot.profile = base.profile;
+        unique_payloads.push_back(slot);
+      }
+      slot.priority = int(sched_rng() % 3);
+      schedule[t].push_back(std::move(slot));
+    }
+  }
+
+  // Per-tenant submission threads: each replays its schedule column with a
+  // seeded jittered arrival gap between submits.
   std::vector<std::vector<server::Ticket>> tickets(opt.tenants);
   std::vector<std::thread> submitters;
   submitters.reserve(opt.tenants);
   for (unsigned t = 0; t < opt.tenants; ++t) {
     submitters.emplace_back([&, t] {
       support::Xoshiro256 rng(support::SplitMix64(opt.seed + t).next());
-      for (unsigned r = 0; r < opt.requests; ++r) {
-        const Workload& w = workloads[(t + rng() % workloads.size()) %
-                                      workloads.size()];
+      for (const ScheduledRequest& slot : schedule[t]) {
         server::SpecializationRequest req;
         req.tenant = "tenant-" + std::to_string(t);
-        req.module = w.module;
-        req.profile = w.profile;
-        req.priority = int(rng() % 3);
+        req.module = slot.module;
+        req.profile = slot.profile;
+        req.priority = slot.priority;
         req.deadline_ms = opt.deadline_ms;
         tickets[t].push_back(srv.submit(std::move(req)));
         const auto gap =
@@ -199,6 +272,19 @@ int main(int argc, char** argv) {
       (unsigned long long)stats.expiries,
       (unsigned long long)stats.cancellations,
       (unsigned long long)stats.lent_sessions);
+  std::uint64_t admitted = 0;
+  for (const auto& [tenant, ts] : stats.tenants)
+    admitted += ts.submitted - ts.rejected;
+  std::printf(
+      "coalescing: %llu coalesced / %llu admitted (dedup rate %.1f%%), "
+      "pipeline runs %llu / %zu unique signatures, promotions %llu\n",
+      (unsigned long long)stats.coalesced_submits,
+      (unsigned long long)admitted,
+      admitted == 0 ? 0.0
+                    : 100.0 * double(stats.coalesced_submits) /
+                          double(admitted),
+      (unsigned long long)stats.pipeline_runs, unique_payloads.size(),
+      (unsigned long long)stats.promotions);
   std::printf(
       "shared caches: bitstream %llu hits / %llu misses (%zu entries), "
       "estimates %llu hits / %llu misses\n",

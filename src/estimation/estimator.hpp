@@ -62,6 +62,12 @@ struct CandidateEstimate {
 /// CircuitDb memoizes per *component*; this sits one level up, deduplicating
 /// at candidate granularity before the selector ever sees the score.
 ///
+/// In the specialization server this is the second memoization tier: the
+/// signature-keyed in-flight coalescing map (jit::request_signature) dedups
+/// whole requests, then EstimateCache → shared BitstreamCache → journal
+/// warm-start dedup at candidate granularity. All four tiers key on the same
+/// 64-bit FNV-1a signature space (support::Fnv1a).
+///
 /// Thread-safe with the same shared-lock double-checked idiom as CircuitDb:
 /// reads take a shared lock, a miss upgrades to exclusive to publish. A
 /// caller mixing cost/timing models across one cache would get stale values —

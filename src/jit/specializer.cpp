@@ -9,6 +9,7 @@
 
 #include "ise/identify.hpp"
 #include "jit/pipeline.hpp"
+#include "support/rng.hpp"
 
 namespace jitise::jit {
 
@@ -27,6 +28,64 @@ std::uint32_t fcm_hw_cycles(double latency_ns, const SpecializerConfig& cfg) {
   const auto transfer = static_cast<std::uint32_t>(
       latency_ns > 0 ? std::ceil(latency_ns / period_ns) : 1.0);
   return cfg.woolcano.fcm_overhead_cycles + std::max(1u, transfer);
+}
+
+std::uint64_t request_signature(const ir::Module& module,
+                                const vm::Profile& profile) {
+  support::Fnv1a h;
+  const auto str = [&h](const std::string& s) {
+    h.update_value<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    h.update(s.data(), s.size());
+  };
+  str(module.name);
+  h.update_value<std::uint32_t>(
+      static_cast<std::uint32_t>(module.functions.size()));
+  for (const ir::Function& fn : module.functions) {
+    str(fn.name);
+    h.update_value<std::uint8_t>(static_cast<std::uint8_t>(fn.ret_type));
+    h.update_value<std::uint32_t>(static_cast<std::uint32_t>(fn.params.size()));
+    for (ir::Type t : fn.params)
+      h.update_value<std::uint8_t>(static_cast<std::uint8_t>(t));
+    h.update_value<std::uint32_t>(static_cast<std::uint32_t>(fn.values.size()));
+    for (const ir::Instruction& inst : fn.values) {
+      h.update_value<std::uint8_t>(static_cast<std::uint8_t>(inst.op));
+      h.update_value<std::uint8_t>(static_cast<std::uint8_t>(inst.type));
+      h.update_value<std::int64_t>(inst.imm);
+      h.update_value<double>(inst.fimm);
+      h.update_value<std::uint32_t>(inst.aux);
+      h.update_value<std::uint32_t>(inst.aux2);
+      h.update_value<std::uint32_t>(
+          static_cast<std::uint32_t>(inst.operands.size()));
+      for (ir::ValueId o : inst.operands) h.update_value<std::uint32_t>(o);
+      for (ir::BlockId b : inst.phi_blocks) h.update_value<std::uint32_t>(b);
+    }
+    h.update_value<std::uint32_t>(static_cast<std::uint32_t>(fn.blocks.size()));
+    for (const ir::BasicBlock& block : fn.blocks) {
+      str(block.name);
+      h.update_value<std::uint32_t>(
+          static_cast<std::uint32_t>(block.instrs.size()));
+      for (ir::ValueId v : block.instrs) h.update_value<std::uint32_t>(v);
+    }
+  }
+  h.update_value<std::uint32_t>(
+      static_cast<std::uint32_t>(module.globals.size()));
+  for (const ir::Global& g : module.globals) {
+    str(g.name);
+    h.update_value<std::uint32_t>(g.size_bytes);
+    h.update_value<std::uint32_t>(static_cast<std::uint32_t>(g.init.size()));
+    if (!g.init.empty()) h.update(g.init.data(), g.init.size());
+  }
+  h.update_value<std::uint64_t>(profile.dyn_instructions);
+  h.update_value<std::uint64_t>(profile.cpu_cycles);
+  h.update_value<std::uint32_t>(
+      static_cast<std::uint32_t>(profile.block_counts.size()));
+  for (const auto& counts : profile.block_counts) {
+    h.update_value<std::uint32_t>(static_cast<std::uint32_t>(counts.size()));
+    for (std::uint64_t c : counts) h.update_value<std::uint64_t>(c);
+  }
+  for (std::uint64_t c : profile.opcode_counts)
+    h.update_value<std::uint64_t>(c);
+  return h.digest();
 }
 
 SpecializationResult specialize(const ir::Module& module,

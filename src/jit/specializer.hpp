@@ -142,6 +142,19 @@ struct SpecializationResult {
 [[nodiscard]] std::uint32_t fcm_hw_cycles(double latency_ns,
                                           const SpecializerConfig& config);
 
+/// Content hash of a whole (module, profile) pair — the *request-level*
+/// signature of the specialization service. Uses the same 64-bit FNV-1a
+/// family as ise::candidate_signature, so every memoization tier of the
+/// serving stack keys into one signature space: the server's in-flight
+/// coalescing map (request signature) stacked on the EstimateCache, the
+/// shared BitstreamCache and its journal (candidate signatures).
+/// Conservative by construction: every field that can influence a
+/// SpecializationResult feeds the hash — names included, since they flow
+/// into candidate and registry naming — so equal signatures imply
+/// bit-identical pipeline output under one SpecializerConfig.
+[[nodiscard]] std::uint64_t request_signature(const ir::Module& module,
+                                              const vm::Profile& profile);
+
 /// Runs the complete ASIP-SP against a profiled module. If `cache` is given,
 /// implementations are looked up/inserted by candidate signature. If
 /// `estimates` is given, per-candidate estimation memoizes into it by

@@ -19,6 +19,24 @@ void ServerTraceObserver::on_rejected(std::uint64_t id,
                reason.c_str());
 }
 
+void ServerTraceObserver::on_coalesced(std::uint64_t id,
+                                       const std::string& tenant,
+                                       std::uint64_t leader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[server] coalesc #%llu tenant=%s follows #%llu\n",
+               static_cast<unsigned long long>(id), tenant.c_str(),
+               static_cast<unsigned long long>(leader_id));
+}
+
+void ServerTraceObserver::on_promoted(std::uint64_t id,
+                                      const std::string& tenant,
+                                      std::uint64_t dead_leader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "[server] promote #%llu tenant=%s (leader #%llu died)\n",
+               static_cast<unsigned long long>(id), tenant.c_str(),
+               static_cast<unsigned long long>(dead_leader_id));
+}
+
 void ServerTraceObserver::on_started(std::uint64_t id,
                                      const std::string& tenant, bool lent) {
   std::lock_guard<std::mutex> lock(mu_);

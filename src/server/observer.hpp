@@ -34,6 +34,17 @@ class ServerObserver {
   /// full, server draining). Its ticket is already terminal.
   virtual void on_rejected(std::uint64_t /*id*/, const std::string& /*tenant*/,
                            const std::string& /*reason*/) {}
+  /// The request's (module, profile) signature matched a run already queued
+  /// or executing: it was registered as a *follower* of `leader_id` instead
+  /// of entering the admission queue (it holds no queue slot and no
+  /// round-robin turn) and will resolve from the leader's result.
+  virtual void on_coalesced(std::uint64_t /*id*/, const std::string& /*tenant*/,
+                            std::uint64_t /*leader_id*/) {}
+  /// A leader resolved without a result (cancelled/expired/failed) and this
+  /// oldest surviving follower was promoted into a fresh run of its own,
+  /// re-enqueued at its own priority; remaining followers now follow it.
+  virtual void on_promoted(std::uint64_t /*id*/, const std::string& /*tenant*/,
+                           std::uint64_t /*dead_leader_id*/) {}
   /// A worker session picked the request up. `lent_slot` marks a session
   /// admitted on capacity lent by a running request whose search phase has
   /// finished (the overlap_phases idle-half policy).
@@ -66,6 +77,14 @@ class ServerObserverList final : public ServerObserver {
                    const std::string& reason) override {
     for (auto* o : observers_) o->on_rejected(id, tenant, reason);
   }
+  void on_coalesced(std::uint64_t id, const std::string& tenant,
+                    std::uint64_t leader_id) override {
+    for (auto* o : observers_) o->on_coalesced(id, tenant, leader_id);
+  }
+  void on_promoted(std::uint64_t id, const std::string& tenant,
+                   std::uint64_t dead_leader_id) override {
+    for (auto* o : observers_) o->on_promoted(id, tenant, dead_leader_id);
+  }
   void on_started(std::uint64_t id, const std::string& tenant,
                   bool lent) override {
     for (auto* o : observers_) o->on_started(id, tenant, lent);
@@ -94,6 +113,10 @@ class ServerTraceObserver final : public ServerObserver {
                    std::size_t depth) override;
   void on_rejected(std::uint64_t id, const std::string& tenant,
                    const std::string& reason) override;
+  void on_coalesced(std::uint64_t id, const std::string& tenant,
+                    std::uint64_t leader_id) override;
+  void on_promoted(std::uint64_t id, const std::string& tenant,
+                   std::uint64_t dead_leader_id) override;
   void on_started(std::uint64_t id, const std::string& tenant,
                   bool lent) override;
   void on_finished(const RequestOutcome& outcome) override;

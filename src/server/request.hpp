@@ -73,6 +73,19 @@ struct RequestOutcome {
   std::string reason;  // rejection / cancellation / failure detail
   std::optional<jit::SpecializationResult> result;  // Done only
   RequestProgress progress;
+  /// jit::request_signature(module, profile) — the key the server's
+  /// in-flight coalescing map dedups on (0 only for rejected-at-admission
+  /// requests resolved before hashing).
+  std::uint64_t signature = 0;
+  /// The request matched an in-flight run with the same signature and rode
+  /// along as a follower: it never entered the pipeline, and on success
+  /// `result` is a copy of the leader's. For a Done follower `progress`
+  /// describes the leader's run that produced the result.
+  bool coalesced = false;
+  /// Id of the leading request this one coalesced onto (0 = led its own
+  /// run). A follower promoted into a fresh run after its leader died
+  /// reports coalesced=false / leader_id=0 again.
+  std::uint64_t leader_id = 0;
   double queue_ms = 0.0;  // admission -> session start (0 if never started)
   double run_ms = 0.0;    // session start -> terminal
   double total_ms = 0.0;  // admission -> terminal (the latency the
@@ -114,7 +127,9 @@ class Ticket {
 
   /// Requests cooperative cancellation. Queued requests resolve Cancelled
   /// when the scheduler reaches them; a running one stops at the pipeline's
-  /// next stage boundary with partial progress. No-op once terminal.
+  /// next stage boundary with partial progress. Cancelling a coalesced
+  /// follower detaches only that ticket — its leader (and any other
+  /// followers) keep running. No-op once terminal.
   void cancel() const;
 
  private:

@@ -127,36 +127,81 @@ unsigned SpecializationServer::capacity_locked() const noexcept {
 
 Ticket SpecializationServer::submit(SpecializationRequest request) {
   if (request.tenant.empty()) request.tenant = "default";
+  // Hash outside the scheduler lock — the signature is a pure function of
+  // the request's content.
+  const std::uint64_t signature =
+      jit::request_signature(*request.module, *request.profile);
   auto state = std::make_shared<detail::TicketState>();
   state->submitted_at = Clock::now();
 
   std::string reject_reason;
   std::size_t depth = 0;
   std::uint64_t id = 0;
+  std::uint64_t leader_id = 0;     // nonzero: registered as a follower
+  std::vector<Session> dead;       // swept out of a full queue
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = ++next_id_;
     state->outcome.id = id;
     state->outcome.tenant = request.tenant;
+    state->outcome.signature = signature;
     if (draining_ || stopping_) {
       reject_reason = "server draining";
-    } else if (pending_count_ >= config_.queue_capacity) {
-      reject_reason = "admission queue full (capacity " +
-                      std::to_string(config_.queue_capacity) + ")";
     } else {
       if (request.deadline_ms > 0.0) {
         state->cancel.set_deadline_in_ms(request.deadline_ms);
       }
-      auto& queue = pending_[request.tenant];
-      // Priority orders within the tenant only: insert before the first
-      // strictly-lower-priority request, keeping FIFO among equals.
-      const int priority = request.priority;
-      auto pos = std::find_if(queue.begin(), queue.end(),
-                              [priority](const Session& s) {
-                                return s.request.priority < priority;
-                              });
-      queue.insert(pos, Session{id, std::move(request), state});
-      depth = ++pending_count_;
+      const auto inflight = config_.coalesce_requests
+                                ? inflight_.find(signature)
+                                : inflight_.end();
+      if (inflight != inflight_.end()) {
+        // Coalesce: ride the in-flight run as a follower. No queue slot, no
+        // round-robin turn — the ticket resolves from the leader's result.
+        leader_id = inflight->second.leader_id;
+        state->outcome.coalesced = true;
+        state->outcome.leader_id = leader_id;
+        inflight->second.followers.push_back(
+            Session{id, std::move(request), state, signature});
+      } else {
+        if (pending_count_ >= config_.queue_capacity) {
+          // The queue may be stuffed with requests that were cancelled or
+          // expired while waiting; sweep those out before turning live
+          // traffic away.
+          sweep_dead_pending_locked(dead);
+        }
+        if (pending_count_ >= config_.queue_capacity) {
+          reject_reason = "admission queue full (capacity " +
+                          std::to_string(config_.queue_capacity) + ")";
+        } else {
+          enqueue_locked(Session{id, std::move(request), state, signature});
+          if (config_.coalesce_requests) {
+            inflight_.emplace(signature, InFlight{id, {}});
+          }
+          depth = pending_count_;
+        }
+      }
+    }
+    if (!dead.empty()) ++settling_;
+  }
+
+  // Dead swept sessions resolve outside the lock (cohort-aware: a swept
+  // leader promotes its oldest surviving follower).
+  for (Session& d : dead) {
+    const support::CancelReason r = d.ticket->cancel.token().reason();
+    finish_session(d,
+                   r == support::CancelReason::DeadlineExpired
+                       ? RequestState::Expired
+                       : RequestState::Cancelled,
+                   r == support::CancelReason::DeadlineExpired
+                       ? "deadline expired while queued"
+                       : "cancelled while queued",
+                   std::nullopt, RequestProgress{});
+  }
+  if (!dead.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --settling_;
+    if (pending_count_ == 0 && running_ == 0 && settling_ == 0) {
+      idle_cv_.notify_all();
     }
   }
 
@@ -175,8 +220,22 @@ Ticket SpecializationServer::submit(SpecializationRequest request) {
       auto& ts = tenant_stats_[tenant];
       ++ts.submitted;
       ++ts.rejected;
+      tenant_first_.emplace(tenant, Clock::now());
     }
     observers_.on_rejected(id, tenant, reject_reason);
+    return Ticket(std::move(state));
+  }
+
+  if (leader_id != 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      auto& ts = tenant_stats_[tenant];
+      ++ts.submitted;
+      ++ts.coalesced;
+      ++coalesced_submits_;
+      tenant_first_.emplace(tenant, Clock::now());
+    }
+    observers_.on_coalesced(id, tenant, leader_id);
     return Ticket(std::move(state));
   }
 
@@ -184,24 +243,70 @@ Ticket SpecializationServer::submit(SpecializationRequest request) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++tenant_stats_[tenant].submitted;
     queue_high_water_ = std::max(queue_high_water_, depth);
+    tenant_first_.emplace(tenant, Clock::now());
   }
   observers_.on_admitted(id, tenant, depth);
   work_cv_.notify_one();
   return Ticket(std::move(state));
 }
 
-SpecializationServer::Session SpecializationServer::pop_next_locked() {
+void SpecializationServer::enqueue_locked(Session session) {
+  auto& queue = pending_[session.request.tenant];
+  // Priority orders within the tenant only: insert before the first
+  // strictly-lower-priority request, keeping FIFO among equals.
+  const int priority = session.request.priority;
+  auto pos = std::find_if(queue.begin(), queue.end(),
+                          [priority](const Session& s) {
+                            return s.request.priority < priority;
+                          });
+  queue.insert(pos, std::move(session));
+  ++pending_count_;
+}
+
+void SpecializationServer::sweep_dead_pending_locked(
+    std::vector<Session>& dead) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    auto& queue = it->second;
+    for (auto sit = queue.begin(); sit != queue.end();) {
+      if (sit->ticket->cancel.token().cancelled()) {
+        dead.push_back(std::move(*sit));
+        sit = queue.erase(sit);
+        --pending_count_;
+      } else {
+        ++sit;
+      }
+    }
+    it = queue.empty() ? pending_.erase(it) : std::next(it);
+  }
+}
+
+std::optional<SpecializationServer::Session>
+SpecializationServer::pop_next_locked(std::vector<Session>& dead) {
   // Round-robin across tenants with pending work: resume strictly after the
   // last-served tenant, wrapping. Empty per-tenant queues are erased on pop,
-  // so every map entry is live.
-  auto it = pending_.upper_bound(rr_cursor_);
-  if (it == pending_.end()) it = pending_.begin();
-  rr_cursor_ = it->first;
-  Session session = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) pending_.erase(it);
-  --pending_count_;
-  return session;
+  // so every map entry is live. Dead requests at the head of a tenant's
+  // queue are skipped into `dead` without consuming the tenant's turn.
+  while (pending_count_ > 0) {
+    auto it = pending_.upper_bound(rr_cursor_);
+    if (it == pending_.end()) it = pending_.begin();
+    const std::string tenant = it->first;
+    std::optional<Session> live;
+    while (!it->second.empty()) {
+      Session session = std::move(it->second.front());
+      it->second.pop_front();
+      --pending_count_;
+      if (session.ticket->cancel.token().cancelled()) {
+        dead.push_back(std::move(session));
+      } else {
+        live = std::move(session);
+        break;
+      }
+    }
+    if (it->second.empty()) pending_.erase(it);
+    rr_cursor_ = tenant;
+    if (live) return live;
+  }
+  return std::nullopt;
 }
 
 void SpecializationServer::worker_loop() {
@@ -211,13 +316,28 @@ void SpecializationServer::worker_loop() {
       return stopping_ || (pending_count_ > 0 && running_ < capacity_locked());
     });
     if (stopping_) return;
-    Session session = pop_next_locked();
-    const bool lent_slot = running_ >= config_.workers;
+    std::vector<Session> dead;
+    std::optional<Session> session = pop_next_locked(dead);
+    const bool lent_slot = session && running_ >= config_.workers;
+    // The worker counts as running while it settles dead sessions too, so
+    // drain cannot observe an idle instant before a dead leader's follower
+    // has been promoted back into the queue.
     ++running_;
     lock.unlock();
 
+    for (Session& d : dead) {
+      const support::CancelReason r = d.ticket->cancel.token().reason();
+      finish_session(d,
+                     r == support::CancelReason::DeadlineExpired
+                         ? RequestState::Expired
+                         : RequestState::Cancelled,
+                     r == support::CancelReason::DeadlineExpired
+                         ? "deadline expired while queued"
+                         : "cancelled while queued",
+                     std::nullopt, RequestProgress{});
+    }
     bool search_noted = false;
-    run_session(session, lent_slot, search_noted);
+    if (session) run_session(*session, lent_slot, search_noted);
 
     lock.lock();
     --running_;
@@ -256,19 +376,20 @@ void SpecializationServer::run_session(Session& session, bool lent_slot,
   const support::CancellationToken token = ticket->cancel.token();
   SessionPipelineObserver progress(*this, session.id);
 
-  // A request cancelled or expired while still queued resolves without ever
-  // entering the pipeline.
+  // A request cancelled or expired after it was popped but before the
+  // pipeline starts resolves without ever entering it (the scheduler
+  // already skips requests that were dead while still queued).
   const support::CancelReason queued_reason = token.reason();
   if (queued_reason != support::CancelReason::None) {
     search_noted = progress.lending_noted();
-    resolve(ticket,
-            queued_reason == support::CancelReason::DeadlineExpired
-                ? RequestState::Expired
-                : RequestState::Cancelled,
-            queued_reason == support::CancelReason::DeadlineExpired
-                ? "deadline expired while queued"
-                : "cancelled while queued",
-            std::nullopt, progress.progress());
+    finish_session(session,
+                   queued_reason == support::CancelReason::DeadlineExpired
+                       ? RequestState::Expired
+                       : RequestState::Cancelled,
+                   queued_reason == support::CancelReason::DeadlineExpired
+                       ? "deadline expired while queued"
+                       : "cancelled while queued",
+                   std::nullopt, progress.progress());
     return;
   }
 
@@ -279,6 +400,7 @@ void SpecializationServer::run_session(Session& session, bool lent_slot,
   RequestState state = RequestState::Done;
   std::string reason;
   std::optional<jit::SpecializationResult> result;
+  pipeline_runs_.fetch_add(1, std::memory_order_relaxed);
   try {
     jit::SpecializationPipeline pipeline(
         cfg, &cache_, config_.share_estimates ? &estimates_ : nullptr);
@@ -298,8 +420,92 @@ void SpecializationServer::run_session(Session& session, bool lent_slot,
   }
 
   search_noted = progress.lending_noted();
-  resolve(ticket, state, std::move(reason), std::move(result),
-          progress.progress());
+  finish_session(session, state, std::move(reason), std::move(result),
+                 progress.progress());
+}
+
+void SpecializationServer::finish_session(
+    Session& session, RequestState state, std::string reason,
+    std::optional<jit::SpecializationResult> result,
+    const RequestProgress& progress) {
+  resolve(session.ticket, state, std::move(reason), std::move(result),
+          progress);
+
+  // Settle the cohort. Collection and promotion happen under mu_, so a
+  // concurrent submit either registers its follower before this point (and
+  // is settled here) or finds no entry and leads a fresh run.
+  std::deque<Session> resolve_now;
+  std::optional<std::uint64_t> promoted_id;
+  std::string promoted_tenant;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = inflight_.find(session.signature);
+    if (it != inflight_.end() && it->second.leader_id == session.id) {
+      InFlight& entry = it->second;
+      if (state == RequestState::Done) {
+        resolve_now = std::move(entry.followers);
+        inflight_.erase(it);
+      } else {
+        // The leader died without a result: promote the oldest follower
+        // whose token has not fired into a fresh run at its own priority.
+        // Followers behind the promoted one stay attached to it; the dead
+        // prefix resolves below.
+        while (!entry.followers.empty() && !promoted_id) {
+          Session follower = std::move(entry.followers.front());
+          entry.followers.pop_front();
+          if (follower.ticket->cancel.token().cancelled()) {
+            resolve_now.push_back(std::move(follower));
+          } else {
+            promoted_id = follower.id;
+            promoted_tenant = follower.request.tenant;
+            entry.leader_id = follower.id;
+            {
+              std::lock_guard<std::mutex> tlock(follower.ticket->mu);
+              follower.ticket->outcome.coalesced = false;
+              follower.ticket->outcome.leader_id = 0;
+            }
+            enqueue_locked(std::move(follower));
+          }
+        }
+        if (!promoted_id) {
+          inflight_.erase(it);
+        } else {
+          // Surviving followers now ride the promoted run.
+          for (Session& follower : entry.followers) {
+            std::lock_guard<std::mutex> tlock(follower.ticket->mu);
+            follower.ticket->outcome.leader_id = *promoted_id;
+          }
+        }
+      }
+    }
+  }
+
+  if (promoted_id) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++promotions_;
+    }
+    observers_.on_promoted(*promoted_id, promoted_tenant, session.id);
+    work_cv_.notify_one();
+  }
+
+  // Terminal outcomes are immutable, so the leader's result/progress can be
+  // read without its lock; a Done follower gets a copy of the result.
+  const RequestOutcome& lead = session.ticket->outcome;
+  for (Session& follower : resolve_now) {
+    const support::CancelReason r = follower.ticket->cancel.token().reason();
+    if (r == support::CancelReason::None && state == RequestState::Done) {
+      resolve(follower.ticket, RequestState::Done, std::string(), lead.result,
+              lead.progress);
+    } else if (r == support::CancelReason::DeadlineExpired) {
+      resolve(follower.ticket, RequestState::Expired,
+              "deadline expired while coalesced", std::nullopt,
+              RequestProgress{});
+    } else {
+      resolve(follower.ticket, RequestState::Cancelled,
+              "cancelled while coalesced", std::nullopt, RequestProgress{});
+    }
+  }
 }
 
 void SpecializationServer::resolve(
@@ -314,7 +520,11 @@ void SpecializationServer::resolve(
     out.reason = std::move(reason);
     out.result = std::move(result);
     out.progress = progress;
-    out.run_ms = ms_between(ticket->started_at, now);
+    // Followers (and dead-queued requests) never start a session; their
+    // latency is pure wait, not a garbage span from the epoch.
+    out.run_ms = ticket->started_at == Clock::time_point{}
+                     ? 0.0
+                     : ms_between(ticket->started_at, now);
     out.total_ms = ms_between(ticket->submitted_at, now);
     ticket->terminal = true;
   }
@@ -324,6 +534,7 @@ void SpecializationServer::resolve(
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     auto& ts = tenant_stats_[out.tenant];
+    if (out.coalesced && state == RequestState::Done) ++coalesced_completed_;
     switch (state) {
       case RequestState::Done: ++ts.completed; break;
       case RequestState::Failed: ++ts.failed; break;
@@ -347,7 +558,9 @@ void SpecializationServer::drain() {
     std::unique_lock<std::mutex> lock(mu_);
     draining_ = true;
     work_cv_.notify_all();
-    idle_cv_.wait(lock, [&] { return pending_count_ == 0 && running_ == 0; });
+    idle_cv_.wait(lock, [&] {
+      return pending_count_ == 0 && running_ == 0 && settling_ == 0;
+    });
   }
   std::size_t synced = 0;
   bool compacted = false;
@@ -360,8 +573,9 @@ void SpecializationServer::drain() {
 
 ServerStats SpecializationServer::stats() const {
   ServerStats s;
+  const auto now = Clock::now();
   const double uptime_s =
-      std::chrono::duration<double>(Clock::now() - started_at_).count();
+      std::chrono::duration<double>(now - started_at_).count();
   s.uptime_s = uptime_s;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -369,20 +583,34 @@ ServerStats SpecializationServer::stats() const {
     for (auto& [tenant, ts] : s.tenants) {
       const auto it = tenant_latency_.find(tenant);
       if (it != tenant_latency_.end() && it->second.count() > 0) {
-        ts.p50_ms = it->second.percentile(50.0);
-        ts.p95_ms = it->second.percentile(95.0);
-        ts.p99_ms = it->second.percentile(99.0);
-        ts.mean_ms = support::mean_of(it->second.samples());
+        // One sort per tenant serves every percentile (percentile() would
+        // copy-and-sort the full sample vector per call).
+        const std::vector<double> sorted = it->second.sorted();
+        ts.p50_ms = support::percentile_of_sorted(sorted, 50.0);
+        ts.p95_ms = support::percentile_of_sorted(sorted, 95.0);
+        ts.p99_ms = support::percentile_of_sorted(sorted, 99.0);
+        ts.mean_ms = support::mean_of(sorted);
       }
+      // Throughput over the window since the tenant's first submission —
+      // total server uptime would dilute tenants that arrive late.
+      const auto first = tenant_first_.find(tenant);
+      const double window_s =
+          first != tenant_first_.end()
+              ? std::chrono::duration<double>(now - first->second).count()
+              : 0.0;
       ts.throughput_rps =
-          uptime_s > 0.0 ? static_cast<double>(ts.completed) / uptime_s : 0.0;
+          window_s > 0.0 ? static_cast<double>(ts.completed) / window_s : 0.0;
     }
     s.queue_high_water = queue_high_water_;
     s.admission_rejections = rejections_;
     s.cancellations = cancellations_;
     s.expiries = expiries_;
     s.lent_sessions = lent_sessions_;
+    s.coalesced_submits = coalesced_submits_;
+    s.coalesced_completed = coalesced_completed_;
+    s.promotions = promotions_;
   }
+  s.pipeline_runs = pipeline_runs_.load(std::memory_order_relaxed);
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   s.cache_entries = cache_.entries();

@@ -4,14 +4,28 @@
 // concurrent applications compete for one specializer, one CAD budget and
 // one shared bitstream cache; the server arbitrates:
 //
-//   submit() ──▶ bounded admission queue ──▶ per-tenant round-robin
-//                (reject-with-reason           scheduler (priority FIFO
-//                 when full)                    within a tenant)
+//   submit() ──▶ in-flight coalescing map ──▶ bounded admission queue ──▶
+//                (signature match: ride         (reject-with-reason when
+//                 an existing run as a           full) ──▶ per-tenant
+//                 follower, skip the             round-robin scheduler
+//                 pipeline entirely)             (priority FIFO in-tenant)
 //                                                   │
 //                       worker sessions (base `workers` slots, plus slots
 //                       lent against running sessions whose search phase
 //                       has finished) run SpecializationPipeline against
 //                       the ONE shared BitstreamCache + EstimateCache
+//
+// Request coalescing (the serving stack's first memoization tier, ahead of
+// EstimateCache → shared BitstreamCache → journal warm-start): a submission
+// whose jit::request_signature matches a run already queued or executing
+// registers as a follower of that leader and resolves from the leader's
+// SpecializationResult — bit-identical, since equal signatures imply equal
+// pipeline output under one config. Deadlines/cancellation stay per-ticket:
+// a cancelled or expired follower detaches without touching the leader, and
+// a leader that dies (cancelled/expired/failed) promotes its oldest
+// surviving follower into a fresh run at that follower's own priority
+// instead of failing the cohort. Followers hold no queue slot and no
+// round-robin turn, so coalescing never distorts fairness accounting.
 //
 // Fairness: the scheduler dequeues round-robin across tenants that have
 // pending work, so a tenant flooding the queue cannot starve another —
@@ -35,6 +49,7 @@
 // terminal state, then syncs (and maybe compacts) the journal.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -80,6 +95,13 @@ struct ServerConfig {
   /// Share one per-signature EstimateCache across all sessions, so
   /// identical candidates from different tenants are estimated once.
   bool share_estimates = true;
+  /// Request coalescing: a submission whose (module, profile) signature
+  /// (jit::request_signature) matches a run already queued or executing
+  /// registers as a *follower* on that run's in-flight entry and resolves
+  /// from the leader's result instead of entering the pipeline. Followers
+  /// hold no admission-queue slot and no round-robin turn. Off runs every
+  /// admitted request through the pipeline (differential testing).
+  bool coalesce_requests = true;
   /// Extra PipelineObserver installed on every session's pipeline (not
   /// owned; must be internally synchronized and outlive the server). Used
   /// by tests and tracing; null = none.
@@ -95,9 +117,15 @@ struct TenantStats {
   std::uint64_t cancelled = 0;
   std::uint64_t expired = 0;
   std::uint64_t rejected = 0;
+  /// Submissions registered as coalesced followers (no pipeline run of
+  /// their own); they still count toward `submitted` and, on success,
+  /// `completed`.
+  std::uint64_t coalesced = 0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   double mean_ms = 0.0;
-  /// Completed requests per second of server uptime (snapshot-relative).
+  /// Completed requests per second over the window since this tenant's
+  /// first submission (not total server uptime — a tenant that arrives
+  /// late is not diluted by the idle head).
   double throughput_rps = 0.0;
 };
 
@@ -108,6 +136,14 @@ struct ServerStats {
   std::uint64_t cancellations = 0;  // terminal Cancelled
   std::uint64_t expiries = 0;       // terminal Expired
   std::uint64_t lent_sessions = 0;  // sessions started on a lent slot
+  // Coalescing tier: followers registered at admission, followers resolved
+  // Done from a leader's result, followers promoted into fresh runs after
+  // their leader died, and sessions that actually entered the pipeline
+  // (dedup rate = coalesced_completed / completed-over-all-tenants).
+  std::uint64_t coalesced_submits = 0;
+  std::uint64_t coalesced_completed = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t pipeline_runs = 0;
   double uptime_s = 0.0;
   // Shared-resource counters.
   std::uint64_t cache_hits = 0, cache_misses = 0;
@@ -126,7 +162,12 @@ class SpecializationServer {
 
   /// Admission: returns a live ticket, or — when the queue is at capacity
   /// or the server is draining — one already terminal in state Rejected
-  /// with the reason filled in. Never blocks on queue space.
+  /// with the reason filled in. Never blocks on queue space. With
+  /// `coalesce_requests`, a signature match against an in-flight run
+  /// registers the ticket as a follower (exempt from queue capacity — it
+  /// holds no slot); before rejecting for capacity, requests already
+  /// cancelled/expired while queued are swept out of the queue, so dead
+  /// sessions never crowd out live traffic.
   Ticket submit(SpecializationRequest request);
 
   /// Registers a server observer (not owned; must outlive the server).
@@ -150,19 +191,45 @@ class SpecializationServer {
     std::uint64_t id = 0;
     SpecializationRequest request;
     std::shared_ptr<detail::TicketState> ticket;
+    std::uint64_t signature = 0;  // jit::request_signature of the request
+  };
+
+  /// One signature's in-flight cohort: the leading run (queued or
+  /// executing) plus the followers waiting to resolve from its result, in
+  /// admission order. Guarded by mu_.
+  struct InFlight {
+    std::uint64_t leader_id = 0;
+    std::deque<Session> followers;
   };
 
   class SessionPipelineObserver;
 
   void worker_loop();
   /// Round-robin pop across tenants with pending work; priority FIFO within
-  /// the tenant. Caller holds mu_.
-  Session pop_next_locked();
+  /// the tenant. Requests whose token already fired (cancelled/expired
+  /// while queued) are skipped into `dead` without consuming the tenant's
+  /// turn or a session; the caller resolves them outside the lock. Returns
+  /// nullopt when every pending request was dead. Caller holds mu_.
+  std::optional<Session> pop_next_locked(std::vector<Session>& dead);
+  /// Priority insert into the tenant's pending deque. Caller holds mu_.
+  void enqueue_locked(Session session);
+  /// Removes every pending request whose token has fired into `dead` (the
+  /// caller resolves them outside the lock) so dead sessions stop counting
+  /// against queue capacity. Caller holds mu_.
+  void sweep_dead_pending_locked(std::vector<Session>& dead);
   [[nodiscard]] std::size_t pending_locked() const noexcept {
     return pending_count_;
   }
   [[nodiscard]] unsigned capacity_locked() const noexcept;
   void run_session(Session& session, bool lent_slot, bool& search_noted);
+  /// Resolves a session's ticket, then settles its cohort: a Done leader
+  /// resolves every follower from its result; a dead leader promotes the
+  /// oldest surviving follower into a fresh run (re-enqueued at its own
+  /// priority) and resolves only the followers whose tokens already fired.
+  /// Caller must not hold mu_.
+  void finish_session(Session& session, RequestState state, std::string reason,
+                      std::optional<jit::SpecializationResult> result,
+                      const RequestProgress& progress);
   void resolve(const std::shared_ptr<detail::TicketState>& ticket,
                RequestState state, std::string reason,
                std::optional<jit::SpecializationResult> result,
@@ -179,9 +246,17 @@ class SpecializationServer {
   std::condition_variable work_cv_;   // workers wait for runnable work
   std::condition_variable idle_cv_;   // drain waits for quiescence
   std::map<std::string, std::deque<Session>> pending_;  // keyed by tenant
+  /// In-flight cohorts keyed by request signature. An entry exists exactly
+  /// while its leader is queued or executing; followers attach here instead
+  /// of entering pending_.
+  std::map<std::uint64_t, InFlight> inflight_;
   std::size_t pending_count_ = 0;
   std::string rr_cursor_;  // last tenant dequeued (round-robin position)
   unsigned running_ = 0;
+  /// Submitting threads settling swept-out dead sessions (whose cohort may
+  /// promote a follower back into the queue); drain() waits for zero so it
+  /// never observes a false idle instant mid-settlement.
+  unsigned settling_ = 0;
   unsigned post_search_running_ = 0;  // running sessions past their search
   bool draining_ = false;
   bool stopping_ = false;
@@ -195,6 +270,13 @@ class SpecializationServer {
   std::uint64_t cancellations_ = 0;
   std::uint64_t expiries_ = 0;
   std::uint64_t lent_sessions_ = 0;
+  std::uint64_t coalesced_submits_ = 0;
+  std::uint64_t coalesced_completed_ = 0;
+  std::uint64_t promotions_ = 0;
+  /// Per-tenant steady timestamp of the first submit — the start of the
+  /// throughput window stats() reports.
+  std::map<std::string, std::chrono::steady_clock::time_point> tenant_first_;
+  std::atomic<std::uint64_t> pipeline_runs_{0};
   std::chrono::steady_clock::time_point started_at_;
 
   std::vector<std::thread> threads_;

@@ -98,8 +98,18 @@ class LatencySamples {
   }
 
   /// p50/p95/p99 (and any other percentile) over everything added so far.
+  /// Copies and sorts per call — callers needing several percentiles should
+  /// sort once via `sorted()` + percentile_of_sorted.
   [[nodiscard]] double percentile(double p) const {
     return percentile_of(samples_, p);
+  }
+
+  /// Ascending copy of the samples, for computing many percentiles with a
+  /// single sort.
+  [[nodiscard]] std::vector<double> sorted() const {
+    std::vector<double> out(samples_.begin(), samples_.end());
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
  private:

@@ -104,6 +104,9 @@ TEST(Server, BackpressureRejectsWhenQueueFull) {
   config.lend_idle_search_slots = false;
   config.queue_capacity = 2;
   config.specializer.jobs = 1;
+  // These queue-mechanics tests submit identical (module, profile) payloads
+  // on purpose; coalescing would fold them into one run instead of queueing.
+  config.coalesce_requests = false;
   server::SpecializationServer srv(config);
   GateObserver gate;
   srv.add_observer(&gate);
@@ -140,6 +143,7 @@ TEST(Server, RoundRobinFairnessUnderTenantFlood) {
   config.lend_idle_search_slots = false;
   config.queue_capacity = 16;
   config.specializer.jobs = 1;
+  config.coalesce_requests = false;  // identical payloads must queue
   server::SpecializationServer srv(config);
   GateObserver gate;
   srv.add_observer(&gate);
@@ -173,6 +177,7 @@ TEST(Server, PriorityOrdersWithinOneTenant) {
   config.workers = 1;
   config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
+  config.coalesce_requests = false;  // identical payloads must queue
   server::SpecializationServer srv(config);
   GateObserver gate;
   srv.add_observer(&gate);
@@ -206,6 +211,7 @@ TEST(Server, DeadlineExpiresWhileQueued) {
   config.workers = 1;
   config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
+  config.coalesce_requests = false;  // identical payloads must queue
   server::SpecializationServer srv(config);
   GateObserver gate;
   srv.add_observer(&gate);
@@ -488,6 +494,276 @@ TEST(Server, ConcurrentTenantsStress) {
   EXPECT_EQ(terminal, kTenants * kPerTenant);
   // Drain is idempotent once quiescent.
   EXPECT_NO_THROW(srv.drain());
+}
+
+// --- Request coalescing -----------------------------------------------------
+
+TEST(Server, CoalescedFollowerMatchesLeaderBitIdentical) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket leader = srv.submit(make_request("a"));
+  gate.wait_for_started(1);  // leader pinned in-flight
+  server::Ticket follower = srv.submit(make_request("b"));
+  EXPECT_FALSE(server::is_terminal(follower.state()));
+
+  gate.release();
+  const server::RequestOutcome lead = leader.wait();
+  const server::RequestOutcome follow = follower.wait();
+  srv.drain();
+
+  ASSERT_EQ(lead.state, server::RequestState::Done);
+  ASSERT_EQ(follow.state, server::RequestState::Done);
+  EXPECT_FALSE(lead.coalesced);
+  EXPECT_TRUE(follow.coalesced);
+  EXPECT_EQ(follow.leader_id, lead.id);
+  EXPECT_EQ(follow.signature, lead.signature);
+  EXPECT_NE(follow.signature, 0u);
+
+  // The follower's result is bit-identical to the leader's.
+  ASSERT_TRUE(lead.result.has_value());
+  ASSERT_TRUE(follow.result.has_value());
+  const jit::SpecializationResult& l = *lead.result;
+  const jit::SpecializationResult& f = *follow.result;
+  ASSERT_EQ(f.implemented.size(), l.implemented.size());
+  for (std::size_t k = 0; k < f.implemented.size(); ++k) {
+    EXPECT_EQ(f.implemented[k].signature, l.implemented[k].signature);
+    EXPECT_EQ(f.implemented[k].bitstream_bytes, l.implemented[k].bitstream_bytes);
+    EXPECT_EQ(f.implemented[k].hw_cycles, l.implemented[k].hw_cycles);
+    EXPECT_EQ(f.implemented[k].cache_hit, l.implemented[k].cache_hit);
+  }
+  EXPECT_DOUBLE_EQ(f.sum_total_s, l.sum_total_s);
+  EXPECT_DOUBLE_EQ(f.predicted_speedup, l.predicted_speedup);
+  // Follower progress describes the leader's run.
+  EXPECT_EQ(follow.progress.implemented, lead.progress.implemented);
+  EXPECT_TRUE(follow.progress.search_complete);
+
+  const server::ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.pipeline_runs, 1u);
+  EXPECT_EQ(stats.coalesced_submits, 1u);
+  EXPECT_EQ(stats.coalesced_completed, 1u);
+  EXPECT_EQ(stats.promotions, 0u);
+  // Cross-tenant accounting: each tenant saw one submission; the follower
+  // tenant's completion is flagged coalesced.
+  EXPECT_EQ(stats.tenants.at("a").completed, 1u);
+  EXPECT_EQ(stats.tenants.at("a").coalesced, 0u);
+  EXPECT_EQ(stats.tenants.at("b").completed, 1u);
+  EXPECT_EQ(stats.tenants.at("b").coalesced, 1u);
+}
+
+TEST(Server, FollowerCancelLeavesLeaderRunning) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket leader = srv.submit(make_request("t"));
+  gate.wait_for_started(1);
+  server::Ticket f1 = srv.submit(make_request("t"));
+  server::Ticket f2 = srv.submit(make_request("t"));
+  f1.cancel();  // detaches f1 only; the leader and f2 are untouched
+
+  gate.release();
+  EXPECT_EQ(leader.wait().state, server::RequestState::Done);
+  const server::RequestOutcome gone = f1.wait();
+  EXPECT_EQ(gone.state, server::RequestState::Cancelled);
+  EXPECT_NE(gone.reason.find("while coalesced"), std::string::npos);
+  EXPECT_FALSE(gone.result.has_value());
+  const server::RequestOutcome kept = f2.wait();
+  EXPECT_EQ(kept.state, server::RequestState::Done);
+  EXPECT_TRUE(kept.coalesced);
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.pipeline_runs, 1u);
+  EXPECT_EQ(stats.coalesced_submits, 2u);
+  EXPECT_EQ(stats.coalesced_completed, 1u);
+  EXPECT_EQ(stats.cancellations, 1u);
+  EXPECT_EQ(stats.promotions, 0u);
+}
+
+TEST(Server, FollowerDeadlineExpiryDetachesFromLeader) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket leader = srv.submit(make_request("t"));
+  gate.wait_for_started(1);
+  server::SpecializationRequest doomed = make_request("t");
+  doomed.deadline_ms = 1.0;  // expires long before the gated leader finishes
+  server::Ticket follower = srv.submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  gate.release();
+  EXPECT_EQ(leader.wait().state, server::RequestState::Done);
+  const server::RequestOutcome out = follower.wait();
+  EXPECT_EQ(out.state, server::RequestState::Expired);
+  EXPECT_NE(out.reason.find("while coalesced"), std::string::npos);
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.pipeline_runs, 1u);
+  EXPECT_EQ(stats.expiries, 1u);
+  EXPECT_EQ(stats.coalesced_completed, 0u);
+}
+
+TEST(Server, LeaderCancelPromotesOldestFollower) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket leader = srv.submit(make_request("t"));
+  gate.wait_for_started(1);
+  server::Ticket f1 = srv.submit(make_request("t"));
+  server::Ticket f2 = srv.submit(make_request("t"));
+  leader.cancel();  // fires mid-run; the cohort must not die with it
+
+  gate.release();
+  EXPECT_EQ(leader.wait().state, server::RequestState::Cancelled);
+  // f1 (the oldest follower) is promoted into a fresh run of its own...
+  const server::RequestOutcome first = f1.wait();
+  ASSERT_EQ(first.state, server::RequestState::Done);
+  EXPECT_FALSE(first.coalesced);
+  EXPECT_EQ(first.leader_id, 0u);
+  ASSERT_TRUE(first.result.has_value());
+  // ...and f2 stays attached, now following f1.
+  const server::RequestOutcome second = f2.wait();
+  ASSERT_EQ(second.state, server::RequestState::Done);
+  EXPECT_TRUE(second.coalesced);
+  EXPECT_EQ(second.leader_id, first.id);
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.cancellations, 1u);
+  EXPECT_EQ(stats.coalesced_completed, 1u);
+}
+
+TEST(Server, DuplicateFloodRunsPipelineOncePerSignature) {
+  server::ServerConfig config;
+  config.workers = 2;
+  config.lend_idle_search_slots = false;
+  config.queue_capacity = 2;  // followers are exempt from capacity
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket lead_a = srv.submit(make_request("t0", "adpcm"));
+  gate.wait_for_started(1);
+  server::Ticket lead_b = srv.submit(make_request("t0", "fft"));
+  gate.wait_for_started(2);  // both workers pinned, queue empty
+
+  // Flood duplicates from several tenants: every one must coalesce, none
+  // may be rejected even though the queue only holds 2.
+  std::vector<server::Ticket> dupes;
+  for (int i = 0; i < 20; ++i) {
+    const char* app = i % 2 == 0 ? "adpcm" : "fft";
+    dupes.push_back(srv.submit(make_request("t" + std::to_string(i % 4), app)));
+  }
+
+  gate.release();
+  const server::RequestOutcome out_a = lead_a.wait();
+  const server::RequestOutcome out_b = lead_b.wait();
+  ASSERT_EQ(out_a.state, server::RequestState::Done);
+  ASSERT_EQ(out_b.state, server::RequestState::Done);
+  for (auto& t : dupes) {
+    const server::RequestOutcome out = t.wait();
+    ASSERT_EQ(out.state, server::RequestState::Done);
+    EXPECT_TRUE(out.coalesced);
+    const server::RequestOutcome& lead =
+        out.signature == out_a.signature ? out_a : out_b;
+    EXPECT_EQ(out.signature, lead.signature);
+    EXPECT_EQ(out.leader_id, lead.id);
+    ASSERT_TRUE(out.result.has_value());
+    EXPECT_EQ(out.result->implemented.size(), lead.result->implemented.size());
+    EXPECT_DOUBLE_EQ(out.result->predicted_speedup,
+                     lead.result->predicted_speedup);
+  }
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  // Exactly one pipeline run per unique signature.
+  EXPECT_EQ(stats.pipeline_runs, 2u);
+  EXPECT_EQ(stats.coalesced_submits, 20u);
+  EXPECT_EQ(stats.coalesced_completed, 20u);
+  EXPECT_EQ(stats.admission_rejections, 0u);
+  // Followers never occupied a queue slot: only the two leaders ever sat in
+  // the queue, one at a time.
+  EXPECT_LE(stats.queue_high_water, 1u);
+}
+
+// --- Admission-queue and stats bugfixes -------------------------------------
+
+TEST(Server, DeadQueuedRequestsFreeCapacityForLiveTraffic) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.lend_idle_search_slots = false;
+  config.queue_capacity = 2;
+  config.specializer.jobs = 1;
+  config.coalesce_requests = false;  // identical payloads must queue
+  server::SpecializationServer srv(config);
+  GateObserver gate;
+  srv.add_observer(&gate);
+
+  server::Ticket running = srv.submit(make_request("t"));
+  gate.wait_for_started(1);
+  server::Ticket q1 = srv.submit(make_request("t"));
+  server::Ticket q2 = srv.submit(make_request("t"));
+  q1.cancel();
+  q2.cancel();
+  // The queue is nominally full, but both occupants are dead: the sweep
+  // must reclaim their slots instead of rejecting live traffic.
+  server::Ticket live = srv.submit(make_request("t"));
+  EXPECT_NE(live.state(), server::RequestState::Rejected);
+
+  gate.release();
+  EXPECT_EQ(running.wait().state, server::RequestState::Done);
+  EXPECT_EQ(live.wait().state, server::RequestState::Done);
+  EXPECT_EQ(q1.wait().state, server::RequestState::Cancelled);
+  EXPECT_EQ(q2.wait().state, server::RequestState::Cancelled);
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.admission_rejections, 0u);
+  EXPECT_EQ(stats.tenants.at("t").completed, 2u);
+  EXPECT_EQ(stats.tenants.at("t").cancelled, 2u);
+}
+
+TEST(Server, ThroughputWindowStartsAtFirstSubmission) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.specializer.jobs = 1;
+  server::SpecializationServer srv(config);
+  // Idle head: a tenant that arrives late must not have its throughput
+  // diluted by server uptime it never used.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(srv.submit(make_request("t")).wait().state,
+            server::RequestState::Done);
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  const server::TenantStats& t = stats.tenants.at("t");
+  ASSERT_EQ(t.completed, 1u);
+  ASSERT_GT(stats.uptime_s, 0.0);
+  const double naive = static_cast<double>(t.completed) / stats.uptime_s;
+  EXPECT_GT(t.throughput_rps, naive * 1.2);
 }
 
 }  // namespace

@@ -58,6 +58,21 @@ TEST(Rng, Deterministic) {
   EXPECT_TRUE(diverged);
 }
 
+TEST(Statistics, LatencySamplesSortedMatchesPerCallPercentile) {
+  LatencySamples samples;
+  for (double ms : {7.0, 1.0, 9.0, 3.0, 5.0}) samples.add(ms);
+  const std::vector<double> sorted = samples.sorted();
+  ASSERT_EQ(sorted.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  // One sort feeding percentile_of_sorted must agree with the per-call
+  // copy-and-sort path for every percentile the server reports.
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_of_sorted(sorted, p), samples.percentile(p))
+        << p;
+  }
+  EXPECT_DOUBLE_EQ(mean_of(sorted), 5.0);
+}
+
 TEST(Rng, UniformInRange) {
   Xoshiro256 rng(7);
   for (int i = 0; i < 1000; ++i) {
