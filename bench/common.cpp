@@ -23,9 +23,12 @@ std::string usage_text(const char* prog) {
   text += " [--jobs N] [--suite-cache] [--suite-cache-file PATH]"
           " [--suite-cache-fsync] [--trace] [--help]\n";
   text +=
-      "  --jobs N       worker threads shared by app fan-out and\n"
-      "                 per-candidate CAD (0 = hardware concurrency;\n"
-      "                 JITISE_JOBS is the fallback when the flag is absent)\n"
+      "  --jobs N       worker threads shared by app fan-out and each app's\n"
+      "                 work-stealing executor (0 = hardware concurrency;\n"
+      "                 JITISE_JOBS is the fallback when the flag is absent).\n"
+      "                 The old static search/CAD budget split is gone —\n"
+      "                 search_jobs-style per-phase budgets are deprecated;\n"
+      "                 one pool serves all phases and idle workers steal\n"
       "  --suite-cache  share one bitstream cache across all apps in the\n"
       "                 suite (cross-application hits, paper Sec. VI-A)\n"
       "  --suite-cache-file PATH\n"

@@ -3,8 +3,15 @@
 // the embedded-application suite with seeded arrival jitter and mixed
 // priorities — against one server instance, then prints a per-tenant
 // throughput/latency table (p50/p95/p99 of submission-to-terminal latency)
-// plus the server-level counters (queue high-water, rejections, lent slots,
-// shared cache/estimate hit rates).
+// plus the server-level counters (queue high-water, rejections, executor
+// steal/occupancy stats, shared cache/estimate hit rates) and the peak OS
+// thread count of the whole process (sampled from /proc/self/status), so the
+// shared-pool bounded-threads claim is directly observable.
+//
+// --per-session-pools switches the server to the legacy execution substrate
+// (every session owns a private pool of --jobs threads, no stealing) for A/B
+// runs against the default shared work-stealing pool; --sessions sets the
+// session concurrency independently of the pool width.
 //
 // The workload is fully deterministic from --seed in *content* (which tenant
 // submits which app at which priority); completion order and latency numbers
@@ -18,6 +25,8 @@
 // in-flight coalescing tier; the final report prints how many submissions
 // coalesced versus ran the pipeline. --no-coalesce disables the tier for a
 // differential run against the same schedule.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,8 +48,10 @@ namespace {
 struct LoadOptions {
   unsigned tenants = 4;
   unsigned requests = 6;     // per tenant
-  unsigned workers = 2;      // server sessions
-  unsigned jobs = 4;         // pipeline workers per session
+  unsigned workers = 2;      // shared-pool compute threads
+  unsigned sessions = 0;     // concurrent sessions (0 = workers)
+  unsigned jobs = 4;         // DEPRECATED width knob, see --help
+  bool shared_executor = true;
   std::size_t queue_cap = 16;
   unsigned arrival_us = 200;  // mean inter-submit gap per tenant
   double deadline_ms = 0.0;   // per-request service deadline (0 = none)
@@ -54,14 +65,23 @@ struct LoadOptions {
 
 void usage(const char* prog) {
   std::printf(
-      "usage: %s [--tenants N] [--requests N] [--workers N] [--jobs N]\n"
-      "          [--queue-cap N] [--arrival-us N] [--deadline-ms D]\n"
-      "          [--dup-rate P] [--no-coalesce] [--seed S] [--journal PATH]\n"
-      "          [--fsync] [--trace] [--help]\n"
+      "usage: %s [--tenants N] [--requests N] [--workers N] [--sessions N]\n"
+      "          [--jobs N] [--per-session-pools] [--queue-cap N]\n"
+      "          [--arrival-us N] [--deadline-ms D] [--dup-rate P]\n"
+      "          [--no-coalesce] [--seed S] [--journal PATH] [--fsync]\n"
+      "          [--trace] [--help]\n"
       "  --tenants N     concurrent tenants (default 4)\n"
       "  --requests N    requests per tenant (default 6)\n"
-      "  --workers N     server worker sessions (default 2)\n"
-      "  --jobs N        pipeline worker threads per session (default 4)\n"
+      "  --workers N     compute threads in the shared work-stealing pool\n"
+      "                  (default 2); bounds total compute threads\n"
+      "  --sessions N    concurrent sessions (default: same as --workers)\n"
+      "  --jobs N        DEPRECATED: per-phase worker budgets are gone. With\n"
+      "                  the shared pool, any value > 1 just opts sessions\n"
+      "                  into it (--workers sets the width); it only sizes\n"
+      "                  real per-session pools under --per-session-pools\n"
+      "  --per-session-pools\n"
+      "                  legacy A/B substrate: each session owns a private\n"
+      "                  pool of --jobs threads, no cross-session stealing\n"
       "  --queue-cap N   admission queue capacity (default 16)\n"
       "  --arrival-us N  mean per-tenant inter-submit gap (default 200)\n"
       "  --deadline-ms D service deadline per request (default none)\n"
@@ -114,6 +134,49 @@ struct ScheduledRequest {
   int priority = 0;
 };
 
+/// Current OS thread count of this process (0 where /proc is unavailable).
+unsigned read_thread_count() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  unsigned n = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::sscanf(line, "Threads: %u", &n) == 1) break;
+  }
+  std::fclose(f);
+  return n;
+}
+
+/// Samples the process thread count in the background and keeps the peak —
+/// the observable for the "compute threads bounded by the pool, not the
+/// session count" claim.
+class PeakThreadSampler {
+ public:
+  PeakThreadSampler()
+      : thread_([this] {
+          while (!stop_.load(std::memory_order_relaxed)) {
+            const unsigned n = read_thread_count();
+            unsigned seen = peak_.load(std::memory_order_relaxed);
+            while (n > seen && !peak_.compare_exchange_weak(
+                                   seen, n, std::memory_order_relaxed)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }) {}
+  ~PeakThreadSampler() { stop(); }
+
+  unsigned stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<unsigned> peak_{0};
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,7 +195,9 @@ int main(int argc, char** argv) {
     else if (arg == "--tenants") { value(v); opt.tenants = unsigned(v); }
     else if (arg == "--requests") { value(v); opt.requests = unsigned(v); }
     else if (arg == "--workers") { value(v); opt.workers = unsigned(v); }
+    else if (arg == "--sessions") { value(v); opt.sessions = unsigned(v); }
     else if (arg == "--jobs") { value(v); opt.jobs = unsigned(v); }
+    else if (arg == "--per-session-pools") { opt.shared_executor = false; }
     else if (arg == "--queue-cap") { value(v); opt.queue_cap = v; }
     else if (arg == "--arrival-us") { value(v); opt.arrival_us = unsigned(v); }
     else if (arg == "--deadline-ms") { value(v); opt.deadline_ms = double(v); }
@@ -158,9 +223,11 @@ int main(int argc, char** argv) {
   }
   if (opt.tenants == 0 || opt.requests == 0) return 0;
 
-  std::printf("=== load_server: %u tenants x %u requests, %u workers, "
-              "jobs=%u, queue=%zu ===\n\n",
-              opt.tenants, opt.requests, opt.workers, opt.jobs,
+  std::printf("=== load_server: %u tenants x %u requests, %u pool workers, "
+              "%u sessions, %s executor, jobs=%u, queue=%zu ===\n\n",
+              opt.tenants, opt.requests, opt.workers,
+              opt.sessions == 0 ? opt.workers : opt.sessions,
+              opt.shared_executor ? "shared" : "per-session", opt.jobs,
               opt.queue_cap);
 
   // The embedded suite is the request mix: small enough that a full CAD run
@@ -173,11 +240,14 @@ int main(int argc, char** argv) {
 
   server::ServerConfig config;
   config.workers = opt.workers;
+  config.max_sessions = opt.sessions;
+  config.shared_executor = opt.shared_executor;
   config.queue_capacity = opt.queue_cap;
   config.specializer.jobs = opt.jobs;
   config.coalesce_requests = opt.coalesce;
   config.cache_journal_file = opt.journal_file;
   config.journal_fsync = opt.fsync;
+  PeakThreadSampler thread_sampler;
   server::SpecializationServer srv(config);
   server::ServerTraceObserver tracer(stderr);
   if (opt.trace) srv.add_observer(&tracer);
@@ -247,6 +317,7 @@ int main(int argc, char** argv) {
     for (auto& ticket : per_tenant) (void)ticket.wait();
   }
   srv.drain();
+  const unsigned peak_threads = thread_sampler.stop();
 
   const server::ServerStats stats = srv.stats();
   support::TextTable table({"tenant", "subm", "done", "rej", "exp", "canc",
@@ -266,12 +337,23 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nserver: uptime %.2fs, queue high-water %zu, rejections %llu, "
-      "expiries %llu, cancellations %llu, lent sessions %llu\n",
+      "expiries %llu, cancellations %llu\n",
       stats.uptime_s, stats.queue_high_water,
       (unsigned long long)stats.admission_rejections,
       (unsigned long long)stats.expiries,
-      (unsigned long long)stats.cancellations,
-      (unsigned long long)stats.lent_sessions);
+      (unsigned long long)stats.cancellations);
+  const support::ExecutorStats& ex = stats.executor;
+  std::printf(
+      "executor: %u pool workers, steals %llu, tasks search %llu / "
+      "estimate %llu / cad %llu, occupancy high-water %u, peak process "
+      "threads %u\n",
+      ex.workers, (unsigned long long)ex.steals,
+      (unsigned long long)ex.tasks_per_phase[std::size_t(
+          support::Phase::Search)],
+      (unsigned long long)ex.tasks_per_phase[std::size_t(
+          support::Phase::Estimate)],
+      (unsigned long long)ex.tasks_per_phase[std::size_t(support::Phase::Cad)],
+      ex.occupancy_high_water, peak_threads);
   std::uint64_t admitted = 0;
   for (const auto& [tenant, ts] : stats.tenants)
     admitted += ts.submitted - ts.rejected;

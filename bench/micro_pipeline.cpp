@@ -1,16 +1,25 @@
 // Micro-benchmark: pipeline-parallelism wins (ablation for DESIGN.md).
 //
-// BM_CandidateSearch isolates Phase 1 — per-block DFG construction, MAXMISO
-// identification and estimation fanned out over the thread pool with the
-// serial in-order reducer — and sweeps candidate volume (blocks per
-// function) against the worker count. BM_SpecializeOverlap runs the full
-// specializer (CAD flow included) on the fft app across jobs x overlap, the
-// end-to-end view of the same budget split.
+// BM_CandidateSearch isolates Phase 1 — per-block Search tasks chaining
+// Estimate tasks on a work-stealing executor with the serial in-order
+// reducer — and sweeps candidate volume (blocks per function) against the
+// executor width. BM_SpecializeOverlap runs the full specializer (CAD flow
+// included) on the fft app across jobs x overlap. BM_MultiSession is the
+// substrate A/B leg: S concurrent sessions specializing distinct programs
+// either on one shared WorkStealingPool of W workers (total compute threads
+// = W) or on S per-session pools of W workers each (threads = S*W, the
+// pre-work-stealing architecture).
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
 
 #include "apps/app.hpp"
 #include "ir/random_program.hpp"
 #include "jit/pipeline.hpp"
+#include "support/work_stealing_pool.hpp"
 #include "vm/interpreter.hpp"
 
 using namespace jitise;
@@ -24,9 +33,9 @@ struct ProfiledProgram {
 
 /// A random program sized by `blocks` with its training profile; every
 /// profiled block passes pruning so candidate volume tracks program size.
-ProfiledProgram make_program(std::uint32_t blocks) {
+ProfiledProgram make_program(std::uint32_t blocks, std::uint32_t salt = 0) {
   ir::RandomProgramConfig config;
-  config.seed = 0x5EA4C4u + blocks;
+  config.seed = 0x5EA4C4u + blocks + salt * 7919u;
   config.num_functions = 3;
   config.blocks_per_function = blocks;
   config.ops_per_block = 16;
@@ -48,11 +57,14 @@ void BM_CandidateSearch(benchmark::State& state) {
   const jit::CandidateSearchStage search(config);
   jit::PipelineObserver quiet;  // no-op sink
   hwlib::CircuitDb db;  // shared and warm across iterations, as in the JIT
+  std::optional<support::WorkStealingPool> pool;
+  if (workers > 1) pool.emplace(workers);
 
   std::size_t candidates = 0;
   for (auto _ : state) {
     jit::SearchArtifact art;
-    search.run(prog.module, prog.profile, db, quiet, art, {}, workers);
+    search.run(prog.module, prog.profile, db, quiet, art, {},
+               pool ? &*pool : nullptr);
     candidates = art.scored.size();
     benchmark::DoNotOptimize(art);
   }
@@ -81,6 +93,48 @@ void BM_SpecializeOverlap(benchmark::State& state) {
 BENCHMARK(BM_SpecializeOverlap)
     ->ArgsProduct({{1, 2, 4}, {0, 1}})
     ->ArgNames({"jobs", "overlap"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Substrate A/B: `sessions` concurrent pipelines over distinct programs.
+/// shared=1 borrows one WorkStealingPool of `workers` threads for all of
+/// them; shared=0 lets every pipeline spin up its own pool of the same
+/// width, so thread count scales with session count (the old architecture).
+void BM_MultiSession(benchmark::State& state) {
+  const auto sessions = static_cast<unsigned>(state.range(0));
+  const bool shared = state.range(1) != 0;
+  const unsigned workers = 4;
+
+  std::vector<ProfiledProgram> programs;
+  for (unsigned s = 0; s < sessions; ++s)
+    programs.push_back(make_program(8, /*salt=*/s + 1));
+
+  std::optional<support::WorkStealingPool> pool;
+  if (shared) pool.emplace(workers);
+
+  for (auto _ : state) {
+    std::vector<std::thread> coordinators;
+    coordinators.reserve(sessions);
+    for (unsigned s = 0; s < sessions; ++s) {
+      coordinators.emplace_back([&, s] {
+        jit::SpecializerConfig config;
+        config.jobs = workers;
+        jit::SpecializationPipeline pipeline(config, nullptr, nullptr,
+                                             shared ? &*pool : nullptr);
+        auto result = pipeline.run(programs[s].module, programs[s].profile);
+        benchmark::DoNotOptimize(result);
+      });
+    }
+    for (auto& t : coordinators) t.join();
+  }
+  if (pool) {
+    const support::ExecutorStats s = pool->stats();
+    state.counters["steals"] = static_cast<double>(s.steals);
+    state.counters["occupancy_hw"] = static_cast<double>(s.occupancy_high_water);
+  }
+}
+BENCHMARK(BM_MultiSession)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}})
+    ->ArgNames({"sessions", "shared"})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

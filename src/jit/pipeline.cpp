@@ -1,15 +1,22 @@
-// SpecializationPipeline — composes the four ASIP-SP stages and owns the
-// per-candidate CAD fan-out.
+// SpecializationPipeline — composes the four ASIP-SP stages and submits the
+// per-candidate CAD fan-out as `Phase::Cad` tasks on the executor.
 //
 // Concurrency model: every CAD result is keyed by candidate *signature* and
 // written into a pre-created slot with a stable address. Dispatch (slot
 // creation, dedup, cache probing) happens only on the pipeline thread;
 // workers write only into their own slot. With `overlap_phases`, the search
-// stage's per-block callback streams the provisional selection into the pool
-// while search keeps running — safe because CAD results are numerically
-// name-independent (all jitter is signature-seeded), so speculative runs use
-// placeholder names and the serial tail attaches the canonical
-// position-dependent name afterwards.
+// stage's per-block callback streams the provisional selection into CAD
+// tasks while search keeps running — safe because CAD results are
+// numerically name-independent (all jitter is signature-seeded), so
+// speculative runs use placeholder names and the serial tail attaches the
+// canonical position-dependent name afterwards.
+//
+// There is no per-phase worker budget anymore: search, estimation and CAD
+// tasks share one executor and idle workers steal across phases, so the old
+// `resolve_search_jobs` ceiling-half split (and the idle half it stranded
+// after search finished) is gone. The executor is borrowed when the caller
+// owns a long-lived one (the server's shared pool); a direct call with a
+// parallel config gets a run-scoped private pool.
 #include "jit/pipeline.hpp"
 
 #include <algorithm>
@@ -19,7 +26,7 @@
 #include <unordered_map>
 
 #include "support/stopwatch.hpp"
-#include "support/thread_pool.hpp"
+#include "support/work_stealing_pool.hpp"
 
 namespace jitise::jit {
 
@@ -47,27 +54,40 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
   hwlib::CircuitDb db;
   PipelineObserver& obs = observers_;
 
-  const unsigned jobs =
-      config_.jobs != 0 ? config_.jobs : support::ThreadPool::default_jobs();
+  const unsigned jobs = config_.jobs != 0
+                            ? config_.jobs
+                            : support::WorkStealingPool::default_workers();
+  // Back-compat: `search_jobs` once sized a dedicated search pool. Today 1
+  // still forces the serial per-block loop, and any other value opts search
+  // into the executor — whose width, not this field, decides the actual
+  // parallelism.
+  const unsigned search_width =
+      config_.search_jobs != 0 ? config_.search_jobs : jobs;
   const bool hardware = config_.implement_hardware;
-  const bool overlap = hardware && config_.overlap_phases && jobs > 1;
-  // One jobs budget, split across the phases that actually run
-  // concurrently: with overlap, search workers and CAD workers coexist and
-  // split `jobs`; staged (or estimation-only) runs give search the whole
-  // budget because the CAD pool only spins up after search finishes.
-  const unsigned search_workers = config_.resolve_search_jobs(jobs, overlap);
-  const unsigned cad_workers =
-      overlap ? std::max(1u, jobs - std::min(jobs - 1, search_workers)) : jobs;
+  const bool parallel_cad = hardware && jobs > 1;
+  const bool parallel_search = search_width > 1;
+  const bool overlap = parallel_cad && config_.overlap_phases;
 
-  // Declared before the pool: workers reference the artifact's graphs, so it
-  // must outlive the pool even when an exception unwinds this frame.
+  // Lifetime choreography, outermost first: tasks reference the artifact's
+  // graphs and the slots, so both must outlive every task. `cad_group`'s
+  // destructor waits for this run's CAD tasks (the unwind guarantee when
+  // the executor is borrowed and lives on); a private pool is declared
+  // last, so its draining destructor runs while everything tasks touch is
+  // still alive.
   SearchArtifact art;
   // Deque: stable element addresses while the pipeline thread keeps growing
   // it; workers only ever touch their own pre-created slot.
   std::deque<ImplementationArtifact> slots;
   std::unordered_map<std::uint64_t, ImplementationArtifact*> by_sig;
-  std::optional<support::ThreadPool> pool;
+  support::TaskGroup cad_group;
+  std::optional<support::WorkStealingPool> owned;
   std::optional<support::Stopwatch> impl_timer;
+
+  support::Executor* exec = executor_;
+  if (exec == nullptr && (parallel_cad || parallel_search)) {
+    owned.emplace(std::max(jobs, search_width));
+    exec = &*owned;
+  }
 
   auto enter_implementation = [&] {
     if (impl_timer) return;
@@ -77,7 +97,7 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
 
   // Dispatches the Phase 2+3 chain for `art.scored[idx]` unless its
   // signature is already covered (cache-resident, or dispatched earlier —
-  // speculatively or not). Runs inline when no pool exists (jobs=1).
+  // speculatively or not). Runs inline with a serial config (jobs=1).
   auto dispatch = [&](std::size_t idx, std::string name, bool speculative) {
     const std::uint64_t sig = art.scored[idx].signature;
     if (by_sig.count(sig) != 0) return;
@@ -94,15 +114,14 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
                  name = std::move(name), slot, &db, &obs] {
       *slot = implement_.run(netlist_.run(*graph, cand, db, name, obs), obs);
     };
-    if (pool)
-      pool->submit(std::move(task));
+    if (parallel_cad)
+      exec->submit(support::Phase::Cad, cad_group, std::move(task));
     else
       task();
   };
 
   CandidateSearchStage::BlockScoredFn on_block;
   if (overlap) {
-    pool.emplace(cad_workers);
     on_block = [&](const SearchArtifact& partial,
                    const ise::Selection& provisional) {
       for (std::size_t idx : provisional.chosen)
@@ -113,8 +132,8 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
     };
   }
 
-  search_.run(module, profile, db, obs, art, on_block, search_workers,
-              estimates_);
+  search_.run(module, profile, db, obs, art, on_block,
+              parallel_search ? exec : nullptr, estimates_);
 
   std::vector<std::string> names(art.selection.chosen.size());
   for (std::size_t k = 0; k < names.size(); ++k)
@@ -125,13 +144,10 @@ SpecializationResult SpecializationPipeline::run(const ir::Module& module,
     // Stage boundary: a request cancelled during (or right after) search
     // stops before committing to the final dispatch sweep.
     config_.cancel.check();
-    if (!pool && jobs > 1 && art.selection.chosen.size() > 1)
-      pool.emplace(static_cast<unsigned>(
-          std::min<std::size_t>(cad_workers, art.selection.chosen.size())));
     enter_implementation();
     for (std::size_t k = 0; k < art.selection.chosen.size(); ++k)
       dispatch(art.selection.chosen[k], names[k], /*speculative=*/false);
-    if (pool) pool->wait_all();
+    if (parallel_cad) cad_group.wait();
     obs.on_phase_exit(PipelinePhase::Implementation, impl_timer->elapsed_ms());
   }
 

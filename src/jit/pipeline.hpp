@@ -13,14 +13,20 @@
 //   AdaptationStage       cache/registry/accounting serial tail + rewrite
 //                         -> SpecializationResult
 //
-// SpecializationPipeline composes them, fans per-candidate CAD out over a
-// thread pool, and — with `SpecializerConfig::overlap_phases` — overlaps
-// Phase 1 with Phases 2+3: after each pruned block is scored, candidates in
-// the provisional (incremental) selection already stream into the CAD pool.
-// Results stay bit-identical to the staged serial run because CAD results
-// are keyed by candidate signature (all jitter is signature-seeded and
-// numerically name-independent) and everything order-sensitive runs in the
-// AdaptationStage tail in final selection order.
+// SpecializationPipeline composes them and submits all parallel work as
+// phase-tagged tasks (`Phase::Search` / `Phase::Estimate` / `Phase::Cad`)
+// through one support::Executor — either a borrowed, long-lived executor
+// (the server's shared WorkStealingPool, so many sessions share one bounded
+// worker set) or a pipeline-private pool for direct `specialize()` calls.
+// There is no static worker split between phases: an idle worker steals
+// whichever phase is backed up. With `SpecializerConfig::overlap_phases`,
+// Phase 1 overlaps Phases 2+3: after each pruned block is scored,
+// candidates in the provisional (incremental) selection already stream into
+// CAD tasks. Results stay bit-identical to the staged serial run because
+// CAD results are keyed by candidate signature (all jitter is
+// signature-seeded and numerically name-independent) and everything
+// order-sensitive runs in the AdaptationStage tail in final selection
+// order.
 #pragma once
 
 #include <functional>
@@ -32,6 +38,7 @@
 #include "datapath/project.hpp"
 #include "jit/observer.hpp"
 #include "jit/specializer.hpp"
+#include "support/executor.hpp"
 
 namespace jitise::jit {
 
@@ -60,15 +67,16 @@ class CandidateSearchStage {
       : config_(config) {}
 
   /// Fills `out` in place (rather than returning it) so the caller can give
-  /// the artifact a lifetime enclosing any thread pool that holds
-  /// speculative tasks referencing its graphs — even on exception unwind.
+  /// the artifact a lifetime enclosing any executor tasks referencing its
+  /// graphs — even on exception unwind.
   ///
-  /// With `workers > 1` the per-block work (DFG construction, MAXMISO /
-  /// UnionMISO identification, per-candidate estimation) fans out over a
-  /// thread pool; a serial reducer on the calling thread absorbs block
-  /// results strictly in block order, so the artifact, every observer
-  /// event asserted by tests, and the `on_block` stream are bit-identical
-  /// to the `workers == 1` serial loop.
+  /// With an `executor` (of more than one worker), each pruned block runs
+  /// as a `Phase::Search` task (DFG construction, MAXMISO / UnionMISO
+  /// identification) chaining a `Phase::Estimate` task (estimation +
+  /// scoring); a serial reducer on the calling thread absorbs block results
+  /// strictly in block order, so the artifact, every observer event
+  /// asserted by tests, and the `on_block` stream are bit-identical to the
+  /// `executor == nullptr` serial loop.
   ///
   /// `estimates` (optional) memoizes whole-candidate estimation by
   /// signature; estimates are pure functions of candidate structure, so the
@@ -76,7 +84,7 @@ class CandidateSearchStage {
   void run(const ir::Module& module, const vm::Profile& profile,
            hwlib::CircuitDb& db, PipelineObserver& observer,
            SearchArtifact& out, const BlockScoredFn& on_block = {},
-           unsigned workers = 1,
+           support::Executor* executor = nullptr,
            estimation::EstimateCache* estimates = nullptr) const;
 
  private:
@@ -149,14 +157,21 @@ class AdaptationStage {
 
 class SpecializationPipeline {
  public:
-  /// `cache` and `estimates` are borrowed, may be shared across concurrent
-  /// pipelines (both are internally synchronized), and may be null.
+  /// `cache`, `estimates` and `executor` are borrowed, may be shared across
+  /// concurrent pipelines (all are internally synchronized), and may be
+  /// null. With a null `executor` and a parallel config (`jobs`/
+  /// `search_jobs` > 1), run() spins up a private WorkStealingPool for the
+  /// duration of the run; with a non-null one (the server's shared pool),
+  /// this pipeline submits its phase-tagged tasks there and owns no threads
+  /// at all.
   explicit SpecializationPipeline(const SpecializerConfig& config,
                                   BitstreamCache* cache = nullptr,
-                                  estimation::EstimateCache* estimates = nullptr)
+                                  estimation::EstimateCache* estimates = nullptr,
+                                  support::Executor* executor = nullptr)
       : config_(config),
         cache_(cache),
         estimates_(estimates),
+        executor_(executor),
         search_(config_),
         implement_(config_),
         adapt_(config_, cache_) {}
@@ -171,6 +186,7 @@ class SpecializationPipeline {
   SpecializerConfig config_;
   BitstreamCache* cache_;
   estimation::EstimateCache* estimates_ = nullptr;
+  support::Executor* executor_ = nullptr;
   CandidateSearchStage search_;
   NetlistGenStage netlist_;
   ImplementationStage implement_;

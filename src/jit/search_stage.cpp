@@ -6,28 +6,41 @@
 // to a one-shot select_greedy over the full candidate pool.
 //
 // Concurrency model: every pruned block is an independent unit of work (its
-// own DFG, its own candidates, its own estimates), so with `workers > 1`
-// blocks are dispatched as tasks on a thread pool, each producing a
-// self-contained BlockSearchResult. A serial reducer on the pipeline thread
-// absorbs results strictly in block order (out-of-order completions wait in
-// their OrderedReducer slot), so selector state, observer events and the
-// on_block stream are bit-identical to the serial loop. Shared state touched
-// by workers is limited to the CircuitDb memo caches, which are internally
+// own DFG, its own candidates, its own estimates). With an executor, each
+// block becomes a `Phase::Search` task (DFG construction + MAXMISO /
+// UnionMISO identification) that chains a `Phase::Estimate` task
+// (per-candidate estimation + scoring) — two tags so an idle worker can
+// steal whichever phase is backed up. Tasks produce self-contained
+// BlockSearchResults; a serial reducer on the pipeline thread absorbs them
+// strictly in block order (out-of-order completions wait in their
+// OrderedReducer slot), so selector state, observer events and the on_block
+// stream are bit-identical to the serial loop. Shared state touched by
+// workers is limited to the CircuitDb memo caches, which are internally
 // synchronized and value-deterministic regardless of insertion order.
 #include "jit/pipeline.hpp"
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <utility>
 
 #include "ise/identify.hpp"
+#include "support/executor.hpp"
 #include "support/ordered_reducer.hpp"
 #include "support/stopwatch.hpp"
-#include "support/thread_pool.hpp"
 
 namespace jitise::jit {
 
 namespace {
+
+/// Output of a block's identification half, handed from its Search task to
+/// its Estimate task.
+struct IdentifiedBlock {
+  std::unique_ptr<dfg::BlockDfg> graph;
+  std::vector<ise::Candidate> candidates;
+  std::uint64_t exec_count = 0;
+  double identify_ms = 0.0;
+};
 
 /// Everything searching one pruned block produces, self-contained so it can
 /// be computed on any thread and absorbed later.
@@ -44,7 +57,8 @@ struct BlockSearchResult {
 void CandidateSearchStage::run(const ir::Module& module,
                                const vm::Profile& profile, hwlib::CircuitDb& db,
                                PipelineObserver& observer, SearchArtifact& out,
-                               const BlockScoredFn& on_block, unsigned workers,
+                               const BlockScoredFn& on_block,
+                               support::Executor* executor,
                                estimation::EstimateCache* estimates) const {
   config_.cancel.check();
   observer.on_phase_enter(PipelinePhase::CandidateSearch);
@@ -54,47 +68,56 @@ void CandidateSearchStage::run(const ir::Module& module,
   art.prune = ise::prune_blocks(module, profile, config_.cpu, config_.prune);
   ise::IncrementalSelector selector(config_.select);
 
-  // The per-block body: DFG construction, identification and per-candidate
-  // estimation. Deterministic per block and independent across blocks, so it
+  // Identification half of a block: DFG construction plus candidate
+  // discovery. Deterministic per block and independent across blocks, so it
   // may run on any thread in any order.
-  const auto search_block = [&](std::size_t b) {
+  const auto identify_block = [&](std::size_t b) {
     // Worker-side cancellation point: lets a cancelled run's not-yet-started
     // block tasks exit immediately instead of searching to be discarded.
     config_.cancel.check();
-    BlockSearchResult res;
+    IdentifiedBlock ib;
     support::Stopwatch block_timer;
     const ise::PrunedBlock& blk = art.prune.blocks[b];
-    res.graph = std::make_unique<dfg::BlockDfg>(
-        module.functions[blk.function], blk.block);
-    auto identified = config_.identify == SpecializerConfig::Identify::UnionMiso
-                          ? ise::find_union_misos(*res.graph)
-                          : ise::find_max_misos(*res.graph);
-    for (ise::Candidate& cand : identified) {
-      cand.function = blk.function;
+    ib.graph = std::make_unique<dfg::BlockDfg>(module.functions[blk.function],
+                                               blk.block);
+    ib.candidates = config_.identify == SpecializerConfig::Identify::UnionMiso
+                        ? ise::find_union_misos(*ib.graph)
+                        : ise::find_max_misos(*ib.graph);
+    for (ise::Candidate& cand : ib.candidates) cand.function = blk.function;
+    ib.exec_count = blk.exec_count;
+    ib.identify_ms = block_timer.elapsed_ms();
+    return ib;
+  };
+
+  // Estimation half: per-candidate estimation + scoring. Same thread-safety
+  // story; runs as its own Phase::Estimate task when fanned out.
+  const auto estimate_block = [&](IdentifiedBlock ib) {
+    BlockSearchResult res;
+    support::Stopwatch block_timer;
+    for (ise::Candidate& cand : ib.candidates) {
       // Signature first: it keys the whole-candidate estimate memo (and,
       // later, the CAD-result slots), deduplicating structurally identical
       // candidates across blocks, apps and tenants.
-      const std::uint64_t signature =
-          ise::candidate_signature(*res.graph, cand);
+      const std::uint64_t signature = ise::candidate_signature(*ib.graph, cand);
       const auto est = estimation::estimate_candidate_cached(
-          *res.graph, cand, db, config_.cpu, config_.fcm, signature,
-          estimates);
+          *ib.graph, cand, db, config_.cpu, config_.fcm, signature, estimates);
       ise::ScoredCandidate scored;
       scored.signature = signature;
       scored.candidate = std::move(cand);
       scored.cycles_saved_total =
-          est.saved_per_exec * static_cast<double>(blk.exec_count);
+          est.saved_per_exec * static_cast<double>(ib.exec_count);
       scored.area_slices = est.area_slices;
       res.scored.push_back(std::move(scored));
       res.estimates.push_back(est);
     }
-    res.real_ms = block_timer.elapsed_ms();
+    res.graph = std::move(ib.graph);
+    res.real_ms = ib.identify_ms + block_timer.elapsed_ms();
     return res;
   };
 
   // The serial reducer body: everything order-sensitive. Always runs on the
-  // pipeline thread, strictly in block order — this is what keeps
-  // `workers=N` bit-identical to the serial loop.
+  // pipeline thread, strictly in block order — this is what keeps any
+  // executor schedule bit-identical to the serial loop.
   const auto absorb = [&](std::size_t b, BlockSearchResult&& res) {
     // Cancellation point: between blocks, on the pipeline thread, before
     // the block's results touch the artifact — a cancelled search leaves a
@@ -116,24 +139,39 @@ void CandidateSearchStage::run(const ir::Module& module,
   };
 
   const std::size_t nblocks = art.prune.blocks.size();
-  const auto pool_size =
-      static_cast<unsigned>(std::min<std::size_t>(workers, nblocks));
-  if (pool_size <= 1) {
-    for (std::size_t b = 0; b < nblocks; ++b) absorb(b, search_block(b));
+  if (executor == nullptr || executor->workers() <= 1 || nblocks <= 1) {
+    for (std::size_t b = 0; b < nblocks; ++b)
+      absorb(b, estimate_block(identify_block(b)));
   } else {
     support::OrderedReducer<BlockSearchResult> reducer(nblocks);
-    // Declared after the reducer/artifact so its destructor (which joins
-    // workers) runs first even when the reducer loop below throws.
-    support::ThreadPool pool(pool_size);
+    // Declared after the reducer (and everything the tasks reference): its
+    // destructor blocks until every task of this run finished, so even when
+    // the reducer loop below throws, no task still references this frame —
+    // the guarantee that makes sharing a server-wide executor safe.
+    support::TaskGroup group;
     for (std::size_t b = 0; b < nblocks; ++b) {
-      pool.submit([&search_block, &reducer, b] {
-        BlockSearchResult res;
+      executor->submit(support::Phase::Search, group, [&, b] {
+        // Tasks never leak exceptions into the group: every error lands in
+        // the block's reducer slot so it propagates in block order below.
         try {
-          res = search_block(b);
+          // The chained Estimate task lands on this worker's own deque
+          // (run next here, LIFO) unless an idle worker steals it.
+          auto ib =
+              std::make_shared<IdentifiedBlock>(identify_block(b));
+          executor->submit(support::Phase::Estimate, group, [&, b, ib] {
+            BlockSearchResult res;
+            try {
+              res = estimate_block(std::move(*ib));
+            } catch (...) {
+              res.error = std::current_exception();
+            }
+            reducer.put(b, std::move(res));
+          });
         } catch (...) {
+          BlockSearchResult res;
           res.error = std::current_exception();
+          reducer.put(b, std::move(res));
         }
-        reducer.put(b, std::move(res));
       });
     }
     for (std::size_t b = 0; b < nblocks; ++b) {
@@ -141,14 +179,14 @@ void CandidateSearchStage::run(const ir::Module& module,
       if (res.error) {
         // Match serial error semantics: the first failing block (in block
         // order, not completion order) propagates; later blocks' results
-        // are discarded. Drain the pool first so no task still references
+        // are discarded. Quiesce our tasks first so none still references
         // this frame.
-        pool.wait_all();
+        group.wait();
         std::rethrow_exception(res.error);
       }
       absorb(b, std::move(res));
     }
-    pool.wait_all();
+    group.wait();
   }
 
   selector.extend(art.scored);  // no-op unless the loop never ran

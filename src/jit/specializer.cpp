@@ -13,14 +13,6 @@
 
 namespace jitise::jit {
 
-unsigned SpecializerConfig::resolve_search_jobs(unsigned total_jobs,
-                                                bool overlapping) const
-    noexcept {
-  if (search_jobs != 0) return search_jobs;
-  if (total_jobs <= 1) return 1;
-  return overlapping ? (total_jobs + 1) / 2 : total_jobs;
-}
-
 std::uint32_t fcm_hw_cycles(double latency_ns, const SpecializerConfig& cfg) {
   const double period_ns = 1e9 / cfg.woolcano.cpu_clock_hz;
   // A latency of e.g. 10.1 ns at a 5 ns period needs 3 full cycles; the

@@ -32,26 +32,39 @@ struct SpecializerConfig {
   /// Skip the CAD flow and use estimation-based hardware cycles (used by
   /// upper-bound experiments; no bitstreams are produced).
   bool implement_hardware = true;
-  /// Worker threads for the per-candidate CAD loop (Phases 2+3). 0 means
-  /// hardware_concurrency, 1 runs strictly serially. Any value produces a
-  /// bit-identical SpecializationResult: CAD jitter is seeded per candidate
-  /// signature and all bookkeeping (cycle accounting, registry insertion,
-  /// `implemented` order, cache population) stays in a serial tail.
+  /// Parallelism for the whole pipeline. All parallel work — per-block
+  /// search (`Phase::Search`), per-candidate estimation (`Phase::Estimate`)
+  /// and the per-candidate CAD chain (`Phase::Cad`) — runs as phase-tagged
+  /// tasks on ONE support::Executor; there is no static per-phase worker
+  /// split, idle workers steal across phases. 0 means
+  /// hardware_concurrency, 1 runs strictly serially. When the caller owns a
+  /// long-lived executor (the specialization server's shared
+  /// WorkStealingPool), `jobs > 1` merely opts the run into it and the
+  /// executor's width decides the real parallelism; a direct call with
+  /// `jobs > 1` gets a run-scoped private pool of this size. Any value
+  /// produces a bit-identical SpecializationResult: CAD jitter is seeded
+  /// per candidate signature, block results are absorbed by a serial
+  /// reducer in block order, and all bookkeeping (cycle accounting,
+  /// registry insertion, `implemented` order, cache population) stays in a
+  /// serial tail.
   unsigned jobs = 0;
-  /// Worker threads for the parallel candidate search (Phase 1): per-block
-  /// DFG construction, MAXMISO/UnionMISO identification and estimation fan
-  /// out over a pool while a serial reducer absorbs block results *in block
-  /// order*, so any value produces a bit-identical SpecializationResult.
-  /// 0 derives the count from the shared `jobs` budget (see
-  /// `resolve_search_jobs`); 1 runs the classic serial per-block loop.
+  /// DEPRECATED — the one executor serves every phase, so search no longer
+  /// has a worker budget of its own (the ceiling-half
+  /// `resolve_search_jobs` split is gone). Accepted for back-compat:
+  /// 1 forces the classic serial per-block search loop; 0 follows `jobs`;
+  /// any other value opts search into the executor (and sizes a private
+  /// pool when no executor is borrowed, so old `jobs=1, search_jobs=N`
+  /// search-only configs still fan out N-wide).
   unsigned search_jobs = 0;
   /// Overlap Phase 1 with Phases 2+3 (jobs > 1 only): as candidate search
   /// finishes scoring a block, candidates in the provisional incremental
-  /// selection already stream into the CAD pool instead of waiting for the
+  /// selection already stream into CAD tasks instead of waiting for the
   /// full selection barrier. Output stays bit-identical to the staged run —
   /// CAD results are signature-keyed and the serial tail consumes them in
   /// final selection order; speculative work for candidates that drop out
-  /// of the final selection is simply discarded.
+  /// of the final selection is simply discarded. With work-stealing this
+  /// flag no longer moves workers between phases; it only controls the
+  /// speculative streaming.
   bool overlap_phases = true;
   /// Emit a one-line per-candidate CAD timing trace to stderr (real ms per
   /// stage plus the worker thread id) so the parallel speedup is observable.
@@ -78,15 +91,6 @@ struct SpecializerConfig {
   /// support::CancelledError; the caller (the specialization server) reports
   /// partial progress via its observers.
   support::CancellationToken cancel;
-
-  /// Resolves the Phase-1 worker count from the one shared jobs budget.
-  /// `total_jobs` is the resolved pool budget (>= 1). When `overlapping`,
-  /// search workers and CAD workers run concurrently and split the budget
-  /// (search takes the ceiling half); otherwise the phases run back to back
-  /// and search may use the whole budget. An explicit `search_jobs` wins
-  /// unconditionally.
-  [[nodiscard]] unsigned resolve_search_jobs(unsigned total_jobs,
-                                             bool overlapping) const noexcept;
 };
 
 /// Per-candidate implementation record (modeled seconds are zero on a

@@ -38,11 +38,10 @@ void ServerTraceObserver::on_promoted(std::uint64_t id,
 }
 
 void ServerTraceObserver::on_started(std::uint64_t id,
-                                     const std::string& tenant, bool lent) {
+                                     const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::fprintf(sink_, "[server] start   #%llu tenant=%s%s\n",
-               static_cast<unsigned long long>(id), tenant.c_str(),
-               lent ? " (lent slot)" : "");
+  std::fprintf(sink_, "[server] start   #%llu tenant=%s\n",
+               static_cast<unsigned long long>(id), tenant.c_str());
 }
 
 void ServerTraceObserver::on_finished(const RequestOutcome& outcome) {

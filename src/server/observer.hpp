@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "server/request.hpp"
+#include "support/executor.hpp"
 
 namespace jitise::server {
 
@@ -45,14 +46,15 @@ class ServerObserver {
   /// re-enqueued at its own priority; remaining followers now follow it.
   virtual void on_promoted(std::uint64_t /*id*/, const std::string& /*tenant*/,
                            std::uint64_t /*dead_leader_id*/) {}
-  /// A worker session picked the request up. `lent_slot` marks a session
-  /// admitted on capacity lent by a running request whose search phase has
-  /// finished (the overlap_phases idle-half policy).
-  virtual void on_started(std::uint64_t /*id*/, const std::string& /*tenant*/,
-                          bool /*lent_slot*/) {}
-  /// A running request's candidate search completed (fired from the session
-  /// thread); the scheduler may now lend one session slot against it.
-  virtual void on_search_complete(std::uint64_t /*id*/) {}
+  /// A session coordinator picked the request up and is about to run its
+  /// pipeline.
+  virtual void on_started(std::uint64_t /*id*/,
+                          const std::string& /*tenant*/) {}
+  /// A shared-pool worker executed a task stolen from another worker's
+  /// deque. Fires from pool worker threads — potentially very often and
+  /// concurrently, so implementations must be internally synchronized and
+  /// cheap (count, don't print).
+  virtual void on_steal(support::Phase /*phase*/) {}
   /// Terminal outcome (Done/Failed/Cancelled/Expired). The reference is
   /// only guaranteed during the call.
   virtual void on_finished(const RequestOutcome& /*outcome*/) {}
@@ -85,12 +87,11 @@ class ServerObserverList final : public ServerObserver {
                    std::uint64_t dead_leader_id) override {
     for (auto* o : observers_) o->on_promoted(id, tenant, dead_leader_id);
   }
-  void on_started(std::uint64_t id, const std::string& tenant,
-                  bool lent) override {
-    for (auto* o : observers_) o->on_started(id, tenant, lent);
+  void on_started(std::uint64_t id, const std::string& tenant) override {
+    for (auto* o : observers_) o->on_started(id, tenant);
   }
-  void on_search_complete(std::uint64_t id) override {
-    for (auto* o : observers_) o->on_search_complete(id);
+  void on_steal(support::Phase phase) override {
+    for (auto* o : observers_) o->on_steal(phase);
   }
   void on_finished(const RequestOutcome& outcome) override {
     for (auto* o : observers_) o->on_finished(outcome);
@@ -117,8 +118,7 @@ class ServerTraceObserver final : public ServerObserver {
                     std::uint64_t leader_id) override;
   void on_promoted(std::uint64_t id, const std::string& tenant,
                    std::uint64_t dead_leader_id) override;
-  void on_started(std::uint64_t id, const std::string& tenant,
-                  bool lent) override;
+  void on_started(std::uint64_t id, const std::string& tenant) override;
   void on_finished(const RequestOutcome& outcome) override;
   void on_drained(std::size_t synced, bool compacted) override;
 

@@ -20,20 +20,13 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 /// Per-session progress tap: counts pipeline events into atomics (CAD events
-/// fire from pool workers) and tells the server when the session's search
-/// phase ends so the scheduler can lend a slot against it.
+/// fire from pool workers).
 class SpecializationServer::SessionPipelineObserver final
     : public jit::PipelineObserver {
  public:
-  SessionPipelineObserver(SpecializationServer& server, std::uint64_t id)
-      : server_(server), id_(id) {}
-
   void on_phase_exit(jit::PipelinePhase phase, double) override {
     if (phase != jit::PipelinePhase::CandidateSearch) return;
     search_complete_.store(true, std::memory_order_relaxed);
-    if (!noted_.exchange(true, std::memory_order_relaxed)) {
-      server_.note_search_complete(id_);
-    }
   }
   void on_block_scored(std::size_t, std::size_t found, std::size_t) override {
     blocks_.fetch_add(1, std::memory_order_relaxed);
@@ -50,12 +43,6 @@ class SpecializationServer::SessionPipelineObserver final
     failed_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Whether the server was told to lend against this session (the worker
-  /// must return that slot when the session ends).
-  [[nodiscard]] bool lending_noted() const noexcept {
-    return noted_.load(std::memory_order_relaxed);
-  }
-
   [[nodiscard]] RequestProgress progress() const {
     RequestProgress p;
     p.blocks_searched = blocks_.load(std::memory_order_relaxed);
@@ -68,15 +55,12 @@ class SpecializationServer::SessionPipelineObserver final
   }
 
  private:
-  SpecializationServer& server_;
-  const std::uint64_t id_;
   std::atomic<std::size_t> blocks_{0};
   std::atomic<std::size_t> found_{0};
   std::atomic<std::size_t> dispatched_{0};
   std::atomic<std::size_t> implemented_{0};
   std::atomic<std::size_t> failed_{0};
   std::atomic<bool> search_complete_{false};
-  std::atomic<bool> noted_{false};
 };
 
 SpecializationServer::SpecializationServer(ServerConfig config)
@@ -84,17 +68,21 @@ SpecializationServer::SpecializationServer(ServerConfig config)
       cache_(config_.cache_capacity_bytes),
       started_at_(Clock::now()) {
   if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_sessions == 0) config_.max_sessions = config_.workers;
   if (!config_.cache_journal_file.empty()) {
     journal_.emplace(config_.cache_journal_file);
     journal_->set_fsync(config_.journal_fsync);
     journal_->attach(cache_);
   }
-  // Lent slots can double concurrency, so the thread pool is sized for the
-  // worst case up front; surplus threads just park on work_cv_.
-  const unsigned threads =
-      config_.workers + (config_.lend_idle_search_slots ? config_.workers : 0);
-  threads_.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) {
+  if (config_.shared_executor) {
+    pool_.emplace(config_.workers);
+    pool_->set_observer(this);
+  }
+  // One coordinator thread per session slot. Coordinators submit tasks and
+  // block; the pool above holds the compute threads, so total compute
+  // threads stay `workers` no matter how many sessions run.
+  threads_.reserve(config_.max_sessions);
+  for (unsigned i = 0; i < config_.max_sessions; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -117,12 +105,9 @@ SpecializationServer::~SpecializationServer() {
   cache_.set_journal(nullptr);
 }
 
-unsigned SpecializationServer::capacity_locked() const noexcept {
-  const unsigned lendable =
-      config_.lend_idle_search_slots
-          ? std::min(post_search_running_, config_.workers)
-          : 0;
-  return config_.workers + lendable;
+void SpecializationServer::on_task_executed(support::Phase phase,
+                                            bool stolen) {
+  if (stolen) observers_.on_steal(phase);
 }
 
 Ticket SpecializationServer::submit(SpecializationRequest request) {
@@ -312,16 +297,13 @@ SpecializationServer::pop_next_locked(std::vector<Session>& dead) {
 void SpecializationServer::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stopping_ || (pending_count_ > 0 && running_ < capacity_locked());
-    });
+    work_cv_.wait(lock, [&] { return stopping_ || pending_count_ > 0; });
     if (stopping_) return;
     std::vector<Session> dead;
     std::optional<Session> session = pop_next_locked(dead);
-    const bool lent_slot = session && running_ >= config_.workers;
-    // The worker counts as running while it settles dead sessions too, so
-    // drain cannot observe an idle instant before a dead leader's follower
-    // has been promoted back into the queue.
+    // The coordinator counts as running while it settles dead sessions too,
+    // so drain cannot observe an idle instant before a dead leader's
+    // follower has been promoted back into the queue.
     ++running_;
     lock.unlock();
 
@@ -336,29 +318,17 @@ void SpecializationServer::worker_loop() {
                          : "cancelled while queued",
                      std::nullopt, RequestProgress{});
     }
-    bool search_noted = false;
-    if (session) run_session(*session, lent_slot, search_noted);
+    if (session) run_session(*session);
 
     lock.lock();
     --running_;
-    if (search_noted) --post_search_running_;
     if (pending_count_ == 0 && running_ == 0) idle_cv_.notify_all();
-    // A freed (or reclaimed-lent) slot may unblock a parked worker.
+    // More work may have arrived (e.g. a promoted follower) while we ran.
     work_cv_.notify_all();
   }
 }
 
-void SpecializationServer::note_search_complete(std::uint64_t id) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++post_search_running_;
-  }
-  observers_.on_search_complete(id);
-  work_cv_.notify_all();
-}
-
-void SpecializationServer::run_session(Session& session, bool lent_slot,
-                                       bool& search_noted) {
+void SpecializationServer::run_session(Session& session) {
   const auto& ticket = session.ticket;
   const auto start = Clock::now();
   {
@@ -367,21 +337,16 @@ void SpecializationServer::run_session(Session& session, bool lent_slot,
     ticket->outcome.state = RequestState::Running;
     ticket->outcome.queue_ms = ms_between(ticket->submitted_at, start);
   }
-  if (lent_slot) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++lent_sessions_;
-  }
-  observers_.on_started(session.id, session.request.tenant, lent_slot);
+  observers_.on_started(session.id, session.request.tenant);
 
   const support::CancellationToken token = ticket->cancel.token();
-  SessionPipelineObserver progress(*this, session.id);
+  SessionPipelineObserver progress;
 
   // A request cancelled or expired after it was popped but before the
   // pipeline starts resolves without ever entering it (the scheduler
   // already skips requests that were dead while still queued).
   const support::CancelReason queued_reason = token.reason();
   if (queued_reason != support::CancelReason::None) {
-    search_noted = progress.lending_noted();
     finish_session(session,
                    queued_reason == support::CancelReason::DeadlineExpired
                        ? RequestState::Expired
@@ -402,8 +367,12 @@ void SpecializationServer::run_session(Session& session, bool lent_slot,
   std::optional<jit::SpecializationResult> result;
   pipeline_runs_.fetch_add(1, std::memory_order_relaxed);
   try {
+    // Shared mode hands the pipeline the server-wide pool (the session
+    // coordinator only submits and waits); legacy mode passes none, so a
+    // parallel config spins up a session-private pool.
     jit::SpecializationPipeline pipeline(
-        cfg, &cache_, config_.share_estimates ? &estimates_ : nullptr);
+        cfg, &cache_, config_.share_estimates ? &estimates_ : nullptr,
+        config_.shared_executor ? &*pool_ : nullptr);
     pipeline.add_observer(&progress);
     if (config_.pipeline_observer) {
       pipeline.add_observer(config_.pipeline_observer);
@@ -419,7 +388,6 @@ void SpecializationServer::run_session(Session& session, bool lent_slot,
     reason = e.what();
   }
 
-  search_noted = progress.lending_noted();
   finish_session(session, state, std::move(reason), std::move(result),
                  progress.progress());
 }
@@ -605,12 +573,12 @@ ServerStats SpecializationServer::stats() const {
     s.admission_rejections = rejections_;
     s.cancellations = cancellations_;
     s.expiries = expiries_;
-    s.lent_sessions = lent_sessions_;
     s.coalesced_submits = coalesced_submits_;
     s.coalesced_completed = coalesced_completed_;
     s.promotions = promotions_;
   }
   s.pipeline_runs = pipeline_runs_.load(std::memory_order_relaxed);
+  if (pool_) s.executor = pool_->stats();
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   s.cache_entries = cache_.entries();

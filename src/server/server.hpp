@@ -10,10 +10,12 @@
 //                 follower, skip the             round-robin scheduler
 //                 pipeline entirely)             (priority FIFO in-tenant)
 //                                                   │
-//                       worker sessions (base `workers` slots, plus slots
-//                       lent against running sessions whose search phase
-//                       has finished) run SpecializationPipeline against
-//                       the ONE shared BitstreamCache + EstimateCache
+//                       session coordinators (`max_sessions` cheap threads
+//                       that mostly block) run SpecializationPipeline
+//                       against the ONE shared BitstreamCache +
+//                       EstimateCache, submitting all compute as
+//                       phase-tagged tasks to the ONE shared
+//                       WorkStealingPool of `workers` threads
 //
 // Request coalescing (the serving stack's first memoization tier, ahead of
 // EstimateCache → shared BitstreamCache → journal warm-start): a submission
@@ -32,14 +34,16 @@
 // between any two dequeues of the flooding tenant, every other pending
 // tenant gets one. Priorities order requests within a tenant only.
 //
-// Slot lending (the `overlap_phases` idle-half policy, server edition):
-// under phase overlap a session's search workers — the ceiling half of its
-// jobs budget — go idle once the last block is absorbed. Instead of letting
-// that capacity idle, the scheduler lends ONE extra session slot per running
-// session that has completed its search phase (bounded by `workers`, so
-// concurrency never exceeds 2x base): the lent session's search half runs
-// on the lender's idle half. The lent slot is reclaimed when the lending
-// session finishes. Full work-stealing between the pools stays a follow-up.
+// Execution substrate: session concurrency is a *scheduling* property
+// (`max_sessions` coordinator threads), compute width is a *thread-count*
+// property (`workers` pool threads) — and the two no longer multiply. Every
+// session's search/estimate/CAD tasks land in the one work-stealing pool,
+// so total compute threads are bounded by `workers` no matter how many
+// tenants or sessions are in flight, an idle worker steals whichever phase
+// (of whichever session) is backed up, and the old per-session pools — and
+// the idle-search slot-lending stop-gap that papered over their stranded
+// halves — are gone. `shared_executor = false` restores per-session private
+// pools for A/B comparison (bench/load_server --per-session-pools).
 //
 // Cancellation/deadlines are cooperative: the pipeline polls the request's
 // token at stage boundaries only — never inside a cache or journal mutation
@@ -66,23 +70,36 @@
 #include "jit/specializer.hpp"
 #include "server/observer.hpp"
 #include "server/request.hpp"
+#include "support/executor.hpp"
 #include "support/statistics.hpp"
+#include "support/work_stealing_pool.hpp"
 
 namespace jitise::server {
 
 struct ServerConfig {
-  /// Base concurrent worker sessions (0 clamps to 1). Each session runs one
-  /// SpecializationPipeline with `specializer.jobs` internal workers.
+  /// Compute threads in the ONE shared work-stealing pool every session's
+  /// phase-tagged tasks run on (0 clamps to 1). This — not the session
+  /// count — bounds the server's total compute threads.
   unsigned workers = 2;
+  /// Concurrent sessions (pipelines in flight). A session is a cheap
+  /// coordinator thread that submits tasks and blocks on their completion;
+  /// 0 defaults to `workers`. Raising it admits more requests into the
+  /// pool's scheduling mix without adding compute threads.
+  unsigned max_sessions = 0;
   /// Bound on admitted-but-not-started requests; a submit beyond it is
   /// rejected with reason (backpressure, never silent queueing).
   std::size_t queue_capacity = 64;
-  /// Lend one extra session slot per running session whose candidate search
-  /// has completed (see the policy note above). Off = fixed `workers` slots.
-  bool lend_idle_search_slots = true;
+  /// One shared WorkStealingPool for all sessions (the default). `false`
+  /// gives every session a private pool of `specializer.jobs` threads — the
+  /// pre-work-stealing architecture, kept as the A/B baseline (thread count
+  /// then scales with concurrent sessions).
+  bool shared_executor = true;
   /// Per-session pipeline configuration (jobs, overlap, flow, ...). The
   /// server overrides its `cancel` token per request and its
-  /// `journal_fsync` from the server-level flag.
+  /// `journal_fsync` from the server-level flag. Under the shared executor,
+  /// `specializer.jobs > 1` opts sessions into the pool (whose `workers`
+  /// width decides the real parallelism); `jobs = 1` runs sessions
+  /// strictly serially on their coordinator thread.
   jit::SpecializerConfig specializer;
   /// Shared bitstream cache capacity in bytes (0 = unbounded).
   std::size_t cache_capacity_bytes = 0;
@@ -135,7 +152,10 @@ struct ServerStats {
   std::uint64_t admission_rejections = 0;
   std::uint64_t cancellations = 0;  // terminal Cancelled
   std::uint64_t expiries = 0;       // terminal Expired
-  std::uint64_t lent_sessions = 0;  // sessions started on a lent slot
+  /// Shared-pool counters (zero when `shared_executor` is off): executed
+  /// tasks per phase, cross-worker steals, and the worker-occupancy
+  /// high-water mark — the observability the anytime-selection work needs.
+  support::ExecutorStats executor;
   // Coalescing tier: followers registered at admission, followers resolved
   // Done from a leader's result, followers promoted into fresh runs after
   // their leader died, and sessions that actually entered the pipeline
@@ -151,7 +171,7 @@ struct ServerStats {
   std::uint64_t estimate_hits = 0, estimate_misses = 0;
 };
 
-class SpecializationServer {
+class SpecializationServer : private support::ExecutorObserver {
  public:
   explicit SpecializationServer(ServerConfig config);
   /// Drains (best effort — exceptions swallowed) and joins all workers.
@@ -220,8 +240,7 @@ class SpecializationServer {
   [[nodiscard]] std::size_t pending_locked() const noexcept {
     return pending_count_;
   }
-  [[nodiscard]] unsigned capacity_locked() const noexcept;
-  void run_session(Session& session, bool lent_slot, bool& search_noted);
+  void run_session(Session& session);
   /// Resolves a session's ticket, then settles its cohort: a Done leader
   /// resolves every follower from its result; a dead leader promotes the
   /// oldest surviving follower into a fresh run (re-enqueued at its own
@@ -234,12 +253,17 @@ class SpecializationServer {
                RequestState state, std::string reason,
                std::optional<jit::SpecializationResult> result,
                const RequestProgress& progress);
-  void note_search_complete(std::uint64_t id);
+  /// ExecutorObserver tap on the shared pool: forwards stolen-task events
+  /// to the server observers (fires from pool worker threads).
+  void on_task_executed(support::Phase phase, bool stolen) override;
 
   ServerConfig config_;
   jit::BitstreamCache cache_;
   estimation::EstimateCache estimates_;
   std::optional<jit::CacheJournal> journal_;
+  /// The one compute substrate all sessions share (absent when
+  /// `shared_executor` is off — sessions then own private pools).
+  std::optional<support::WorkStealingPool> pool_;
   ServerObserverList observers_;
 
   mutable std::mutex mu_;  // scheduler state below
@@ -257,7 +281,6 @@ class SpecializationServer {
   /// promote a follower back into the queue); drain() waits for zero so it
   /// never observes a false idle instant mid-settlement.
   unsigned settling_ = 0;
-  unsigned post_search_running_ = 0;  // running sessions past their search
   bool draining_ = false;
   bool stopping_ = false;
   std::uint64_t next_id_ = 0;
@@ -269,7 +292,6 @@ class SpecializationServer {
   std::uint64_t rejections_ = 0;
   std::uint64_t cancellations_ = 0;
   std::uint64_t expiries_ = 0;
-  std::uint64_t lent_sessions_ = 0;
   std::uint64_t coalesced_submits_ = 0;
   std::uint64_t coalesced_completed_ = 0;
   std::uint64_t promotions_ = 0;

@@ -8,6 +8,14 @@
 // deterministic regardless of execution interleaving. The first exception
 // (in task-id order, not completion order) is rethrown from `wait_all()`,
 // so error behavior is deterministic too.
+//
+// Shutdown contract: the destructor DRAINS. Workers only exit once the
+// queue is empty, so every task submitted before the destructor began —
+// including tasks a draining worker's own task submits mid-shutdown — runs
+// exactly once before the destructor returns. Exceptions from tasks of a
+// batch nobody `wait_all()`s are swallowed. Submitting from another thread
+// concurrently with destruction is undefined. (support::WorkStealingPool
+// inherits this exact contract.)
 #pragma once
 
 #include <condition_variable>

@@ -586,33 +586,6 @@ TEST(PipelinePersistence, SyncCanBeDisabledByConfig) {
   EXPECT_EQ(journal.file_records(), cache.entries());
 }
 
-// -- Satellite: resolve_search_jobs edge cases ------------------------------
-
-TEST(SpecializerConfig, ResolveSearchJobsEdgeCases) {
-  jit::SpecializerConfig config;
-
-  // jobs budget of 0/1 collapses to serial search regardless of overlap.
-  EXPECT_EQ(config.resolve_search_jobs(0, /*overlapping=*/false), 1u);
-  EXPECT_EQ(config.resolve_search_jobs(0, /*overlapping=*/true), 1u);
-  EXPECT_EQ(config.resolve_search_jobs(1, /*overlapping=*/false), 1u);
-  EXPECT_EQ(config.resolve_search_jobs(1, /*overlapping=*/true), 1u);
-
-  // Overlap off: search may use the whole budget (phases run back to back).
-  EXPECT_EQ(config.resolve_search_jobs(6, /*overlapping=*/false), 6u);
-
-  // Overlap on: search takes the ceiling half of the shared budget.
-  EXPECT_EQ(config.resolve_search_jobs(2, /*overlapping=*/true), 1u);
-  EXPECT_EQ(config.resolve_search_jobs(7, /*overlapping=*/true), 4u);
-  EXPECT_EQ(config.resolve_search_jobs(8, /*overlapping=*/true), 4u);
-
-  // An explicit search_jobs wins unconditionally — even over the total
-  // budget and even at a serial total.
-  config.search_jobs = 5;
-  EXPECT_EQ(config.resolve_search_jobs(2, /*overlapping=*/true), 5u);
-  EXPECT_EQ(config.resolve_search_jobs(1, /*overlapping=*/false), 5u);
-  EXPECT_EQ(config.resolve_search_jobs(0, /*overlapping=*/true), 5u);
-}
-
 // -- Satellite: opt-in fsync durability mode --------------------------------
 
 TEST(Journal, FsyncModeRoundTripsAndSurvivesCompaction) {

@@ -6,9 +6,11 @@
 // TSan job.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -65,8 +67,7 @@ server::SpecializationRequest make_request(const std::string& tenant,
 /// queue deterministically. Also records the start order (tenant + id).
 class GateObserver final : public server::ServerObserver {
  public:
-  void on_started(std::uint64_t id, const std::string& tenant,
-                  bool) override {
+  void on_started(std::uint64_t id, const std::string& tenant) override {
     std::unique_lock<std::mutex> lock(mu_);
     order_.emplace_back(tenant, id);
     ++started_;
@@ -101,7 +102,6 @@ class GateObserver final : public server::ServerObserver {
 TEST(Server, BackpressureRejectsWhenQueueFull) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.queue_capacity = 2;
   config.specializer.jobs = 1;
   // These queue-mechanics tests submit identical (module, profile) payloads
@@ -140,7 +140,6 @@ TEST(Server, BackpressureRejectsWhenQueueFull) {
 TEST(Server, RoundRobinFairnessUnderTenantFlood) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.queue_capacity = 16;
   config.specializer.jobs = 1;
   config.coalesce_requests = false;  // identical payloads must queue
@@ -175,7 +174,6 @@ TEST(Server, RoundRobinFairnessUnderTenantFlood) {
 TEST(Server, PriorityOrdersWithinOneTenant) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
   config.coalesce_requests = false;  // identical payloads must queue
   server::SpecializationServer srv(config);
@@ -209,7 +207,6 @@ TEST(Server, PriorityOrdersWithinOneTenant) {
 TEST(Server, DeadlineExpiresWhileQueued) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
   config.coalesce_requests = false;  // identical payloads must queue
   server::SpecializationServer srv(config);
@@ -265,7 +262,6 @@ TEST(Server, CancelMidCadReportsPartialProgress) {
   CancelAtFirstDispatch canceller;
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   // jobs=1 keeps the pipeline serial: search runs to completion, the first
   // dispatch parks in the observer, and the cancellation surfaces at the
   // ImplementationStage boundary check.
@@ -301,7 +297,6 @@ TEST(Server, DeadlineExpiresMidCad) {
   StallPastDeadline stall;
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
   config.pipeline_observer = &stall;
   server::SpecializationServer srv(config);
@@ -329,7 +324,6 @@ TEST(Server, CancelledSessionNeverTearsTheJournal) {
     CancelAtFirstDispatch canceller;
     server::ServerConfig config;
     config.workers = 1;
-    config.lend_idle_search_slots = false;
     config.specializer.jobs = 1;
     config.cache_journal_file = path;
     config.pipeline_observer = &canceller;
@@ -365,7 +359,6 @@ TEST(Server, CrashDuringDrainLeavesReplayableJournalPrefix) {
   {
     server::ServerConfig config;
     config.workers = 1;
-    config.lend_idle_search_slots = false;
     config.specializer.jobs = 1;
     // Buffer every record until drain so the injected crash hits a sync
     // with real work pending.
@@ -404,7 +397,6 @@ TEST(Server, SingleTenantMatchesDirectSpecialize) {
 
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 2;
   server::SpecializationServer srv(config);
   std::vector<server::RequestOutcome> served;
@@ -440,6 +432,103 @@ TEST(Server, SingleTenantMatchesDirectSpecialize) {
   }
 }
 
+namespace {
+
+/// Runs every app through a server with the given substrate and returns the
+/// outcomes in submission order (each request waited before the next is
+/// submitted, so the shared cache/estimate discipline matches a serial run).
+std::vector<server::RequestOutcome> serve_all(
+    const std::vector<std::string>& apps, unsigned jobs, bool shared_executor,
+    unsigned workers) {
+  server::ServerConfig config;
+  config.workers = workers;
+  config.shared_executor = shared_executor;
+  config.specializer.jobs = jobs;
+  server::SpecializationServer srv(config);
+  std::vector<server::RequestOutcome> served;
+  for (const auto& name : apps)
+    served.push_back(srv.submit(make_request("t", name)).wait());
+  srv.drain();
+  return served;
+}
+
+void expect_results_identical(const std::vector<server::RequestOutcome>& a,
+                              const std::vector<server::RequestOutcome>& b,
+                              const std::vector<std::string>& apps,
+                              const char* legs) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].state, server::RequestState::Done) << legs << apps[i];
+    ASSERT_EQ(b[i].state, server::RequestState::Done) << legs << apps[i];
+    ASSERT_TRUE(a[i].result.has_value() && b[i].result.has_value());
+    const jit::SpecializationResult& x = *a[i].result;
+    const jit::SpecializationResult& y = *b[i].result;
+    ASSERT_EQ(x.implemented.size(), y.implemented.size()) << legs << apps[i];
+    for (std::size_t k = 0; k < x.implemented.size(); ++k) {
+      EXPECT_EQ(x.implemented[k].signature, y.implemented[k].signature);
+      EXPECT_EQ(x.implemented[k].bitstream_bytes,
+                y.implemented[k].bitstream_bytes);
+      EXPECT_EQ(x.implemented[k].hw_cycles, y.implemented[k].hw_cycles);
+      EXPECT_EQ(x.implemented[k].cache_hit, y.implemented[k].cache_hit);
+    }
+    EXPECT_DOUBLE_EQ(x.sum_total_s, y.sum_total_s) << legs << apps[i];
+    EXPECT_DOUBLE_EQ(x.predicted_speedup, y.predicted_speedup)
+        << legs << apps[i];
+  }
+}
+
+}  // namespace
+
+// Acceptance gate: every request's SpecializationResult must be bit-identical
+// across the three execution substrates — strictly serial (jobs=1, no pool),
+// legacy per-session private pools (shared_executor=false), and the global
+// work-stealing pool — for arbitrary worker counts (JITISE_JOBS sweeps them
+// in CI).
+TEST(Server, ExecutorSubstratesAreBitIdentical) {
+  const std::vector<std::string> apps = {"adpcm", "fft", "adpcm"};
+  unsigned jobs = 4;
+  if (const char* env = std::getenv("JITISE_JOBS"))
+    jobs = static_cast<unsigned>(std::max(1, std::atoi(env)));
+
+  const auto serial = serve_all(apps, /*jobs=*/1, /*shared=*/true,
+                                /*workers=*/1);
+  const auto private_pools = serve_all(apps, jobs, /*shared=*/false,
+                                       /*workers=*/2);
+  const auto stealing = serve_all(apps, jobs, /*shared=*/true,
+                                  /*workers=*/jobs);
+
+  expect_results_identical(serial, private_pools, apps, "serial-vs-private ");
+  expect_results_identical(serial, stealing, apps, "serial-vs-stealing ");
+}
+
+TEST(Server, ExecutorStatsSurfaceTaskAndOccupancyCounts) {
+  server::ServerConfig config;
+  config.workers = 4;
+  config.specializer.jobs = 4;
+  // The embedded apps prune to one hot block, which keeps the search stage
+  // serial; disable pruning so multi-block Search/Estimate tasks hit the
+  // shared pool and the per-phase counters have something to count.
+  config.specializer.prune = ise::PruneConfig::none();
+  server::SpecializationServer srv(config);
+  EXPECT_EQ(srv.submit(make_request("t", "fft")).wait().state,
+            server::RequestState::Done);
+  srv.drain();
+
+  const server::ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.executor.workers, 4u);
+  EXPECT_GT(stats.executor.total_tasks(), 0u);
+  EXPECT_GT(stats.executor.tasks_per_phase[static_cast<std::size_t>(
+                support::Phase::Search)],
+            0u);
+  EXPECT_GT(stats.executor.tasks_per_phase[static_cast<std::size_t>(
+                support::Phase::Cad)],
+            0u);
+  EXPECT_GE(stats.executor.occupancy_high_water, 1u);
+  // Steals are scheduling-dependent; just check the counter is wired (it
+  // must not exceed total tasks).
+  EXPECT_LE(stats.executor.steals, stats.executor.total_tasks());
+}
+
 TEST(Server, SubmitAfterDrainIsRejected) {
   server::ServerConfig config;
   config.workers = 1;
@@ -456,7 +545,7 @@ TEST(Server, SubmitAfterDrainIsRejected) {
 TEST(Server, ConcurrentTenantsStress) {
   server::ServerConfig config;
   config.workers = 3;
-  config.lend_idle_search_slots = true;
+  config.max_sessions = 6;  // more coordinators than pool workers
   config.queue_capacity = 64;
   config.specializer.jobs = 2;
   server::SpecializationServer srv(config);
@@ -501,7 +590,6 @@ TEST(Server, ConcurrentTenantsStress) {
 TEST(Server, CoalescedFollowerMatchesLeaderBitIdentical) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
   server::SpecializationServer srv(config);
   GateObserver gate;
@@ -559,7 +647,6 @@ TEST(Server, CoalescedFollowerMatchesLeaderBitIdentical) {
 TEST(Server, FollowerCancelLeavesLeaderRunning) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
   server::SpecializationServer srv(config);
   GateObserver gate;
@@ -593,7 +680,6 @@ TEST(Server, FollowerCancelLeavesLeaderRunning) {
 TEST(Server, FollowerDeadlineExpiryDetachesFromLeader) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
   server::SpecializationServer srv(config);
   GateObserver gate;
@@ -622,7 +708,6 @@ TEST(Server, FollowerDeadlineExpiryDetachesFromLeader) {
 TEST(Server, LeaderCancelPromotesOldestFollower) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.specializer.jobs = 1;
   server::SpecializationServer srv(config);
   GateObserver gate;
@@ -658,7 +743,6 @@ TEST(Server, LeaderCancelPromotesOldestFollower) {
 TEST(Server, DuplicateFloodRunsPipelineOncePerSignature) {
   server::ServerConfig config;
   config.workers = 2;
-  config.lend_idle_search_slots = false;
   config.queue_capacity = 2;  // followers are exempt from capacity
   config.specializer.jobs = 1;
   server::SpecializationServer srv(config);
@@ -714,7 +798,6 @@ TEST(Server, DuplicateFloodRunsPipelineOncePerSignature) {
 TEST(Server, DeadQueuedRequestsFreeCapacityForLiveTraffic) {
   server::ServerConfig config;
   config.workers = 1;
-  config.lend_idle_search_slots = false;
   config.queue_capacity = 2;
   config.specializer.jobs = 1;
   config.coalesce_requests = false;  // identical payloads must queue

@@ -180,6 +180,44 @@ TEST(ThreadPool, RethrowsLowestTaskIdException) {
   }
 }
 
+// Regression for the shutdown contract: the destructor must DRAIN — every
+// task submitted before destruction began runs exactly once, even if the
+// pool is destroyed while most of the batch is still queued behind slow
+// tasks and nobody ever calls wait_all(). (WorkStealingPool inherits this
+// exact contract; scheduler_test covers its side.)
+TEST(ThreadPool, DestructorDrainsQueuedTasksWithoutWaitAll) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 32; ++k) {
+      pool.submit([&ran, k] {
+        // The first tasks hog both workers long enough that destruction
+        // begins with most of the batch still queued.
+        if (k < 2) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ++ran;
+      });
+    }
+    // No wait_all(): destruction alone must run the remaining 30 tasks.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// Errors in a batch nobody waits for are swallowed by the destructor, not
+// rethrown or turned into std::terminate.
+TEST(ThreadPool, DestructorSwallowsErrorsOfUnwaitedBatch) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 8; ++k) {
+      pool.submit([&ran] {
+        ++ran;
+        throw std::runtime_error("unobserved");
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
 TEST(ThreadPool, DefaultJobsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::default_jobs(), 1u);
   ThreadPool pool;  // default-sized pool works
