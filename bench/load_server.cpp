@@ -57,6 +57,8 @@ struct LoadOptions {
   double deadline_ms = 0.0;   // per-request service deadline (0 = none)
   double dup_rate = 0.0;      // probability a request repeats a prior payload
   bool coalesce = true;       // server-side in-flight coalescing tier
+  std::string selector = "greedy";  // greedy | knapsack | isegen
+  std::uint64_t isegen_iters = 0;   // 0 keeps the IsegenConfig default
   std::uint64_t seed = 42;
   std::string journal_file;   // persist the shared cache when set
   bool fsync = false;
@@ -68,8 +70,8 @@ void usage(const char* prog) {
       "usage: %s [--tenants N] [--requests N] [--workers N] [--sessions N]\n"
       "          [--jobs N] [--per-session-pools] [--queue-cap N]\n"
       "          [--arrival-us N] [--deadline-ms D] [--dup-rate P]\n"
-      "          [--no-coalesce] [--seed S] [--journal PATH] [--fsync]\n"
-      "          [--trace] [--help]\n"
+      "          [--no-coalesce] [--selector NAME] [--isegen-iters N]\n"
+      "          [--seed S] [--journal PATH] [--fsync] [--trace] [--help]\n"
       "  --tenants N     concurrent tenants (default 4)\n"
       "  --requests N    requests per tenant (default 6)\n"
       "  --workers N     compute threads in the shared work-stealing pool\n"
@@ -88,6 +90,11 @@ void usage(const char* prog) {
       "  --dup-rate P    fraction of requests repeating a prior payload,\n"
       "                  Zipf-skewed toward popular signatures (default 0)\n"
       "  --no-coalesce   disable the in-flight request-coalescing tier\n"
+      "  --selector NAME selection algorithm: greedy (default), knapsack, or\n"
+      "                  isegen — the anytime refiner whose wall-clock budget\n"
+      "                  is carved from each request's deadline headroom\n"
+      "  --isegen-iters N\n"
+      "                  ISEGEN iteration cap (0 keeps the built-in default)\n"
       "  --seed S        workload seed (default 42)\n"
       "  --journal PATH  persist the shared bitstream cache at PATH\n"
       "  --fsync         power-loss durability for the journal\n"
@@ -210,6 +217,8 @@ int main(int argc, char** argv) {
       }
     }
     else if (arg == "--no-coalesce") { opt.coalesce = false; }
+    else if (arg == "--selector" && i + 1 < argc) { opt.selector = argv[++i]; }
+    else if (arg == "--isegen-iters") { value(v); opt.isegen_iters = v; }
     else if (arg == "--seed") { value(v); opt.seed = v; }
     else if (arg == "--journal" && i + 1 < argc) { opt.journal_file = argv[++i]; }
     else if (arg == "--fsync") { opt.fsync = true; }
@@ -245,6 +254,20 @@ int main(int argc, char** argv) {
   config.queue_capacity = opt.queue_cap;
   config.specializer.jobs = opt.jobs;
   config.coalesce_requests = opt.coalesce;
+  if (opt.selector == "greedy") {
+    config.specializer.selector = jit::SpecializerConfig::Selector::Greedy;
+  } else if (opt.selector == "knapsack") {
+    config.specializer.selector = jit::SpecializerConfig::Selector::Knapsack;
+  } else if (opt.selector == "isegen") {
+    config.specializer.selector = jit::SpecializerConfig::Selector::Isegen;
+  } else {
+    std::fprintf(stderr, "%s: unknown --selector '%s'\n", argv[0],
+                 opt.selector.c_str());
+    return 2;
+  }
+  if (opt.isegen_iters > 0) {
+    config.specializer.isegen.max_iterations = opt.isegen_iters;
+  }
   config.cache_journal_file = opt.journal_file;
   config.journal_fsync = opt.fsync;
   PeakThreadSampler thread_sampler;
@@ -374,5 +397,11 @@ int main(int argc, char** argv) {
       (unsigned long long)stats.cache_misses, stats.cache_entries,
       (unsigned long long)stats.estimate_hits,
       (unsigned long long)stats.estimate_misses);
+  std::printf(
+      "isegen: %llu runs, %llu iterations, %llu moves accepted, "
+      "+%.1f saving vs greedy seeds\n",
+      (unsigned long long)stats.isegen_runs,
+      (unsigned long long)stats.isegen_iterations,
+      (unsigned long long)stats.isegen_accepted, stats.isegen_saving_delta);
   return 0;
 }

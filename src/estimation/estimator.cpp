@@ -45,11 +45,31 @@ CandidateEstimate estimate_candidate(const dfg::BlockDfg& graph,
   // Large multi-operator datapaths also pay interconnect between cores;
   // folded into the interface term by estimation, measured by STA later.
   const double cpu_period_ns = 1e9 / fcm.cpu_clock_hz;
-  est.hw_cycles = fcm.invoke_overhead_cycles +
-                  static_cast<std::uint32_t>(
-                      std::ceil(est.hw_latency_ns / cpu_period_ns));
+  const auto datapath_cycles = static_cast<std::uint32_t>(
+      std::ceil(est.hw_latency_ns / cpu_period_ns));
+  est.hw_cycles = fcm.invoke_overhead_cycles + datapath_cycles;
   est.saved_per_exec =
       std::max(0.0, static_cast<double>(est.sw_cycles) - est.hw_cycles);
+
+  // Pipeline-aware refinement: operand transfer streams
+  // `operands_per_transfer` GPRs per cycle and overlaps the datapath (the
+  // first pair starts evaluation while later pairs arrive), so the occupied
+  // window is max(datapath, transfer) instead of their sum; the result is
+  // forwarded to its consumer, crediting back part of the handshake. Kept
+  // separate from the base model: selection's primary objective stays the
+  // conservative estimate, the refinement orders ISEGEN's moves.
+  const std::uint32_t per = std::max<std::uint32_t>(1, fcm.operands_per_transfer);
+  const auto inputs =
+      static_cast<std::uint32_t>(std::max<std::size_t>(1, cand.inputs.size()));
+  est.transfer_cycles = (inputs + per - 1) / per;
+  const std::uint32_t overhead_refined =
+      fcm.invoke_overhead_cycles > fcm.forwarding_saved_cycles
+          ? fcm.invoke_overhead_cycles - fcm.forwarding_saved_cycles
+          : 0;
+  est.hw_cycles_refined = std::max<std::uint32_t>(
+      1, overhead_refined + std::max(datapath_cycles, est.transfer_cycles));
+  est.saved_per_exec_refined = std::max(
+      0.0, static_cast<double>(est.sw_cycles) - est.hw_cycles_refined);
   return est;
 }
 

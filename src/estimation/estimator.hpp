@@ -30,6 +30,20 @@ struct FcmTiming {
   std::uint32_t invoke_overhead_cycles = 2;
   /// Input/output register stage latency inside the FCM wrapper.
   double interface_ns = 0.8;
+
+  // -- Pipeline-aware refinement (latency calibration a la XS-GEM5): the
+  //    base model charges a flat handshake and assumes all operands are
+  //    present at invocation. The refined model accounts for the APU
+  //    streaming operand pairs while the datapath already evaluates the
+  //    arrived ones, and for the result being forwarded to its consumer
+  //    instead of waiting a full writeback. It never changes the base
+  //    numbers — `hw_cycles`/`saved_per_exec` stay the conservative paper
+  //    model; the refined fields feed the ISEGEN selector's move ordering.
+  /// GPR operands the APU moves into the FCM per CPU cycle.
+  std::uint32_t operands_per_transfer = 2;
+  /// Cycles credited back by result forwarding (part of
+  /// `invoke_overhead_cycles` in the base model).
+  std::uint32_t forwarding_saved_cycles = 1;
 };
 
 struct CandidateEstimate {
@@ -41,6 +55,18 @@ struct CandidateEstimate {
   std::uint32_t dsps = 0;
   std::uint32_t brams = 0;
   double power_mw = 0.0;
+
+  // -- Pipeline-aware refinement, always computed alongside the base model
+  //    (same inputs, so the EstimateCache memoizes both under one key).
+  /// Cycles the APU spends streaming this candidate's operands
+  /// (ceil(inputs / operands_per_transfer)); overlaps the datapath.
+  std::uint32_t transfer_cycles = 0;
+  /// Refined per-execution hardware cycles: reduced handshake (result
+  /// forwarding) + max(datapath, operand streaming). Deep few-input
+  /// candidates gain; shallow many-input ones are held back by transfer.
+  std::uint32_t hw_cycles_refined = 0;
+  /// max(0, sw - hw_refined) — the ISEGEN move-ordering score.
+  double saved_per_exec_refined = 0.0;
 
   [[nodiscard]] double speedup_per_exec() const noexcept {
     return hw_cycles > 0 ? static_cast<double>(sw_cycles) / hw_cycles : 1.0;

@@ -1,0 +1,326 @@
+#include "ise/isegen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace jitise::ise {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+bool eligible(const ScoredCandidate& sc, const SelectConfig& config) {
+  if (!(sc.cycles_saved_total > 0.0)) return false;  // NaN-safe
+  if (sc.cycles_saved_total < config.min_saving) return false;
+  if (config.require_single_output && !sc.candidate.single_output())
+    return false;
+  return sc.area_slices <= config.area_budget_slices;
+}
+
+/// Move-ordering score: the pipeline-aware refined saving when estimation
+/// filled it, the base saving otherwise (hand-built test pools). Used only
+/// to order refills/evictions — acceptance stays on cycles_saved_total.
+double refined_saving(const ScoredCandidate& sc) {
+  return sc.cycles_saved_refined > 0.0 ? sc.cycles_saved_refined
+                                       : sc.cycles_saved_total;
+}
+
+double base_density(const ScoredCandidate& sc) {
+  return sc.cycles_saved_total / std::max(1.0, sc.area_slices);
+}
+
+/// The working pool: eligible candidates re-indexed densely as "positions"
+/// so per-move state is flat arrays.
+struct Pool {
+  std::vector<std::size_t> idx_of;  // position -> index into `scored`
+  std::vector<double> saving, area, refined;
+  /// Positions sharing a DFG node of the same (function, block) — empty for
+  /// MAXMISO/UnionMISO partitions, populated for enumerated pools.
+  std::vector<std::vector<std::uint32_t>> conflicts;
+  std::vector<std::uint32_t> refill_order;  // by refined density, desc
+  double min_area = 0.0;
+};
+
+Pool build_pool(std::span<const ScoredCandidate> scored,
+                const SelectConfig& select) {
+  Pool pool;
+  for (std::size_t i = 0; i < scored.size(); ++i)
+    if (eligible(scored[i], select)) pool.idx_of.push_back(i);
+  const std::size_t m = pool.idx_of.size();
+  pool.saving.resize(m);
+  pool.area.resize(m);
+  pool.refined.resize(m);
+  pool.conflicts.resize(m);
+  pool.min_area = m == 0 ? 0.0 : scored[pool.idx_of[0]].area_slices;
+  for (std::size_t p = 0; p < m; ++p) {
+    const ScoredCandidate& sc = scored[pool.idx_of[p]];
+    pool.saving[p] = sc.cycles_saved_total;
+    pool.area[p] = sc.area_slices;
+    pool.refined[p] = refined_saving(sc);
+    pool.min_area = std::min(pool.min_area, sc.area_slices);
+  }
+
+  // Node-sharing conflicts: bucket positions by (function, block, node).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_node;
+  for (std::size_t p = 0; p < m; ++p) {
+    const Candidate& cand = scored[pool.idx_of[p]].candidate;
+    for (dfg::NodeId n : cand.nodes) {
+      support::Fnv1a h;
+      h.update_value(cand.function);
+      h.update_value(cand.block);
+      h.update_value(n);
+      by_node[h.digest()].push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  for (const auto& [node, ps] : by_node) {
+    if (ps.size() < 2) continue;
+    for (std::uint32_t a : ps)
+      for (std::uint32_t b : ps)
+        if (a != b) pool.conflicts[a].push_back(b);
+  }
+  for (auto& c : pool.conflicts) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+
+  pool.refill_order.resize(m);
+  for (std::size_t p = 0; p < m; ++p)
+    pool.refill_order[p] = static_cast<std::uint32_t>(p);
+  std::sort(pool.refill_order.begin(), pool.refill_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const double da = pool.refined[a] / std::max(1.0, pool.area[a]);
+              const double db = pool.refined[b] / std::max(1.0, pool.area[b]);
+              if (da != db) return da > db;
+              return a < b;  // deterministic tie-break
+            });
+  return pool;
+}
+
+bool contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+Selection select_isegen(std::span<const ScoredCandidate> scored,
+                        const SelectConfig& select, const IsegenConfig& config,
+                        const support::CancellationToken& cancel,
+                        IsegenStats* stats) {
+  support::Stopwatch clock;
+  Selection seed = select_greedy(scored, select);
+  IsegenStats local;
+  IsegenStats& st = stats != nullptr ? *stats : local;
+  st = IsegenStats{};
+  st.seed_saving = seed.total_saving;
+  st.best_saving = seed.total_saving;
+
+  const Pool pool = build_pool(scored, select);
+  const std::size_t m = pool.idx_of.size();
+  if (m == 0 || config.max_iterations == 0 || select.max_instructions == 0)
+    return seed;
+
+  // Current selection as flags over positions, with incrementally maintained
+  // totals (the accept decision never re-sums the whole selection).
+  std::vector<char> chosen(m, 0);
+  std::vector<std::uint32_t> chosen_list;  // unordered; rebuilt on eviction
+  double cur_saving = 0.0, cur_area = 0.0;
+  bool seed_repaired = false;
+  {
+    // idx_of ascends by construction, so position lookup is a binary search.
+    const auto pos_of = [&](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          std::lower_bound(pool.idx_of.begin(), pool.idx_of.end(), i) -
+          pool.idx_of.begin());
+    };
+    // Load the seed in greedy's own pick order, dropping any candidate that
+    // shares a node with one already kept: select_greedy is conflict-blind,
+    // and the walk preserves feasibility only from a feasible start.
+    for (std::size_t i : seed.chosen) {
+      const std::uint32_t p = pos_of(i);
+      bool clash = false;
+      for (std::uint32_t q : pool.conflicts[p]) {
+        if (chosen[q]) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) {
+        seed_repaired = true;
+        continue;
+      }
+      chosen[p] = 1;
+      chosen_list.push_back(p);
+      cur_saving += pool.saving[p];
+      cur_area += pool.area[p];
+    }
+  }
+
+  // Best-so-far snapshot, compared on *exactly re-summed* savings (ascending
+  // position order) so the returned totals are canonical and the
+  // monotone-in-budget contract is exact, not within-FP-drift.
+  const auto exact_saving = [&](const std::vector<char>& flags) {
+    double s = 0.0;
+    for (std::size_t p = 0; p < m; ++p)
+      if (flags[p]) s += pool.saving[p];
+    return s;
+  };
+  std::vector<char> best_flags = chosen;
+  double best_exact = exact_saving(chosen);
+
+  support::Xoshiro256 rng(support::SplitMix64(config.seed).next());
+  std::size_t uphill_left = config.uphill_escapes;
+  std::vector<std::uint32_t> added, removed;
+
+  const auto conflicts_current = [&](std::uint32_t p) {
+    for (std::uint32_t q : pool.conflicts[p]) {
+      if ((chosen[q] && !contains(removed, q)) || contains(added, q))
+        return true;
+    }
+    return false;
+  };
+
+  const std::size_t batch_size = std::max<std::size_t>(
+      1, config.batch_iterations);
+  std::size_t done = 0;
+  while (done < config.max_iterations) {
+    // Batch boundary: the only place wall-clock and cancellation are
+    // consulted, keeping a fixed batch count bit-reproducible.
+    if (cancel.cancelled() ||
+        (config.time_budget_ms > 0.0 &&
+         clock.elapsed_ms() >= config.time_budget_ms)) {
+      st.budget_exhausted = true;
+      break;
+    }
+    const std::size_t batch =
+        std::min(batch_size, config.max_iterations - done);
+    for (std::size_t it = 0; it < batch; ++it) {
+      const auto pick = static_cast<std::uint32_t>(rng.below(m));
+      added.clear();
+      removed.clear();
+      double area_after = cur_area;
+      std::size_t count_after = chosen_list.size();
+
+      if (chosen[pick]) {
+        // Shrink-and-refill: drop `pick`, then greedily re-pack the freed
+        // budget in refined-density order. This is the compound KL move
+        // that climbs straight out of "one dense candidate blocks two
+        // medium ones" traps without needing an uphill step.
+        removed.push_back(pick);
+        area_after -= pool.area[pick];
+        --count_after;
+        for (std::uint32_t p : pool.refill_order) {
+          if (count_after >= select.max_instructions) break;
+          if (area_after + pool.min_area >
+              select.area_budget_slices + kEps)
+            break;  // nothing can fit anymore
+          if (p == pick || chosen[p]) continue;
+          if (area_after + pool.area[p] > select.area_budget_slices)
+            continue;
+          if (conflicts_current(p)) continue;
+          added.push_back(p);
+          area_after += pool.area[p];
+          ++count_after;
+        }
+      } else {
+        // Grow-with-eviction: force `pick` in, evicting overlapping chosen
+        // candidates, then the lowest-density ones until area and slot
+        // budgets hold again.
+        for (std::uint32_t q : pool.conflicts[pick]) {
+          if (!chosen[q]) continue;
+          removed.push_back(q);
+          area_after -= pool.area[q];
+          --count_after;
+        }
+        area_after += pool.area[pick];
+        ++count_after;
+        while (area_after > select.area_budget_slices ||
+               count_after > select.max_instructions) {
+          std::uint32_t worst = 0;
+          bool found = false;
+          for (std::uint32_t q : chosen_list) {
+            if (contains(removed, q)) continue;
+            if (!found ||
+                base_density(scored[pool.idx_of[q]]) <
+                    base_density(scored[pool.idx_of[worst]]) ||
+                (base_density(scored[pool.idx_of[q]]) ==
+                     base_density(scored[pool.idx_of[worst]]) &&
+                 q > worst)) {
+              worst = q;
+              found = true;
+            }
+          }
+          if (!found) break;  // unreachable: pick alone is always feasible
+          removed.push_back(worst);
+          area_after -= pool.area[worst];
+          --count_after;
+        }
+        added.push_back(pick);
+      }
+
+      ++st.iterations;
+      if (added.empty() && removed.empty()) continue;
+
+      // Incremental delta: O(|added| + |removed|), no full re-sum.
+      double delta = 0.0;
+      for (std::uint32_t p : added) delta += pool.saving[p];
+      for (std::uint32_t p : removed) delta -= pool.saving[p];
+
+      bool accept = delta > kEps;
+      if (!accept && uphill_left > 0 &&
+          cur_saving + delta >=
+              cur_saving - config.uphill_tolerance *
+                               std::max(cur_saving, 1.0)) {
+        accept = true;
+        --uphill_left;
+      }
+      if (!accept) continue;
+
+      for (std::uint32_t p : removed) chosen[p] = 0;
+      for (std::uint32_t p : added) chosen[p] = 1;
+      chosen_list.erase(
+          std::remove_if(chosen_list.begin(), chosen_list.end(),
+                         [&](std::uint32_t q) { return !chosen[q]; }),
+          chosen_list.end());
+      chosen_list.insert(chosen_list.end(), added.begin(), added.end());
+      cur_saving += delta;
+      cur_area = area_after;
+      ++st.accepted;
+
+      if (cur_saving > best_exact + kEps) {
+        const double exact = exact_saving(chosen);
+        if (exact > best_exact) {
+          best_exact = exact;
+          best_flags = chosen;
+          uphill_left = config.uphill_escapes;  // replenish the KL budget
+        }
+      }
+    }
+    done += batch;
+    ++st.batches;
+  }
+
+  st.incremental_drift = std::fabs(cur_saving - exact_saving(chosen));
+
+  // Return the seed verbatim unless refinement strictly improved on it:
+  // budget=0 (and an unlucky walk) stays bit-identical to select_greedy,
+  // including the density-order floating-point accumulation of its totals.
+  // A repaired (conflicted) seed must not round-trip, though — the rebuilt
+  // best is the feasible answer even when its saving is lower.
+  if (!seed_repaired && best_exact <= seed.total_saving) return seed;
+  Selection out;
+  for (std::size_t p = 0; p < m; ++p) {
+    if (!best_flags[p]) continue;
+    out.chosen.push_back(pool.idx_of[p]);  // ascending by construction
+    out.total_saving += pool.saving[p];
+    out.total_area += pool.area[p];
+  }
+  st.best_saving = out.total_saving;
+  return out;
+}
+
+}  // namespace jitise::ise

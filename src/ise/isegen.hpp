@@ -1,0 +1,98 @@
+// ISEGEN-style iterative-improvement candidate selection (Biswas et al.),
+// recast as an *anytime* refinement stage over the greedy seed.
+//
+// select_greedy gives a good selection in O(n log n); it is also exactly the
+// local optimum of a density order, and classic knapsack traps (one dense
+// candidate crowding out two medium ones) leave measurable saving on the
+// table. ISEGEN closes that gap with Kernighan-Lin-flavored moves: toggle an
+// excluded candidate in (evicting overlapping or budget-busting chosen ones)
+// or toggle a chosen candidate out and refill the freed budget in refined-
+// density order. Hill-climbing accepts improving moves; a bounded budget of
+// mild uphill acceptances lets the walk leave plateaus, and the best
+// selection ever visited is snapshotted so the caller always gets
+// monotone-in-budget quality.
+//
+// Contracts the rest of the system builds on:
+//   * Determinism: the move order is drawn from a seeded Xoshiro256, so a
+//     fixed iteration count is bit-reproducible on any machine or thread.
+//     Wall-clock and cancellation are consulted only *between* move batches
+//     (`batch_iterations`), never mid-batch, so two runs that execute the
+//     same number of batches return identical selections.
+//   * Anytime: an expired time budget or a fired cancellation token returns
+//     the best-so-far selection — never throws, never returns worse than the
+//     greedy seed. `max_iterations == 0` returns the seed bit-identical to
+//     `select_greedy` (same chosen indices, same floating-point totals).
+//   * Monotone: for a fixed seed, a larger iteration budget never returns a
+//     smaller total_saving (trajectories are prefix-identical and the best
+//     snapshot only moves up).
+//   * Feasibility: the result respects the area budget, the FCM slot cap,
+//     eligibility (min_saving, single-output) and never contains two
+//     candidates sharing a DFG node of the same (function, block) — the
+//     overlap case that matters for enumerated (non-partition) pools. The
+//     conflict-blind greedy seed is repaired before the walk; the one
+//     exception is `max_iterations == 0`, which by the anytime contract
+//     returns select_greedy exactly, conflict-blindness included.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ise/selection.hpp"
+#include "support/cancellation.hpp"
+
+namespace jitise::ise {
+
+struct IsegenConfig {
+  /// Seed of the deterministic move order (candidate picks and nothing
+  /// else; acceptance is deterministic given the pick sequence).
+  std::uint64_t seed = 0x15E6E401D5EEDULL;
+  /// Total move budget. 0 disables refinement entirely: the greedy seed is
+  /// returned bit-identical to select_greedy.
+  std::size_t max_iterations = 4096;
+  /// Moves per batch. Deadline/time checks happen only at batch boundaries,
+  /// so results are a pure function of (pool, config, batches executed).
+  std::size_t batch_iterations = 64;
+  /// Wall-clock budget in milliseconds, measured from entry (the greedy
+  /// seed is included). 0 = no wall-clock limit, only `max_iterations`.
+  /// The server maps per-request deadline headroom here.
+  double time_budget_ms = 0.0;
+  /// How many non-improving moves may be accepted between two improvements
+  /// of the best-so-far selection (the KL escape budget; replenished every
+  /// time a new best is found).
+  std::size_t uphill_escapes = 32;
+  /// A non-improving move is acceptable while it keeps the current saving
+  /// within this fraction of its present value (0.05 = may dip 5%).
+  double uphill_tolerance = 0.05;
+};
+
+/// Counters for observability (ServerStats, load_server, benches) and for
+/// the differential test of the incremental delta evaluator.
+struct IsegenStats {
+  std::size_t iterations = 0;  // moves attempted (incl. rejected/no-op)
+  std::size_t accepted = 0;    // moves applied to the current selection
+  std::size_t batches = 0;
+  double seed_saving = 0.0;  // select_greedy total_saving (the baseline)
+  double best_saving = 0.0;  // total_saving of the returned selection
+  /// The run stopped on wall-clock / cancellation, not the iteration cap —
+  /// i.e. the deadline, not the config, decided the quality.
+  bool budget_exhausted = false;
+  /// |incrementally-maintained current saving - full re-sum| at exit. Move
+  /// deltas are evaluated incrementally (O(affected candidates)); this is
+  /// the drift the differential test in ise_test holds near zero.
+  double incremental_drift = 0.0;
+};
+
+/// Seeds from select_greedy(scored, select) and refines. `cancel` is polled
+/// at batch boundaries only; when it fires the best-so-far selection is
+/// returned (the caller's own stage-boundary check decides whether the run
+/// as a whole still completes). Candidates' `cycles_saved_refined` (when
+/// filled by estimation) orders refills and evictions; the accept decision
+/// itself uses `cycles_saved_total`, so results are comparable with — and
+/// never worse than — the greedy baseline on the primary objective.
+[[nodiscard]] Selection select_isegen(
+    std::span<const ScoredCandidate> scored, const SelectConfig& select = {},
+    const IsegenConfig& config = {},
+    const support::CancellationToken& cancel = {},
+    IsegenStats* stats = nullptr);
+
+}  // namespace jitise::ise

@@ -6,15 +6,26 @@
 
 namespace jitise::ise {
 
-namespace {
-
-bool eligible(const ScoredCandidate& sc, const SelectConfig& config) {
+bool selection_eligible(const ScoredCandidate& sc,
+                        const SelectConfig& config) noexcept {
+  // Written as !(x > 0) so a NaN estimate fails too: a degenerate score must
+  // never be selected even under min_saving = 0.
+  if (!(sc.cycles_saved_total > 0.0)) return false;
   if (sc.cycles_saved_total < config.min_saving) return false;
   if (config.require_single_output && !sc.candidate.single_output()) return false;
   return sc.area_slices <= config.area_budget_slices;
 }
 
+namespace {
+
+bool eligible(const ScoredCandidate& sc, const SelectConfig& config) {
+  return selection_eligible(sc, config);
+}
+
 double density(const ScoredCandidate& sc) {
+  // Non-positive savings sort to the very end (and are ineligible anyway);
+  // guarding here keeps the order total even for degenerate scores.
+  if (!(sc.cycles_saved_total > 0.0)) return 0.0;
   return sc.cycles_saved_total / std::max(1.0, sc.area_slices);
 }
 
@@ -79,50 +90,62 @@ Selection IncrementalSelector::current(
 Selection select_knapsack(std::span<const ScoredCandidate> scored,
                           const SelectConfig& config,
                           double area_granularity) {
-  // Discretize area; respect the slot cap by a 2-D DP (capacity x slots kept
-  // implicit: slots rarely bind, so run capacity DP and trim afterwards —
-  // if the slot cap binds, fall back to greedy which honours it exactly).
   const auto capacity = static_cast<std::size_t>(
       std::floor(config.area_budget_slices / area_granularity));
   std::vector<std::size_t> items;
   for (std::size_t i = 0; i < scored.size(); ++i)
     if (eligible(scored[i], config)) items.push_back(i);
 
-  // Stage-indexed DP table: dp[k][c] is the best saving using the first k
-  // items within discretized capacity c. The previous rolling array with
-  // per-item take flags depended on a subtle invariant (stale flags are
-  // harmless only because the backtrack scans stages strictly downward from
-  // the last improver); the explicit table makes reconstruction correctness
-  // a local property, asserted against a brute-force optimum in ise_test.
-  std::vector<std::vector<double>> dp(
-      items.size() + 1, std::vector<double>(capacity + 1, 0.0));
+  // The FCM slot cap is a second knapsack dimension. When it cannot bind
+  // (more slots than items) the slot axis collapses to one plane and the DP
+  // below degenerates to the classic capacity-only table; when it can bind,
+  // the explicit slot axis keeps the result the true constrained optimum —
+  // the old code discarded the DP answer and fell back to greedy here,
+  // silently giving up the optimality the ablation exists to measure.
+  const std::size_t slots = std::min(config.max_instructions, items.size());
+  if (slots == 0) return Selection{};
+
+  // Stage-indexed DP table: dp[k][c][s] is the best saving using the first k
+  // items within discretized capacity c and at most s slots. The explicit
+  // table makes backtrack correctness a local property (a skipped item
+  // copies its predecessor cell bit-for-bit; a taken one strictly improves
+  // it), asserted against a brute-force optimum in ise_test.
+  const std::size_t planes = slots + 1;
+  const auto at = [&](std::size_t k, std::size_t c,
+                      std::size_t s) -> std::size_t {
+    return (k * (capacity + 1) + c) * planes + s;
+  };
+  std::vector<double> dp((items.size() + 1) * (capacity + 1) * planes, 0.0);
   for (std::size_t k = 0; k < items.size(); ++k) {
     const ScoredCandidate& sc = scored[items[k]];
     const auto w = static_cast<std::size_t>(
         std::ceil(sc.area_slices / area_granularity));
     for (std::size_t c = 0; c <= capacity; ++c) {
-      dp[k + 1][c] = dp[k][c];
-      if (c >= w) {
-        const double with = dp[k][c - w] + sc.cycles_saved_total;
-        if (with > dp[k + 1][c]) dp[k + 1][c] = with;
+      for (std::size_t s = 0; s <= slots; ++s) {
+        double best = dp[at(k, c, s)];
+        if (c >= w && s >= 1) {
+          const double with = dp[at(k, c - w, s - 1)] + sc.cycles_saved_total;
+          if (with > best) best = with;
+        }
+        dp[at(k + 1, c, s)] = best;
       }
     }
   }
 
   Selection sel;
   std::size_t c = capacity;
+  std::size_t s = slots;
   for (std::size_t k = items.size(); k-- > 0;) {
-    // Item k was taken at capacity c exactly when the take branch strictly
-    // won above (skipped items copy dp[k][c] bit-for-bit).
-    if (dp[k + 1][c] <= dp[k][c]) continue;
+    // Item k was taken at (c, s) exactly when the take branch strictly won
+    // above (skipped items copy dp[k][c][s] bit-for-bit).
+    if (dp[at(k + 1, c, s)] <= dp[at(k, c, s)]) continue;
     const ScoredCandidate& sc = scored[items[k]];
     sel.chosen.push_back(items[k]);
     sel.total_saving += sc.cycles_saved_total;
     sel.total_area += sc.area_slices;
     c -= static_cast<std::size_t>(std::ceil(sc.area_slices / area_granularity));
+    --s;
   }
-  if (sel.chosen.size() > config.max_instructions)
-    return select_greedy(scored, config);
   std::sort(sel.chosen.begin(), sel.chosen.end());
   return sel;
 }

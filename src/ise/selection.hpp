@@ -20,6 +20,11 @@ namespace jitise::ise {
 struct ScoredCandidate {
   Candidate candidate;
   double cycles_saved_total = 0.0;  // over the profiled execution
+  /// Pipeline-aware refined saving (operand-transfer overlap + result
+  /// forwarding, estimation::CandidateEstimate::saved_per_exec_refined x
+  /// exec count). The ISEGEN selector uses it to order moves and break
+  /// plateaus; 0 when the caller only filled the base score.
+  double cycles_saved_refined = 0.0;
   double area_slices = 0.0;
   std::uint64_t signature = 0;
 };
@@ -36,6 +41,13 @@ struct Selection {
   double total_saving = 0.0;
   double total_area = 0.0;
 };
+
+/// The eligibility predicate every selector (greedy, knapsack, ISEGEN)
+/// shares: positive saving (a degenerate zero/negative/NaN estimate can
+/// never be selected, whatever `min_saving` says), `min_saving`,
+/// single-output when required, and fitting the area budget alone.
+[[nodiscard]] bool selection_eligible(const ScoredCandidate& sc,
+                                      const SelectConfig& config) noexcept;
 
 /// Greedy by saving/area density (deterministic, O(n log n)).
 [[nodiscard]] Selection select_greedy(std::span<const ScoredCandidate> scored,

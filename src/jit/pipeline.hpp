@@ -52,6 +52,7 @@ struct SearchArtifact {
   std::vector<estimation::CandidateEstimate> estimates;  // parallel to scored
   std::vector<std::size_t> graph_of;  // scored index -> graphs index
   ise::Selection selection;           // indices into `scored`
+  ise::IsegenStats isegen;            // filled when Selector::Isegen ran
   double search_real_ms = 0.0;
 };
 

@@ -106,6 +106,8 @@ void CandidateSearchStage::run(const ir::Module& module,
       scored.candidate = std::move(cand);
       scored.cycles_saved_total =
           est.saved_per_exec * static_cast<double>(ib.exec_count);
+      scored.cycles_saved_refined =
+          est.saved_per_exec_refined * static_cast<double>(ib.exec_count);
       scored.area_slices = est.area_slices;
       res.scored.push_back(std::move(scored));
       res.estimates.push_back(est);
@@ -191,6 +193,25 @@ void CandidateSearchStage::run(const ir::Module& module,
 
   selector.extend(art.scored);  // no-op unless the loop never ran
   art.selection = selector.current(art.scored);
+
+  // Final-selection override: provisional streaming above always uses the
+  // incremental greedy (cheap, prefix-stable); the configured selector only
+  // decides the *final* selection the adaptation tail consumes. Speculative
+  // CAD dispatches for candidates that drop out are discarded by the
+  // dispatch sweep, so no other stage needs to know which selector ran.
+  switch (config_.selector) {
+    case SpecializerConfig::Selector::Greedy:
+      break;
+    case SpecializerConfig::Selector::Knapsack:
+      art.selection = ise::select_knapsack(art.scored, config_.select);
+      break;
+    case SpecializerConfig::Selector::Isegen:
+      art.selection =
+          ise::select_isegen(art.scored, config_.select, config_.isegen,
+                             config_.cancel, &art.isegen);
+      observer.on_selection_refined(art.isegen);
+      break;
+  }
   art.search_real_ms = timer.elapsed_ms();
   observer.on_phase_exit(PipelinePhase::CandidateSearch, art.search_real_ms);
 }
