@@ -57,6 +57,7 @@ struct LoadOptions {
   double deadline_ms = 0.0;   // per-request service deadline (0 = none)
   double dup_rate = 0.0;      // probability a request repeats a prior payload
   bool coalesce = true;       // server-side in-flight coalescing tier
+  std::string suite = "classic";    // classic | micro | all
   std::string selector = "greedy";  // greedy | knapsack | isegen
   std::uint64_t isegen_iters = 0;   // 0 keeps the IsegenConfig default
   std::uint64_t seed = 42;
@@ -70,8 +71,9 @@ void usage(const char* prog) {
       "usage: %s [--tenants N] [--requests N] [--workers N] [--sessions N]\n"
       "          [--jobs N] [--per-session-pools] [--queue-cap N]\n"
       "          [--arrival-us N] [--deadline-ms D] [--dup-rate P]\n"
-      "          [--no-coalesce] [--selector NAME] [--isegen-iters N]\n"
-      "          [--seed S] [--journal PATH] [--fsync] [--trace] [--help]\n"
+      "          [--no-coalesce] [--suite NAME] [--selector NAME]\n"
+      "          [--isegen-iters N] [--seed S] [--journal PATH] [--fsync]\n"
+      "          [--trace] [--help]\n"
       "  --tenants N     concurrent tenants (default 4)\n"
       "  --requests N    requests per tenant (default 6)\n"
       "  --workers N     compute threads in the shared work-stealing pool\n"
@@ -90,6 +92,9 @@ void usage(const char* prog) {
       "  --dup-rate P    fraction of requests repeating a prior payload,\n"
       "                  Zipf-skewed toward popular signatures (default 0)\n"
       "  --no-coalesce   disable the in-flight request-coalescing tier\n"
+      "  --suite NAME    request mix: classic (default, the four embedded\n"
+      "                  apps), micro (the eight irregular SPECInt-micro\n"
+      "                  kernels), or all (both)\n"
       "  --selector NAME selection algorithm: greedy (default), knapsack, or\n"
       "                  isegen — the anytime refiner whose wall-clock budget\n"
       "                  is carved from each request's deadline headroom\n"
@@ -217,6 +222,7 @@ int main(int argc, char** argv) {
       }
     }
     else if (arg == "--no-coalesce") { opt.coalesce = false; }
+    else if (arg == "--suite" && i + 1 < argc) { opt.suite = argv[++i]; }
     else if (arg == "--selector" && i + 1 < argc) { opt.selector = argv[++i]; }
     else if (arg == "--isegen-iters") { value(v); opt.isegen_iters = v; }
     else if (arg == "--seed") { value(v); opt.seed = v; }
@@ -239,11 +245,28 @@ int main(int argc, char** argv) {
               opt.shared_executor ? "shared" : "per-session", opt.jobs,
               opt.queue_cap);
 
-  // The embedded suite is the request mix: small enough that a full CAD run
-  // per request finishes in milliseconds, varied enough that the shared
-  // caches see both hits and misses.
+  // The request mix: all workload modules are small enough that a full CAD
+  // run per request finishes in milliseconds, varied enough that the shared
+  // caches see both hits and misses. `classic` keeps the four embedded apps;
+  // `micro` swaps in the eight irregular SPECInt-micro kernels (whose
+  // candidate pools mostly starve at selection, exercising the server's
+  // empty-selection path end to end); `all` mixes both.
+  std::vector<std::string> mix;
+  if (opt.suite == "classic" || opt.suite == "all") {
+    mix.insert(mix.end(), {"adpcm", "fft", "sor", "whetstone"});
+  }
+  if (opt.suite == "micro" || opt.suite == "all") {
+    const auto micro = apps::app_names(apps::Suite::Micro);
+    mix.insert(mix.end(), micro.begin(), micro.end());
+  }
+  if (mix.empty()) {
+    std::fprintf(stderr, "%s: unknown --suite '%s' (classic|micro|all)\n",
+                 argv[0], opt.suite.c_str());
+    return 2;
+  }
+  std::printf("suite: %s (%zu workloads)\n\n", opt.suite.c_str(), mix.size());
   std::vector<Workload> workloads;
-  for (const char* name : {"adpcm", "fft", "sor", "whetstone"}) {
+  for (const std::string& name : mix) {
     workloads.push_back(build_workload(name));
   }
 
@@ -336,8 +359,19 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& s : submitters) s.join();
+  // ServerStats has no candidate aggregates; sum them from the per-request
+  // outcomes so suite-level starvation is observable (and greppable in CI).
+  std::uint64_t candidates_found = 0, candidates_selected = 0;
+  std::uint64_t done_requests = 0, starved_requests = 0;
   for (auto& per_tenant : tickets) {
-    for (auto& ticket : per_tenant) (void)ticket.wait();
+    for (auto& ticket : per_tenant) {
+      const server::RequestOutcome& outcome = ticket.wait();
+      if (!outcome.result.has_value()) continue;
+      ++done_requests;
+      candidates_found += outcome.result->candidates_found;
+      candidates_selected += outcome.result->candidates_selected;
+      starved_requests += outcome.result->candidates_selected == 0;
+    }
   }
   srv.drain();
   const unsigned peak_threads = thread_sampler.stop();
@@ -403,5 +437,12 @@ int main(int argc, char** argv) {
       (unsigned long long)stats.isegen_runs,
       (unsigned long long)stats.isegen_iterations,
       (unsigned long long)stats.isegen_accepted, stats.isegen_saving_delta);
+  std::printf(
+      "candidates: %llu found / %llu selected across %llu completed "
+      "requests, %llu starved (0 selected)\n",
+      (unsigned long long)candidates_found,
+      (unsigned long long)candidates_selected,
+      (unsigned long long)done_requests,
+      (unsigned long long)starved_requests);
   return 0;
 }

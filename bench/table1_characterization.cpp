@@ -60,6 +60,12 @@ int main() {
   options.implement_hardware = false;  // Table I needs no CAD runs
 
   const std::vector<std::string> names = apps::app_names();
+  // Registry layout: 10 scientific, then embedded, then the irregular micro
+  // suite. The averages and separators derive from the suite sizes so the
+  // table stays correct as suites grow.
+  const std::size_t n_sci = 10;
+  const std::size_t n_classic = apps::app_names(apps::Suite::Classic).size();
+  const std::size_t n_all = names.size();
   const std::vector<bench::AppRun> runs =
       bench::run_apps(names, options, [](const bench::AppRun& run) {
         std::fprintf(stderr, "  [table1] %s done\n", run.app.name.c_str());
@@ -82,8 +88,9 @@ int main() {
     rows.push_back(r);
     papers.push_back(run.app.paper);
   }
-  add_avg(rows, "AVG-S", 0, 10);
-  add_avg(rows, "AVG-E", 10, 14);
+  add_avg(rows, "AVG-S", 0, n_sci);
+  add_avg(rows, "AVG-E", n_sci, n_classic);
+  add_avg(rows, "AVG-M", n_classic, n_all);
 
   apps::PaperStats avg_s{}, avg_e{};
   auto accumulate = [](apps::PaperStats& dst, const apps::PaperStats& src,
@@ -100,10 +107,13 @@ int main() {
     dst.kernel_size_pct += src.kernel_size_pct / n;
     dst.kernel_freq_pct += src.kernel_freq_pct / n;
   };
-  for (int i = 0; i < 10; ++i) accumulate(avg_s, papers[i], 10.0);
-  for (int i = 10; i < 14; ++i) accumulate(avg_e, papers[i], 4.0);
+  for (std::size_t i = 0; i < n_sci; ++i)
+    accumulate(avg_s, papers[i], static_cast<double>(n_sci));
+  for (std::size_t i = n_sci; i < n_classic; ++i)
+    accumulate(avg_e, papers[i], static_cast<double>(n_classic - n_sci));
   papers.push_back(avg_s);
   papers.push_back(avg_e);
+  papers.emplace_back();  // the micro suite has no paper column
 
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -122,19 +132,25 @@ int main() {
         support::strf("%.1f/%.1f", r.ksize, p.kernel_size_pct),
         support::strf("%.1f/%.1f", r.kfreq, p.kernel_freq_pct),
     });
-    if (i == 9 || i == 13) table.add_separator();
+    if (i + 1 == n_sci || i + 1 == n_classic || i + 1 == n_all)
+      table.add_separator();
   }
 
   std::fputs(table.render().c_str(), stdout);
 
-  const Row& s = rows[14];
-  const Row& e = rows[15];
+  const Row& s = rows[n_all];
+  const Row& e = rows[n_all + 1];
+  const Row& mi = rows[n_all + 2];
   std::printf("\nShape checks (paper in parentheses):\n");
   std::printf("  embedded ASIP ratio >> scientific: %.2fx vs %.2fx "
               "(7.21 vs 1.71)\n", e.asip, s.asip);
   std::printf("  kernel covers >=90%% of time everywhere: AVG-S %.1f%%, "
-              "AVG-E %.1f%% (94.2 / 95.7)\n", s.kfreq, e.kfreq);
+              "AVG-E %.1f%%, AVG-M %.1f%% (94.2 / 95.7 / no paper value)\n",
+              s.kfreq, e.kfreq, mi.kfreq);
   std::printf("  scientific VM overhead exceeds embedded: %.2f vs %.2f "
               "(1.14 vs 1.01)\n", s.ratio, e.ratio);
+  std::printf("  irregular micro suite ASIP headroom below embedded: "
+              "%.2fx vs %.2fx (control-dominated kernels bound MISO depth)\n",
+              mi.asip, e.asip);
   return 0;
 }

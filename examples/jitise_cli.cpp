@@ -53,9 +53,13 @@ vm::Profile profile_app(const apps::App& app) {
 int cmd_list() {
   for (const std::string& name : apps::app_names()) {
     const apps::App app = apps::build_app(name);
-    std::printf("%-12s %-10s %5zu blocks %6zu instructions\n", name.c_str(),
-                app.domain == apps::Domain::Embedded ? "embedded" : "scientific",
-                app.module.total_blocks(), app.module.total_instructions());
+    const char* domain = app.domain == apps::Domain::Embedded ? "embedded"
+                         : app.domain == apps::Domain::Irregular
+                             ? "irregular"
+                             : "scientific";
+    std::printf("%-13s %-10s %5zu blocks %6zu instructions\n", name.c_str(),
+                domain, app.module.total_blocks(),
+                app.module.total_instructions());
   }
   return 0;
 }

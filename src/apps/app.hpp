@@ -1,8 +1,13 @@
-// The benchmark-application suite (paper §IV): 4 embedded applications
-// (MiBench/SciMark2 stand-ins with real kernels built in IR) and 10
-// scientific applications (SPEC2000/2006 structural stand-ins whose inner
-// kernels mimic each program's hot loop and whose block/instruction/coverage
-// statistics are generated to match the paper's Table I).
+// The benchmark-application suite. Two sub-suites:
+//  - "classic" (paper §IV): 4 embedded applications (MiBench/SciMark2
+//    stand-ins with real kernels built in IR) and 10 scientific applications
+//    (SPEC2000/2006 structural stand-ins whose inner kernels mimic each
+//    program's hot loop and whose block/instruction/coverage statistics are
+//    generated to match the paper's Table I).
+//  - "micro" (SPECInt2006-micro style): irregular, branchy, pointer-chasing
+//    integer kernels (hash probing, suffix sorting, Huffman build, BST walks,
+//    Viterbi, A*, NFA simulation, alpha-beta search) that stress candidate
+//    identification/selection in ways the loop-dense classic suite does not.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +19,10 @@
 
 namespace jitise::apps {
 
-enum class Domain : std::uint8_t { Scientific, Embedded };
+enum class Domain : std::uint8_t { Scientific, Embedded, Irregular };
+
+/// Which sub-suite to enumerate; `All` is classic followed by micro.
+enum class Suite : std::uint8_t { Classic, Micro, All };
 
 /// One input data set; the paper profiles each application with several to
 /// classify live/const/dead code.
@@ -62,11 +70,17 @@ struct App {
 };
 
 /// Builds one application by name; throws std::invalid_argument for unknown
-/// names. Valid names: 164.gzip 179.art 183.equake 188.ammp 429.mcf 433.milc
-/// 444.namd 458.sjeng 470.lbm 473.astar adpcm fft sor whetstone.
+/// names (the message lists every valid name). The set of valid names is
+/// exactly `app_names(Suite::All)` — consult that instead of a hardcoded
+/// list, it grows as suites are added.
 [[nodiscard]] App build_app(const std::string& name);
 
-/// All 14 applications in the paper's Table I order.
+/// Application names for one sub-suite: the 14 classic apps in the paper's
+/// Table I order, the 8 irregular micro apps, or both (classic first).
+[[nodiscard]] std::vector<std::string> app_names(Suite suite);
+
+/// All registered applications (classic + micro). Equivalent to
+/// `app_names(Suite::All)`.
 [[nodiscard]] std::vector<std::string> app_names();
 
 /// Builds the whole suite (convenience for benches; ~1-2 s).

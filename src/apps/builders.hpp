@@ -14,4 +14,16 @@ App build_whetstone();
 // Scientific suite (SPEC2000/2006 structural stand-ins).
 App build_scientific(const std::string& name);
 
+// Irregular SPECInt-micro suite (specint_micro.cpp). Each module exposes two
+// conformance hooks besides `main`: `init_input` i32() and `kernel` i32(i32),
+// executed directly by the golden-output tests in tests/conformance_test.cpp.
+App build_hash_lookup();
+App build_bwt_sort();
+App build_huffman_tree();
+App build_tree_walk();
+App build_viterbi_hmm();
+App build_astar_path();
+App build_regex_compile();
+App build_game_tree();
+
 }  // namespace jitise::apps::detail

@@ -7,6 +7,7 @@
 #include "apps/builders.hpp"
 #include "apps/filler.hpp"
 #include "apps/kernels.hpp"
+#include "apps/scaffold.hpp"
 
 namespace jitise::apps::detail {
 
@@ -43,57 +44,6 @@ FuncId make_lcg_init(Module& m, GlobalId buffer, std::int32_t count,
   end_loop(fb, loop);
   fb.ret(fb.load(Type::I32, seed_slot));
   return fb.finish();
-}
-
-/// Shared main() scaffold: init (const) -> dead guard -> kernel(n) -> ret.
-FuncId make_main(Module& m, FuncId init, FuncId kernel,
-                 const FillerHooks& filler) {
-  FunctionBuilder fb(m, "main", Type::I32, {Type::I32, Type::I32});
-  const BlockId dead = fb.new_block("dead_code");
-  const BlockId run = fb.new_block("run");
-
-  // Constant-class startup.
-  ValueId acc = fb.call(init, Type::I32, {});
-  for (FuncId f : filler.const_funcs) {
-    const ValueId r = fb.call(f, Type::I32, {fb.const_int(Type::I32, 13)});
-    acc = fb.binop(Opcode::Xor, acc, r);
-  }
-  // The dead guard: mode is never the magic value in any data set.
-  const ValueId is_magic =
-      fb.icmp(ICmpPred::Eq, fb.param(1), fb.const_int(Type::I32, 123456789));
-  fb.condbr(is_magic, dead, run);
-
-  fb.set_insert(dead);
-  ValueId dead_acc = fb.const_int(Type::I32, 0);
-  for (FuncId f : filler.dead_funcs)
-    dead_acc = fb.binop(Opcode::Xor, dead_acc,
-                        fb.call(f, Type::I32, {fb.param(0)}));
-  fb.br(run);
-
-  fb.set_insert(run);
-  const ValueId joined = fb.phi(Type::I32);
-  fb.phi_incoming(joined, acc, fb.entry());
-  fb.phi_incoming(joined, dead_acc, dead);
-  ValueId result = fb.call(kernel, Type::I32, {fb.param(0)});
-  // Live cold code: trips vary with the data set but stay tiny next to the
-  // kernel ((n >> 10) + (n & 7) + 1).
-  const ValueId cold_n = fb.binop(
-      Opcode::Add,
-      fb.binop(Opcode::Add,
-               fb.binop(Opcode::AShr, fb.param(0), fb.const_int(Type::I32, 10)),
-               fb.binop(Opcode::And, fb.param(0), fb.const_int(Type::I32, 7))),
-      fb.const_int(Type::I32, 1));
-  for (FuncId f : filler.live_funcs)
-    result = fb.binop(Opcode::Xor, result, fb.call(f, Type::I32, {cold_n}));
-  fb.ret(fb.binop(Opcode::Xor, result, joined));
-  return fb.finish();
-}
-
-std::vector<Dataset> scaled_datasets(std::int32_t train, std::int32_t reference) {
-  return {
-      Dataset{"train", {vm::Slot::of_int(train), vm::Slot::of_int(0)}},
-      Dataset{"ref", {vm::Slot::of_int(reference), vm::Slot::of_int(1)}},
-  };
 }
 
 }  // namespace

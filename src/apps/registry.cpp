@@ -208,16 +208,39 @@ PaperStats paper_whetstone() {
   return p;
 }
 
+[[noreturn]] void throw_unknown_app(const std::string& name) {
+  std::string msg = "unknown app: " + name + " (valid names:";
+  for (const std::string& valid : app_names(Suite::All)) msg += " " + valid;
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
 }  // namespace
 
-std::vector<std::string> app_names() {
-  return {"164.gzip", "179.art", "183.equake", "188.ammp", "429.mcf",
-          "433.milc", "444.namd", "458.sjeng", "470.lbm", "473.astar",
-          "adpcm", "fft", "sor", "whetstone"};
+std::vector<std::string> app_names(Suite suite) {
+  static const std::vector<std::string> classic = {
+      "164.gzip", "179.art", "183.equake", "188.ammp", "429.mcf",
+      "433.milc", "444.namd", "458.sjeng", "470.lbm", "473.astar",
+      "adpcm", "fft", "sor", "whetstone"};
+  static const std::vector<std::string> micro = {
+      "hash_lookup", "bwt_sort", "huffman_tree", "tree_walk",
+      "viterbi_hmm", "astar_path", "regex_compile", "game_tree"};
+  switch (suite) {
+    case Suite::Classic: return classic;
+    case Suite::Micro: return micro;
+    case Suite::All: break;
+  }
+  std::vector<std::string> all = classic;
+  all.insert(all.end(), micro.begin(), micro.end());
+  return all;
 }
+
+std::vector<std::string> app_names() { return app_names(Suite::All); }
 
 App build_app(const std::string& name) {
   App app;
+  const bool scientific =
+      !name.empty() && name.front() >= '0' && name.front() <= '9';
   if (name == "adpcm") {
     app = detail::build_adpcm();
     app.paper = paper_adpcm();
@@ -230,7 +253,23 @@ App build_app(const std::string& name) {
   } else if (name == "whetstone") {
     app = detail::build_whetstone();
     app.paper = paper_whetstone();
-  } else {
+  } else if (name == "hash_lookup") {
+    app = detail::build_hash_lookup();
+  } else if (name == "bwt_sort") {
+    app = detail::build_bwt_sort();
+  } else if (name == "huffman_tree") {
+    app = detail::build_huffman_tree();
+  } else if (name == "tree_walk") {
+    app = detail::build_tree_walk();
+  } else if (name == "viterbi_hmm") {
+    app = detail::build_viterbi_hmm();
+  } else if (name == "astar_path") {
+    app = detail::build_astar_path();
+  } else if (name == "regex_compile") {
+    app = detail::build_regex_compile();
+  } else if (name == "game_tree") {
+    app = detail::build_game_tree();
+  } else if (scientific) {
     app = detail::build_scientific(name);
     if (name == "164.gzip") app.paper = paper_gzip();
     else if (name == "179.art") app.paper = paper_art();
@@ -242,7 +281,9 @@ App build_app(const std::string& name) {
     else if (name == "458.sjeng") app.paper = paper_sjeng();
     else if (name == "470.lbm") app.paper = paper_lbm();
     else if (name == "473.astar") app.paper = paper_astar();
-    else throw std::invalid_argument("unknown app: " + name);
+    else throw_unknown_app(name);
+  } else {
+    throw_unknown_app(name);
   }
   return app;
 }

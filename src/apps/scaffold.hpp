@@ -1,0 +1,143 @@
+// Shared application scaffolding: the standard main() wrapper that wires
+// init/kernel/filler into the coverage classes the suite tests expect, the
+// train/ref dataset pair, and structured control-flow helpers (condition-at-
+// the-top while loops, if/else diamonds) for kernels whose loop exits are
+// data-dependent. State that crosses these constructs lives in memory slots
+// (alloca or globals) rather than phis, which keeps irregular control flow —
+// probe chains, sift loops, parent chasing — mechanical to emit and easy to
+// mirror in the golden-output conformance references.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/filler.hpp"
+#include "ir/builder.hpp"
+
+namespace jitise::apps::detail {
+
+/// A `while (cond) { body }` loop under construction. Usage:
+///   WhileCtx w = begin_while(fb);       // now inside the header
+///   ValueId cond = ...;                 // emit the condition
+///   while_cond(fb, w, cond);            // now inside the body
+///   ...                                 // emit the body
+///   end_while(fb, w);                   // now inside the exit
+/// Extra exit edges (break) may branch to `w.exit` from any body block;
+/// extra tests may chain additional condbr blocks between header and body.
+struct WhileCtx {
+  ir::BlockId header = 0;
+  ir::BlockId body = 0;
+  ir::BlockId exit = 0;
+};
+
+[[nodiscard]] inline WhileCtx begin_while(ir::FunctionBuilder& fb) {
+  WhileCtx w;
+  w.header = fb.new_block("while_header");
+  w.body = fb.new_block("while_body");
+  w.exit = fb.new_block("while_exit");
+  fb.br(w.header);
+  fb.set_insert(w.header);
+  return w;
+}
+
+inline void while_cond(ir::FunctionBuilder& fb, const WhileCtx& w,
+                       ir::ValueId cond) {
+  fb.condbr(cond, w.body, w.exit);
+  fb.set_insert(w.body);
+}
+
+inline void end_while(ir::FunctionBuilder& fb, const WhileCtx& w) {
+  fb.br(w.header);
+  fb.set_insert(w.exit);
+}
+
+/// An if/else diamond. Usage:
+///   IfCtx c = begin_if(fb, cond);   // inside then
+///   ...
+///   begin_else(fb, c);              // inside else (may be left empty)
+///   ...
+///   end_if(fb, c);                  // inside join
+struct IfCtx {
+  ir::BlockId then_b = 0;
+  ir::BlockId else_b = 0;
+  ir::BlockId join = 0;
+};
+
+[[nodiscard]] inline IfCtx begin_if(ir::FunctionBuilder& fb, ir::ValueId cond) {
+  IfCtx c;
+  c.then_b = fb.new_block("if_then");
+  c.else_b = fb.new_block("if_else");
+  c.join = fb.new_block("if_join");
+  fb.condbr(cond, c.then_b, c.else_b);
+  fb.set_insert(c.then_b);
+  return c;
+}
+
+inline void begin_else(ir::FunctionBuilder& fb, IfCtx& c) {
+  fb.br(c.join);
+  fb.set_insert(c.else_b);
+}
+
+inline void end_if(ir::FunctionBuilder& fb, IfCtx& c) {
+  fb.br(c.join);
+  fb.set_insert(c.join);
+}
+
+/// Shared main() scaffold: init (const) -> dead guard -> kernel(n) -> ret.
+/// The wiring matches the FillerHooks contract: const filler runs once with a
+/// fixed argument, dead filler sits behind a guard no dataset triggers, live
+/// filler runs with a trip count derived from n so its frequencies vary.
+inline ir::FuncId make_main(ir::Module& m, ir::FuncId init, ir::FuncId kernel,
+                            const FillerHooks& filler) {
+  using namespace ir;
+  FunctionBuilder fb(m, "main", Type::I32, {Type::I32, Type::I32});
+  const BlockId dead = fb.new_block("dead_code");
+  const BlockId run = fb.new_block("run");
+
+  // Constant-class startup.
+  ValueId acc = fb.call(init, Type::I32, {});
+  for (FuncId f : filler.const_funcs) {
+    const ValueId r = fb.call(f, Type::I32, {fb.const_int(Type::I32, 13)});
+    acc = fb.binop(Opcode::Xor, acc, r);
+  }
+  // The dead guard: mode is never the magic value in any data set.
+  const ValueId is_magic =
+      fb.icmp(ICmpPred::Eq, fb.param(1), fb.const_int(Type::I32, 123456789));
+  fb.condbr(is_magic, dead, run);
+
+  fb.set_insert(dead);
+  ValueId dead_acc = fb.const_int(Type::I32, 0);
+  for (FuncId f : filler.dead_funcs)
+    dead_acc = fb.binop(Opcode::Xor, dead_acc,
+                        fb.call(f, Type::I32, {fb.param(0)}));
+  fb.br(run);
+
+  fb.set_insert(run);
+  const ValueId joined = fb.phi(Type::I32);
+  fb.phi_incoming(joined, acc, fb.entry());
+  fb.phi_incoming(joined, dead_acc, dead);
+  ValueId result = fb.call(kernel, Type::I32, {fb.param(0)});
+  // Live cold code: trips vary with the data set but stay tiny next to the
+  // kernel ((n >> 10) + (n & 7) + 1).
+  const ValueId cold_n = fb.binop(
+      Opcode::Add,
+      fb.binop(Opcode::Add,
+               fb.binop(Opcode::AShr, fb.param(0), fb.const_int(Type::I32, 10)),
+               fb.binop(Opcode::And, fb.param(0), fb.const_int(Type::I32, 7))),
+      fb.const_int(Type::I32, 1));
+  for (FuncId f : filler.live_funcs)
+    result = fb.binop(Opcode::Xor, result, fb.call(f, Type::I32, {cold_n}));
+  fb.ret(fb.binop(Opcode::Xor, result, joined));
+  return fb.finish();
+}
+
+inline std::vector<Dataset> scaled_datasets(std::int32_t train,
+                                            std::int32_t reference) {
+  return {
+      Dataset{"train", {vm::Slot::of_int(train), vm::Slot::of_int(0)}},
+      Dataset{"ref", {vm::Slot::of_int(reference), vm::Slot::of_int(1)}},
+  };
+}
+
+}  // namespace jitise::apps::detail

@@ -1,0 +1,1002 @@
+// The irregular SPECInt-micro suite: eight pointer-chasing, branchy integer
+// kernels in the style of SPECInt2006 inner loops. Unlike the classic suite
+// these are dominated by data-dependent loop exits (probe chains, sift
+// loops, parent chasing, alpha-beta cutoffs) and deep conditional chains, so
+// MAXMISO/UnionMISO identification sees short feasible chains broken by
+// loads, compares and branches — the shapes where candidates starve.
+//
+// Every module exposes, besides the standard `main(n, mode)` scaffold, two
+// conformance hooks executed directly by tests/conformance_test.cpp:
+//   - `init_input` i32(): fills the input globals (LCG-derived, fixed seed),
+//   - `kernel` i32(i32 n): the measured kernel; returns a checksum.
+// The golden references in the test mirror these word for word using i32
+// wraparound arithmetic (the VM semantics), so keep both sides in sync.
+//
+// Mutable scalar state lives in memory slots (alloca / globals) rather than
+// loop-carried phis: irregular control flow stays mechanical to emit, and
+// the load/store traffic is itself representative of the SPECInt originals.
+#include <cstdint>
+
+#include "apps/builders.hpp"
+#include "apps/filler.hpp"
+#include "apps/kernels.hpp"
+#include "apps/scaffold.hpp"
+
+namespace jitise::apps::detail {
+
+namespace {
+
+using namespace ir;
+
+ValueId ci(FunctionBuilder& fb, std::int32_t v) {
+  return fb.const_int(Type::I32, v);
+}
+/// A 4-byte mutable scalar slot, seeded with a constant.
+ValueId slot4(FunctionBuilder& fb, std::int32_t init) {
+  const ValueId s = fb.alloca_bytes(4);
+  fb.store(ci(fb, init), s);
+  return s;
+}
+ValueId ld(FunctionBuilder& fb, ValueId slot) {
+  return fb.load(Type::I32, slot);
+}
+ValueId add(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::Add, a, b);
+}
+ValueId sub(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::Sub, a, b);
+}
+ValueId mul(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::Mul, a, b);
+}
+ValueId band(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::And, a, b);
+}
+ValueId bor(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::Or, a, b);
+}
+ValueId bxor(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::Xor, a, b);
+}
+ValueId shl(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::Shl, a, b);
+}
+ValueId lshr(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::LShr, a, b);
+}
+ValueId ashr(FunctionBuilder& fb, ValueId a, ValueId b) {
+  return fb.binop(Opcode::AShr, a, b);
+}
+ValueId icmp(FunctionBuilder& fb, ICmpPred p, ValueId a, ValueId b) {
+  return fb.icmp(p, a, b);
+}
+/// Advances the LCG state in `seed_slot`, returning the new state.
+ValueId lcg(FunctionBuilder& fb, ValueId seed_slot) {
+  const ValueId s = ld(fb, seed_slot);
+  const ValueId next =
+      add(fb, mul(fb, s, ci(fb, 1103515245)), ci(fb, 12345));
+  fb.store(next, seed_slot);
+  return next;
+}
+ValueId lda(FunctionBuilder& fb, GlobalId g, ValueId i) {
+  return load_elem(fb, Type::I32, fb.global_addr(g), i, 4);
+}
+void sta(FunctionBuilder& fb, GlobalId g, ValueId i, ValueId v) {
+  store_elem(fb, v, fb.global_addr(g), i, 4);
+}
+/// |a - b| via select (branch-free; the branchy code surrounds it).
+ValueId absdiff(FunctionBuilder& fb, ValueId a, ValueId b) {
+  const ValueId d = sub(fb, a, b);
+  return fb.select(icmp(fb, ICmpPred::Slt, d, ci(fb, 0)),
+                   sub(fb, ci(fb, 0), d), d);
+}
+
+App finish_app(App app, FuncId init, FuncId kernel, std::uint32_t const_fill,
+               std::uint32_t dead_fill, std::uint32_t live_fill,
+               std::uint64_t seed, std::int32_t train, std::int32_t ref) {
+  FillerPlan plan;
+  plan.const_instructions = const_fill;
+  plan.dead_instructions = dead_fill;
+  plan.live_instructions = live_fill;
+  plan.seed = seed;
+  const FillerHooks filler = generate_filler(app.module, plan);
+  make_main(app.module, init, kernel, filler);
+  app.datasets = scaled_datasets(train, ref);
+  return app;
+}
+
+constexpr std::int32_t kHashMul = -1640531535;  // 2654435761 as i32
+
+}  // namespace
+
+// Open-addressing hash table: init inserts 400 LCG keys through linear probe
+// chains; the kernel probes 1-per-iteration with data-dependent chain length.
+App build_hash_lookup() {
+  App app;
+  app.name = "hash_lookup";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "hash_lookup";
+
+  const GlobalId keys = add_global(m, "htab_keys", 1024 * 4);
+  const GlobalId vals = add_global(m, "htab_vals", 1024 * 4);
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    const ValueId seed = slot4(fb, 99);
+    const ValueId count = slot4(fb, 0);
+    LoopCtx loop = begin_loop(fb, ci(fb, 0), ci(fb, 400));
+    const ValueId s = lcg(fb, seed);
+    const ValueId key =
+        bor(fb, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 8191)), ci(fb, 1));
+    const ValueId h = slot4(fb, 0);
+    fb.store(lshr(fb, mul(fb, key, ci(fb, kHashMul)), ci(fb, 22)), h);
+    // Probe: while (keys[h] != 0 && keys[h] != key) h = (h + 1) & 1023.
+    WhileCtx w = begin_while(fb);
+    const ValueId k = lda(fb, keys, ld(fb, h));
+    const BlockId and2 = fb.new_block("probe_and");
+    fb.condbr(icmp(fb, ICmpPred::Ne, k, ci(fb, 0)), and2, w.exit);
+    fb.set_insert(and2);
+    while_cond(fb, w, icmp(fb, ICmpPred::Ne, k, key));
+    fb.store(band(fb, add(fb, ld(fb, h), ci(fb, 1)), ci(fb, 1023)), h);
+    end_while(fb, w);
+    const ValueId hv = ld(fb, h);
+    const ValueId old = lda(fb, keys, hv);
+    sta(fb, vals, hv, add(fb, lda(fb, vals, hv), loop.i));
+    sta(fb, keys, hv, key);
+    IfCtx fresh = begin_if(fb, icmp(fb, ICmpPred::Eq, old, ci(fb, 0)));
+    fb.store(add(fb, ld(fb, count), ci(fb, 1)), count);
+    begin_else(fb, fresh);
+    end_if(fb, fresh);
+    end_loop(fb, loop);
+    fb.ret(ld(fb, count));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId seed = slot4(fb, 12345);
+  const ValueId found = slot4(fb, 0);
+  const ValueId probes = slot4(fb, 0);
+  const ValueId miss = slot4(fb, 0);
+  LoopCtx loop = begin_loop(fb, ci(fb, 0), fb.param(0));
+  const ValueId s = lcg(fb, seed);
+  const ValueId key =
+      bor(fb, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 8191)), ci(fb, 1));
+  const ValueId h = slot4(fb, 0);
+  fb.store(lshr(fb, mul(fb, key, ci(fb, kHashMul)), ci(fb, 22)), h);
+  WhileCtx w = begin_while(fb);
+  const ValueId k = lda(fb, keys, ld(fb, h));
+  const BlockId and2 = fb.new_block("probe_and");
+  fb.condbr(icmp(fb, ICmpPred::Ne, k, ci(fb, 0)), and2, w.exit);
+  fb.set_insert(and2);
+  while_cond(fb, w, icmp(fb, ICmpPred::Ne, k, key));
+  fb.store(band(fb, add(fb, ld(fb, h), ci(fb, 1)), ci(fb, 1023)), h);
+  fb.store(add(fb, ld(fb, probes), ci(fb, 1)), probes);
+  end_while(fb, w);
+  const ValueId hv = ld(fb, h);
+  const ValueId hit_key = lda(fb, keys, hv);
+  IfCtx hit = begin_if(fb, icmp(fb, ICmpPred::Ne, hit_key, ci(fb, 0)));
+  fb.store(add(fb, ld(fb, found), add(fb, lda(fb, vals, hv), loop.i)), found);
+  begin_else(fb, hit);
+  fb.store(add(fb, ld(fb, miss), ci(fb, 1)), miss);
+  end_if(fb, hit);
+  end_loop(fb, loop);
+  fb.ret(add(fb, ld(fb, found),
+             add(fb, mul(fb, ld(fb, probes), ci(fb, 7)),
+                 mul(fb, ld(fb, miss), ci(fb, 3)))));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 20, 14, 40, 0x4A58,
+                    5000, 15000);
+}
+
+// Burrows-Wheeler transform over a 32-symbol circular text: each iteration
+// mutates one symbol and re-sorts all rotations by selection sort, with a
+// data-dependent lexicographic compare loop at the core.
+App build_bwt_sort() {
+  App app;
+  app.name = "bwt_sort";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "bwt_sort";
+
+  const GlobalId text = add_global(m, "bwt_text", 32 * 4);
+  const GlobalId rot = add_global(m, "bwt_rot", 32 * 4);
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    const ValueId seed = slot4(fb, 7);
+    LoopCtx loop = begin_loop(fb, ci(fb, 0), ci(fb, 32));
+    const ValueId s = lcg(fb, seed);
+    sta(fb, text, loop.i, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 3)));
+    end_loop(fb, loop);
+    fb.ret(ci(fb, 0));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId seed = slot4(fb, 555);
+  const ValueId chk = slot4(fb, 0);
+  LoopCtx it = begin_loop(fb, ci(fb, 0), fb.param(0));
+  const ValueId s = lcg(fb, seed);
+  sta(fb, text, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 31)),
+      band(fb, lshr(fb, s, ci(fb, 8)), ci(fb, 3)));
+  LoopCtx fill = begin_loop(fb, ci(fb, 0), ci(fb, 32));
+  sta(fb, rot, fill.i, fill.i);
+  end_loop(fb, fill);
+  // Selection sort of rotation start indices.
+  LoopCtx li = begin_loop(fb, ci(fb, 0), ci(fb, 31));
+  const ValueId best = slot4(fb, 0);
+  fb.store(li.i, best);
+  LoopCtx lj = begin_loop(fb, add(fb, li.i, ci(fb, 1)), ci(fb, 32));
+  const ValueId a = lda(fb, rot, lj.i);
+  const ValueId b = lda(fb, rot, ld(fb, best));
+  // Compare rotations a and b: advance k while the symbols match.
+  const ValueId kk = slot4(fb, 0);
+  WhileCtx w = begin_while(fb);
+  const ValueId kv = ld(fb, kk);
+  const BlockId and2 = fb.new_block("cmp_and");
+  fb.condbr(icmp(fb, ICmpPred::Slt, kv, ci(fb, 32)), and2, w.exit);
+  fb.set_insert(and2);
+  const ValueId ta =
+      lda(fb, text, band(fb, add(fb, a, kv), ci(fb, 31)));
+  const ValueId tb =
+      lda(fb, text, band(fb, add(fb, b, kv), ci(fb, 31)));
+  while_cond(fb, w, icmp(fb, ICmpPred::Eq, ta, tb));
+  fb.store(add(fb, ld(fb, kk), ci(fb, 1)), kk);
+  end_while(fb, w);
+  const ValueId kend = ld(fb, kk);
+  IfCtx bounded = begin_if(fb, icmp(fb, ICmpPred::Slt, kend, ci(fb, 32)));
+  const ValueId ta2 =
+      lda(fb, text, band(fb, add(fb, a, kend), ci(fb, 31)));
+  const ValueId tb2 =
+      lda(fb, text, band(fb, add(fb, b, kend), ci(fb, 31)));
+  IfCtx less = begin_if(fb, icmp(fb, ICmpPred::Slt, ta2, tb2));
+  fb.store(lj.i, best);
+  begin_else(fb, less);
+  end_if(fb, less);
+  begin_else(fb, bounded);
+  end_if(fb, bounded);
+  end_loop(fb, lj);
+  const ValueId bi = ld(fb, best);
+  const ValueId tmp = lda(fb, rot, li.i);
+  sta(fb, rot, li.i, lda(fb, rot, bi));
+  sta(fb, rot, bi, tmp);
+  end_loop(fb, li);
+  // Checksum the BWT last column: text[(rot[i] + 31) & 31].
+  LoopCtx lc = begin_loop(fb, ci(fb, 0), ci(fb, 32));
+  const ValueId last = lda(
+      fb, text, band(fb, add(fb, lda(fb, rot, lc.i), ci(fb, 31)), ci(fb, 31)));
+  fb.store(add(fb, mul(fb, ld(fb, chk), ci(fb, 5)), last), chk);
+  end_loop(fb, lc);
+  end_loop(fb, it);
+  fb.ret(ld(fb, chk));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 20, 14, 40, 0xB3711,
+                    30, 80);
+}
+
+// Huffman tree construction: repeated two-smallest scans (deep conditional
+// chain) followed by leaf-depth computation by parent-pointer chasing.
+App build_huffman_tree() {
+  App app;
+  app.name = "huffman_tree";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "huffman_tree";
+
+  const GlobalId freq = add_global(m, "huff_freq", 16 * 4);
+  const GlobalId weight = add_global(m, "huff_weight", 31 * 4);
+  const GlobalId parent = add_global(m, "huff_parent", 31 * 4);
+  const GlobalId used = add_global(m, "huff_used", 31 * 4);
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    const ValueId seed = slot4(fb, 11);
+    LoopCtx loop = begin_loop(fb, ci(fb, 0), ci(fb, 16));
+    const ValueId s = lcg(fb, seed);
+    sta(fb, freq, loop.i,
+        add(fb, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 255)), ci(fb, 1)));
+    end_loop(fb, loop);
+    fb.ret(ci(fb, 0));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId seed = slot4(fb, 77);
+  const ValueId chk = slot4(fb, 0);
+  LoopCtx it = begin_loop(fb, ci(fb, 0), fb.param(0));
+  const ValueId s = lcg(fb, seed);
+  sta(fb, freq, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 15)),
+      add(fb, band(fb, lshr(fb, s, ci(fb, 8)), ci(fb, 255)), ci(fb, 1)));
+  LoopCtx reset = begin_loop(fb, ci(fb, 0), ci(fb, 31));
+  sta(fb, used, reset.i, ci(fb, 0));
+  sta(fb, parent, reset.i, ci(fb, -1));
+  IfCtx leaf = begin_if(fb, icmp(fb, ICmpPred::Slt, reset.i, ci(fb, 16)));
+  sta(fb, weight, reset.i, lda(fb, freq, reset.i));
+  begin_else(fb, leaf);
+  sta(fb, weight, reset.i, ci(fb, 0));
+  end_if(fb, leaf);
+  end_loop(fb, reset);
+  // Merge loop: each internal node joins the two smallest unused nodes.
+  LoopCtx merge = begin_loop(fb, ci(fb, 16), ci(fb, 31));
+  const ValueId m1 = slot4(fb, -1);
+  const ValueId m2 = slot4(fb, -1);
+  LoopCtx scan = begin_loop(fb, ci(fb, 0), merge.i);
+  IfCtx avail =
+      begin_if(fb, icmp(fb, ICmpPred::Eq, lda(fb, used, scan.i), ci(fb, 0)));
+  const ValueId wj = lda(fb, weight, scan.i);
+  IfCtx none = begin_if(fb, icmp(fb, ICmpPred::Eq, ld(fb, m1), ci(fb, -1)));
+  fb.store(ld(fb, m1), m2);
+  fb.store(scan.i, m1);
+  begin_else(fb, none);
+  IfCtx better =
+      begin_if(fb, icmp(fb, ICmpPred::Slt, wj, lda(fb, weight, ld(fb, m1))));
+  fb.store(ld(fb, m1), m2);
+  fb.store(scan.i, m1);
+  begin_else(fb, better);
+  IfCtx none2 = begin_if(fb, icmp(fb, ICmpPred::Eq, ld(fb, m2), ci(fb, -1)));
+  fb.store(scan.i, m2);
+  begin_else(fb, none2);
+  IfCtx better2 =
+      begin_if(fb, icmp(fb, ICmpPred::Slt, wj, lda(fb, weight, ld(fb, m2))));
+  fb.store(scan.i, m2);
+  begin_else(fb, better2);
+  end_if(fb, better2);
+  end_if(fb, none2);
+  end_if(fb, better);
+  end_if(fb, none);
+  begin_else(fb, avail);
+  end_if(fb, avail);
+  end_loop(fb, scan);
+  const ValueId a = ld(fb, m1);
+  const ValueId b = ld(fb, m2);
+  sta(fb, used, a, ci(fb, 1));
+  sta(fb, used, b, ci(fb, 1));
+  sta(fb, parent, a, merge.i);
+  sta(fb, parent, b, merge.i);
+  sta(fb, weight, merge.i, add(fb, lda(fb, weight, a), lda(fb, weight, b)));
+  end_loop(fb, merge);
+  // Code lengths: chase parent pointers from each leaf to the root.
+  LoopCtx leafs = begin_loop(fb, ci(fb, 0), ci(fb, 16));
+  const ValueId depth = slot4(fb, 0);
+  const ValueId node = slot4(fb, 0);
+  fb.store(leafs.i, node);
+  WhileCtx chase = begin_while(fb);
+  const ValueId par = lda(fb, parent, ld(fb, node));
+  while_cond(fb, chase, icmp(fb, ICmpPred::Ne, par, ci(fb, -1)));
+  fb.store(par, node);
+  fb.store(add(fb, ld(fb, depth), ci(fb, 1)), depth);
+  end_while(fb, chase);
+  fb.store(
+      add(fb, ld(fb, chk), mul(fb, lda(fb, freq, leafs.i), ld(fb, depth))),
+      chk);
+  end_loop(fb, leafs);
+  end_loop(fb, it);
+  fb.ret(ld(fb, chk));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 18, 14, 40, 0x40F,
+                    150, 400);
+}
+
+// Randomized BST: init grows a 512-node tree, the kernel walks probe chains
+// of data-dependent depth and keeps inserting every 8th probe.
+App build_tree_walk() {
+  App app;
+  app.name = "tree_walk";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "tree_walk";
+
+  const GlobalId tkey = add_global(m, "bst_key", 2048 * 4);
+  const GlobalId tleft = add_global(m, "bst_left", 2048 * 4);
+  const GlobalId tright = add_global(m, "bst_right", 2048 * 4);
+  const GlobalId tmeta = add_global(m, "bst_count", 4);
+
+  // insert(key) -> 1 if a node was added. Iterative walk, no recursion.
+  FunctionBuilder fi(m, "tree_insert", Type::I32, {Type::I32});
+  {
+    const ValueId key = fi.param(0);
+    const ValueId count = fi.load(Type::I32, fi.global_addr(tmeta));
+    const BlockId full_b = fi.new_block("full");
+    const BlockId cont_b = fi.new_block("roomy");
+    fi.condbr(icmp(fi, ICmpPred::Sge, count, ci(fi, 2048)), full_b, cont_b);
+    fi.set_insert(full_b);
+    fi.ret(ci(fi, 0));
+    fi.set_insert(cont_b);
+    const BlockId empty_b = fi.new_block("empty_tree");
+    const BlockId walk_b = fi.new_block("walk");
+    fi.condbr(icmp(fi, ICmpPred::Eq, count, ci(fi, 0)), empty_b, walk_b);
+    fi.set_insert(empty_b);
+    sta(fi, tkey, ci(fi, 0), key);
+    sta(fi, tleft, ci(fi, 0), ci(fi, -1));
+    sta(fi, tright, ci(fi, 0), ci(fi, -1));
+    fi.store(ci(fi, 1), fi.global_addr(tmeta));
+    fi.ret(ci(fi, 1));
+    fi.set_insert(walk_b);
+    const ValueId node = slot4(fi, 0);
+    const ValueId res = slot4(fi, 0);
+    const ValueId done = slot4(fi, 0);
+    WhileCtx w = begin_while(fi);
+    while_cond(fi, w, icmp(fi, ICmpPred::Eq, ld(fi, done), ci(fi, 0)));
+    const ValueId nv = ld(fi, node);
+    const ValueId nk = lda(fi, tkey, nv);
+    IfCtx goleft = begin_if(fi, icmp(fi, ICmpPred::Slt, key, nk));
+    const ValueId l = lda(fi, tleft, nv);
+    IfCtx lnil = begin_if(fi, icmp(fi, ICmpPred::Eq, l, ci(fi, -1)));
+    sta(fi, tkey, count, key);
+    sta(fi, tleft, count, ci(fi, -1));
+    sta(fi, tright, count, ci(fi, -1));
+    sta(fi, tleft, nv, count);
+    fi.store(add(fi, count, ci(fi, 1)), fi.global_addr(tmeta));
+    fi.store(ci(fi, 1), res);
+    fi.store(ci(fi, 1), done);
+    begin_else(fi, lnil);
+    fi.store(l, node);
+    end_if(fi, lnil);
+    begin_else(fi, goleft);
+    IfCtx goright = begin_if(fi, icmp(fi, ICmpPred::Sgt, key, nk));
+    const ValueId r = lda(fi, tright, nv);
+    IfCtx rnil = begin_if(fi, icmp(fi, ICmpPred::Eq, r, ci(fi, -1)));
+    sta(fi, tkey, count, key);
+    sta(fi, tleft, count, ci(fi, -1));
+    sta(fi, tright, count, ci(fi, -1));
+    sta(fi, tright, nv, count);
+    fi.store(add(fi, count, ci(fi, 1)), fi.global_addr(tmeta));
+    fi.store(ci(fi, 1), res);
+    fi.store(ci(fi, 1), done);
+    begin_else(fi, rnil);
+    fi.store(r, node);
+    end_if(fi, rnil);
+    begin_else(fi, goright);
+    fi.store(ci(fi, 1), done);  // duplicate key
+    end_if(fi, goright);
+    end_if(fi, goleft);
+    end_while(fi, w);
+    fi.ret(ld(fi, res));
+  }
+  const FuncId insert = fi.finish();
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    const ValueId seed = slot4(fb, 5);
+    LoopCtx loop = begin_loop(fb, ci(fb, 0), ci(fb, 512));
+    const ValueId s = lcg(fb, seed);
+    fb.call(insert, Type::I32,
+            {band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 65535))});
+    end_loop(fb, loop);
+    fb.ret(fb.load(Type::I32, fb.global_addr(tmeta)));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId seed = slot4(fb, 31337);
+  const ValueId hits = slot4(fb, 0);
+  const ValueId dsum = slot4(fb, 0);
+  LoopCtx loop = begin_loop(fb, ci(fb, 0), fb.param(0));
+  const ValueId s = lcg(fb, seed);
+  const ValueId probe = band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 65535));
+  const ValueId node = slot4(fb, 0);
+  const ValueId depth = slot4(fb, 0);
+  const ValueId state = slot4(fb, 0);  // 0 walking, 1 found, 2 fell off
+  WhileCtx w = begin_while(fb);
+  while_cond(fb, w, icmp(fb, ICmpPred::Eq, ld(fb, state), ci(fb, 0)));
+  const ValueId nv = ld(fb, node);
+  const ValueId nk = lda(fb, tkey, nv);
+  IfCtx found = begin_if(fb, icmp(fb, ICmpPred::Eq, nk, probe));
+  fb.store(ci(fb, 1), state);
+  begin_else(fb, found);
+  const ValueId nxt = slot4(fb, 0);
+  IfCtx goleft = begin_if(fb, icmp(fb, ICmpPred::Slt, probe, nk));
+  fb.store(lda(fb, tleft, nv), nxt);
+  begin_else(fb, goleft);
+  fb.store(lda(fb, tright, nv), nxt);
+  end_if(fb, goleft);
+  IfCtx off = begin_if(fb, icmp(fb, ICmpPred::Eq, ld(fb, nxt), ci(fb, -1)));
+  fb.store(ci(fb, 2), state);
+  begin_else(fb, off);
+  fb.store(ld(fb, nxt), node);
+  fb.store(add(fb, ld(fb, depth), ci(fb, 1)), depth);
+  end_if(fb, off);
+  end_if(fb, found);
+  end_while(fb, w);
+  IfCtx hit = begin_if(fb, icmp(fb, ICmpPred::Eq, ld(fb, state), ci(fb, 1)));
+  fb.store(add(fb, ld(fb, hits), ci(fb, 1)), hits);
+  begin_else(fb, hit);
+  end_if(fb, hit);
+  fb.store(add(fb, ld(fb, dsum), ld(fb, depth)), dsum);
+  IfCtx grow =
+      begin_if(fb, icmp(fb, ICmpPred::Eq, band(fb, loop.i, ci(fb, 7)),
+                        ci(fb, 0)));
+  fb.call(insert, Type::I32, {probe});
+  begin_else(fb, grow);
+  end_if(fb, grow);
+  end_loop(fb, loop);
+  fb.ret(add(fb, mul(fb, ld(fb, dsum), ci(fb, 31)), ld(fb, hits)));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 18, 14, 40, 0x73EE,
+                    2500, 7000);
+}
+
+// Viterbi decoding over an 8-state HMM in integer log-space: the trellis max
+// selection is a branch-updated running minimum (min-cost formulation).
+App build_viterbi_hmm() {
+  App app;
+  app.name = "viterbi_hmm";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "viterbi_hmm";
+
+  const GlobalId trans = add_global(m, "hmm_trans", 64 * 4);
+  const GlobalId emit = add_global(m, "hmm_emit", 32 * 4);
+  const GlobalId vcur = add_global(m, "hmm_cur", 8 * 4);
+  const GlobalId vnxt = add_global(m, "hmm_nxt", 8 * 4);
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    const ValueId seed = slot4(fb, 21);
+    LoopCtx lt = begin_loop(fb, ci(fb, 0), ci(fb, 64));
+    const ValueId s = lcg(fb, seed);
+    sta(fb, trans, lt.i,
+        add(fb, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 63)), ci(fb, 1)));
+    end_loop(fb, lt);
+    LoopCtx le = begin_loop(fb, ci(fb, 0), ci(fb, 32));
+    const ValueId s2 = lcg(fb, seed);
+    sta(fb, emit, le.i,
+        add(fb, band(fb, lshr(fb, s2, ci(fb, 16)), ci(fb, 63)), ci(fb, 1)));
+    end_loop(fb, le);
+    fb.ret(ci(fb, 0));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId seed = slot4(fb, 909);
+  const ValueId chk = slot4(fb, 0);
+  LoopCtx it = begin_loop(fb, ci(fb, 0), fb.param(0));
+  LoopCtx ini = begin_loop(fb, ci(fb, 0), ci(fb, 8));
+  sta(fb, vcur, ini.i,
+      fb.select(icmp(fb, ICmpPred::Eq, ini.i, ci(fb, 0)), ci(fb, 0),
+                ci(fb, 1000000)));
+  end_loop(fb, ini);
+  LoopCtx steps = begin_loop(fb, ci(fb, 0), ci(fb, 24));
+  const ValueId s = lcg(fb, seed);
+  const ValueId obs = band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 3));
+  LoopCtx lj = begin_loop(fb, ci(fb, 0), ci(fb, 8));
+  const ValueId best = slot4(fb, 1073741824);
+  LoopCtx lp = begin_loop(fb, ci(fb, 0), ci(fb, 8));
+  const ValueId cost =
+      add(fb, lda(fb, vcur, lp.i),
+          lda(fb, trans, add(fb, mul(fb, lp.i, ci(fb, 8)), lj.i)));
+  IfCtx tighter = begin_if(fb, icmp(fb, ICmpPred::Slt, cost, ld(fb, best)));
+  fb.store(cost, best);
+  begin_else(fb, tighter);
+  end_if(fb, tighter);
+  end_loop(fb, lp);
+  sta(fb, vnxt, lj.i,
+      add(fb, ld(fb, best),
+          lda(fb, emit, add(fb, mul(fb, lj.i, ci(fb, 4)), obs))));
+  end_loop(fb, lj);
+  LoopCtx cp = begin_loop(fb, ci(fb, 0), ci(fb, 8));
+  sta(fb, vcur, cp.i, lda(fb, vnxt, cp.i));
+  end_loop(fb, cp);
+  end_loop(fb, steps);
+  const ValueId fbest = slot4(fb, 1073741824);
+  LoopCtx fin = begin_loop(fb, ci(fb, 0), ci(fb, 8));
+  const ValueId v = lda(fb, vcur, fin.i);
+  IfCtx tight2 = begin_if(fb, icmp(fb, ICmpPred::Slt, v, ld(fb, fbest)));
+  fb.store(v, fbest);
+  begin_else(fb, tight2);
+  end_if(fb, tight2);
+  end_loop(fb, fin);
+  fb.store(add(fb, ld(fb, chk), bxor(fb, ld(fb, fbest), it.i)), chk);
+  end_loop(fb, it);
+  fb.ret(ld(fb, chk));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 18, 14, 40, 0x817,
+                    40, 120);
+}
+
+// A* over a 16x16 obstacle grid with a binary-heap open list: sift loops,
+// four-deep admission chain per neighbor, Manhattan heuristic.
+App build_astar_path() {
+  App app;
+  app.name = "astar_path";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "astar_path";
+
+  const GlobalId obs = add_global(m, "grid_blocked", 256 * 4);
+  const GlobalId gsc = add_global(m, "grid_g", 256 * 4);
+  const GlobalId closed = add_global(m, "grid_closed", 256 * 4);
+  const GlobalId heap = add_global(m, "open_heap", 512 * 4);
+  const GlobalId hsz = add_global(m, "open_size", 4);
+  const GlobalId dxt = add_i32_table(m, "astar_dx", {1, -1, 0, 0});
+  const GlobalId dyt = add_i32_table(m, "astar_dy", {0, 0, 1, -1});
+
+  // heap_push(packed): packed = f * 256 + cell, min-heap on packed.
+  FunctionBuilder fp(m, "heap_push", Type::I32, {Type::I32});
+  {
+    const ValueId hs = fp.load(Type::I32, fp.global_addr(hsz));
+    sta(fp, heap, hs, fp.param(0));
+    fp.store(add(fp, hs, ci(fp, 1)), fp.global_addr(hsz));
+    const ValueId i = slot4(fp, 0);
+    fp.store(hs, i);
+    WhileCtx w = begin_while(fp);
+    const ValueId iv = ld(fp, i);
+    while_cond(fp, w, icmp(fp, ICmpPred::Sgt, iv, ci(fp, 0)));
+    const ValueId par = ashr(fp, sub(fp, iv, ci(fp, 1)), ci(fp, 1));
+    const ValueId pv = lda(fp, heap, par);
+    const ValueId cv = lda(fp, heap, iv);
+    const BlockId swap_b = fp.new_block("sift_swap");
+    fp.condbr(icmp(fp, ICmpPred::Sle, pv, cv), w.exit, swap_b);
+    fp.set_insert(swap_b);
+    sta(fp, heap, par, cv);
+    sta(fp, heap, iv, pv);
+    fp.store(par, i);
+    end_while(fp, w);
+    fp.ret(ci(fp, 0));
+  }
+  const FuncId push = fp.finish();
+
+  // heap_pop() -> packed minimum; sift-down with a data-dependent child pick.
+  FunctionBuilder fq(m, "heap_pop", Type::I32, {});
+  {
+    const ValueId hs = fq.load(Type::I32, fq.global_addr(hsz));
+    const ValueId last = sub(fq, hs, ci(fq, 1));
+    const ValueId top = lda(fq, heap, ci(fq, 0));
+    sta(fq, heap, ci(fq, 0), lda(fq, heap, last));
+    fq.store(last, fq.global_addr(hsz));
+    const ValueId i = slot4(fq, 0);
+    WhileCtx w = begin_while(fq);
+    const ValueId iv = ld(fq, i);
+    const ValueId l = add(fq, mul(fq, iv, ci(fq, 2)), ci(fq, 1));
+    while_cond(fq, w, icmp(fq, ICmpPred::Slt, l, last));
+    const ValueId child = slot4(fq, 0);
+    fq.store(l, child);
+    const ValueId r = add(fq, l, ci(fq, 1));
+    IfCtx has_r = begin_if(fq, icmp(fq, ICmpPred::Slt, r, last));
+    IfCtx rless = begin_if(
+        fq, icmp(fq, ICmpPred::Slt, lda(fq, heap, r), lda(fq, heap, l)));
+    fq.store(r, child);
+    begin_else(fq, rless);
+    end_if(fq, rless);
+    begin_else(fq, has_r);
+    end_if(fq, has_r);
+    const ValueId cc = ld(fq, child);
+    const ValueId a = lda(fq, heap, iv);
+    const ValueId b = lda(fq, heap, cc);
+    const BlockId swap_b = fq.new_block("sift_swap");
+    fq.condbr(icmp(fq, ICmpPred::Sle, a, b), w.exit, swap_b);
+    fq.set_insert(swap_b);
+    sta(fq, heap, iv, b);
+    sta(fq, heap, cc, a);
+    fq.store(cc, i);
+    end_while(fq, w);
+    fq.ret(top);
+  }
+  const FuncId pop = fq.finish();
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    const ValueId seed = slot4(fb, 3);
+    LoopCtx loop = begin_loop(fb, ci(fb, 0), ci(fb, 256));
+    const ValueId s = lcg(fb, seed);
+    sta(fb, obs, loop.i,
+        fb.select(icmp(fb, ICmpPred::Eq,
+                       band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 7)),
+                       ci(fb, 0)),
+                  ci(fb, 1), ci(fb, 0)));
+    end_loop(fb, loop);
+    fb.ret(ci(fb, 0));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId seed = slot4(fb, 424242);
+  const ValueId chk = slot4(fb, 0);
+  LoopCtx it = begin_loop(fb, ci(fb, 0), fb.param(0));
+  const ValueId s1 = lcg(fb, seed);
+  const ValueId start = band(fb, lshr(fb, s1, ci(fb, 16)), ci(fb, 255));
+  const ValueId s2 = lcg(fb, seed);
+  const ValueId goal = band(fb, lshr(fb, s2, ci(fb, 16)), ci(fb, 255));
+  const ValueId blocked = bor(fb, lda(fb, obs, start), lda(fb, obs, goal));
+  IfCtx viable = begin_if(fb, icmp(fb, ICmpPred::Eq, blocked, ci(fb, 0)));
+  LoopCtx reset = begin_loop(fb, ci(fb, 0), ci(fb, 256));
+  sta(fb, gsc, reset.i, ci(fb, 536870912));
+  sta(fb, closed, reset.i, ci(fb, 0));
+  end_loop(fb, reset);
+  fb.store(ci(fb, 0), fb.global_addr(hsz));
+  sta(fb, gsc, start, ci(fb, 0));
+  const ValueId gx = band(fb, goal, ci(fb, 15));
+  const ValueId gy = lshr(fb, goal, ci(fb, 4));
+  const ValueId h0 =
+      add(fb, absdiff(fb, band(fb, start, ci(fb, 15)), gx),
+          absdiff(fb, lshr(fb, start, ci(fb, 4)), gy));
+  fb.call(push, Type::I32, {add(fb, mul(fb, h0, ci(fb, 256)), start)});
+  const ValueId found = slot4(fb, -1);
+  WhileCtx w = begin_while(fb);
+  const ValueId hs = fb.load(Type::I32, fb.global_addr(hsz));
+  const BlockId and2 = fb.new_block("search_and");
+  fb.condbr(icmp(fb, ICmpPred::Sgt, hs, ci(fb, 0)), and2, w.exit);
+  fb.set_insert(and2);
+  while_cond(fb, w, icmp(fb, ICmpPred::Eq, ld(fb, found), ci(fb, -1)));
+  const ValueId top = fb.call(pop, Type::I32, {});
+  const ValueId cell = band(fb, top, ci(fb, 255));
+  IfCtx open = begin_if(fb, icmp(fb, ICmpPred::Eq, lda(fb, closed, cell),
+                                 ci(fb, 0)));
+  sta(fb, closed, cell, ci(fb, 1));
+  IfCtx at_goal = begin_if(fb, icmp(fb, ICmpPred::Eq, cell, goal));
+  fb.store(lda(fb, gsc, cell), found);
+  begin_else(fb, at_goal);
+  const ValueId g = lda(fb, gsc, cell);
+  const ValueId x = band(fb, cell, ci(fb, 15));
+  const ValueId y = lshr(fb, cell, ci(fb, 4));
+  LoopCtx dirs = begin_loop(fb, ci(fb, 0), ci(fb, 4));
+  const ValueId nx = add(fb, x, lda(fb, dxt, dirs.i));
+  const ValueId ny = add(fb, y, lda(fb, dyt, dirs.i));
+  const ValueId oob = band(fb, bor(fb, nx, ny), ci(fb, -16));
+  IfCtx inb = begin_if(fb, icmp(fb, ICmpPred::Eq, oob, ci(fb, 0)));
+  const ValueId nc = add(fb, mul(fb, ny, ci(fb, 16)), nx);
+  IfCtx passable =
+      begin_if(fb, icmp(fb, ICmpPred::Eq, lda(fb, obs, nc), ci(fb, 0)));
+  IfCtx unseen =
+      begin_if(fb, icmp(fb, ICmpPred::Eq, lda(fb, closed, nc), ci(fb, 0)));
+  const ValueId ng = add(fb, g, ci(fb, 1));
+  IfCtx improves =
+      begin_if(fb, icmp(fb, ICmpPred::Slt, ng, lda(fb, gsc, nc)));
+  sta(fb, gsc, nc, ng);
+  const ValueId hh = add(fb, absdiff(fb, band(fb, nc, ci(fb, 15)), gx),
+                         absdiff(fb, lshr(fb, nc, ci(fb, 4)), gy));
+  fb.call(push, Type::I32,
+          {add(fb, mul(fb, add(fb, ng, hh), ci(fb, 256)), nc)});
+  begin_else(fb, improves);
+  end_if(fb, improves);
+  begin_else(fb, unseen);
+  end_if(fb, unseen);
+  begin_else(fb, passable);
+  end_if(fb, passable);
+  begin_else(fb, inb);
+  end_if(fb, inb);
+  end_loop(fb, dirs);
+  end_if(fb, at_goal);
+  begin_else(fb, open);
+  end_if(fb, open);
+  end_while(fb, w);
+  IfCtx unreachable =
+      begin_if(fb, icmp(fb, ICmpPred::Eq, ld(fb, found), ci(fb, -1)));
+  fb.store(add(fb, ld(fb, chk), ci(fb, 7)), chk);
+  begin_else(fb, unreachable);
+  fb.store(add(fb, ld(fb, chk), mul(fb, ld(fb, found), ci(fb, 3))), chk);
+  end_if(fb, unreachable);
+  begin_else(fb, viable);
+  fb.store(add(fb, ld(fb, chk), ci(fb, 1)), chk);
+  end_if(fb, viable);
+  end_loop(fb, it);
+  fb.ret(ld(fb, chk));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 18, 14, 40, 0xA57A,
+                    15, 40);
+}
+
+// Regex engine: per iteration, "compile" a random 12-position pattern (with
+// Kleene-starred positions) and simulate the NFA over a 64-symbol text with
+// a state bitmask — bit tests, star closures and accept checks all branch.
+App build_regex_compile() {
+  App app;
+  app.name = "regex_compile";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "regex_compile";
+
+  const GlobalId pat = add_global(m, "re_pat", 12 * 4);
+  const GlobalId star = add_global(m, "re_star", 12 * 4);
+  const GlobalId text = add_global(m, "re_text", 64 * 4);
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    const ValueId seed = slot4(fb, 1999);
+    LoopCtx loop = begin_loop(fb, ci(fb, 0), ci(fb, 64));
+    const ValueId s = lcg(fb, seed);
+    sta(fb, text, loop.i, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 3)));
+    end_loop(fb, loop);
+    fb.ret(ci(fb, 0));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId seed = slot4(fb, 6502);
+  const ValueId chk = slot4(fb, 0);
+  LoopCtx it = begin_loop(fb, ci(fb, 0), fb.param(0));
+  LoopCtx gen = begin_loop(fb, ci(fb, 0), ci(fb, 12));
+  const ValueId s = lcg(fb, seed);
+  sta(fb, pat, gen.i, band(fb, lshr(fb, s, ci(fb, 16)), ci(fb, 3)));
+  sta(fb, star, gen.i,
+      fb.select(icmp(fb, ICmpPred::Eq,
+                     band(fb, lshr(fb, s, ci(fb, 20)), ci(fb, 3)), ci(fb, 0)),
+                ci(fb, 1), ci(fb, 0)));
+  end_loop(fb, gen);
+  const ValueId mask = slot4(fb, 1);
+  // Epsilon closure of the start state over starred positions.
+  LoopCtx cl0 = begin_loop(fb, ci(fb, 0), ci(fb, 12));
+  IfCtx active0 = begin_if(
+      fb, icmp(fb, ICmpPred::Ne,
+               band(fb, lshr(fb, ld(fb, mask), cl0.i), ci(fb, 1)), ci(fb, 0)));
+  IfCtx starred0 =
+      begin_if(fb, icmp(fb, ICmpPred::Ne, lda(fb, star, cl0.i), ci(fb, 0)));
+  fb.store(bor(fb, ld(fb, mask),
+               shl(fb, ci(fb, 1), add(fb, cl0.i, ci(fb, 1)))),
+           mask);
+  begin_else(fb, starred0);
+  end_if(fb, starred0);
+  begin_else(fb, active0);
+  end_if(fb, active0);
+  end_loop(fb, cl0);
+  const ValueId match = slot4(fb, 0);
+  LoopCtx sim = begin_loop(fb, ci(fb, 0), ci(fb, 64));
+  const ValueId c = lda(fb, text, sim.i);
+  const ValueId nmask = slot4(fb, 1);  // bit 0: restart the match anywhere
+  LoopCtx tr = begin_loop(fb, ci(fb, 0), ci(fb, 12));
+  IfCtx active = begin_if(
+      fb, icmp(fb, ICmpPred::Ne,
+               band(fb, lshr(fb, ld(fb, mask), tr.i), ci(fb, 1)), ci(fb, 0)));
+  IfCtx matches =
+      begin_if(fb, icmp(fb, ICmpPred::Eq, lda(fb, pat, tr.i), c));
+  const ValueId stay = shl(fb, ci(fb, 1), tr.i);
+  const ValueId advance = shl(fb, ci(fb, 1), add(fb, tr.i, ci(fb, 1)));
+  const ValueId target =
+      fb.select(icmp(fb, ICmpPred::Ne, lda(fb, star, tr.i), ci(fb, 0)),
+                stay, advance);
+  fb.store(bor(fb, ld(fb, nmask), target), nmask);
+  begin_else(fb, matches);
+  end_if(fb, matches);
+  begin_else(fb, active);
+  end_if(fb, active);
+  end_loop(fb, tr);
+  LoopCtx cl = begin_loop(fb, ci(fb, 0), ci(fb, 12));
+  IfCtx activec = begin_if(
+      fb, icmp(fb, ICmpPred::Ne,
+               band(fb, lshr(fb, ld(fb, nmask), cl.i), ci(fb, 1)), ci(fb, 0)));
+  IfCtx starredc =
+      begin_if(fb, icmp(fb, ICmpPred::Ne, lda(fb, star, cl.i), ci(fb, 0)));
+  fb.store(bor(fb, ld(fb, nmask),
+               shl(fb, ci(fb, 1), add(fb, cl.i, ci(fb, 1)))),
+           nmask);
+  begin_else(fb, starredc);
+  end_if(fb, starredc);
+  begin_else(fb, activec);
+  end_if(fb, activec);
+  end_loop(fb, cl);
+  IfCtx accept = begin_if(
+      fb, icmp(fb, ICmpPred::Ne,
+               band(fb, lshr(fb, ld(fb, nmask), ci(fb, 12)), ci(fb, 1)),
+               ci(fb, 0)));
+  fb.store(add(fb, ld(fb, match), ci(fb, 1)), match);
+  fb.store(band(fb, ld(fb, nmask), ci(fb, 4095)), nmask);
+  begin_else(fb, accept);
+  end_if(fb, accept);
+  fb.store(ld(fb, nmask), mask);
+  end_loop(fb, sim);
+  fb.store(add(fb, ld(fb, chk),
+               add(fb, mul(fb, ld(fb, match), ci(fb, 5)),
+                   band(fb, ld(fb, mask), ci(fb, 255)))),
+           chk);
+  end_loop(fb, it);
+  fb.ret(ld(fb, chk));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 18, 14, 40, 0x2E6E,
+                    50, 140);
+}
+
+// Negamax game-tree search with alpha-beta pruning over a synthetic game
+// whose leaf values are node-id hashes; the cutoff makes the explored tree
+// shape (and the recursion count) data-dependent. Recursion depth is 6.
+App build_game_tree() {
+  App app;
+  app.name = "game_tree";
+  app.domain = Domain::Irregular;
+  Module& m = app.module;
+  m.name = "game_tree";
+
+  const GlobalId dummy = add_global(m, "gt_state", 4);
+
+  // negamax(node, depth, alpha, beta, color) — self-recursive; the FuncId a
+  // function receives at finish() is the module's function count beforehand.
+  const FuncId self = static_cast<FuncId>(m.functions.size());
+  FunctionBuilder fn(m, "negamax", Type::I32,
+                     {Type::I32, Type::I32, Type::I32, Type::I32, Type::I32});
+  {
+    const ValueId node = fn.param(0);
+    const ValueId depth = fn.param(1);
+    const ValueId beta = fn.param(3);
+    const ValueId color = fn.param(4);
+    const BlockId leaf_b = fn.new_block("leaf");
+    const BlockId rec_b = fn.new_block("recurse");
+    fn.condbr(icmp(fn, ICmpPred::Eq, depth, ci(fn, 0)), leaf_b, rec_b);
+    fn.set_insert(leaf_b);
+    const ValueId hash = mul(fn, node, ci(fn, kHashMul));
+    const ValueId mixed = bxor(fn, hash, lshr(fn, hash, ci(fn, 13)));
+    const ValueId val = sub(fn, band(fn, mixed, ci(fn, 255)), ci(fn, 128));
+    fn.ret(mul(fn, color, val));
+    fn.set_insert(rec_b);
+    const ValueId best = slot4(fn, -1073741824);
+    const ValueId alpha = slot4(fn, 0);
+    fn.store(fn.param(2), alpha);
+    const ValueId child = slot4(fn, 0);
+    const ValueId stop = slot4(fn, 0);
+    WhileCtx w = begin_while(fn);
+    const ValueId cv = ld(fn, child);
+    const BlockId and2 = fn.new_block("ab_and");
+    fn.condbr(icmp(fn, ICmpPred::Slt, cv, ci(fn, 4)), and2, w.exit);
+    fn.set_insert(and2);
+    while_cond(fn, w, icmp(fn, ICmpPred::Eq, ld(fn, stop), ci(fn, 0)));
+    const ValueId cnode =
+        add(fn, add(fn, mul(fn, node, ci(fn, 4)), cv), ci(fn, 1));
+    const ValueId sub_v = fn.call(
+        self, Type::I32,
+        {cnode, sub(fn, depth, ci(fn, 1)), sub(fn, ci(fn, 0), beta),
+         sub(fn, ci(fn, 0), ld(fn, alpha)), sub(fn, ci(fn, 0), color)});
+    const ValueId v = sub(fn, ci(fn, 0), sub_v);
+    IfCtx better = begin_if(fn, icmp(fn, ICmpPred::Sgt, v, ld(fn, best)));
+    fn.store(v, best);
+    begin_else(fn, better);
+    end_if(fn, better);
+    IfCtx raises =
+        begin_if(fn, icmp(fn, ICmpPred::Sgt, ld(fn, best), ld(fn, alpha)));
+    fn.store(ld(fn, best), alpha);
+    begin_else(fn, raises);
+    end_if(fn, raises);
+    IfCtx cutoff =
+        begin_if(fn, icmp(fn, ICmpPred::Sge, ld(fn, alpha), beta));
+    fn.store(ci(fn, 1), stop);
+    begin_else(fn, cutoff);
+    end_if(fn, cutoff);
+    fn.store(add(fn, ld(fn, child), ci(fn, 1)), child);
+    end_while(fn, w);
+    fn.ret(ld(fn, best));
+  }
+  const FuncId negamax = fn.finish();
+
+  {
+    FunctionBuilder fb(m, "init_input", Type::I32, {});
+    fb.store(ci(fb, 0), fb.global_addr(dummy));
+    LoopCtx warm = begin_loop(fb, ci(fb, 0), ci(fb, 64));
+    fb.store(add(fb, fb.load(Type::I32, fb.global_addr(dummy)),
+                 band(fb, warm.i, ci(fb, 5))),
+             fb.global_addr(dummy));
+    end_loop(fb, warm);
+    fb.ret(fb.load(Type::I32, fb.global_addr(dummy)));
+    fb.finish();
+  }
+
+  FunctionBuilder fb(m, "kernel", Type::I32, {Type::I32});
+  const ValueId chk = slot4(fb, 0);
+  LoopCtx it = begin_loop(fb, ci(fb, 0), fb.param(0));
+  const ValueId root = add(fb, mul(fb, it.i, ci(fb, 31)), ci(fb, 1));
+  const ValueId score =
+      fb.call(negamax, Type::I32,
+              {root, ci(fb, 5), ci(fb, -1073741824), ci(fb, 1073741824),
+               ci(fb, 1)});
+  fb.store(add(fb, mul(fb, ld(fb, chk), ci(fb, 7)), score), chk);
+  end_loop(fb, it);
+  fb.ret(ld(fb, chk));
+  const FuncId kernel = fb.finish();
+  const FuncId init = static_cast<FuncId>(kernel - 1);
+
+  return finish_app(std::move(app), init, kernel, 18, 14, 40, 0x6A3E,
+                    25, 70);
+}
+
+}  // namespace jitise::apps::detail

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
 #include "apps/app.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
@@ -67,6 +71,37 @@ TEST_P(AppSuite, CoverageHasAllThreeClasses) {
   EXPECT_NEAR(cov.live_pct + cov.dead_pct + cov.const_pct, 100.0, 1e-9);
 }
 
+TEST_P(AppSuite, EntryResolvesAndDatasetsAreDistinct) {
+  // Per-app registry invariants: the entry symbol resolves in the module,
+  // every dataset names a distinct workload (distinct name AND distinct
+  // first argument, so train/ref really differ in live work), and a profile
+  // of the first dataset covers at least one block of every live function.
+  const apps::App app = apps::build_app(GetParam());
+  const bool entry_exists = std::any_of(
+      app.module.functions.begin(), app.module.functions.end(),
+      [&](const auto& fn) { return fn.name == app.entry; });
+  EXPECT_TRUE(entry_exists) << app.entry << " missing from module";
+
+  std::set<std::string> names;
+  std::set<std::int64_t> scales;
+  for (const apps::Dataset& ds : app.datasets) {
+    names.insert(ds.name);
+    ASSERT_FALSE(ds.args.empty()) << GetParam();
+    scales.insert(ds.args[0].i);
+  }
+  EXPECT_EQ(names.size(), app.datasets.size()) << "duplicate dataset names";
+  EXPECT_EQ(scales.size(), app.datasets.size()) << "duplicate dataset scales";
+
+  vm::Machine machine(app.module);
+  machine.run(app.entry, app.datasets[0].args, 1ull << 28);
+  const vm::Profile& profile = machine.profile();
+  ASSERT_EQ(profile.block_counts.size(), app.module.functions.size());
+  std::uint64_t covered = 0;
+  for (const auto& fn : profile.block_counts)
+    for (std::uint64_t c : fn) covered += c != 0;
+  EXPECT_GE(covered, 1u) << "profile covers no block";
+}
+
 TEST_P(AppSuite, KernelDominatesExecution) {
   const apps::App app = apps::build_app(GetParam());
   vm::Machine machine(app.module);
@@ -102,6 +137,47 @@ TEST(Apps, DatasetsDifferInLiveWork) {
   vm::Machine m2(app.module);
   m2.run(app.entry, app.datasets[1].args, 1ull << 28);
   EXPECT_GT(m2.profile().cpu_cycles, m1.profile().cpu_cycles);
+}
+
+TEST(Apps, SuitesPartitionTheRegistry) {
+  const auto classic = apps::app_names(apps::Suite::Classic);
+  const auto micro = apps::app_names(apps::Suite::Micro);
+  const auto all = apps::app_names(apps::Suite::All);
+  EXPECT_EQ(classic.size(), 14u);
+  EXPECT_EQ(micro.size(), 8u);
+  ASSERT_EQ(all.size(), classic.size() + micro.size());
+  // All = classic followed by micro, with no duplicates anywhere.
+  for (std::size_t i = 0; i < classic.size(); ++i)
+    EXPECT_EQ(all[i], classic[i]);
+  for (std::size_t i = 0; i < micro.size(); ++i)
+    EXPECT_EQ(all[classic.size() + i], micro[i]);
+  const std::set<std::string> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+  // The default overload is the full registry.
+  EXPECT_EQ(apps::app_names(), all);
+}
+
+TEST(Apps, MicroSuiteIsTaggedIrregular) {
+  for (const std::string& name : apps::app_names(apps::Suite::Micro)) {
+    const apps::App app = apps::build_app(name);
+    EXPECT_EQ(app.domain, apps::Domain::Irregular) << name;
+    // Micro apps have no paper row; their stats must stay zeroed so the
+    // table drivers can recognize them.
+    EXPECT_EQ(app.paper.instructions, 0) << name;
+  }
+}
+
+TEST(Apps, UnknownAppErrorListsValidNames) {
+  try {
+    apps::build_app("no_such_app");
+    FAIL() << "build_app must throw for unknown names";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_app"), std::string::npos);
+    // The message enumerates every valid name from both suites.
+    for (const std::string& name : apps::app_names(apps::Suite::All))
+      EXPECT_NE(msg.find(name), std::string::npos) << name;
+  }
 }
 
 }  // namespace

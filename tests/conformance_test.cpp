@@ -1,0 +1,549 @@
+// Golden-output conformance tests for the SPECInt-micro suite: each kernel
+// in src/apps/specint_micro.cpp has a plain-C++ reference here that mirrors
+// the IR word for word, and the VM must reproduce its outputs exactly — on
+// every dataset, for both the `init_input` and `kernel` entry points.
+//
+// The references use explicitly wrapping i32 arithmetic (the VM computes all
+// I32 ops modulo 2^32 and sign-extends), logical right shifts for LShr, and
+// the same one-load-per-call orderings as the IR (e.g. tree_insert snapshots
+// the node count once at entry). When a kernel changes, change both sides.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jitise {
+namespace {
+
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+
+i32 wadd(i32 a, i32 b) { return static_cast<i32>(static_cast<u32>(a) + static_cast<u32>(b)); }
+i32 wsub(i32 a, i32 b) { return static_cast<i32>(static_cast<u32>(a) - static_cast<u32>(b)); }
+i32 wmul(i32 a, i32 b) { return static_cast<i32>(static_cast<u32>(a) * static_cast<u32>(b)); }
+i32 ushr(i32 a, i32 k) { return static_cast<i32>(static_cast<u32>(a) >> (k & 31)); }
+i32 wshl(i32 a, i32 k) { return static_cast<i32>(static_cast<u32>(a) << (k & 31)); }
+i32 lcg(i32& s) { return s = wadd(wmul(s, 1103515245), 12345); }
+
+constexpr i32 kHashMul = -1640531535;  // 2654435761 as i32
+
+// --- hash_lookup ---------------------------------------------------------
+
+struct HashLookupRef {
+  std::array<i32, 1024> keys{};
+  std::array<i32, 1024> vals{};
+
+  i32 init() {
+    i32 seed = 99, count = 0;
+    for (i32 it = 0; it < 400; ++it) {
+      const i32 s = lcg(seed);
+      const i32 key = (ushr(s, 16) & 8191) | 1;
+      i32 h = ushr(wmul(key, kHashMul), 22);
+      while (keys[h] != 0 && keys[h] != key) h = (h + 1) & 1023;
+      const i32 old = keys[h];
+      vals[h] = wadd(vals[h], it);
+      keys[h] = key;
+      if (old == 0) ++count;
+    }
+    return count;
+  }
+
+  i32 kernel(i32 n) {
+    i32 seed = 12345, found = 0, probes = 0, miss = 0;
+    for (i32 it = 0; it < n; ++it) {
+      const i32 s = lcg(seed);
+      const i32 key = (ushr(s, 16) & 8191) | 1;
+      i32 h = ushr(wmul(key, kHashMul), 22);
+      while (keys[h] != 0 && keys[h] != key) {
+        h = (h + 1) & 1023;
+        ++probes;
+      }
+      if (keys[h] != 0)
+        found = wadd(found, wadd(vals[h], it));
+      else
+        ++miss;
+    }
+    return wadd(found, wadd(wmul(probes, 7), wmul(miss, 3)));
+  }
+};
+
+// --- bwt_sort ------------------------------------------------------------
+
+struct BwtSortRef {
+  std::array<i32, 32> text{};
+  std::array<i32, 32> rot{};
+
+  i32 init() {
+    i32 seed = 7;
+    for (i32 i = 0; i < 32; ++i) text[i] = ushr(lcg(seed), 16) & 3;
+    return 0;
+  }
+
+  i32 kernel(i32 n) {
+    i32 seed = 555, chk = 0;
+    for (i32 it = 0; it < n; ++it) {
+      const i32 s = lcg(seed);
+      text[ushr(s, 16) & 31] = ushr(s, 8) & 3;
+      for (i32 i = 0; i < 32; ++i) rot[i] = i;
+      for (i32 i = 0; i < 31; ++i) {
+        i32 best = i;
+        for (i32 j = i + 1; j < 32; ++j) {
+          const i32 a = rot[j];
+          const i32 b = rot[best];
+          i32 k = 0;
+          while (k < 32 && text[(a + k) & 31] == text[(b + k) & 31]) ++k;
+          if (k < 32 && text[(a + k) & 31] < text[(b + k) & 31]) best = j;
+        }
+        std::swap(rot[i], rot[best]);
+      }
+      for (i32 i = 0; i < 32; ++i)
+        chk = wadd(wmul(chk, 5), text[(rot[i] + 31) & 31]);
+    }
+    return chk;
+  }
+};
+
+// --- huffman_tree --------------------------------------------------------
+
+struct HuffmanTreeRef {
+  std::array<i32, 16> freq{};
+  std::array<i32, 31> weight{};
+  std::array<i32, 31> parent{};
+  std::array<i32, 31> used{};
+
+  i32 init() {
+    i32 seed = 11;
+    for (i32 i = 0; i < 16; ++i) freq[i] = (ushr(lcg(seed), 16) & 255) + 1;
+    return 0;
+  }
+
+  i32 kernel(i32 n) {
+    i32 seed = 77, chk = 0;
+    for (i32 it = 0; it < n; ++it) {
+      const i32 s = lcg(seed);
+      freq[ushr(s, 16) & 15] = (ushr(s, 8) & 255) + 1;
+      for (i32 i = 0; i < 31; ++i) {
+        used[i] = 0;
+        parent[i] = -1;
+        weight[i] = i < 16 ? freq[i] : 0;
+      }
+      for (i32 node = 16; node < 31; ++node) {
+        i32 m1 = -1, m2 = -1;
+        for (i32 j = 0; j < node; ++j) {
+          if (used[j] != 0) continue;
+          const i32 w = weight[j];
+          if (m1 == -1) {
+            m2 = m1;
+            m1 = j;
+          } else if (w < weight[m1]) {
+            m2 = m1;
+            m1 = j;
+          } else if (m2 == -1) {
+            m2 = j;
+          } else if (w < weight[m2]) {
+            m2 = j;
+          }
+        }
+        used[m1] = 1;
+        used[m2] = 1;
+        parent[m1] = node;
+        parent[m2] = node;
+        weight[node] = wadd(weight[m1], weight[m2]);
+      }
+      for (i32 leaf = 0; leaf < 16; ++leaf) {
+        i32 depth = 0, node = leaf;
+        while (parent[node] != -1) {
+          node = parent[node];
+          ++depth;
+        }
+        chk = wadd(chk, wmul(freq[leaf], depth));
+      }
+    }
+    return chk;
+  }
+};
+
+// --- tree_walk -----------------------------------------------------------
+
+struct TreeWalkRef {
+  std::array<i32, 2048> key{};
+  std::array<i32, 2048> left{};
+  std::array<i32, 2048> right{};
+  i32 count = 0;
+
+  i32 insert(i32 k) {
+    if (count >= 2048) return 0;
+    if (count == 0) {
+      key[0] = k;
+      left[0] = -1;
+      right[0] = -1;
+      count = 1;
+      return 1;
+    }
+    const i32 cnt = count;  // the IR snapshots the count once at entry
+    i32 node = 0, res = 0, done = 0;
+    while (done == 0) {
+      const i32 nk = key[node];
+      if (k < nk) {
+        const i32 l = left[node];
+        if (l == -1) {
+          key[cnt] = k;
+          left[cnt] = -1;
+          right[cnt] = -1;
+          left[node] = cnt;
+          count = cnt + 1;
+          res = 1;
+          done = 1;
+        } else {
+          node = l;
+        }
+      } else if (k > nk) {
+        const i32 r = right[node];
+        if (r == -1) {
+          key[cnt] = k;
+          left[cnt] = -1;
+          right[cnt] = -1;
+          right[node] = cnt;
+          count = cnt + 1;
+          res = 1;
+          done = 1;
+        } else {
+          node = r;
+        }
+      } else {
+        done = 1;
+      }
+    }
+    return res;
+  }
+
+  i32 init() {
+    i32 seed = 5;
+    for (i32 i = 0; i < 512; ++i) insert(ushr(lcg(seed), 16) & 65535);
+    return count;
+  }
+
+  i32 kernel(i32 n) {
+    i32 seed = 31337, hits = 0, dsum = 0;
+    for (i32 it = 0; it < n; ++it) {
+      const i32 probe = ushr(lcg(seed), 16) & 65535;
+      i32 node = 0, depth = 0, state = 0;
+      while (state == 0) {
+        const i32 nk = key[node];
+        if (nk == probe) {
+          state = 1;
+        } else {
+          const i32 nxt = probe < nk ? left[node] : right[node];
+          if (nxt == -1) {
+            state = 2;
+          } else {
+            node = nxt;
+            ++depth;
+          }
+        }
+      }
+      if (state == 1) ++hits;
+      dsum = wadd(dsum, depth);
+      if ((it & 7) == 0) insert(probe);
+    }
+    return wadd(wmul(dsum, 31), hits);
+  }
+};
+
+// --- viterbi_hmm ---------------------------------------------------------
+
+struct ViterbiHmmRef {
+  std::array<i32, 64> trans{};
+  std::array<i32, 32> emit{};
+  std::array<i32, 8> vcur{};
+  std::array<i32, 8> vnxt{};
+
+  i32 init() {
+    i32 seed = 21;  // one LCG stream spans both tables
+    for (i32 i = 0; i < 64; ++i) trans[i] = (ushr(lcg(seed), 16) & 63) + 1;
+    for (i32 i = 0; i < 32; ++i) emit[i] = (ushr(lcg(seed), 16) & 63) + 1;
+    return 0;
+  }
+
+  i32 kernel(i32 n) {
+    i32 seed = 909, chk = 0;
+    for (i32 it = 0; it < n; ++it) {
+      for (i32 j = 0; j < 8; ++j) vcur[j] = j == 0 ? 0 : 1000000;
+      for (i32 t = 0; t < 24; ++t) {
+        const i32 obs = ushr(lcg(seed), 16) & 3;
+        for (i32 j = 0; j < 8; ++j) {
+          i32 best = 1073741824;
+          for (i32 p = 0; p < 8; ++p) {
+            const i32 cost = wadd(vcur[p], trans[p * 8 + j]);
+            if (cost < best) best = cost;
+          }
+          vnxt[j] = wadd(best, emit[j * 4 + obs]);
+        }
+        vcur = vnxt;
+      }
+      i32 fbest = 1073741824;
+      for (i32 j = 0; j < 8; ++j)
+        if (vcur[j] < fbest) fbest = vcur[j];
+      chk = wadd(chk, fbest ^ it);
+    }
+    return chk;
+  }
+};
+
+// --- astar_path ----------------------------------------------------------
+
+struct AstarPathRef {
+  std::array<i32, 256> obs{};
+  std::array<i32, 256> gsc{};
+  std::array<i32, 256> closed{};
+  std::array<i32, 512> heap{};
+  i32 hsz = 0;
+
+  void push(i32 packed) {
+    const i32 hs = hsz;
+    heap[hs] = packed;
+    hsz = hs + 1;
+    i32 i = hs;
+    while (i > 0) {
+      const i32 par = (i - 1) >> 1;
+      if (heap[par] <= heap[i]) break;
+      std::swap(heap[par], heap[i]);
+      i = par;
+    }
+  }
+
+  i32 pop() {
+    const i32 last = hsz - 1;
+    const i32 top = heap[0];
+    heap[0] = heap[last];
+    hsz = last;
+    i32 i = 0;
+    while (2 * i + 1 < last) {
+      i32 child = 2 * i + 1;
+      const i32 r = child + 1;
+      if (r < last && heap[r] < heap[child]) child = r;
+      if (heap[i] <= heap[child]) break;
+      std::swap(heap[i], heap[child]);
+      i = child;
+    }
+    return top;
+  }
+
+  static i32 adiff(i32 a, i32 b) {
+    const i32 d = wsub(a, b);
+    return d < 0 ? wsub(0, d) : d;
+  }
+
+  i32 init() {
+    i32 seed = 3;
+    for (i32 i = 0; i < 256; ++i)
+      obs[i] = (ushr(lcg(seed), 16) & 7) == 0 ? 1 : 0;
+    return 0;
+  }
+
+  i32 kernel(i32 n) {
+    i32 seed = 424242, chk = 0;
+    for (i32 it = 0; it < n; ++it) {
+      const i32 start = ushr(lcg(seed), 16) & 255;
+      const i32 goal = ushr(lcg(seed), 16) & 255;
+      if ((obs[start] | obs[goal]) != 0) {
+        chk = wadd(chk, 1);
+        continue;
+      }
+      for (i32 c = 0; c < 256; ++c) {
+        gsc[c] = 536870912;
+        closed[c] = 0;
+      }
+      hsz = 0;
+      gsc[start] = 0;
+      const i32 gx = goal & 15;
+      const i32 gy = ushr(goal, 4);
+      push(wadd(wmul(adiff(start & 15, gx) + adiff(ushr(start, 4), gy), 256),
+                start));
+      i32 found = -1;
+      while (hsz > 0 && found == -1) {
+        const i32 top = pop();
+        const i32 cell = top & 255;
+        if (closed[cell] != 0) continue;
+        closed[cell] = 1;
+        if (cell == goal) {
+          found = gsc[cell];
+          continue;
+        }
+        const i32 g = gsc[cell];
+        const i32 x = cell & 15;
+        const i32 y = ushr(cell, 4);
+        static constexpr i32 dx[4] = {1, -1, 0, 0};
+        static constexpr i32 dy[4] = {0, 0, 1, -1};
+        for (i32 d = 0; d < 4; ++d) {
+          const i32 nx = x + dx[d];
+          const i32 ny = y + dy[d];
+          if (((nx | ny) & -16) != 0) continue;
+          const i32 nc = ny * 16 + nx;
+          if (obs[nc] != 0 || closed[nc] != 0) continue;
+          const i32 ng = g + 1;
+          if (ng < gsc[nc]) {
+            gsc[nc] = ng;
+            const i32 h = adiff(nc & 15, gx) + adiff(ushr(nc, 4), gy);
+            push(wadd(wmul(ng + h, 256), nc));
+          }
+        }
+      }
+      chk = found == -1 ? wadd(chk, 7) : wadd(chk, wmul(found, 3));
+    }
+    return chk;
+  }
+};
+
+// --- regex_compile -------------------------------------------------------
+
+struct RegexCompileRef {
+  std::array<i32, 12> pat{};
+  std::array<i32, 12> star{};
+  std::array<i32, 64> text{};
+
+  i32 init() {
+    i32 seed = 1999;
+    for (i32 i = 0; i < 64; ++i) text[i] = ushr(lcg(seed), 16) & 3;
+    return 0;
+  }
+
+  i32 kernel(i32 n) {
+    i32 seed = 6502, chk = 0;
+    for (i32 it = 0; it < n; ++it) {
+      for (i32 i = 0; i < 12; ++i) {
+        const i32 s = lcg(seed);
+        pat[i] = ushr(s, 16) & 3;
+        star[i] = (ushr(s, 20) & 3) == 0 ? 1 : 0;
+      }
+      i32 mask = 1;
+      for (i32 i = 0; i < 12; ++i)
+        if ((ushr(mask, i) & 1) != 0 && star[i] != 0)
+          mask |= wshl(1, i + 1);
+      i32 match = 0;
+      for (i32 t = 0; t < 64; ++t) {
+        const i32 c = text[t];
+        i32 nmask = 1;
+        for (i32 i = 0; i < 12; ++i)
+          if ((ushr(mask, i) & 1) != 0 && pat[i] == c)
+            nmask |= star[i] != 0 ? wshl(1, i) : wshl(1, i + 1);
+        for (i32 i = 0; i < 12; ++i)
+          if ((ushr(nmask, i) & 1) != 0 && star[i] != 0)
+            nmask |= wshl(1, i + 1);
+        if ((ushr(nmask, 12) & 1) != 0) {
+          match = wadd(match, 1);
+          nmask &= 4095;
+        }
+        mask = nmask;
+      }
+      chk = wadd(chk, wadd(wmul(match, 5), mask & 255));
+    }
+    return chk;
+  }
+};
+
+// --- game_tree -----------------------------------------------------------
+
+struct GameTreeRef {
+  i32 negamax(i32 node, i32 depth, i32 alpha, i32 beta, i32 color) {  // NOLINT(misc-no-recursion)
+    if (depth == 0) {
+      const i32 hash = wmul(node, kHashMul);
+      const i32 mixed = hash ^ ushr(hash, 13);
+      const i32 val = wsub(mixed & 255, 128);
+      return wmul(color, val);
+    }
+    i32 best = -1073741824;
+    i32 a = alpha;
+    i32 c = 0, stop = 0;
+    while (c < 4 && stop == 0) {
+      const i32 cnode = wadd(wadd(wmul(node, 4), c), 1);
+      const i32 sv = negamax(cnode, depth - 1, wsub(0, beta), wsub(0, a),
+                             wsub(0, color));
+      const i32 v = wsub(0, sv);
+      if (v > best) best = v;
+      if (best > a) a = best;
+      if (a >= beta) stop = 1;
+      ++c;
+    }
+    return best;
+  }
+
+  i32 init() {
+    i32 d = 0;
+    for (i32 i = 0; i < 64; ++i) d = wadd(d, i & 5);
+    return d;
+  }
+
+  i32 kernel(i32 n) {
+    i32 chk = 0;
+    for (i32 it = 0; it < n; ++it) {
+      const i32 root = wadd(wmul(it, 31), 1);
+      const i32 r = negamax(root, 5, -1073741824, 1073741824, 1);
+      chk = wadd(wmul(chk, 7), r);
+    }
+    return chk;
+  }
+};
+
+// --- harness -------------------------------------------------------------
+
+// Runs `init_input` then `kernel` on a fresh Machine per dataset (module
+// memory persists across run() calls, exactly like the reference object's
+// arrays persist between init() and kernel()) and compares both returns.
+template <typename Ref>
+void expect_conformance(const std::string& app_name) {
+  const apps::App app = apps::build_app(app_name);
+  ASSERT_GE(app.datasets.size(), 2u) << app_name;
+  for (const apps::Dataset& ds : app.datasets) {
+    vm::Machine machine(app.module);
+    Ref ref;
+    const std::vector<vm::Slot> no_args;
+    const auto init_run = machine.run("init_input", no_args, 1ull << 28);
+    EXPECT_EQ(init_run.ret.i, static_cast<std::int64_t>(ref.init()))
+        << app_name << " init_input mismatch on dataset " << ds.name;
+    const i32 n = static_cast<i32>(ds.args[0].i);
+    const std::vector<vm::Slot> kernel_args = {vm::Slot::of_int(n)};
+    const auto kernel_run = machine.run("kernel", kernel_args, 1ull << 28);
+    EXPECT_EQ(kernel_run.ret.i, static_cast<std::int64_t>(ref.kernel(n)))
+        << app_name << " kernel mismatch on dataset " << ds.name
+        << " (n=" << n << ")";
+  }
+}
+
+TEST(Conformance, HashLookup) { expect_conformance<HashLookupRef>("hash_lookup"); }
+TEST(Conformance, BwtSort) { expect_conformance<BwtSortRef>("bwt_sort"); }
+TEST(Conformance, HuffmanTree) { expect_conformance<HuffmanTreeRef>("huffman_tree"); }
+TEST(Conformance, TreeWalk) { expect_conformance<TreeWalkRef>("tree_walk"); }
+TEST(Conformance, ViterbiHmm) { expect_conformance<ViterbiHmmRef>("viterbi_hmm"); }
+TEST(Conformance, AstarPath) { expect_conformance<AstarPathRef>("astar_path"); }
+TEST(Conformance, RegexCompile) { expect_conformance<RegexCompileRef>("regex_compile"); }
+TEST(Conformance, GameTree) { expect_conformance<GameTreeRef>("game_tree"); }
+
+// The micro suite's golden outputs must also be reachable through the
+// standard main() entry: a changed checksum would silently desynchronize
+// the conformance references from what the pipeline actually measures.
+TEST(Conformance, MainWiresKernelResult) {
+  for (const std::string& name : apps::app_names(apps::Suite::Micro)) {
+    const apps::App app = apps::build_app(name);
+    vm::Machine whole(app.module);
+    const auto main_run =
+        whole.run(app.entry, app.datasets[0].args, 1ull << 30);
+    vm::Machine pieces(app.module);
+    const std::vector<vm::Slot> no_args;
+    pieces.run("init_input", no_args, 1ull << 28);
+    const std::vector<vm::Slot> kernel_args = {app.datasets[0].args[0]};
+    const auto kernel_run = pieces.run("kernel", kernel_args, 1ull << 28);
+    // main() XORs filler noise into the kernel result; both executions must
+    // at minimum terminate, and the kernel must contribute real work.
+    EXPECT_GT(main_run.steps, kernel_run.steps) << name;
+    EXPECT_GT(kernel_run.steps, 1000u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace jitise

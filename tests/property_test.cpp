@@ -1,8 +1,10 @@
-// Property-based tests over randomly generated programs: every pipeline
-// transformation must preserve semantics, and every serialization must
-// round-trip. Seeds sweep via TEST_P.
+// Property-based tests over randomly generated programs — and, for the
+// structural DFG invariants, over every registered application module:
+// every pipeline transformation must preserve semantics, and every
+// serialization must round-trip. Seeds sweep via TEST_P.
 #include <gtest/gtest.h>
 
+#include "apps/app.hpp"
 #include "dfg/graph.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
@@ -110,6 +112,47 @@ TEST_P(RandomProgram, MaxMisoPartitionInvariants) {
         EXPECT_TRUE(graph.is_convex(in_set));
       }
       EXPECT_EQ(total, graph.feasible_count());
+    }
+  }
+}
+
+// The same partition invariants over the real application registry: random
+// programs never emit the irregular shapes the micro suite is built from
+// (data-dependent loop exits, probe chains, self-recursion), so the MAXMISO
+// partition must additionally be checked against every registered module.
+class AppProgram : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Registry, AppProgram,
+                         ::testing::ValuesIn(apps::app_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '.') c = '_';
+                           return n;
+                         });
+
+TEST_P(AppProgram, MaxMisoPartitionInvariantsOnRealModules) {
+  const apps::App app = apps::build_app(GetParam());
+  for (const ir::Function& fn : app.module.functions) {
+    for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const dfg::BlockDfg graph(fn, b);
+      const auto misos = ise::find_max_misos(graph);
+      std::vector<bool> covered(graph.size(), false);
+      std::size_t total = 0;
+      for (const auto& cand : misos) {
+        EXPECT_LE(cand.outputs.size(), 1u);
+        std::vector<bool> in_set(graph.size(), false);
+        for (dfg::NodeId n : cand.nodes) {
+          EXPECT_TRUE(graph.feasible(n));
+          EXPECT_FALSE(covered[n]) << "node in two MaxMISOs";
+          covered[n] = true;
+          in_set[n] = true;
+          ++total;
+        }
+        EXPECT_TRUE(graph.is_convex(in_set));
+      }
+      EXPECT_EQ(total, graph.feasible_count())
+          << GetParam() << " fn " << fn.name << " block " << b;
     }
   }
 }
