@@ -425,12 +425,15 @@ int main(int argc, char** argv) {
       (unsigned long long)stats.pipeline_runs, unique_payloads.size(),
       (unsigned long long)stats.promotions);
   std::printf(
-      "shared caches: bitstream %llu hits / %llu misses (%zu entries), "
-      "estimates %llu hits / %llu misses\n",
+      "shared caches: bitstream %llu hits / %llu misses (%zu entries, "
+      "%llu evictions), estimates %llu hits / %llu misses (%.1f%% hit "
+      "rate)\n",
       (unsigned long long)stats.cache_hits,
       (unsigned long long)stats.cache_misses, stats.cache_entries,
+      (unsigned long long)stats.cache_evictions,
       (unsigned long long)stats.estimate_hits,
-      (unsigned long long)stats.estimate_misses);
+      (unsigned long long)stats.estimate_misses,
+      100.0 * stats.estimate_hit_rate());
   std::printf(
       "isegen: %llu runs, %llu iterations, %llu moves accepted, "
       "+%.1f saving vs greedy seeds\n",

@@ -1,0 +1,85 @@
+// phase_shift — adaptive re-specialization A/B under phase drift.
+//
+// Runs one rotating workload (adpcm -> fft -> sor) under identical seeded
+// schedules with three re-specialization policies (never / always /
+// drift-triggered) and prints the modeled timeline, totals and verdict.
+// All numbers are modeled, so the report is byte-identical per --seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "phase_shift_driver.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --seed N            schedule + detector seed (default 1)\n"
+      "  --epochs N          VM runs / profiling windows (default 24)\n"
+      "  --period N          epochs per phase before rotation (default 4)\n"
+      "  --workers N         server pool threads (default 2)\n"
+      "  --jobs N            per-session pipeline jobs (default 2)\n"
+      "  --respec-cost K     modeled cost per re-spec, kcycles (default "
+      "150)\n"
+      "  --retention F       drift keep threshold in [0,1] (default 0.6)\n"
+      "  --hysteresis N      windows to confirm a phase change (default 1)\n"
+      "  --horizon N         break-even horizon in windows (default 8)\n"
+      "  --trace             echo the drift leg's server trace to stderr\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  jitise::bench::PhaseShiftOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--epochs") {
+      opt.epochs = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--period") {
+      opt.period = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--workers") {
+      opt.workers = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--respec-cost") {
+      opt.respec_cost_kcycles = std::strtod(next(), nullptr);
+    } else if (arg == "--retention") {
+      opt.retention_threshold = std::strtod(next(), nullptr);
+    } else if (arg == "--hysteresis") {
+      opt.hysteresis = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--horizon") {
+      opt.horizon_windows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.epochs == 0) {
+    std::fprintf(stderr, "--epochs must be >= 1\n");
+    return 2;
+  }
+
+  const jitise::bench::PhaseShiftReport report =
+      jitise::bench::run_phase_shift(opt);
+  std::fputs(report.text.c_str(), stdout);
+  return 0;
+}

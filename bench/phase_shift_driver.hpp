@@ -1,0 +1,76 @@
+// Phase-shift A/B harness: one long-running VM tenant whose workload
+// rotates between applications (adpcm -> fft -> sor by default), executed
+// three times under identical schedules with different re-specialization
+// policies:
+//
+//   never  — specialize once on the first window, keep it forever
+//   always — re-specialize on every closed window
+//   drift  — the server's adaptive loop (observe_window): re-specialize
+//            only on a confirmed phase change whose installed benefit has
+//            decayed below the retention threshold
+//
+// All cycle numbers are modeled (window cpu_cycles, estimation-priced
+// savings, a flat modeled re-specialization cost), so the rendered report
+// is byte-identical for a fixed --seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "server/server.hpp"
+
+namespace jitise::bench {
+
+struct PhaseShiftOptions {
+  std::uint64_t seed = 1;
+  /// VM runs; each closes exactly one profiling window.
+  std::size_t epochs = 24;
+  /// Epochs per phase before the workload rotates to the next kernel.
+  std::size_t period = 4;
+  unsigned workers = 2;  // server pool width
+  unsigned jobs = 2;     // per-session pipeline jobs
+  /// Modeled cost of one re-specialization (pipeline + reconfiguration),
+  /// charged to whichever policy ordered it, in kilo-cycles.
+  double respec_cost_kcycles = 150.0;
+  /// Drift policy: keep the installed set while it retains at least this
+  /// share of the freshly achievable saving.
+  double retention_threshold = 0.6;
+  /// Drift detector: consecutive windows needed to confirm a phase change.
+  unsigned hysteresis = 1;
+  /// Drift policy: the re-specialization must break even within this many
+  /// windows of the new phase.
+  std::uint64_t horizon_windows = 8;
+  /// Echo the drift leg's server trace to stderr.
+  bool trace = false;
+};
+
+/// Modeled totals of one policy leg over the whole schedule.
+struct PolicyTotals {
+  std::string name;
+  std::uint64_t respecs = 0;       // specializations ordered (incl. initial)
+  double base_cycles = 0.0;        // sum of window cpu_cycles
+  double saved_cycles = 0.0;       // estimation-priced installed savings
+  double cost_cycles = 0.0;        // respecs * respec_cost
+  double net_cycles = 0.0;         // base - saved + cost
+};
+
+struct PhaseShiftReport {
+  /// The full rendered report (timeline tables + summary + verdict lines);
+  /// byte-identical for a fixed options struct.
+  std::string text;
+  PolicyTotals never_respec;
+  PolicyTotals always_respec;
+  PolicyTotals drift;
+  /// The drift leg's server counters (windows/phases/drift stats).
+  server::ServerStats drift_stats;
+  /// Admission rejections summed across all three legs' servers.
+  std::uint64_t rejections = 0;
+  bool drift_beats_never = false;
+  bool drift_beats_always = false;
+};
+
+/// Runs the three-policy A/B under one seeded schedule.
+[[nodiscard]] PhaseShiftReport run_phase_shift(const PhaseShiftOptions& opt);
+
+}  // namespace jitise::bench

@@ -1,0 +1,139 @@
+#include "adaptive/phase.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace jitise::adaptive {
+
+namespace {
+
+/// Projection weight for BBV coordinate (function, block) on axis `dim`:
+/// uniform in [-1, 1], a pure function of the seed and the coordinate, so
+/// the embedding never depends on which blocks happened to execute first.
+[[nodiscard]] double projection_weight(std::uint64_t seed, std::uint64_t f,
+                                       std::uint64_t b, std::uint64_t dim) {
+  support::Fnv1a h;
+  h.update_value(seed);
+  h.update_value(f);
+  h.update_value(b);
+  h.update_value(dim);
+  support::SplitMix64 sm(h.digest());
+  return 2.0 * (static_cast<double>(sm.next() >> 11) * 0x1.0p-53) - 1.0;
+}
+
+}  // namespace
+
+PhaseDetector::PhaseDetector(const PhaseDetectorConfig& config)
+    : config_(config) {
+  if (config_.dims == 0) config_.dims = 1;
+  if (config_.max_phases == 0) config_.max_phases = 1;
+  if (config_.hysteresis_windows == 0) config_.hysteresis_windows = 1;
+}
+
+std::vector<double> PhaseDetector::embed(const vm::Profile& window) const {
+  if (config_.metric == PhaseDetectorConfig::Metric::Cosine) {
+    std::vector<double> v(config_.dims, 0.0);
+    for (std::size_t f = 0; f < window.block_counts.size(); ++f) {
+      const auto& blocks = window.block_counts[f];
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b] == 0) continue;
+        const double count = static_cast<double>(blocks[b]);
+        for (std::size_t d = 0; d < config_.dims; ++d)
+          v[d] += count * projection_weight(config_.seed, f, b, d);
+      }
+    }
+    return v;
+  }
+  // L1: the raw BBV, flattened and L1-normalized.
+  std::vector<double> v;
+  double total = 0.0;
+  for (const auto& blocks : window.block_counts)
+    for (const std::uint64_t c : blocks) {
+      v.push_back(static_cast<double>(c));
+      total += static_cast<double>(c);
+    }
+  if (total > 0.0)
+    for (double& x : v) x /= total;
+  return v;
+}
+
+double PhaseDetector::similarity(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 PhaseDetectorConfig::Metric metric) {
+  if (a.size() != b.size()) return -1.0;
+  if (metric == PhaseDetectorConfig::Metric::Cosine) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      na += a[i] * a[i];
+      nb += b[i] * b[i];
+    }
+    const double denom = std::sqrt(na) * std::sqrt(nb);
+    return denom > 0.0 ? dot / denom : -1.0;
+  }
+  // Both vectors are L1-normalized and non-negative, so the L1 distance is
+  // in [0, 2] and this similarity lands in [0, 1].
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) dist += std::abs(a[i] - b[i]);
+  return 1.0 - 0.5 * dist;
+}
+
+std::optional<PhaseChange> PhaseDetector::observe(const vm::Profile& window) {
+  const std::uint64_t index = seen_++;
+  const std::vector<double> v = embed(window);
+
+  // Nearest leader (ties resolve to the oldest phase — deterministic).
+  std::uint32_t best = 0;
+  double best_sim = -2.0;
+  for (std::size_t p = 0; p < leaders_.size(); ++p) {
+    const double sim = similarity(v, leaders_[p], config_.metric);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = static_cast<std::uint32_t>(p);
+    }
+  }
+
+  std::uint32_t assigned = best;
+  bool founded = false;
+  if (leaders_.empty() || (best_sim < config_.similarity_threshold &&
+                           leaders_.size() < config_.max_phases)) {
+    assigned = static_cast<std::uint32_t>(leaders_.size());
+    leaders_.push_back(v);
+    best_sim = 1.0;
+    founded = true;
+  }
+  last_similarity_ = best_sim;
+
+  if (index == 0) {
+    // The first window anchors phase 0 without an event.
+    current_ = candidate_ = assigned;
+    streak_ = config_.hysteresis_windows;  // already confirmed
+    return std::nullopt;
+  }
+
+  if (assigned == current_) {
+    candidate_ = current_;
+    streak_ = config_.hysteresis_windows;
+    candidate_founded_ = false;
+    return std::nullopt;
+  }
+  if (assigned == candidate_) {
+    ++streak_;
+  } else {
+    candidate_ = assigned;
+    streak_ = 1;
+    candidate_founded_ = founded;
+  }
+  if (streak_ < config_.hysteresis_windows) return std::nullopt;
+
+  PhaseChange change;
+  change.window_index = index;
+  change.from_phase = current_;
+  change.to_phase = candidate_;
+  change.new_phase = candidate_founded_;
+  current_ = candidate_;
+  return change;
+}
+
+}  // namespace jitise::adaptive

@@ -1,0 +1,97 @@
+// SimPoint-flavored online phase detection over windowed profiles.
+//
+// Each closed vm::ProfileWindow is embedded as a basic-block vector (BBV):
+// the per-block execution counts of the window, optionally projected onto a
+// low-dimensional space with a seeded random projection (the SimPoint trick
+// that makes distances cheap and module-size independent), then compared to
+// the leader of every phase seen so far. A window within the similarity
+// threshold of a leader joins that phase; otherwise it founds a new one
+// (leader clustering — online, single pass, deterministic for a fixed seed).
+// A PhaseChange is only *emitted* after `hysteresis_windows` consecutive
+// windows agree on the new phase, so one noisy window never thrashes the
+// re-specialization loop downstream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vm/interpreter.hpp"
+
+namespace jitise::adaptive {
+
+struct PhaseDetectorConfig {
+  enum class Metric : std::uint8_t {
+    /// Cosine similarity of the random-projected BBV — scale-invariant, so
+    /// a phase running 10x longer (same distribution) stays one phase.
+    Cosine,
+    /// 1 - L1/2 distance of the L1-normalized raw BBV (no projection).
+    L1,
+  };
+  Metric metric = Metric::Cosine;
+  /// Random-projection dimensionality (Cosine only).
+  std::size_t dims = 16;
+  /// Seed for the projection weights; the detector is a pure function of
+  /// (seed, window stream).
+  std::uint64_t seed = 1;
+  /// A window joins the nearest phase when similarity >= this; below it
+  /// founds a new phase.
+  double similarity_threshold = 0.90;
+  /// Consecutive windows that must agree on a different phase before a
+  /// PhaseChange is emitted (1 = react immediately).
+  std::uint64_t hysteresis_windows = 2;
+  /// Cap on tracked phases; once reached, outlier windows are force-joined
+  /// to their nearest phase instead of founding new ones.
+  std::size_t max_phases = 64;
+};
+
+/// Emitted when the detector *confirms* the stream has moved to a different
+/// phase (after hysteresis).
+struct PhaseChange {
+  std::uint64_t window_index = 0;  // the confirming window's stream position
+  std::uint32_t from_phase = 0;
+  std::uint32_t to_phase = 0;
+  /// The confirming phase was first seen in this drift (A -> B with B never
+  /// seen before), as opposed to a return to a known phase (A -> B -> A).
+  bool new_phase = false;
+};
+
+class PhaseDetector {
+ public:
+  explicit PhaseDetector(const PhaseDetectorConfig& config = {});
+
+  /// Feeds one closed window; returns the confirmed change, if this window
+  /// confirmed one. The very first window anchors phase 0 silently.
+  std::optional<PhaseChange> observe(const vm::Profile& window);
+
+  /// Phase the stream is confirmed to be in (0 before any window).
+  [[nodiscard]] std::uint32_t current_phase() const noexcept {
+    return current_;
+  }
+  /// Distinct phases founded so far.
+  [[nodiscard]] std::size_t phase_count() const noexcept {
+    return leaders_.size();
+  }
+  [[nodiscard]] std::uint64_t observations() const noexcept { return seen_; }
+  /// Similarity of the last observed window to the phase it was assigned.
+  [[nodiscard]] double last_similarity() const noexcept {
+    return last_similarity_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<double> embed(const vm::Profile& window) const;
+  [[nodiscard]] static double similarity(const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         PhaseDetectorConfig::Metric metric);
+
+  PhaseDetectorConfig config_;
+  std::vector<std::vector<double>> leaders_;  // one embedding per phase
+  std::uint32_t current_ = 0;   // confirmed phase
+  std::uint32_t candidate_ = 0; // phase the recent windows point at
+  std::uint64_t streak_ = 0;    // consecutive windows agreeing on candidate_
+  bool candidate_founded_ = false;  // candidate_ was founded by this streak
+  std::uint64_t seen_ = 0;
+  double last_similarity_ = 1.0;
+};
+
+}  // namespace jitise::adaptive

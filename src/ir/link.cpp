@@ -1,0 +1,33 @@
+#include "ir/link.hpp"
+
+namespace jitise::ir {
+
+MergeMap merge_module(Module& dst, const Module& src,
+                      const std::string& prefix) {
+  MergeMap map;
+  map.func_offset = static_cast<FuncId>(dst.functions.size());
+  map.global_offset = static_cast<GlobalId>(dst.globals.size());
+
+  dst.globals.reserve(dst.globals.size() + src.globals.size());
+  for (const Global& g : src.globals) {
+    dst.globals.push_back(g);
+    dst.globals.back().name = prefix + g.name;
+  }
+
+  dst.functions.reserve(dst.functions.size() + src.functions.size());
+  for (const Function& f : src.functions) {
+    dst.functions.push_back(f);
+    Function& copied = dst.functions.back();
+    copied.name = prefix + f.name;
+    for (Instruction& inst : copied.values) {
+      if (inst.op == Opcode::Call) {
+        inst.aux += map.func_offset;
+      } else if (inst.op == Opcode::GlobalAddr) {
+        inst.aux += map.global_offset;
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace jitise::ir

@@ -1,0 +1,27 @@
+// Module linking: append one module's functions and globals into another,
+// remapping cross-references. Used by workload harnesses that fuse several
+// applications into one module (e.g. bench/phase_shift's rotating workload,
+// where one long-running VM instance drifts between per-app phases).
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace jitise::ir {
+
+/// Where a merged module's symbols landed in the destination.
+struct MergeMap {
+  FuncId func_offset = 0;      // src FuncId f is now dst FuncId f + offset
+  GlobalId global_offset = 0;  // likewise for globals
+};
+
+/// Appends a copy of `src`'s functions and globals to `dst`, prefixing every
+/// symbol name with `prefix` (pass e.g. "adpcm." to keep names unique) and
+/// remapping the only cross-entity references the IR has: `Call` callee
+/// indices and `GlobalAddr` global indices. Branch targets and phi blocks
+/// are function-local and survive the copy unchanged.
+MergeMap merge_module(Module& dst, const Module& src,
+                      const std::string& prefix);
+
+}  // namespace jitise::ir

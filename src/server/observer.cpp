@@ -44,6 +44,30 @@ void ServerTraceObserver::on_started(std::uint64_t id,
                static_cast<unsigned long long>(id), tenant.c_str());
 }
 
+void ServerTraceObserver::on_phase_change(const std::string& stream,
+                                          const adaptive::PhaseChange& change) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_,
+               "[server] phase   %s window=%llu %u->%u%s\n", stream.c_str(),
+               static_cast<unsigned long long>(change.window_index),
+               change.from_phase, change.to_phase,
+               change.new_phase ? " (new)" : "");
+}
+
+void ServerTraceObserver::on_drift(const std::string& stream,
+                                   const adaptive::DriftDecision& decision,
+                                   std::uint64_t request_id,
+                                   std::size_t evicted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_,
+               "[server] drift   %s %s retention=%.0f%% evicted=%zu"
+               " resubmit=#%llu — %s\n",
+               stream.c_str(), adaptive::drift_action_name(decision.action),
+               100.0 * decision.retention, evicted,
+               static_cast<unsigned long long>(request_id),
+               decision.reason.c_str());
+}
+
 void ServerTraceObserver::on_finished(const RequestOutcome& outcome) {
   std::lock_guard<std::mutex> lock(mu_);
   std::fprintf(sink_, "[server] %-7s #%llu tenant=%s total=%.2fms%s%s\n",

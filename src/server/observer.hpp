@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/policy.hpp"
 #include "server/request.hpp"
 #include "support/executor.hpp"
 
@@ -55,6 +56,18 @@ class ServerObserver {
   /// concurrently, so implementations must be internally synchronized and
   /// cheap (count, don't print).
   virtual void on_steal(support::Phase /*phase*/) {}
+  /// The drift loop confirmed a phase change on `stream` (tenant/module).
+  /// Fires from the thread calling observe_window().
+  virtual void on_phase_change(const std::string& /*stream*/,
+                               const adaptive::PhaseChange& /*change*/) {}
+  /// The drift policy decided on a confirmed phase change: Keep, or
+  /// Respecialize with `request_id` the drift request submitted through the
+  /// normal admission path (0 when the submission was rejected) after
+  /// evicting `evicted` stale cache slots.
+  virtual void on_drift(const std::string& /*stream*/,
+                        const adaptive::DriftDecision& /*decision*/,
+                        std::uint64_t /*request_id*/,
+                        std::size_t /*evicted*/) {}
   /// Terminal outcome (Done/Failed/Cancelled/Expired). The reference is
   /// only guaranteed during the call.
   virtual void on_finished(const RequestOutcome& /*outcome*/) {}
@@ -93,6 +106,15 @@ class ServerObserverList final : public ServerObserver {
   void on_steal(support::Phase phase) override {
     for (auto* o : observers_) o->on_steal(phase);
   }
+  void on_phase_change(const std::string& stream,
+                       const adaptive::PhaseChange& change) override {
+    for (auto* o : observers_) o->on_phase_change(stream, change);
+  }
+  void on_drift(const std::string& stream,
+                const adaptive::DriftDecision& decision,
+                std::uint64_t request_id, std::size_t evicted) override {
+    for (auto* o : observers_) o->on_drift(stream, decision, request_id, evicted);
+  }
   void on_finished(const RequestOutcome& outcome) override {
     for (auto* o : observers_) o->on_finished(outcome);
   }
@@ -119,6 +141,11 @@ class ServerTraceObserver final : public ServerObserver {
   void on_promoted(std::uint64_t id, const std::string& tenant,
                    std::uint64_t dead_leader_id) override;
   void on_started(std::uint64_t id, const std::string& tenant) override;
+  void on_phase_change(const std::string& stream,
+                       const adaptive::PhaseChange& change) override;
+  void on_drift(const std::string& stream,
+                const adaptive::DriftDecision& decision,
+                std::uint64_t request_id, std::size_t evicted) override;
   void on_finished(const RequestOutcome& outcome) override;
   void on_drained(std::size_t synced, bool compacted) override;
 

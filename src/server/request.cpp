@@ -15,6 +15,14 @@ const char* state_name(RequestState state) noexcept {
   return "?";
 }
 
+const char* trigger_name(Trigger trigger) noexcept {
+  switch (trigger) {
+    case Trigger::Client: return "client";
+    case Trigger::Drift: return "drift";
+  }
+  return "?";
+}
+
 std::uint64_t Ticket::id() const {
   if (!state_) return 0;
   std::lock_guard<std::mutex> lock(state_->mu);

@@ -22,6 +22,15 @@
 
 namespace jitise::server {
 
+/// What caused a request: an ordinary client submission, or the server's
+/// own drift loop (adaptive::RespecializationPolicy) re-entering the
+/// pipeline after a confirmed phase change. Drift re-specializations are
+/// ordinary requests in every other respect — they queue, coalesce, expire
+/// and count against fairness like client traffic.
+enum class Trigger : std::uint8_t { Client, Drift };
+
+[[nodiscard]] const char* trigger_name(Trigger trigger) noexcept;
+
 /// One unit of service work. Module and profile are shared-ownership so the
 /// queue can outlive the submitting scope (many requests typically alias one
 /// prebuilt module/profile pair).
@@ -37,6 +46,8 @@ struct SpecializationRequest {
   /// execution); 0 = none. An expired request stops at the pipeline's next
   /// cancellation point and resolves as Expired with partial progress.
   double deadline_ms = 0.0;
+  /// Who originated the request (client traffic vs the drift loop).
+  Trigger trigger = Trigger::Client;
 };
 
 enum class RequestState : std::uint8_t {
@@ -94,6 +105,9 @@ struct RequestOutcome {
   /// run). A follower promoted into a fresh run after its leader died
   /// reports coalesced=false / leader_id=0 again.
   std::uint64_t leader_id = 0;
+  /// Copied from the request (Trigger::Drift marks the server's own
+  /// re-specializations in traces and stats).
+  Trigger trigger = Trigger::Client;
   double queue_ms = 0.0;  // admission -> session start (0 if never started)
   double run_ms = 0.0;    // session start -> terminal
   double total_ms = 0.0;  // admission -> terminal (the latency the

@@ -17,6 +17,14 @@ using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/// The drift policy's per-stream key: one tenant's window sequence for one
+/// module.
+[[nodiscard]] std::string stream_key(const std::string& tenant,
+                                     const ir::Module& module) {
+  return (tenant.empty() ? std::string("default") : tenant) + "/" +
+         module.name;
+}
+
 }  // namespace
 
 /// Per-session progress tap: counts pipeline events into atomics (CAD events
@@ -85,6 +93,10 @@ SpecializationServer::SpecializationServer(ServerConfig config)
       started_at_(Clock::now()) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_sessions == 0) config_.max_sessions = config_.workers;
+  if (config_.adaptive) {
+    policy_.emplace(config_.respec, config_.specializer,
+                    config_.share_estimates ? &estimates_ : nullptr);
+  }
   if (!config_.cache_journal_file.empty()) {
     journal_.emplace(config_.cache_journal_file);
     journal_->set_fsync(config_.journal_fsync);
@@ -146,6 +158,7 @@ Ticket SpecializationServer::submit(SpecializationRequest request) {
     state->outcome.id = id;
     state->outcome.tenant = request.tenant;
     state->outcome.signature = signature;
+    state->outcome.trigger = request.trigger;
     if (draining_ || stopping_) {
       reject_reason = "server draining";
     } else {
@@ -249,6 +262,53 @@ Ticket SpecializationServer::submit(SpecializationRequest request) {
   observers_.on_admitted(id, tenant, depth);
   work_cv_.notify_one();
   return Ticket(std::move(state));
+}
+
+WindowObservation SpecializationServer::observe_window(
+    const std::string& tenant, std::shared_ptr<const ir::Module> module,
+    std::shared_ptr<const vm::Profile> window, int priority,
+    double deadline_ms) {
+  WindowObservation obs;
+  if (!policy_) return obs;  // adaptive mode off
+  const std::string stream = stream_key(tenant, *module);
+  obs.decision = policy_->observe(stream, *module, *window);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++windows_observed_;
+    if (obs.decision.change) ++phase_changes_;
+    if (obs.decision.action == adaptive::DriftAction::Keep) ++drift_keeps_;
+  }
+  if (obs.decision.change) {
+    observers_.on_phase_change(stream, *obs.decision.change);
+  }
+  if (obs.decision.action == adaptive::DriftAction::Respecialize) {
+    // Evict the slots the fresh selection dropped, then re-enter through
+    // the normal admission path: the drift request queues, coalesces and
+    // expires like client traffic, and the evictions are journaled so the
+    // persisted cache agrees.
+    std::size_t evicted = 0;
+    for (const std::uint64_t sig : obs.decision.stale) {
+      if (cache_.evict(sig)) ++evicted;
+    }
+    SpecializationRequest request;
+    request.tenant = tenant;
+    request.module = std::move(module);
+    request.profile = std::move(window);
+    request.priority = priority;
+    request.deadline_ms = deadline_ms;
+    request.trigger = Trigger::Drift;
+    Ticket ticket = submit(std::move(request));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++drift_respecializations_;
+      drift_evictions_ += evicted;
+    }
+    observers_.on_drift(stream, obs.decision, ticket.id(), evicted);
+    obs.ticket = std::move(ticket);
+  } else if (obs.decision.action == adaptive::DriftAction::Keep) {
+    observers_.on_drift(stream, obs.decision, 0, 0);
+  }
+  return obs;
 }
 
 void SpecializationServer::enqueue_locked(Session session) {
@@ -432,6 +492,14 @@ void SpecializationServer::finish_session(
     Session& session, RequestState state, std::string reason,
     std::optional<jit::SpecializationResult> result,
     const RequestProgress& progress) {
+  // A completed specialization (client- or drift-triggered) updates the
+  // drift policy's installed set for its stream — strictly before the
+  // ticket resolves, so a client that wait()s and immediately streams the
+  // next window observes its own installation.
+  if (policy_ && state == RequestState::Done && result) {
+    policy_->install(
+        stream_key(session.request.tenant, *session.request.module), *result);
+  }
   resolve(session.ticket, state, std::move(reason), std::move(result),
           progress);
 
@@ -499,6 +567,14 @@ void SpecializationServer::finish_session(
   for (Session& follower : resolve_now) {
     const support::CancelReason r = follower.ticket->cancel.token().reason();
     if (r == support::CancelReason::None && state == RequestState::Done) {
+      // A coalesced follower may belong to a different tenant — its stream
+      // gets the same installed set as the leader's (before its ticket
+      // resolves, same ordering contract as the leader's install).
+      if (policy_ && lead.result) {
+        policy_->install(
+            stream_key(follower.request.tenant, *follower.request.module),
+            *lead.result);
+      }
       resolve(follower.ticket, RequestState::Done, std::string(), lead.result,
               lead.progress);
     } else if (r == support::CancelReason::DeadlineExpired) {
@@ -624,12 +700,18 @@ ServerStats SpecializationServer::stats() const {
     s.isegen_iterations = isegen_iterations_;
     s.isegen_accepted = isegen_accepted_;
     s.isegen_saving_delta = isegen_saving_delta_;
+    s.windows_observed = windows_observed_;
+    s.phase_changes = phase_changes_;
+    s.drift_respecializations = drift_respecializations_;
+    s.drift_keeps = drift_keeps_;
+    s.drift_evictions = drift_evictions_;
   }
   s.pipeline_runs = pipeline_runs_.load(std::memory_order_relaxed);
   if (pool_) s.executor = pool_->stats();
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   s.cache_entries = cache_.entries();
+  s.cache_evictions = cache_.evictions();
   s.estimate_hits = estimates_.hits();
   s.estimate_misses = estimates_.misses();
   return s;

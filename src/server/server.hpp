@@ -63,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "adaptive/policy.hpp"
 #include "estimation/estimator.hpp"
 #include "jit/cache.hpp"
 #include "jit/cache_io.hpp"
@@ -131,6 +132,15 @@ struct ServerConfig {
   /// owned; must be internally synchronized and outlive the server). Used
   /// by tests and tracing; null = none.
   jit::PipelineObserver* pipeline_observer = nullptr;
+  /// Adaptive re-specialization under phase drift: the server hosts an
+  /// adaptive::RespecializationPolicy, clients stream closed profile
+  /// windows through observe_window(), and on a confirmed phase change
+  /// whose installed benefit has decayed the server evicts the stale
+  /// bitstream-cache slots and re-submits through the normal admission
+  /// queue with Trigger::Drift. Off: observe_window() is a no-op.
+  bool adaptive = false;
+  /// Detector/threshold/cost knobs of the drift loop (`adaptive` only).
+  adaptive::RespecializationConfig respec;
 };
 
 /// Aggregate counters for one tenant, with request-latency percentiles over
@@ -184,7 +194,34 @@ struct ServerStats {
   // Shared-resource counters.
   std::uint64_t cache_hits = 0, cache_misses = 0;
   std::size_t cache_entries = 0;
+  /// Entries dropped from the bitstream cache: capacity LRU evictions plus
+  /// the drift loop's policy evictions (`drift_evictions` of these).
+  std::uint64_t cache_evictions = 0;
   std::uint64_t estimate_hits = 0, estimate_misses = 0;
+  /// Adaptive tier (zero when `ServerConfig::adaptive` is off): windows
+  /// streamed in, phase changes confirmed, drift re-specializations
+  /// submitted, confirmed changes the policy absorbed, and stale cache
+  /// slots evicted by the drift loop.
+  std::uint64_t windows_observed = 0;
+  std::uint64_t phase_changes = 0;
+  std::uint64_t drift_respecializations = 0;
+  std::uint64_t drift_keeps = 0;
+  std::uint64_t drift_evictions = 0;
+
+  [[nodiscard]] double estimate_hit_rate() const noexcept {
+    const double total =
+        static_cast<double>(estimate_hits + estimate_misses);
+    return total > 0.0 ? static_cast<double>(estimate_hits) / total : 0.0;
+  }
+};
+
+/// What observe_window() did with one window.
+struct WindowObservation {
+  adaptive::DriftDecision decision;
+  /// Set when the decision was Respecialize: the drift request's ticket
+  /// (admitted through the normal queue; may still be rejected/expired —
+  /// inspect it like any client ticket).
+  std::optional<Ticket> ticket;
 };
 
 class SpecializationServer : private support::ExecutorObserver {
@@ -205,6 +242,19 @@ class SpecializationServer : private support::ExecutorObserver {
   /// cancelled/expired while queued are swept out of the queue, so dead
   /// sessions never crowd out live traffic.
   Ticket submit(SpecializationRequest request);
+
+  /// Adaptive mode: streams one closed profile window for (tenant, module)
+  /// into the drift loop. The policy detects phase changes, prices the
+  /// installed instruction set under the new window, and on a Respecialize
+  /// decision the server evicts the stale cache slots and submits a
+  /// Trigger::Drift request (with the window as its profile) through the
+  /// normal admission path — coalescing, deadlines and fairness all apply,
+  /// and other tenants keep being served. With `adaptive` off this returns
+  /// a default (None) observation and touches nothing.
+  WindowObservation observe_window(
+      const std::string& tenant, std::shared_ptr<const ir::Module> module,
+      std::shared_ptr<const vm::Profile> window, int priority = 0,
+      double deadline_ms = 0.0);
 
   /// Registers a server observer (not owned; must outlive the server).
   /// Register before the first submit — the list is not synchronized.
@@ -276,6 +326,10 @@ class SpecializationServer : private support::ExecutorObserver {
   ServerConfig config_;
   jit::BitstreamCache cache_;
   estimation::EstimateCache estimates_;
+  /// The drift loop's brain (engaged by `config_.adaptive`); shares the
+  /// server's EstimateCache so window pricing and pipeline runs memoize
+  /// into one signature space.
+  std::optional<adaptive::RespecializationPolicy> policy_;
   std::optional<jit::CacheJournal> journal_;
   /// The one compute substrate all sessions share (absent when
   /// `shared_executor` is off — sessions then own private pools).
@@ -315,6 +369,11 @@ class SpecializationServer : private support::ExecutorObserver {
   std::uint64_t isegen_iterations_ = 0;
   std::uint64_t isegen_accepted_ = 0;
   double isegen_saving_delta_ = 0.0;
+  std::uint64_t windows_observed_ = 0;
+  std::uint64_t phase_changes_ = 0;
+  std::uint64_t drift_respecializations_ = 0;
+  std::uint64_t drift_keeps_ = 0;
+  std::uint64_t drift_evictions_ = 0;
   /// Per-tenant steady timestamp of the first submit — the start of the
   /// throughput window stats() reports.
   std::map<std::string, std::chrono::steady_clock::time_point> tenant_first_;

@@ -1,6 +1,7 @@
 #include "vm/interpreter.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "vm/eval.hpp"
 
@@ -18,6 +19,27 @@ struct Machine::Frame {
   std::vector<Slot> regs;
   std::uint32_t stack_mark = 0;
 };
+
+Profile Profile::diff(const Profile& earlier) const {
+  if (earlier.block_counts.size() != block_counts.size())
+    throw std::invalid_argument("Profile::diff: function count mismatch");
+  Profile d;
+  d.block_counts.resize(block_counts.size());
+  for (std::size_t f = 0; f < block_counts.size(); ++f) {
+    const auto& now = block_counts[f];
+    const auto& then = earlier.block_counts[f];
+    if (then.size() != now.size())
+      throw std::invalid_argument("Profile::diff: block count mismatch");
+    d.block_counts[f].resize(now.size());
+    for (std::size_t b = 0; b < now.size(); ++b)
+      d.block_counts[f][b] = now[b] - then[b];
+  }
+  d.dyn_instructions = dyn_instructions - earlier.dyn_instructions;
+  d.cpu_cycles = cpu_cycles - earlier.cpu_cycles;
+  for (std::size_t op = 0; op < opcode_counts.size(); ++op)
+    d.opcode_counts[op] = opcode_counts[op] - earlier.opcode_counts[op];
+  return d;
+}
 
 Machine::Machine(const ir::Module& module, CostModel cost,
                  std::uint32_t memory_bytes)
@@ -53,7 +75,42 @@ RunResult Machine::run(ir::FuncId fn, std::span<const Slot> args,
   result.ret = exec_function(fn, args, 0);
   result.steps = run_steps_;
   result.cycles = run_cycles_;
+  if (windowing_ && window_config_.per_run) close_window();
   return result;
+}
+
+void Machine::clear_profile() noexcept {
+  profile_.clear();
+  if (windowing_) {
+    window_base_.clear();
+    if (window_config_.instructions_per_window != 0)
+      window_next_ = window_config_.instructions_per_window;
+  }
+}
+
+void Machine::enable_windowing(const WindowConfig& config) {
+  windowing_ = true;
+  window_config_ = config;
+  if (window_config_.ring_capacity == 0) window_config_.ring_capacity = 1;
+  window_base_ = profile_;
+  window_next_ =
+      window_config_.instructions_per_window != 0
+          ? profile_.dyn_instructions + window_config_.instructions_per_window
+          : UINT64_MAX;
+}
+
+bool Machine::close_window() {
+  if (!windowing_) return false;
+  Profile delta = profile_.diff(window_base_);
+  window_base_ = profile_;
+  if (window_config_.instructions_per_window != 0) {
+    window_next_ = profile_.dyn_instructions +
+                   window_config_.instructions_per_window;
+  }
+  if (delta.empty()) return false;
+  windows_.push_back(ProfileWindow{windows_closed_++, std::move(delta)});
+  while (windows_.size() > window_config_.ring_capacity) windows_.pop_front();
+  return true;
 }
 
 RunResult Machine::run(std::string_view fn_name, std::span<const Slot> args,
@@ -95,6 +152,9 @@ Slot Machine::exec_function(ir::FuncId fn_id, std::span<const Slot> args,
 
   for (;;) {
     ++block_counts[cur];
+    // Windowed profiling tick: one compare against a sentinel (UINT64_MAX
+    // when disabled), so the non-windowed hot path pays a single branch.
+    if (profile_.dyn_instructions >= window_next_) close_window();
     const ir::BasicBlock& block = f.blocks[cur];
 
     // Phase 1: evaluate all phis against the incoming edge (parallel copy).

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <string>
@@ -45,6 +46,35 @@ struct Profile {
     cpu_cycles = 0;
     opcode_counts.fill(0);
   }
+
+  /// Fieldwise `*this - earlier`: the activity between two snapshots of one
+  /// accumulating profile. `earlier` must be a snapshot of the *same* module
+  /// taken no later than this one — a shape mismatch throws
+  /// std::invalid_argument; counter underflow is the caller's ordering bug.
+  [[nodiscard]] Profile diff(const Profile& earlier) const;
+
+  /// True when no dynamic activity has been recorded.
+  [[nodiscard]] bool empty() const noexcept { return dyn_instructions == 0; }
+};
+
+/// One closed profiling window: the profile delta between two consecutive
+/// epoch boundaries, plus its position in the stream of closed windows.
+struct ProfileWindow {
+  std::uint64_t index = 0;  // 0-based, counts windows ever closed
+  Profile delta;
+};
+
+/// Epoch boundaries for windowed profiling (Machine::enable_windowing).
+struct WindowConfig {
+  /// Close a window every N dynamic instructions, checked at block entry:
+  /// the boundary lands on the first block entry at or past the tick, so a
+  /// window overshoots by at most one block. 0 = no instruction ticks.
+  std::uint64_t instructions_per_window = 0;
+  /// Also close a window at the end of every run() call.
+  bool per_run = true;
+  /// Bound on retained windows: once full, the oldest falls off the ring
+  /// (the stream index keeps counting). Clamped to >= 1.
+  std::size_t ring_capacity = 64;
 };
 
 /// Thrown when execution exceeds the step budget or traps.
@@ -102,7 +132,32 @@ class Machine {
                 std::uint64_t max_steps = 1ull << 32);
 
   [[nodiscard]] const Profile& profile() const noexcept { return profile_; }
-  void clear_profile() noexcept { profile_.clear(); }
+  /// A copy of the accumulated profile that does not disturb accumulation;
+  /// pairs with Profile::diff for snapshot-and-subtract windowing without
+  /// the information loss of clear_profile().
+  [[nodiscard]] Profile snapshot() const { return profile_; }
+  void clear_profile() noexcept;
+
+  /// Switches the machine into windowed profiling: the accumulated profile
+  /// keeps growing monotonically, and in addition every epoch boundary
+  /// (instruction tick, end of run, or explicit close_window) emits the
+  /// since-last-boundary delta into a bounded ring — a long-running tenant
+  /// then produces a profile *stream*, not just a monotone accumulator.
+  /// (Re-)enabling anchors the first window at the current accumulated
+  /// state; empty deltas are never emitted.
+  void enable_windowing(const WindowConfig& config);
+  [[nodiscard]] bool windowing() const noexcept { return windowing_; }
+  /// Closes the current window now. Returns whether a window was emitted
+  /// (an empty delta is dropped but still re-anchors the next window).
+  bool close_window();
+  /// Closed windows still in the ring, oldest first.
+  [[nodiscard]] const std::deque<ProfileWindow>& windows() const noexcept {
+    return windows_;
+  }
+  /// Windows ever closed, including ones that have fallen off the ring.
+  [[nodiscard]] std::uint64_t windows_closed() const noexcept {
+    return windows_closed_;
+  }
 
  private:
   struct Frame;
@@ -119,6 +174,15 @@ class Machine {
   std::uint64_t steps_left_ = 0;
   std::uint64_t run_steps_ = 0;
   std::uint64_t run_cycles_ = 0;
+  // Windowed profiling (enable_windowing). window_next_ is the dynamic
+  // instruction count at which the next tick-boundary fires; UINT64_MAX is
+  // the disabled sentinel, so the hot block-entry check is one compare.
+  bool windowing_ = false;
+  WindowConfig window_config_;
+  Profile window_base_;
+  std::uint64_t window_next_ = UINT64_MAX;
+  std::deque<ProfileWindow> windows_;
+  std::uint64_t windows_closed_ = 0;
   // Per-function constant/param presets, computed lazily.
   std::vector<std::vector<Slot>> const_frames_;
   std::vector<bool> const_ready_;

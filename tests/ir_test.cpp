@@ -2,6 +2,7 @@
 
 #include "ir/builder.hpp"
 #include "ir/cfg.hpp"
+#include "ir/link.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
@@ -257,6 +258,63 @@ TEST(Cfg, DominanceMatchesBruteForce) {
       const bool brute = (a == b) || !reachable_avoiding(a, b);
       EXPECT_EQ(dom, brute) << "a=" << a << " b=" << b;
     }
+}
+
+TEST(Link, MergeRemapsCallsAndGlobals) {
+  // src: helper() reads a global; main() calls helper.
+  Module src;
+  src.name = "src";
+  const GlobalId g = add_global(src, "buf", 16);
+  {
+    FunctionBuilder fb(src, "helper", Type::I32, {});
+    fb.ret(fb.load(Type::I32, fb.global_addr(g)));
+    fb.finish();
+  }
+  {
+    FunctionBuilder fb(src, "main", Type::I32, {});
+    fb.ret(fb.call(0, Type::I32, {}));
+    fb.finish();
+  }
+  verify_module_or_throw(src);
+
+  // dst already holds one function and one global, so every id shifts.
+  Module dst;
+  dst.name = "dst";
+  add_global(dst, "existing", 8);
+  {
+    FunctionBuilder fb(dst, "existing", Type::I32, {});
+    fb.ret(fb.const_int(Type::I32, 7));
+    fb.finish();
+  }
+
+  const MergeMap map = merge_module(dst, src, "src.");
+  EXPECT_EQ(map.func_offset, 1u);
+  EXPECT_EQ(map.global_offset, 1u);
+  verify_module_or_throw(dst);
+
+  ASSERT_EQ(dst.functions.size(), 3u);
+  ASSERT_EQ(dst.globals.size(), 2u);
+  EXPECT_EQ(dst.functions[1].name, "src.helper");
+  EXPECT_EQ(dst.functions[2].name, "src.main");
+  EXPECT_EQ(dst.globals[1].name, "src.buf");
+  // src is untouched.
+  EXPECT_EQ(src.functions[1].name, "main");
+
+  // The merged main's Call now targets the shifted helper, and the merged
+  // helper's GlobalAddr the shifted global.
+  bool saw_call = false, saw_global = false;
+  for (const auto& inst : dst.functions[2].values)
+    if (inst.op == Opcode::Call) {
+      EXPECT_EQ(inst.aux, 1u);
+      saw_call = true;
+    }
+  for (const auto& inst : dst.functions[1].values)
+    if (inst.op == Opcode::GlobalAddr) {
+      EXPECT_EQ(inst.aux, 1u);
+      saw_global = true;
+    }
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_global);
 }
 
 }  // namespace

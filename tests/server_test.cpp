@@ -882,4 +882,32 @@ TEST(Server, ThroughputWindowStartsAtFirstSubmission) {
   EXPECT_GT(t.throughput_rps, naive * 1.2);
 }
 
+TEST(Server, StatsSurfaceCacheEvictionsAndEstimateHitRate) {
+  server::ServerConfig config;
+  config.workers = 1;
+  config.specializer.jobs = 1;
+  config.coalesce_requests = false;  // the repeat must re-run the pipeline
+  // A cache too small for one app's bitstreams forces capacity evictions.
+  config.cache_capacity_bytes = 1;
+  server::SpecializationServer srv(config);
+
+  srv.submit(make_request("t")).wait();
+  const server::ServerStats cold = srv.stats();
+  EXPECT_GT(cold.cache_evictions, 0u);
+  EXPECT_GT(cold.estimate_misses, 0u);
+
+  // Identical resubmission: every candidate estimate memoizes.
+  srv.submit(make_request("t")).wait();
+  srv.drain();
+  const server::ServerStats warm = srv.stats();
+  EXPECT_GE(warm.cache_evictions, cold.cache_evictions);
+  EXPECT_GT(warm.estimate_hits, 0u);
+  EXPECT_GT(warm.estimate_hit_rate(), 0.0);
+  EXPECT_LE(warm.estimate_hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(warm.estimate_hit_rate(),
+                   static_cast<double>(warm.estimate_hits) /
+                       static_cast<double>(warm.estimate_hits +
+                                           warm.estimate_misses));
+}
+
 }  // namespace

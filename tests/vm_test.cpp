@@ -263,4 +263,215 @@ TEST(TimeModel, ColdCodePaysInterpretation) {
   EXPECT_GT(t.ratio(), 5.0);  // interpreter-dominated
 }
 
+// A module with two independent hot loops ("pa" and "pb") whose hot sets are
+// disjoint — running one and then the other is a two-phase workload.
+Module make_two_phase_module() {
+  Module m;
+  m.name = "phases";
+  for (const char* name : {"pa", "pb"}) {
+    FunctionBuilder fb(m, name, Type::I32, {Type::I32});
+    const BlockId body = fb.new_block("body");
+    const BlockId exit = fb.new_block("exit");
+    fb.br(body);
+    fb.set_insert(body);
+    const ValueId i = fb.phi(Type::I32);
+    const ValueId acc = fb.phi(Type::I32);
+    const ValueId inext = fb.binop(Opcode::Add, i, fb.const_int(Type::I32, 1));
+    // Distinct arithmetic per function, so the loops are not structurally
+    // identical blocks.
+    ValueId work;
+    if (std::string(name) == "pa") {
+      work = fb.binop(Opcode::Xor, acc,
+                      fb.binop(Opcode::Shl, inext, fb.const_int(Type::I32, 1)));
+    } else {
+      work = fb.binop(Opcode::Add, acc,
+                      fb.binop(Opcode::Mul, inext, fb.const_int(Type::I32, 3)));
+    }
+    const ValueId done = fb.icmp(ICmpPred::Sge, inext, fb.param(0));
+    fb.condbr(done, exit, body);
+    fb.phi_incoming(i, fb.const_int(Type::I32, 0), fb.entry());
+    fb.phi_incoming(i, inext, body);
+    fb.phi_incoming(acc, fb.const_int(Type::I32, 0), fb.entry());
+    fb.phi_incoming(acc, work, body);
+    fb.set_insert(exit);
+    fb.ret(work);
+    fb.finish();
+  }
+  return m;
+}
+
+TEST(Profile, SnapshotAndDiff) {
+  const Module m = make_sum_module();
+  Machine machine(m);
+  const Slot args[] = {Slot::of_int(100)};
+  machine.run("sum", args);
+  const Profile first = machine.snapshot();
+  EXPECT_FALSE(first.empty());
+  // snapshot() must not disturb accumulation.
+  EXPECT_EQ(machine.profile().dyn_instructions, first.dyn_instructions);
+
+  machine.run("sum", args);
+  const Profile delta = machine.profile().diff(first);
+  // Two identical runs: the delta is exactly one run's activity.
+  EXPECT_EQ(delta.dyn_instructions, first.dyn_instructions);
+  EXPECT_EQ(delta.cpu_cycles, first.cpu_cycles);
+  ASSERT_EQ(delta.block_counts.size(), first.block_counts.size());
+  for (std::size_t f = 0; f < delta.block_counts.size(); ++f)
+    for (std::size_t b = 0; b < delta.block_counts[f].size(); ++b)
+      EXPECT_EQ(delta.block_counts[f][b], first.block_counts[f][b]);
+
+  // Diffing a snapshot of itself is empty.
+  EXPECT_TRUE(machine.profile().diff(machine.snapshot()).empty());
+
+  // Shape mismatch (different module) throws.
+  Profile other;
+  other.block_counts.assign(1, std::vector<std::uint64_t>(2, 0));
+  EXPECT_THROW((void)machine.profile().diff(other), std::invalid_argument);
+}
+
+TEST(Windowing, PerRunWindowsPartitionTheProfile) {
+  const Module m = make_sum_module();
+  Machine machine(m);
+  WindowConfig wc;
+  wc.per_run = true;
+  machine.enable_windowing(wc);
+  EXPECT_TRUE(machine.windowing());
+
+  const Slot a[] = {Slot::of_int(50)};
+  const Slot b[] = {Slot::of_int(200)};
+  machine.run("sum", a);
+  machine.run("sum", b);
+  ASSERT_EQ(machine.windows().size(), 2u);
+  EXPECT_EQ(machine.windows()[0].index, 0u);
+  EXPECT_EQ(machine.windows()[1].index, 1u);
+  // Windows partition the accumulated profile.
+  const std::uint64_t sum = machine.windows()[0].delta.dyn_instructions +
+                            machine.windows()[1].delta.dyn_instructions;
+  EXPECT_EQ(sum, machine.profile().dyn_instructions);
+  EXPECT_GT(machine.windows()[1].delta.dyn_instructions,
+            machine.windows()[0].delta.dyn_instructions);
+
+  // An immediately re-closed window is empty and dropped (but not counted).
+  EXPECT_FALSE(machine.close_window());
+  EXPECT_EQ(machine.windows_closed(), 2u);
+}
+
+TEST(Windowing, InstructionTicksCloseMidRun) {
+  const Module m = make_sum_module();
+  Machine machine(m);
+  WindowConfig wc;
+  wc.instructions_per_window = 64;
+  wc.per_run = false;
+  machine.enable_windowing(wc);
+
+  const Slot args[] = {Slot::of_int(200)};
+  machine.run("sum", args);
+  EXPECT_GE(machine.windows().size(), 2u);
+  std::uint64_t covered = 0;
+  for (const auto& w : machine.windows()) {
+    EXPECT_FALSE(w.delta.empty());
+    covered += w.delta.dyn_instructions;
+  }
+  // Everything but the open tail window has been emitted.
+  EXPECT_LE(covered, machine.profile().dyn_instructions);
+  EXPECT_TRUE(machine.close_window());
+  covered += machine.windows().back().delta.dyn_instructions;
+  EXPECT_EQ(covered, machine.profile().dyn_instructions);
+}
+
+TEST(Windowing, RingCapacityBoundsRetention) {
+  const Module m = make_sum_module();
+  Machine machine(m);
+  WindowConfig wc;
+  wc.per_run = true;
+  wc.ring_capacity = 2;
+  machine.enable_windowing(wc);
+  const Slot args[] = {Slot::of_int(10)};
+  for (int i = 0; i < 5; ++i) machine.run("sum", args);
+  EXPECT_EQ(machine.windows().size(), 2u);
+  EXPECT_EQ(machine.windows_closed(), 5u);
+  EXPECT_EQ(machine.windows().front().index, 3u);
+  EXPECT_EQ(machine.windows().back().index, 4u);
+}
+
+TEST(Windowing, ClearProfileReanchors) {
+  const Module m = make_sum_module();
+  Machine machine(m);
+  machine.enable_windowing({});
+  const Slot args[] = {Slot::of_int(30)};
+  machine.run("sum", args);
+  machine.clear_profile();
+  EXPECT_TRUE(machine.profile().empty());
+  // The next window is the activity after the clear, not a bogus diff
+  // against pre-clear state.
+  machine.run("sum", args);
+  EXPECT_EQ(machine.windows().back().delta.dyn_instructions,
+            machine.profile().dyn_instructions);
+}
+
+TEST(Windowing, PerWindowKernelTracksThePhase) {
+  const Module m = make_two_phase_module();
+  verify_module_or_throw(m);
+  Machine machine(m);
+  WindowConfig wc;
+  wc.per_run = true;
+  machine.enable_windowing(wc);
+
+  const Slot args[] = {Slot::of_int(5000)};
+  machine.run("pa", args);
+  machine.run("pb", args);
+  ASSERT_EQ(machine.windows().size(), 2u);
+  const Profile& wa = machine.windows()[0].delta;
+  const Profile& wb = machine.windows()[1].delta;
+
+  // Disjoint hot sets: each window only touches its own function.
+  const auto pa = static_cast<std::size_t>(m.find_function("pa"));
+  const auto pb = static_cast<std::size_t>(m.find_function("pb"));
+  EXPECT_GT(wa.block_counts[pa][1], 0u);
+  EXPECT_EQ(wa.block_counts[pb][1], 0u);
+  EXPECT_GT(wb.block_counts[pb][1], 0u);
+  EXPECT_EQ(wb.block_counts[pa][1], 0u);
+
+  // The per-window kernel lands in the window's function; the whole-run
+  // kernel must cover both functions — neither window kernel equals it.
+  const KernelReport ka = find_kernel(m, wa, machine.cost_model());
+  const KernelReport kb = find_kernel(m, wb, machine.cost_model());
+  const KernelReport kall = find_kernel(m, machine.profile(),
+                                        machine.cost_model());
+  ASSERT_FALSE(ka.blocks.empty());
+  ASSERT_FALSE(kb.blocks.empty());
+  for (const auto& blk : ka.blocks) EXPECT_EQ(blk.function, pa);
+  for (const auto& blk : kb.blocks) EXPECT_EQ(blk.function, pb);
+  bool whole_has_pa = false, whole_has_pb = false;
+  for (const auto& blk : kall.blocks) {
+    whole_has_pa |= blk.function == pa;
+    whole_has_pb |= blk.function == pb;
+  }
+  EXPECT_TRUE(whole_has_pa);
+  EXPECT_TRUE(whole_has_pb);
+  EXPECT_NE(kall.blocks.size(), ka.blocks.size());
+}
+
+TEST(Windowing, CoverageOverPhaseWindows) {
+  const Module m = make_two_phase_module();
+  Machine machine(m);
+  machine.enable_windowing({});
+  const Slot args[] = {Slot::of_int(2000)};
+  machine.run("pa", args);
+  machine.run("pb", args);
+  ASSERT_EQ(machine.windows().size(), 2u);
+
+  // Treating the phase windows as the >= 2 input sets of the coverage
+  // classifier: each function's loop body runs in one window and not the
+  // other, so it classifies live (input-dependent), not const or dead.
+  const std::vector<Profile> sets = {machine.windows()[0].delta,
+                                     machine.windows()[1].delta};
+  const CoverageReport cov = classify_coverage(m, sets);
+  const auto pa = static_cast<std::size_t>(m.find_function("pa"));
+  const auto pb = static_cast<std::size_t>(m.find_function("pb"));
+  EXPECT_EQ(cov.classes[pa][1], CoverageClass::Live);
+  EXPECT_EQ(cov.classes[pb][1], CoverageClass::Live);
+  EXPECT_GT(cov.live_pct, 0.0);
+}
+
 }  // namespace
